@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 6: sensitivity-over-time profiles of dgemm, hacc, BwdBN and
+ * xsbench at 1 us epochs, showing the highly varying phase behaviour
+ * that motivates prediction over reaction.
+ *
+ * Prints, per workload, the per-epoch CU-0-domain sensitivity series
+ * plus summary statistics (mean, stddev, avg relative change).
+ */
+
+#include <iostream>
+
+#include "common/stats_util.hh"
+#include "harness.hh"
+
+using namespace pcstall;
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("FIGURE 6", "Sensitivity profiles over time", opts);
+
+    std::vector<std::string> names = {"dgemm", "hacc", "BwdBN",
+                                      "xsbench"};
+    if (!opts.workloads.empty())
+        names = opts.workloads;
+
+    for (const std::string &name : names) {
+        sim::ProfileConfig pcfg = opts.profileConfig();
+        pcfg.waveLevel = false;
+        pcfg.maxEpochs = 48;
+        sim::SensitivityProfiler profiler(pcfg);
+        const sim::ProfileResult profile =
+            profiler.profile(bench::makeApp(name, opts));
+
+        const std::vector<double> series = profile.domainSeries(0);
+        std::printf("%s (domain 0, %zu epochs):\n ", name.c_str(),
+                    series.size());
+        for (double s : series)
+            std::printf(" %.0f", s);
+        std::printf("\n  mean %.1f instr/GHz  stddev %.1f  "
+                    "avg relative change %s\n\n",
+                    mean(series), stddev(series),
+                    formatPercent(avgRelativeChange(series)).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Figure 7: (a) average relative change in per-domain sensitivity
+ * across consecutive 1 us epochs, per workload (the paper reports a
+ * 37% suite average); (b) the same metric versus epoch duration
+ * (paper: 12% at 100 us rising to 37% at 1 us).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "common/stats_util.hh"
+#include "harness.hh"
+
+using namespace pcstall;
+
+namespace
+{
+
+double
+variabilityOf(const std::string &name, const bench::BenchOptions &opts,
+              Tick epoch_len, std::size_t max_epochs)
+{
+    sim::ProfileConfig pcfg = opts.profileConfig();
+    pcfg.epochLen = epoch_len;
+    pcfg.waveLevel = false;
+    pcfg.maxEpochs = max_epochs;
+    pcfg.maxSimTime = 200 * tickMs;
+    // Non-shuffled sweeps: cross-domain interference noise would be
+    // conflated with the workload's own variability.
+    pcfg.shuffle = false;
+    sim::SensitivityProfiler profiler(pcfg);
+
+    // Longer epochs need proportionally more work so the series still
+    // spans several epochs of steady execution.
+    auto sized = opts;
+    const double epoch_us = static_cast<double>(epoch_len) /
+        static_cast<double>(tickUs);
+    sized.scale = opts.scale * std::max(1.0, epoch_us / 2.0);
+    const sim::ProfileResult profile =
+        profiler.profile(bench::makeApp(name, sized));
+
+    std::vector<double> changes;
+    for (std::uint32_t d = 0; d < profile.epochs.front().domains.size();
+         ++d) {
+        auto series = profile.domainSeries(d);
+        // Guard the final drain epochs (work ramp-down at the end of
+        // the application), which are artefacts of run length rather
+        // than phase behaviour.
+        while (series.size() > 2 &&
+               std::abs(series.back()) < 0.05 * mean(series)) {
+            series.pop_back();
+        }
+        if (series.size() >= 2)
+            changes.push_back(avgRelativeChange(series));
+    }
+    return mean(changes);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("FIGURE 7",
+                  "Sensitivity variability across consecutive epochs",
+                  opts);
+
+    // (a) per-workload at the configured epoch (default 1 us).
+    TableWriter per_workload({"workload", "avg relative change"});
+    std::vector<double> all;
+    for (const std::string &name : opts.workloadNames()) {
+        const double v = variabilityOf(name, opts, opts.epochLen, 40);
+        all.push_back(v);
+        per_workload.beginRow().cell(name).cell(formatPercent(v));
+        per_workload.endRow();
+    }
+    per_workload.beginRow().cell("AVERAGE")
+        .cell(formatPercent(mean(all)));
+    per_workload.endRow();
+    bench::emit(opts, per_workload);
+    std::printf("\n(paper Fig 7a: ~37%% average at 1 us)\n\n");
+
+    // (b) average across a few representative workloads vs epoch.
+    const std::vector<std::string> reps = {"comd", "hacc", "BwdBN",
+                                           "xsbench"};
+    TableWriter vs_epoch({"epoch", "avg relative change"});
+    for (const double us : {1.0, 5.0, 10.0, 50.0, 100.0}) {
+        const Tick epoch = static_cast<Tick>(us * tickUs);
+        std::vector<double> vals;
+        for (const std::string &name : reps)
+            vals.push_back(variabilityOf(name, opts, epoch, 12));
+        vs_epoch.beginRow()
+            .cell(formatFixed(us, 0) + "us")
+            .cell(formatPercent(mean(vals)));
+        vs_epoch.endRow();
+    }
+    bench::emit(opts, vs_epoch);
+    std::printf("\n(paper Fig 7b: 37%% at 1us falling to 12%% at "
+                "100us)\n");
+    return 0;
+}

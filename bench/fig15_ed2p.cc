@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 15: ED^2P of every workload under every Table III design,
+ * normalized to static 1.7 GHz execution, at 1 us epochs. Includes
+ * the three static baselines (1.3 / 1.7 / 2.2 GHz). Lower is better.
+ * The paper's shape: ORACLE best (up to 54% improvement), ACCPC ~51%,
+ * PCSTALL ~48%, reactive designs trailing (CRISP ~23%).
+ */
+
+#include <iostream>
+
+#include "common/stats_util.hh"
+#include "harness.hh"
+
+using namespace pcstall;
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("FIGURE 15",
+                  "ED2P normalized to static 1.7 GHz", opts);
+
+    const auto cfg = opts.runConfig();
+    sim::ExperimentDriver driver(cfg);
+
+    std::vector<std::string> designs = {"ST1.3", "ST2.2"};
+    for (const std::string &d : bench::designNames())
+        designs.push_back(d);
+
+    std::vector<std::string> headers = {"workload"};
+    for (const auto &d : designs)
+        headers.push_back(d);
+    TableWriter table(headers);
+
+    std::map<std::string, std::vector<double>> norm;
+    for (const std::string &name : opts.workloadNames()) {
+        const auto app = bench::makeApp(name, opts);
+        dvfs::StaticController nominal(driver.nominalState());
+        const sim::RunResult base = driver.run(app, nominal);
+
+        table.beginRow().cell(name);
+        for (const std::string &design : designs) {
+            std::unique_ptr<dvfs::DvfsController> controller;
+            if (design == "ST1.3")
+                controller = std::make_unique<dvfs::StaticController>(0);
+            else if (design == "ST2.2")
+                controller = std::make_unique<dvfs::StaticController>(9);
+            else
+                controller = bench::makeController(design, cfg);
+            const sim::RunResult r = driver.run(app, *controller);
+            const double v = r.ed2p() / base.ed2p();
+            norm[design].push_back(v);
+            table.cell(v, 3);
+        }
+        table.endRow();
+    }
+    table.beginRow().cell("GEOMEAN");
+    for (const std::string &design : designs)
+        table.cell(geomean(norm[design]), 3);
+    table.endRow();
+    bench::emit(opts, table);
+
+    std::printf("\n(values < 1 improve on static 1.7 GHz; paper: "
+                "ORACLE up to 0.46, ACCPC 0.49, PCSTALL 0.52, "
+                "CRISP 0.77)\n");
+    return 0;
+}

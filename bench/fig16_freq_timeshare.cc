@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 16: the share of time CUs spend at each V/f state while
+ * PCSTALL optimizes ED^2P at 1 us epochs. Compute-intensive apps
+ * (dgemm, hacc) should live in the upper states; memory-intensive
+ * apps (hpgmg, xsbench) in the lower states; BwdPool settles on a
+ * single state.
+ */
+
+#include <iostream>
+
+#include "core/pcstall_controller.hh"
+#include "harness.hh"
+
+using namespace pcstall;
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("FIGURE 16",
+                  "Frequency residency under PCSTALL (ED2P)", opts);
+
+    const auto cfg = opts.runConfig();
+    sim::ExperimentDriver driver(cfg);
+
+    std::vector<std::string> headers = {"workload"};
+    for (std::size_t s = 0; s < driver.table().numStates(); ++s) {
+        headers.push_back(formatFixed(
+            freqGHzD(driver.table().state(s).freq), 1));
+    }
+    headers.push_back("mean GHz");
+    TableWriter table(headers);
+
+    for (const std::string &name : opts.workloadNames()) {
+        const auto app = bench::makeApp(name, opts);
+        const auto controller = bench::makeController("PCSTALL", cfg);
+        const sim::RunResult r = driver.run(app, *controller);
+
+        table.beginRow().cell(name);
+        double mean_ghz = 0.0;
+        for (std::size_t s = 0; s < r.freqTimeShare.size(); ++s) {
+            table.cell(formatPercent(r.freqTimeShare[s], 0));
+            mean_ghz += r.freqTimeShare[s] *
+                freqGHzD(driver.table().state(s).freq);
+        }
+        table.cell(mean_ghz, 2);
+        table.endRow();
+    }
+    bench::emit(opts, table);
+    std::printf("\n(paper Fig 16: dgemm/hacc high, hpgmg/xsbench low, "
+                "BwdPool single state)\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 17: geomean EDP (normalized to static 1.7 GHz) versus DVFS
+ * epoch duration for the main designs. The paper's trend: PCSTALL
+ * keeps improving as epochs shrink while reactive policies fail to
+ * capitalize; the predictive/reactive gap is smaller for EDP than for
+ * ED^2P.
+ */
+
+#include <iostream>
+
+#include "common/stats_util.hh"
+#include "harness.hh"
+
+using namespace pcstall;
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("FIGURE 17", "Geomean EDP vs epoch duration", opts);
+
+    const std::vector<std::string> designs = {"CRISP", "ACCREAC",
+                                              "PCSTALL", "ORACLE"};
+    std::vector<std::string> headers = {"epoch"};
+    for (const auto &d : designs)
+        headers.push_back(d);
+    TableWriter table(headers);
+
+    for (const double us : {1.0, 10.0, 50.0}) {
+        const auto epoch_opts = opts.sizedForEpoch(us);
+        auto cfg = epoch_opts.runConfig();
+        cfg.objective = dvfs::Objective::Edp;
+        sim::ExperimentDriver driver(cfg);
+
+        std::map<std::string, std::vector<double>> norm;
+        for (const std::string &name :
+                 epoch_opts.sweepWorkloadNames()) {
+            const auto app = bench::makeApp(name, epoch_opts);
+            dvfs::StaticController nominal(driver.nominalState());
+            const sim::RunResult base = driver.run(app, nominal);
+            for (const std::string &design : designs) {
+                const auto controller =
+                    bench::makeController(design, cfg);
+                const sim::RunResult r = driver.run(app, *controller);
+                norm[design].push_back(r.edp() / base.edp());
+            }
+        }
+        table.beginRow().cell(formatFixed(us, 0) + "us");
+        for (const std::string &design : designs)
+            table.cell(geomean(norm[design]), 3);
+        table.endRow();
+    }
+    bench::emit(opts, table);
+    std::printf("\n(normalized to static 1.7 GHz; < 1 is better. "
+                "Paper Fig 17: PCSTALL improves toward fine epochs, "
+                "reactive does not)\n");
+    return 0;
+}

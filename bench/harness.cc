@@ -1,0 +1,170 @@
+#include "harness.hh"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "core/pcstall_controller.hh"
+#include "models/reactive_controller.hh"
+#include "oracle/oracle_controllers.hh"
+
+namespace pcstall::bench
+{
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    CliOptions cli(argc, argv);
+    BenchOptions opts;
+    opts.cus = static_cast<std::uint32_t>(cli.getInt("cus", 8));
+    opts.scale = cli.getDouble("scale", 1.0);
+    opts.epochLen = static_cast<Tick>(
+        cli.getDouble("epoch-us", 1.0) * static_cast<double>(tickUs));
+    opts.cusPerDomain =
+        static_cast<std::uint32_t>(cli.getInt("domain-cus", 1));
+    opts.seed = static_cast<std::uint64_t>(cli.getInt("seed", 42));
+    opts.csv = cli.has("csv");
+
+    const std::string list = cli.get("workloads", "");
+    if (!list.empty()) {
+        std::stringstream ss(list);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+            fatalIf(!workloads::isWorkload(item),
+                    "unknown workload '" + item + "'");
+            opts.workloads.push_back(item);
+        }
+    }
+    return opts;
+}
+
+workloads::WorkloadParams
+BenchOptions::workloadParams() const
+{
+    workloads::WorkloadParams params;
+    params.numCus = cus;
+    params.scale = scale;
+    params.seed = seed;
+    return params;
+}
+
+sim::RunConfig
+BenchOptions::runConfig() const
+{
+    sim::RunConfig cfg;
+    cfg.gpu.numCus = cus;
+    cfg.gpu.seed = seed;
+    cfg.epochLen = epochLen;
+    cfg.cusPerDomain = cusPerDomain;
+    cfg.scaled();
+    return cfg;
+}
+
+sim::ProfileConfig
+BenchOptions::profileConfig() const
+{
+    sim::ProfileConfig cfg;
+    cfg.gpu.numCus = cus;
+    cfg.gpu.seed = seed;
+    cfg.epochLen = epochLen;
+    cfg.cusPerDomain = cusPerDomain;
+    power::PowerParams ignored;
+    sim::scaleToCus(cfg.gpu, ignored, cus);
+    return cfg;
+}
+
+std::vector<std::string>
+BenchOptions::workloadNames() const
+{
+    if (!workloads.empty())
+        return workloads;
+    std::vector<std::string> names;
+    for (const auto &info : workloads::workloadTable())
+        names.push_back(info.name);
+    return names;
+}
+
+std::vector<std::string>
+BenchOptions::sweepWorkloadNames() const
+{
+    if (!workloads.empty())
+        return workloads;
+    return {"comd", "hpgmg", "lulesh", "xsbench", "hacc", "quickS",
+            "dgemm", "BwdBN"};
+}
+
+std::shared_ptr<const isa::Application>
+makeApp(const std::string &name, const BenchOptions &opts)
+{
+    return std::make_shared<const isa::Application>(
+        workloads::makeWorkload(name, opts.workloadParams()));
+}
+
+std::unique_ptr<dvfs::DvfsController>
+makeController(const std::string &name, const sim::RunConfig &cfg)
+{
+    using models::EstimationKind;
+    if (name == "STALL") {
+        return std::make_unique<models::ReactiveController>(
+            EstimationKind::Stall);
+    }
+    if (name == "LEAD") {
+        return std::make_unique<models::ReactiveController>(
+            EstimationKind::Lead);
+    }
+    if (name == "CRIT") {
+        return std::make_unique<models::ReactiveController>(
+            EstimationKind::Crit);
+    }
+    if (name == "CRISP") {
+        return std::make_unique<models::ReactiveController>(
+            EstimationKind::Crisp);
+    }
+    if (name == "ACCREAC")
+        return std::make_unique<oracle::AccurateReactiveController>();
+    if (name == "ORACLE")
+        return std::make_unique<oracle::OracleController>();
+    if (name == "PCSTALL" || name == "ACCPC") {
+        core::PcstallConfig pc = core::PcstallConfig::forEpoch(
+            cfg.epochLen, cfg.gpu.waveSlotsPerCu);
+        pc.accurateEstimates = name == "ACCPC";
+        return std::make_unique<core::PcstallController>(
+            pc, cfg.gpu.numCus);
+    }
+    fatal("unknown design '" + name + "'");
+}
+
+const std::vector<std::string> &
+designNames()
+{
+    static const std::vector<std::string> names = {
+        "STALL", "LEAD", "CRIT", "CRISP", "ACCREAC", "PCSTALL", "ACCPC",
+        "ORACLE",
+    };
+    return names;
+}
+
+void
+emit(const BenchOptions &opts, const TableWriter &table)
+{
+    if (opts.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+void
+banner(const std::string &figure, const std::string &what,
+       const BenchOptions &opts)
+{
+    std::printf("=== %s: %s ===\n", figure.c_str(), what.c_str());
+    std::printf("config: %u CUs, %.2f us epochs, %u CU(s)/domain, "
+                "scale %.2f\n\n",
+                opts.cus,
+                static_cast<double>(opts.epochLen) /
+                    static_cast<double>(tickUs),
+                opts.cusPerDomain, opts.scale);
+}
+
+} // namespace pcstall::bench

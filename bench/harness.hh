@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table harnesses: a common option
+ * vocabulary (--cus, --epoch-us, --scale, --workloads, --csv), the
+ * standard experiment configuration, and cached static-baseline runs.
+ *
+ * Defaults (8 CUs, scale 1.0) are sized so every harness finishes in minutes
+ * while preserving the paper's trends; pass --cus 64 --scale 1 for
+ * the paper-scale configuration (see EXPERIMENTS.md).
+ */
+
+#ifndef PCSTALL_BENCH_HARNESS_HH
+#define PCSTALL_BENCH_HARNESS_HH
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/table_writer.hh"
+#include "dvfs/controller.hh"
+#include "isa/kernel.hh"
+#include "sim/experiment.hh"
+#include "sim/profiler.hh"
+#include "workloads/workloads.hh"
+
+namespace pcstall::bench
+{
+
+/** Parsed common options. */
+struct BenchOptions
+{
+    std::uint32_t cus = 16;
+    double scale = 1.0;
+    Tick epochLen = tickUs;
+    std::uint32_t cusPerDomain = 1;
+    std::uint64_t seed = 42;
+    bool csv = false;
+    /** Subset of workloads to run (all when empty). */
+    std::vector<std::string> workloads;
+
+    /** Parse from argv; honours --cus --scale --epoch-us --domain-cus
+     *  --seed --csv --workloads a,b,c. */
+    static BenchOptions parse(int argc, char **argv);
+
+    workloads::WorkloadParams workloadParams() const;
+    sim::RunConfig runConfig() const;
+
+    /** Profiler configuration matching runConfig()'s scaling. */
+    sim::ProfileConfig profileConfig() const;
+
+    /** Workload names selected (defaults to the full Table II). */
+    std::vector<std::string> workloadNames() const;
+
+    /**
+     * Workloads for the expensive epoch/granularity sweeps: a
+     * representative 8-app subset by default (half HPC, half MI,
+     * covering compute/memory/divergent/multi-kernel characters);
+     * --workloads overrides with any list, including the full suite.
+     */
+    std::vector<std::string> sweepWorkloadNames() const;
+
+    /** First selected workload, or @p def when none was given. */
+    std::string firstWorkload(const std::string &def) const
+    {
+        return workloads.empty() ? def : workloads.front();
+    }
+
+    /**
+     * A copy resized for an epoch length: longer epochs get
+     * proportionally more work so runs still span many epochs.
+     */
+    BenchOptions sizedForEpoch(double epoch_us) const
+    {
+        BenchOptions sized = *this;
+        sized.epochLen = static_cast<Tick>(
+            epoch_us * static_cast<double>(tickUs));
+        if (epoch_us > 2.0)
+            sized.scale = scale * std::min(epoch_us / 2.0, 6.0);
+        return sized;
+    }
+};
+
+/** Build a workload application as a shared immutable object. */
+std::shared_ptr<const isa::Application>
+makeApp(const std::string &name, const BenchOptions &opts);
+
+/** Factory for every Table III controller by name. */
+std::unique_ptr<dvfs::DvfsController>
+makeController(const std::string &name, const sim::RunConfig &cfg);
+
+/** All Table III design names in presentation order. */
+const std::vector<std::string> &designNames();
+
+/** Print @p table as text or CSV per @p opts. */
+void emit(const BenchOptions &opts, const TableWriter &table);
+
+/** Print a harness banner naming the figure being regenerated. */
+void banner(const std::string &figure, const std::string &what,
+            const BenchOptions &opts);
+
+} // namespace pcstall::bench
+
+#endif // PCSTALL_BENCH_HARNESS_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table II: the workload suite. Prints each application with its
+ * suite, unique-kernel count (the braces column) and basic static
+ * properties of the generated programs.
+ */
+
+#include <iostream>
+
+#include "harness.hh"
+
+using namespace pcstall;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("TABLE II", "HPC and MI workloads used for evaluation",
+                  opts);
+
+    TableWriter table({"workload", "suite", "description",
+                       "unique kernels", "launches", "instructions/wave",
+                       "total waves"});
+    for (const auto &info : workloads::workloadTable()) {
+        const auto app = bench::makeApp(info.name, opts);
+        std::uint64_t code = 0;
+        std::uint64_t waves = 0;
+        for (const auto &k : app->launches) {
+            code += k.code.size();
+            waves += k.totalWaves();
+        }
+        table.beginRow()
+            .cell(info.name)
+            .cell(info.suite)
+            .cell(info.description)
+            .cell(static_cast<long long>(info.uniqueKernels))
+            .cell(static_cast<long long>(app->launches.size()))
+            .cell(static_cast<long long>(code))
+            .cell(static_cast<long long>(waves));
+        table.endRow();
+    }
+    bench::emit(opts, table);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table III: the DVFS prediction designs evaluated, with their
+ * estimation model, control mechanism, and sweep requirements.
+ */
+
+#include <iostream>
+
+#include "harness.hh"
+
+using namespace pcstall;
+
+namespace
+{
+
+const char *
+estimationOf(const std::string &name)
+{
+    if (name == "STALL") return "Stall model";
+    if (name == "LEAD") return "Leading load";
+    if (name == "CRIT") return "Critical path";
+    if (name == "CRISP") return "CRISP GPU model";
+    if (name == "ACCREAC") return "Accurate estimate";
+    if (name == "PCSTALL") return "Stall - wavefront";
+    if (name == "ACCPC") return "Accurate estimate";
+    if (name == "ORACLE") return "Accurate estimate";
+    return "?";
+}
+
+const char *
+mechanismOf(const std::string &name)
+{
+    if (name == "PCSTALL" || name == "ACCPC") return "PC-based";
+    if (name == "ORACLE") return "Oracle";
+    return "Reactive";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("TABLE III", "DVFS prediction designs evaluated", opts);
+
+    const auto cfg = opts.runConfig();
+    TableWriter table({"name", "estimation model", "control mechanism",
+                       "implementable", "fork sweeps"});
+    for (const std::string &name : bench::designNames()) {
+        const auto controller = bench::makeController(name, cfg);
+        const auto need = controller->sweepNeed();
+        table.beginRow()
+            .cell(name)
+            .cell(estimationOf(name))
+            .cell(mechanismOf(name))
+            .cell(need == dvfs::SweepNeed::None ? "yes" : "no")
+            .cell(need == dvfs::SweepNeed::None ? "none"
+                  : need == dvfs::SweepNeed::Elapsed ? "elapsed epoch"
+                                                     : "upcoming epoch");
+        table.endRow();
+    }
+    bench::emit(opts, table);
+    return 0;
+}

@@ -1,0 +1,59 @@
+#include "cli.hh"
+
+#include <cstdlib>
+
+namespace pcstall
+{
+
+CliOptions::CliOptions(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            std::string name = arg.substr(2);
+            std::string value = "1";
+            auto eq = name.find('=');
+            if (eq != std::string::npos) {
+                value = name.substr(eq + 1);
+                name = name.substr(0, eq);
+            } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)
+                       != 0) {
+                value = argv[++i];
+            }
+            values[name] = value;
+        } else {
+            extras.push_back(arg);
+        }
+    }
+}
+
+bool
+CliOptions::has(const std::string &name) const
+{
+    return values.count(name) > 0;
+}
+
+std::string
+CliOptions::get(const std::string &name, const std::string &def) const
+{
+    auto it = values.find(name);
+    return it == values.end() ? def : it->second;
+}
+
+std::int64_t
+CliOptions::getInt(const std::string &name, std::int64_t def) const
+{
+    auto it = values.find(name);
+    return it == values.end() ? def : std::strtoll(it->second.c_str(),
+                                                   nullptr, 10);
+}
+
+double
+CliOptions::getDouble(const std::string &name, double def) const
+{
+    auto it = values.find(name);
+    return it == values.end() ? def : std::strtod(it->second.c_str(),
+                                                  nullptr);
+}
+
+} // namespace pcstall

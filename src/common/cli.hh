@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Tiny command-line option parser shared by the benchmark harnesses and
+ * examples, supporting "--name value" and "--flag" style options.
+ */
+
+#ifndef PCSTALL_COMMON_CLI_HH
+#define PCSTALL_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pcstall
+{
+
+/**
+ * Parses argv into a name -> value map and offers typed accessors with
+ * defaults. Unknown options are accepted (the figure harnesses share a
+ * common option vocabulary but only consume a subset each).
+ */
+class CliOptions
+{
+  public:
+    CliOptions(int argc, char **argv);
+
+    /** True when --name was present (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String option; returns @p def when absent. */
+    std::string get(const std::string &name, const std::string &def) const;
+
+    /** Integer option; returns @p def when absent. */
+    std::int64_t getInt(const std::string &name, std::int64_t def) const;
+
+    /** Floating-point option; returns @p def when absent. */
+    double getDouble(const std::string &name, double def) const;
+
+    /** Positional (non --option) arguments in order. */
+    const std::vector<std::string> &positional() const { return extras; }
+
+  private:
+    std::map<std::string, std::string> values;
+    std::vector<std::string> extras;
+};
+
+} // namespace pcstall
+
+#endif // PCSTALL_COMMON_CLI_HH

@@ -1,0 +1,63 @@
+#include "logging.hh"
+
+#include <cstdio>
+
+namespace pcstall
+{
+
+namespace detail
+{
+
+void
+logLine(LogLevel level, const std::string &msg)
+{
+    const char *prefix = "";
+    FILE *stream = stderr;
+    switch (level) {
+      case LogLevel::Info:
+        prefix = "info: ";
+        stream = stdout;
+        break;
+      case LogLevel::Warn:
+        prefix = "warn: ";
+        break;
+      case LogLevel::Fatal:
+        prefix = "fatal: ";
+        break;
+      case LogLevel::Panic:
+        prefix = "panic: ";
+        break;
+    }
+    std::fprintf(stream, "%s%s\n", prefix, msg.c_str());
+    std::fflush(stream);
+}
+
+} // namespace detail
+
+void
+panic(const std::string &msg)
+{
+    detail::logLine(LogLevel::Panic, msg);
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    detail::logLine(LogLevel::Fatal, msg);
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    detail::logLine(LogLevel::Warn, msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    detail::logLine(LogLevel::Info, msg);
+}
+
+} // namespace pcstall

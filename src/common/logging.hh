@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting.
+ *
+ * panic()  - an internal invariant was violated (simulator bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something is questionable but simulation can continue.
+ * inform() - neutral status output.
+ */
+
+#ifndef PCSTALL_COMMON_LOGGING_HH
+#define PCSTALL_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pcstall
+{
+
+/** Severity classes used by the logging helpers. */
+enum class LogLevel { Info, Warn, Fatal, Panic };
+
+namespace detail
+{
+/** Emit one formatted log line to stderr (stdout for Info). */
+void logLine(LogLevel level, const std::string &msg);
+} // namespace detail
+
+/** Report an unrecoverable internal error and abort. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const std::string &msg);
+
+/** Report neutral status information. */
+void inform(const std::string &msg);
+
+/** Abort with a message when @p cond is false (always on, unlike assert). */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+/** Exit with a message when @p cond is true. */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+} // namespace pcstall
+
+#endif // PCSTALL_COMMON_LOGGING_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic, value-semantic random number generation.
+ *
+ * The simulator state must be snapshot-able by plain copy (the oracle
+ * fork-pre-execute methodology re-executes an epoch from an identical
+ * starting condition), so every source of randomness lives inside the
+ * copied state as a small value type. SplitMix64 is used because it is
+ * tiny (one 64-bit word), fast, and has excellent statistical quality
+ * for simulation purposes.
+ */
+
+#ifndef PCSTALL_COMMON_RNG_HH
+#define PCSTALL_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace pcstall
+{
+
+/**
+ * SplitMix64 pseudo-random generator.
+ *
+ * Copyable single-word state; copying an Rng yields an identical
+ * future random stream, which is exactly what oracle snapshotting
+ * requires.
+ */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed (default fixed for determinism). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Multiply-shift range reduction; bias is negligible for the
+        // bounds used in this project (< 2^32).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Derive an independent child generator (for per-entity streams). */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+    }
+
+    bool operator==(const Rng &other) const = default;
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Stateless 64-bit mix hash, used for reproducible pseudo-random
+ * address generation keyed on (wave, instruction, iteration) tuples.
+ */
+constexpr std::uint64_t
+mixHash(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Combine two values into one hash (order-sensitive). */
+constexpr std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    return mixHash(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+} // namespace pcstall
+
+#endif // PCSTALL_COMMON_RNG_HH

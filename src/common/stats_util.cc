@@ -1,0 +1,112 @@
+#include "stats_util.hh"
+
+#include <cmath>
+
+namespace pcstall
+{
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            return 0.0;
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+LinearFit
+linearFit(std::span<const double> xs, std::span<const double> ys)
+{
+    LinearFit fit;
+    fit.n = std::min(xs.size(), ys.size());
+    if (fit.n == 0)
+        return fit;
+
+    double sx = 0.0, sy = 0.0;
+    for (std::size_t i = 0; i < fit.n; ++i) {
+        sx += xs[i];
+        sy += ys[i];
+    }
+    const double n = static_cast<double>(fit.n);
+    const double mx = sx / n;
+    const double my = sy / n;
+
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < fit.n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+
+    if (fit.n < 2 || sxx == 0.0) {
+        fit.slope = 0.0;
+        fit.intercept = my;
+        fit.r2 = 0.0;
+        return fit;
+    }
+
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    // R^2 = explained variance / total variance; a constant y series is a
+    // perfect fit by convention here (slope 0 predicts it exactly).
+    fit.r2 = (syy == 0.0) ? 1.0 : (fit.slope * sxy) / syy;
+    return fit;
+}
+
+double
+avgRelativeChange(std::span<const double> values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    double scale = 0.0;
+    for (double v : values)
+        scale += std::abs(v);
+    scale /= static_cast<double>(values.size());
+    if (scale == 0.0)
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i + 1 < values.size(); ++i)
+        acc += std::abs(values[i + 1] - values[i]);
+    return acc / (static_cast<double>(values.size() - 1) * scale);
+}
+
+double
+relativeDiff(double a, double b)
+{
+    const double scale = (std::abs(a) + std::abs(b)) / 2.0;
+    if (scale == 0.0)
+        return 0.0;
+    return std::abs(a - b) / scale;
+}
+
+} // namespace pcstall

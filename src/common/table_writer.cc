@@ -1,0 +1,121 @@
+#include "table_writer.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace pcstall
+{
+
+std::string
+formatFixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    return formatFixed(fraction * 100.0, precision) + "%";
+}
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers(std::move(headers))
+{
+    panicIf(this->headers.empty(), "TableWriter needs at least one column");
+}
+
+void
+TableWriter::addRow(std::vector<std::string> cells)
+{
+    panicIf(cells.size() != headers.size(),
+            "TableWriter row width mismatch");
+    rows.push_back(std::move(cells));
+}
+
+TableWriter &
+TableWriter::beginRow()
+{
+    panicIf(building, "TableWriter::beginRow while a row is in progress");
+    building = true;
+    pending.clear();
+    return *this;
+}
+
+TableWriter &
+TableWriter::cell(const std::string &value)
+{
+    panicIf(!building, "TableWriter::cell outside beginRow/endRow");
+    pending.push_back(value);
+    return *this;
+}
+
+TableWriter &
+TableWriter::cell(double value, int precision)
+{
+    return cell(formatFixed(value, precision));
+}
+
+TableWriter &
+TableWriter::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+TableWriter::endRow()
+{
+    panicIf(!building, "TableWriter::endRow without beginRow");
+    building = false;
+    addRow(std::move(pending));
+    pending = {};
+}
+
+void
+TableWriter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << std::string(widths[c] - cells[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit_row(row);
+}
+
+void
+TableWriter::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit_row(headers);
+    for (const auto &row : rows)
+        emit_row(row);
+}
+
+} // namespace pcstall

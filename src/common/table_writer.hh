@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Console table / CSV emission used by the benchmark harnesses to print
+ * the rows and series the paper's tables and figures report.
+ */
+
+#ifndef PCSTALL_COMMON_TABLE_WRITER_HH
+#define PCSTALL_COMMON_TABLE_WRITER_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pcstall
+{
+
+/**
+ * Collects rows of string cells and prints them as an aligned text
+ * table (for terminal reading) or as CSV (for plotting pipelines).
+ */
+class TableWriter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TableWriter(std::vector<std::string> headers);
+
+    /** Append a fully formed row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Begin building a row cell by cell. */
+    TableWriter &beginRow();
+    /** Append a string cell to the row being built. */
+    TableWriter &cell(const std::string &value);
+    /** Append a formatted numeric cell (fixed, @p precision decimals). */
+    TableWriter &cell(double value, int precision = 3);
+    /** Append an integer cell. */
+    TableWriter &cell(long long value);
+    /** Finish the row being built. */
+    void endRow();
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+    /** Print as an aligned, padded text table. */
+    void print(std::ostream &os) const;
+
+    /** Print as comma-separated values (headers first). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> pending;
+    bool building = false;
+};
+
+/** Format a double with fixed precision (helper for ad-hoc output). */
+std::string formatFixed(double value, int precision = 3);
+
+/** Format a fraction as a percentage string, e.g. 0.316 -> "31.6%". */
+std::string formatPercent(double fraction, int precision = 1);
+
+} // namespace pcstall
+
+#endif // PCSTALL_COMMON_TABLE_WRITER_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared by every module.
+ *
+ * The simulator keeps a single global timebase in picoseconds so that
+ * compute units clocked in different V/f domains (and the fixed-clock
+ * memory subsystem) can interleave events exactly. Frequencies are kept
+ * in Hz as 64-bit integers because the V/f table is a discrete set of
+ * states (100 MHz steps).
+ */
+
+#ifndef PCSTALL_COMMON_TYPES_HH
+#define PCSTALL_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace pcstall
+{
+
+/** Global simulated time in picoseconds. */
+using Tick = std::int64_t;
+
+/** A count of clock cycles in some (context-dependent) clock domain. */
+using Cycles = std::int64_t;
+
+/** Clock frequency in Hz. */
+using Freq = std::uint64_t;
+
+/** Supply voltage in volts. */
+using Volts = double;
+
+/** Energy in joules. */
+using Joules = double;
+
+/** Power in watts. */
+using Watts = double;
+
+/** Ticks per second (picosecond timebase). */
+inline constexpr Tick ticksPerSecond = 1'000'000'000'000LL;
+
+/** Convenience literals for common time spans. */
+inline constexpr Tick tickNs = 1'000LL;
+inline constexpr Tick tickUs = 1'000'000LL;
+inline constexpr Tick tickMs = 1'000'000'000LL;
+
+/** Convenience literals for common frequencies. */
+inline constexpr Freq freqMHz = 1'000'000ULL;
+inline constexpr Freq freqGHz = 1'000'000'000ULL;
+
+/**
+ * Clock period in ticks for a frequency, rounded to the nearest tick.
+ * At the GHz-range frequencies used here the rounding error is < 0.1%.
+ */
+constexpr Tick
+clockPeriod(Freq freq)
+{
+    return static_cast<Tick>((ticksPerSecond + freq / 2) / freq);
+}
+
+/** Number of whole cycles of @p freq that fit in @p span ticks. */
+constexpr Cycles
+cyclesIn(Tick span, Freq freq)
+{
+    return span / clockPeriod(freq);
+}
+
+/** Frequency expressed in GHz as a double (for arithmetic models). */
+constexpr double
+freqGHzD(Freq freq)
+{
+    return static_cast<double>(freq) / 1e9;
+}
+
+/** Seconds expressed as a double for a tick span. */
+constexpr double
+tickSeconds(Tick span)
+{
+    return static_cast<double>(span) / static_cast<double>(ticksPerSecond);
+}
+
+} // namespace pcstall
+
+#endif // PCSTALL_COMMON_TYPES_HH

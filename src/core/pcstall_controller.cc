@@ -1,0 +1,249 @@
+#include "core/pcstall_controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pcstall::core
+{
+
+PcstallConfig
+PcstallConfig::forEpoch(Tick epoch_len, std::uint32_t wave_slots)
+{
+    PcstallConfig cfg;
+    cfg.estimator.waveSlots = wave_slots;
+    // The table stores age-normalized (intrinsic) sensitivities: what
+    // the wave would contribute were it the oldest. That is bounded
+    // by roughly (epoch cycles per SIMD issue share) / f_GHz; scale
+    // the 8-bit quantization range with the epoch so resolution stays
+    // proportionate.
+    const double epoch_us =
+        static_cast<double>(epoch_len) / static_cast<double>(tickUs);
+    cfg.table.maxSensitivity = 256.0 * std::max(epoch_us, 0.125);
+    cfg.table.maxLevel = 512.0 * std::max(epoch_us, 0.125);
+    // Per-wave estimates carry scheduling noise at microsecond
+    // windows; blending successive updates into the shared entry
+    // filters it (a hardware-cheap shift-add).
+    cfg.table.updateBlend = 0.5;
+    return cfg;
+}
+
+PcstallController::PcstallController(const PcstallConfig &config,
+                                     std::uint32_t num_cus)
+    : cfg(config)
+{
+    fatalIf(cfg.cusPerTable == 0, "PCSTALL needs >= 1 CU per table");
+    fatalIf(num_cus % cfg.cusPerTable != 0,
+            "PCSTALL: CU count must divide evenly across PC tables");
+    const std::uint32_t num_tables = num_cus / cfg.cusPerTable;
+    tables.reserve(num_tables);
+    for (std::uint32_t i = 0; i < num_tables; ++i)
+        tables.emplace_back(cfg.table);
+}
+
+std::string
+PcstallController::name() const
+{
+    return cfg.accurateEstimates ? "ACCPC" : "PCSTALL";
+}
+
+double
+PcstallController::contention(std::uint32_t age_rank) const
+{
+    if (!cfg.adaptiveContention || ageShare.empty())
+        return models::contentionFactor(cfg.estimator, age_rank);
+    const std::size_t idx = std::min<std::size_t>(
+        age_rank, ageShare.size() - 1);
+    return ageShare[idx];
+}
+
+void
+PcstallController::learnContention(const dvfs::EpochContext &ctx)
+{
+    if (!cfg.adaptiveContention)
+        return;
+    // Per-age committed sums across the whole GPU this epoch.
+    std::vector<double> by_age(cfg.estimator.waveSlots, 0.0);
+    std::vector<double> count(cfg.estimator.waveSlots, 0.0);
+    for (const gpu::WaveEpochRecord &w : ctx.record.waves) {
+        if (!w.active)
+            continue;
+        const std::size_t idx = std::min<std::size_t>(
+            w.ageRank, by_age.size() - 1);
+        by_age[idx] += static_cast<double>(w.committed);
+        count[idx] += 1.0;
+    }
+    double peak = 0.0;
+    for (std::size_t a = 0; a < by_age.size(); ++a) {
+        if (count[a] > 0.0)
+            by_age[a] /= count[a];
+        peak = std::max(peak, by_age[a]);
+    }
+    if (peak <= 0.0)
+        return;
+
+    const bool first = ageShare.empty();
+    if (first)
+        ageShare.assign(cfg.estimator.waveSlots, 1.0);
+    for (std::size_t a = 0; a < ageShare.size(); ++a) {
+        if (count[a] == 0.0)
+            continue; // no observation for this rank this epoch
+        const double share =
+            std::clamp(by_age[a] / peak, 0.02, 1.0);
+        // Adopt the first observation outright, then track slowly.
+        ageShare[a] = first ? share
+            : (1.0 - cfg.contentionAlpha) * ageShare[a] +
+              cfg.contentionAlpha * share;
+    }
+}
+
+std::vector<dvfs::DomainDecision>
+PcstallController::decide(const dvfs::EpochContext &ctx)
+{
+    learnContention(ctx);
+
+    // ------------------------------------------------------------------
+    // UPDATE: store each wave's elapsed-epoch sensitivity, normalized
+    // by its scheduling age, at its starting PC.
+    // ------------------------------------------------------------------
+    const std::uint32_t offset = cfg.table.offsetBits;
+    auto granule_of = [offset](std::uint64_t pc_addr) {
+        return pc_addr >> offset;
+    };
+
+    lastModel.clear();
+    if (cfg.accurateEstimates) {
+        panicIf(ctx.elapsedAccurate == nullptr,
+                "ACCPC requires elapsed-epoch accurate estimates");
+        for (const auto &ws : ctx.elapsedAccurate->waves) {
+            const double c = contention(ws.ageRank);
+            tableFor(ws.cu).update(ws.startPcAddr,
+                                   std::max(ws.sensitivity, 0.0) / c,
+                                   ws.level / c);
+            lastModel[{ws.cu, ws.slot}] =
+                {std::max(ws.sensitivity, 0.0), ws.level,
+                 granule_of(ws.startPcAddr)};
+        }
+    } else {
+        for (const gpu::WaveEpochRecord &w : ctx.record.waves) {
+            if (!w.active)
+                continue;
+            // A wave that committed almost nothing while not being
+            // memory/barrier-blocked was starved of issue slots by
+            // older waves; its epoch says nothing about the code at
+            // its PC, so do not pollute the shared table entry.
+            if (w.committed < 4 &&
+                w.memStall + w.barrierStall < ctx.epochLen / 2) {
+                continue;
+            }
+            const Freq f1 = ctx.record.cus[w.cu].freq;
+            const double raw = models::waveSensitivity(
+                w, cfg.estimator, ctx.epochLen, f1);
+            const double level = models::waveLevel(
+                w, cfg.estimator, ctx.epochLen, f1);
+            const double c = contention(w.ageRank);
+            tableFor(w.cu).update(w.startPcAddr, raw / c, level / c);
+            lastModel[{w.cu, w.slot}] =
+                {raw, level, granule_of(w.startPcAddr)};
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // LOOKUP: each resident wave predicts the next epoch's phase model
+    // I(f) = I0 + S*f from its next PC; models sum per domain (the
+    // metric is commutative, Section 4.2).
+    // ------------------------------------------------------------------
+    std::vector<double> domain_sens(ctx.domains.numDomains(), 0.0);
+    std::vector<double> domain_level(ctx.domains.numDomains(), 0.0);
+    for (const gpu::WaveSnapshot &snap : ctx.snapshots) {
+        const auto it = lastModel.find({snap.cu, snap.slot});
+        const bool same_region = it != lastModel.end() &&
+            it->second.granule == granule_of(snap.pcAddr);
+
+        double sens = 0.0;
+        double level = 0.0;
+        if (cfg.lookupOnRegionChange && same_region) {
+            // The wave is still in the region its last epoch started
+            // in: its own fresh estimate beats the (older, shared)
+            // table entry.
+            sens = it->second.sens;
+            level = it->second.level;
+        } else if (const auto hit =
+                       tableFor(snap.cu).lookup(snap.pcAddr)) {
+            const double c = contention(snap.ageRank);
+            sens = hit->sensitivity * c;
+            level = hit->level * c;
+        } else if (cfg.reactiveFallback && it != lastModel.end()) {
+            sens = it->second.sens;
+            level = it->second.level;
+        }
+        const std::uint32_t d = ctx.domains.domainOf(snap.cu);
+        domain_sens[d] += sens;
+        domain_level[d] += level;
+    }
+
+    // ------------------------------------------------------------------
+    // SELECT: I(f) = I0 + S * f, objective-driven (the frequency
+    // choice itself is orthogonal to the prediction, Section 5.2).
+    // ------------------------------------------------------------------
+    const std::size_t num_states = ctx.table.numStates();
+    std::vector<dvfs::DomainDecision> out(ctx.domains.numDomains());
+    for (std::uint32_t d = 0; d < ctx.domains.numDomains(); ++d) {
+        const double i_elapsed = dvfs::sumOverDomain(
+            ctx.domains, d, [&](std::uint32_t cu) {
+                return static_cast<double>(ctx.record.cus[cu].committed);
+            });
+
+        std::vector<double> instr_at(num_states, 0.0);
+        for (std::size_t s = 0; s < num_states; ++s) {
+            const double f = freqGHzD(ctx.table.state(s).freq);
+            instr_at[s] =
+                std::max(domain_level[d] + domain_sens[d] * f, 0.0);
+        }
+
+        dvfs::DomainScoreInputs in;
+        in.instrAtState = instr_at;
+        in.baselineInstr = i_elapsed;
+        in.baselineActivity = dvfs::domainActivity(ctx.domains, d,
+                                                   ctx.record);
+        in.numCus = ctx.domains.cusPerDomain();
+        in.staticShare = ctx.power.params().memStatic /
+            ctx.domains.numDomains();
+        in.epochLen = ctx.epochLen;
+        in.temperature = ctx.temperature;
+        in.perfDegradationLimit = ctx.perfDegradationLimit;
+        in.nominalState = ctx.nominalState;
+        in.avgChipPower = ctx.avgChipPower;
+        if (ctx.avgDomainInstr)
+            in.avgInstr = (*ctx.avgDomainInstr)[d];
+
+        out[d].state = dvfs::chooseState(ctx.table, ctx.power, in,
+                                         ctx.objective);
+        out[d].predictedInstr = instr_at[out[d].state];
+    }
+    return out;
+}
+
+double
+PcstallController::tableHitRatio() const
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    for (const auto &t : tables) {
+        lookups += t.lookupCount();
+        hits += t.lookupHitCount();
+    }
+    return lookups == 0 ? 0.0
+        : static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
+std::uint64_t
+PcstallController::storageBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &t : tables)
+        total += t.storageBytes();
+    return total;
+}
+
+} // namespace pcstall::core

@@ -1,0 +1,34 @@
+#include "dvfs/controller.hh"
+
+namespace pcstall::dvfs
+{
+
+std::string
+StaticController::name() const
+{
+    return "STATIC[" + std::to_string(state_) + "]";
+}
+
+std::vector<DomainDecision>
+StaticController::decide(const EpochContext &ctx)
+{
+    std::vector<DomainDecision> out(ctx.domains.numDomains());
+    for (DomainDecision &d : out)
+        d.state = state_;
+    return out;
+}
+
+memory::MemActivity
+domainActivity(const DomainMap &domains, std::uint32_t domain,
+               const gpu::EpochRecord &record)
+{
+    memory::MemActivity total;
+    const std::uint32_t first = domains.firstCu(domain);
+    for (std::uint32_t cu = first; cu < first + domains.cusPerDomain();
+         ++cu) {
+        total += record.cus[cu].mem;
+    }
+    return total;
+}
+
+} // namespace pcstall::dvfs

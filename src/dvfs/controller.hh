@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The DVFS controller interface every evaluated design implements
+ * (Table III), plus the "accurate estimate" record the oracle's
+ * fork-pre-execute machinery supplies to ACCREAC/ACCPC/ORACLE.
+ */
+
+#ifndef PCSTALL_DVFS_CONTROLLER_HH
+#define PCSTALL_DVFS_CONTROLLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "dvfs/domain_map.hh"
+#include "dvfs/objective.hh"
+#include "gpu/epoch_stats.hh"
+#include "power/power_model.hh"
+#include "power/vf_table.hh"
+
+namespace pcstall::dvfs
+{
+
+/**
+ * Accurate (fork-pre-execute) estimates of one epoch, produced by the
+ * oracle machinery in src/oracle. domainInstr[d][s] is the number of
+ * instructions domain d committed when sampled at V/f state s.
+ */
+struct AccurateEstimates
+{
+    std::vector<std::vector<double>> domainInstr;
+
+    /** Wave-level sensitivity measured across the sampled states. */
+    struct WaveSens
+    {
+        std::uint32_t cu = 0;
+        std::uint32_t slot = 0;
+        /** PC byte address the wave started the sampled epoch at. */
+        std::uint64_t startPcAddr = 0;
+        /** d(instructions)/d(frequency in GHz) from the regression. */
+        double sensitivity = 0.0;
+        /** Regression intercept: the instruction floor I0. */
+        double level = 0.0;
+        /** Age rank at the start of the sampled epoch. */
+        std::uint32_t ageRank = 0;
+    };
+    std::vector<WaveSens> waves;
+
+    bool empty() const { return domainInstr.empty(); }
+};
+
+/** Everything a controller sees at an epoch boundary. */
+struct EpochContext
+{
+    /** Statistics of the epoch that just ended. */
+    const gpu::EpochRecord &record;
+    /** Waves resident right now (their PCs key the next epoch). */
+    const std::vector<gpu::WaveSnapshot> &snapshots;
+
+    const DomainMap &domains;
+    const power::VfTable &table;
+    const power::PowerModel &power;
+
+    Tick epochLen = 0;
+    double temperature = 45.0;
+    Objective objective = Objective::Ed2p;
+    double perfDegradationLimit = 0.05;
+    /** Nominal state index (static baseline / perf-bound reference). */
+    std::size_t nominalState = 0;
+
+    /**
+     * Accurate estimates of the epoch that just ended (taken at its
+     * start); null unless the controller requested them.
+     */
+    const AccurateEstimates *elapsedAccurate = nullptr;
+    /**
+     * Accurate estimates of the upcoming epoch (taken right now);
+     * null unless the controller requested them. Only the ORACLE
+     * design may consume these - they are not implementable.
+     */
+    const AccurateEstimates *upcomingAccurate = nullptr;
+
+    /** Running average chip power over the run so far (0 = cold). */
+    Watts avgChipPower = 0.0;
+    /** Running average instructions/epoch per domain (null = cold).
+     *  Used by the marginal objectives to price time. */
+    const std::vector<double> *avgDomainInstr = nullptr;
+};
+
+/** One domain's decision for the next epoch. */
+struct DomainDecision
+{
+    /** Chosen V/f state index. */
+    std::size_t state = 0;
+    /**
+     * Predicted instructions the domain will commit next epoch at the
+     * chosen state (< 0 when the controller makes no prediction).
+     * The experiment driver scores prediction accuracy against this.
+     */
+    double predictedInstr = -1.0;
+};
+
+/** Which fork-pre-execute sweeps a controller needs per epoch. */
+enum class SweepNeed : std::uint8_t
+{
+    /** No oracle machinery (implementable designs). */
+    None,
+    /** Needs accurate estimates of each *elapsed* epoch. */
+    Elapsed,
+    /** Needs accurate estimates of each *upcoming* epoch (oracle). */
+    Upcoming,
+};
+
+/** Interface for all Table III designs. */
+class DvfsController
+{
+  public:
+    virtual ~DvfsController() = default;
+
+    /** Display name (matches Table III). */
+    virtual std::string name() const = 0;
+
+    /** Which sweeps the driver must perform for this controller. */
+    virtual SweepNeed sweepNeed() const { return SweepNeed::None; }
+
+    /** True when sweeps must also regress per-wavefront sensitivity. */
+    virtual bool needsWaveLevel() const { return false; }
+
+    /**
+     * Called at every epoch boundary after harvesting; returns one
+     * decision per V/f domain for the upcoming epoch.
+     */
+    virtual std::vector<DomainDecision> decide(const EpochContext &ctx)
+        = 0;
+};
+
+/** Always runs every domain at one fixed state (static baselines). */
+class StaticController : public DvfsController
+{
+  public:
+    explicit StaticController(std::size_t state) : state_(state) {}
+
+    std::string name() const override;
+    std::vector<DomainDecision> decide(const EpochContext &ctx) override;
+
+  private:
+    std::size_t state_;
+};
+
+/** Sum a per-CU quantity over the CUs of one domain. */
+template <typename Fn>
+double
+sumOverDomain(const DomainMap &domains, std::uint32_t domain, Fn &&fn)
+{
+    double sum = 0.0;
+    const std::uint32_t first = domains.firstCu(domain);
+    for (std::uint32_t cu = first; cu < first + domains.cusPerDomain();
+         ++cu) {
+        sum += fn(cu);
+    }
+    return sum;
+}
+
+/** Aggregate memory activity over the CUs of one domain. */
+memory::MemActivity domainActivity(const DomainMap &domains,
+                                   std::uint32_t domain,
+                                   const gpu::EpochRecord &record);
+
+} // namespace pcstall::dvfs
+
+#endif // PCSTALL_DVFS_CONTROLLER_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Mapping between compute units and V/f domains. The paper evaluates
+ * per-CU domains (the common case) up to 32-CU domains (Figure 18b);
+ * domains are equal-sized contiguous groups of CUs.
+ */
+
+#ifndef PCSTALL_DVFS_DOMAIN_MAP_HH
+#define PCSTALL_DVFS_DOMAIN_MAP_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace pcstall::dvfs
+{
+
+/** Equal-sized contiguous CU -> domain mapping. */
+class DomainMap
+{
+  public:
+    DomainMap(std::uint32_t num_cus, std::uint32_t cus_per_domain)
+        : numCus_(num_cus), cusPerDomain_(cus_per_domain)
+    {
+        fatalIf(cus_per_domain == 0, "V/f domain must contain >= 1 CU");
+        fatalIf(num_cus % cus_per_domain != 0,
+                "CU count must divide evenly into V/f domains");
+    }
+
+    std::uint32_t numCus() const { return numCus_; }
+    std::uint32_t cusPerDomain() const { return cusPerDomain_; }
+    std::uint32_t numDomains() const { return numCus_ / cusPerDomain_; }
+
+    std::uint32_t domainOf(std::uint32_t cu) const
+    {
+        return cu / cusPerDomain_;
+    }
+
+    std::uint32_t firstCu(std::uint32_t domain) const
+    {
+        return domain * cusPerDomain_;
+    }
+
+  private:
+    std::uint32_t numCus_;
+    std::uint32_t cusPerDomain_;
+};
+
+} // namespace pcstall::dvfs
+
+#endif // PCSTALL_DVFS_DOMAIN_MAP_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Hierarchical power management (paper Section 5.4): commercial GPUs
+ * run a firmware power manager at millisecond scales that sets power
+ * objectives; the hardware fine-grain DVFS controller then operates
+ * within the frequency range that budget allows. The paper emulates
+ * this by restricting the V/f range; this class implements the actual
+ * mechanism: it wraps any fine-grain controller, estimates average
+ * chip power over a coarse review window from the epoch records, and
+ * widens or narrows the ceiling state to track a power cap.
+ */
+
+#ifndef PCSTALL_DVFS_HIERARCHICAL_HH
+#define PCSTALL_DVFS_HIERARCHICAL_HH
+
+#include <cstdint>
+
+#include "dvfs/controller.hh"
+
+namespace pcstall::dvfs
+{
+
+/** Configuration of the coarse-grain layer. */
+struct HierarchicalConfig
+{
+    /** Average chip power target (W). */
+    Watts powerCap = 150.0;
+    /** Review window (paper: milliseconds; default 50 epochs). */
+    std::uint32_t reviewEpochs = 50;
+    /** Hysteresis: widen the window only below this cap fraction. */
+    double widenBelow = 0.92;
+};
+
+/**
+ * Wraps a fine-grain controller and clamps its decisions into the
+ * currently allowed state window.
+ */
+class HierarchicalPowerManager : public DvfsController
+{
+  public:
+    HierarchicalPowerManager(DvfsController &inner,
+                             const HierarchicalConfig &config);
+
+    std::string name() const override
+    {
+        return inner.name() + "+CAP";
+    }
+
+    SweepNeed sweepNeed() const override { return inner.sweepNeed(); }
+    bool needsWaveLevel() const override
+    {
+        return inner.needsWaveLevel();
+    }
+
+    std::vector<DomainDecision> decide(const EpochContext &ctx) override;
+
+    /** Highest state the fine-grain layer may currently use. */
+    std::size_t ceilingState() const { return ceiling; }
+
+    /** Average chip power estimated over the last review window. */
+    Watts lastWindowPower() const { return lastPower; }
+
+  private:
+    /** Estimate the chip power of the elapsed epoch from its record. */
+    Watts epochPower(const EpochContext &ctx) const;
+
+    DvfsController &inner;
+    HierarchicalConfig cfg;
+    std::size_t ceiling = 0;
+    bool ceilingInit = false;
+    double windowEnergy = 0.0;
+    double windowSeconds = 0.0;
+    std::uint32_t windowEpochs = 0;
+    Watts lastPower = 0.0;
+};
+
+} // namespace pcstall::dvfs
+
+#endif // PCSTALL_DVFS_HIERARCHICAL_HH

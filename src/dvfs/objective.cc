@@ -1,0 +1,150 @@
+#include "dvfs/objective.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace pcstall::dvfs
+{
+
+const char *
+objectiveName(Objective objective)
+{
+    switch (objective) {
+      case Objective::Edp: return "EDP";
+      case Objective::Ed2p: return "ED2P";
+      case Objective::Ed3p: return "ED3P";
+      case Objective::EnergyUnderPerfBound: return "Energy@PerfBound";
+      case Objective::MarginalEdp: return "EDP(marginal)";
+      case Objective::MarginalEd2p: return "ED2P(marginal)";
+    }
+    return "?";
+}
+
+Joules
+domainEpochEnergy(const power::VfTable &table,
+                  const power::PowerModel &model,
+                  const DomainScoreInputs &in, std::size_t state)
+{
+    const power::VfState &vf = table.state(state);
+    const double instr = std::max(in.instrAtState[state], 0.0);
+    // Memory activity scales with instruction throughput (the mix of
+    // the work segment is assumed frequency-invariant).
+    const double scale = in.baselineInstr > 0.0
+        ? instr / in.baselineInstr : 1.0;
+
+    memory::MemActivity scaled;
+    auto scale_count = [&](std::uint64_t c) {
+        return static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(c) * scale));
+    };
+    scaled.l1Hits = scale_count(in.baselineActivity.l1Hits);
+    scaled.l1Misses = scale_count(in.baselineActivity.l1Misses);
+    scaled.l2Hits = scale_count(in.baselineActivity.l2Hits);
+    scaled.l2Misses = scale_count(in.baselineActivity.l2Misses);
+    scaled.stores = scale_count(in.baselineActivity.stores);
+    scaled.storesCombined =
+        scale_count(in.baselineActivity.storesCombined);
+
+    const power::CuEnergy cu_energy = model.cuEpochEnergy(
+        vf.voltage, vf.freq,
+        static_cast<std::uint64_t>(std::llround(instr)),
+        scaled, in.epochLen, in.temperature);
+
+    // Attribute the memory domain's *dynamic* energy for this CU
+    // group's traffic (its share of static memory power is not
+    // affected by this domain's choice and is omitted from the score).
+    const double mem_dynamic =
+        model.params().eL2 * static_cast<double>(
+            scaled.l2Hits + scaled.l2Misses + scaled.stores -
+            scaled.storesCombined) +
+        model.params().eDram * static_cast<double>(scaled.l2Misses);
+
+    return cu_energy.total() + mem_dynamic +
+        in.staticShare * tickSeconds(in.epochLen);
+}
+
+std::size_t
+chooseState(const power::VfTable &table, const power::PowerModel &model,
+            const DomainScoreInputs &in, Objective objective)
+{
+    panicIf(in.instrAtState.size() != table.numStates(),
+            "chooseState: instruction prediction vector size mismatch");
+
+    // A fully idle domain (no work predicted anywhere) parks at the
+    // lowest-power state.
+    double max_instr = 0.0;
+    for (double v : in.instrAtState)
+        max_instr = std::max(max_instr, v);
+    if (max_instr <= 0.0)
+        return 0;
+
+    if (objective == Objective::EnergyUnderPerfBound) {
+        const double nominal = in.instrAtState[in.nominalState];
+        const double floor_instr =
+            nominal * (1.0 - in.perfDegradationLimit);
+        std::size_t best = in.nominalState;
+        double best_energy = std::numeric_limits<double>::infinity();
+        for (std::size_t s = 0; s < table.numStates(); ++s) {
+            if (in.instrAtState[s] < floor_instr)
+                continue;
+            const double energy = domainEpochEnergy(table, model, in, s);
+            if (energy < best_energy) {
+                best_energy = energy;
+                best = s;
+            }
+        }
+        return best;
+    }
+
+    const bool marginal =
+        (objective == Objective::MarginalEdp ||
+         objective == Objective::MarginalEd2p) &&
+        in.avgChipPower > 0.0 && in.avgInstr > 0.0;
+    if (marginal) {
+        // Price the time saved per instruction at n * average power:
+        // the exact first-order greedy for minimizing E * T^n.
+        const double n_exp =
+            objective == Objective::MarginalEd2p ? 2.0 : 1.0;
+        const double time_price = n_exp * in.avgChipPower *
+            tickSeconds(in.epochLen) / in.avgInstr;
+        std::size_t best = 0;
+        double best_score = std::numeric_limits<double>::infinity();
+        for (std::size_t s = 0; s < table.numStates(); ++s) {
+            const double instr = std::max(in.instrAtState[s], 0.0);
+            const double energy = domainEpochEnergy(table, model, in, s);
+            const double score = energy - time_price * instr;
+            if (score < best_score) {
+                best_score = score;
+                best = s;
+            }
+        }
+        return best;
+    }
+
+    int exponent = 2;
+    if (objective == Objective::Ed2p ||
+        objective == Objective::MarginalEd2p) {
+        exponent = 3;
+    } else if (objective == Objective::Ed3p) {
+        exponent = 4;
+    }
+
+    std::size_t best = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < table.numStates(); ++s) {
+        const double instr = std::max(in.instrAtState[s], 1e-9);
+        const double energy = domainEpochEnergy(table, model, in, s);
+        const double score =
+            energy / std::pow(instr, static_cast<double>(exponent));
+        if (score < best_score) {
+            best_score = score;
+            best = s;
+        }
+    }
+    return best;
+}
+
+} // namespace pcstall::dvfs

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * DVFS objective functions (paper Section 5.2). For fixed-time epochs
+ * the per-epoch decision reduces to minimizing P(f)/I(f)^(n+1) for an
+ * ED^nP objective: with work W = I instructions done in epoch T, the
+ * delay per unit work is T/I and energy per unit work is P*T/I, so
+ *   EDP  per work unit ~ P * T^2 / I^2   -> minimize P/I^2
+ *   ED2P per work unit ~ P * T^3 / I^3   -> minimize P/I^3.
+ * The EnergyUnderPerfBound objective instead minimizes power among
+ * states whose predicted throughput stays within a degradation limit
+ * of the nominal frequency (Figure 18a).
+ */
+
+#ifndef PCSTALL_DVFS_OBJECTIVE_HH
+#define PCSTALL_DVFS_OBJECTIVE_HH
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hh"
+#include "memory/memory_system.hh"
+#include "power/power_model.hh"
+#include "power/vf_table.hh"
+
+namespace pcstall::dvfs
+{
+
+/** Supported objective functions. */
+enum class Objective : std::uint8_t
+{
+    /** Minimize energy-delay product. */
+    Edp,
+    /** Minimize energy-delay^2 product. */
+    Ed2p,
+    /** Minimize energy-delay^3 product. */
+    Ed3p,
+    /** Minimize energy subject to a performance-degradation bound. */
+    EnergyUnderPerfBound,
+    /**
+     * Marginal-cost formulations (extension; see docs/architecture.md
+     * section 4): for a global objective E * T^n, the correct
+     * per-epoch greedy minimizes E(f) - n * Pavg * T_epoch * I(f)/Iavg,
+     * pricing the time each extra instruction saves at n times the
+     * chip's average power. Requires the running averages in
+     * DomainScoreInputs; falls back to the ratio heuristic when they
+     * are unavailable (cold start).
+     */
+    MarginalEdp,
+    MarginalEd2p,
+};
+
+/** Name of an objective. */
+const char *objectiveName(Objective objective);
+
+/** Inputs needed to score candidate states for one V/f domain. */
+struct DomainScoreInputs
+{
+    /**
+     * Predicted instructions committed by the domain in the next
+     * epoch, one entry per V/f state (same order as the table).
+     */
+    std::span<const double> instrAtState;
+
+    /** Instructions the domain committed in the elapsed epoch. */
+    double baselineInstr = 0.0;
+    /** The domain's memory activity in the elapsed epoch (scaled by
+     *  predicted throughput to estimate activity at other states). */
+    memory::MemActivity baselineActivity;
+    /** Number of CUs in the domain. */
+    std::uint32_t numCus = 1;
+
+    /**
+     * The domain's share of frequency-independent chip power (the
+     * fixed-clock memory domain's static power divided across
+     * domains). Work done slowly still pays this floor, which is what
+     * couples the per-epoch greedy choice to global ED^nP.
+     */
+    Watts staticShare = 0.0;
+
+    Tick epochLen = 0;
+    double temperature = 45.0;
+
+    /** For EnergyUnderPerfBound: allowed fractional slowdown. */
+    double perfDegradationLimit = 0.05;
+    /** For EnergyUnderPerfBound: index of the nominal state. */
+    std::size_t nominalState = 0;
+
+    /** Running average chip power (W); 0 = unknown (cold start). */
+    Watts avgChipPower = 0.0;
+    /** Running average instructions/epoch for this domain; 0 =
+     *  unknown. Used by the marginal objectives to price time. */
+    double avgInstr = 0.0;
+};
+
+/**
+ * Predicted energy the domain (CUs + attributed memory-side dynamic
+ * energy) would consume in one epoch at state @p state, assuming
+ * memory activity scales with predicted instruction throughput.
+ */
+Joules domainEpochEnergy(const power::VfTable &table,
+                         const power::PowerModel &model,
+                         const DomainScoreInputs &in, std::size_t state);
+
+/**
+ * Pick the V/f state optimizing @p objective for one domain.
+ * @return the chosen state index.
+ */
+std::size_t chooseState(const power::VfTable &table,
+                        const power::PowerModel &model,
+                        const DomainScoreInputs &in, Objective objective);
+
+} // namespace pcstall::dvfs
+
+#endif // PCSTALL_DVFS_OBJECTIVE_HH

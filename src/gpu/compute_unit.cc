@@ -1,0 +1,606 @@
+#include "gpu/compute_unit.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace pcstall::gpu
+{
+
+void
+ComputeUnit::init(std::uint32_t id, std::uint32_t slot_count, Freq freq)
+{
+    cuId = id;
+    slots.assign(slot_count, Wavefront{});
+    wgs.clear();
+    freeSlots = slot_count;
+    freq_ = freq;
+    period_ = clockPeriod(freq);
+    nextEventAt = 0;
+}
+
+bool
+ComputeUnit::idle() const
+{
+    for (const Wavefront &w : slots)
+        if (w.state != WaveState::Idle)
+            return false;
+    return true;
+}
+
+void
+ComputeUnit::setFrequency(Freq freq, Tick now, Tick trans)
+{
+    if (freq == freq_)
+        return;
+    freq_ = freq;
+    period_ = clockPeriod(freq);
+    freqStallUntil = now + trans;
+    if (nextEventAt != tickInf)
+        nextEventAt = std::max(nextEventAt, freqStallUntil);
+}
+
+void
+ComputeUnit::drainLoadCompletions(Tick now)
+{
+    while (!loadCompletions.empty() && loadCompletions.front() <= now) {
+        const Tick done = loadCompletions.front();
+        std::pop_heap(loadCompletions.begin(), loadCompletions.end(),
+                      std::greater<>());
+        loadCompletions.pop_back();
+        panicIf(outstandingLoads == 0, "load completion underflow");
+        --outstandingLoads;
+        --outstandingTotal;
+        if (outstandingLoads == 0 && memActive) {
+            epMemInterval += done - memStart;
+            memActive = false;
+        }
+    }
+    while (!storeCompletions.empty() && storeCompletions.front() <= now) {
+        std::pop_heap(storeCompletions.begin(), storeCompletions.end(),
+                      std::greater<>());
+        storeCompletions.pop_back();
+        panicIf(outstandingTotal == 0, "store completion underflow");
+        --outstandingTotal;
+    }
+    if (leadActive && leadUntil <= now) {
+        epLeadLoad += leadUntil - leadStart;
+        leadActive = false;
+    }
+}
+
+void
+ComputeUnit::wakeWaves(Tick now)
+{
+    for (Wavefront &w : slots) {
+        if (w.state == WaveState::Busy && w.readyAt <= now) {
+            w.state = WaveState::Ready;
+        } else if (w.state == WaveState::WaitMem && w.readyAt <= now) {
+            // The stall semantically ended at the wake tick, even if
+            // this CU only got around to processing it now.
+            w.epMemStall += w.readyAt - w.stallEnter;
+            w.retireCompleted(w.readyAt);
+            w.state = WaveState::Ready;
+        }
+    }
+}
+
+void
+ComputeUnit::closeSleep(Tick now)
+{
+    if (!sleeping)
+        return;
+    const Tick end = std::min(now, sleepUntil);
+    if (end > sleepStart) {
+        if (sleepGate == SleepGate::Load)
+            epLoadStall += end - sleepStart;
+        else if (sleepGate == SleepGate::Store)
+            epStoreStall += end - sleepStart;
+    }
+    sleeping = false;
+    sleepGate = SleepGate::None;
+}
+
+int
+ComputeUnit::pickReadyWave(std::uint32_t simd,
+                           std::uint32_t num_simds) const
+{
+    int best = -1;
+    std::uint64_t best_seq = 0;
+    for (std::size_t i = simd; i < slots.size(); i += num_simds) {
+        const Wavefront &w = slots[i];
+        if (w.state != WaveState::Ready)
+            continue;
+        if (best < 0 || w.dispatchSeq < best_seq) {
+            best = static_cast<int>(i);
+            best_seq = w.dispatchSeq;
+        }
+    }
+    return best;
+}
+
+std::uint32_t
+ComputeUnit::ageRankOf(std::uint32_t slot) const
+{
+    const std::uint64_t my_seq = slots[slot].dispatchSeq;
+    std::uint32_t rank = 0;
+    for (const Wavefront &w : slots)
+        if (w.state != WaveState::Idle && w.dispatchSeq < my_seq)
+            ++rank;
+    return rank;
+}
+
+std::uint64_t
+ComputeUnit::genAddress(const isa::Kernel &kernel, const Wavefront &wave,
+                        const isa::Instruction &ins) const
+{
+    const isa::MemRegion &region = kernel.regions[ins.mem.regionId];
+    const std::uint64_t line = 64;
+    switch (ins.mem.pattern) {
+      case isa::AccessPattern::Streaming:
+      case isa::AccessPattern::Strided: {
+        // Each wave walks its own page-sized window, advancing by the
+        // instruction stride per issue; streaming strides (< line) get
+        // spatial reuse, larger strides touch a new line every access.
+        const std::uint64_t window = 4096;
+        const std::uint64_t start =
+            (wave.globalId * window) % region.sizeBytes;
+        const std::uint64_t span =
+            ins.mem.pattern == isa::AccessPattern::Streaming
+            ? window : region.sizeBytes;
+        const std::uint64_t off =
+            (wave.memSeq * ins.mem.strideBytes) % span;
+        return region.base + (start + off) % region.sizeBytes;
+      }
+      case isa::AccessPattern::Random: {
+        const std::uint64_t num_lines = std::max<std::uint64_t>(
+            region.sizeBytes / line, 1);
+        const std::uint64_t h = hashCombine(
+            kernel.seed ^ (wave.globalId * 0x9e3779b97f4a7c15ULL),
+            wave.memSeq);
+        return region.base + (h % num_lines) * line;
+      }
+      case isa::AccessPattern::SharedHot: {
+        // All waves share a small hot footprint (lookup tables).
+        const std::uint64_t hot = std::min<std::uint64_t>(
+            region.sizeBytes, 32 * 1024);
+        const std::uint64_t num_lines = std::max<std::uint64_t>(
+            hot / line, 1);
+        const std::uint64_t h = hashCombine(kernel.seed, wave.memSeq);
+        return region.base + (h % num_lines) * line;
+      }
+    }
+    panic("unknown access pattern");
+}
+
+bool
+ComputeUnit::tryDispatch(CuContext &ctx, Tick now)
+{
+    bool dispatched = false;
+    while (ctx.dispatch.curLaunch < ctx.app.launches.size() &&
+           ctx.dispatch.wgUndispatched > 0) {
+        const isa::Kernel &kernel =
+            ctx.app.launches[ctx.dispatch.curLaunch];
+
+        // Count free slots.
+        std::vector<std::uint32_t> free_slots;
+        for (std::uint32_t i = 0; i < slots.size(); ++i)
+            if (slots[i].state == WaveState::Idle)
+                free_slots.push_back(i);
+        if (free_slots.size() < kernel.wavesPerWorkgroup)
+            break;
+
+        // Allocate a resident-workgroup record.
+        std::uint32_t wg_index = 0;
+        for (wg_index = 0; wg_index < wgs.size(); ++wg_index)
+            if (!wgs[wg_index].valid)
+                break;
+        if (wg_index == wgs.size())
+            wgs.emplace_back();
+        ResidentWg &wg = wgs[wg_index];
+        wg.valid = true;
+        wg.launchIndex = ctx.dispatch.curLaunch;
+        wg.waveCount = kernel.wavesPerWorkgroup;
+        wg.arrived = 0;
+        wg.done = 0;
+
+        freeSlots -= kernel.wavesPerWorkgroup;
+        for (std::uint32_t i = 0; i < kernel.wavesPerWorkgroup; ++i) {
+            Wavefront &w = slots[free_slots[i]];
+            w = Wavefront{};
+            w.state = WaveState::Ready;
+            w.pc = 0;
+            w.globalId = ctx.dispatch.nextGlobalWaveId++;
+            w.dispatchSeq = seqCounter++;
+            w.wgIndex = wg_index;
+            w.launchIndex = ctx.dispatch.curLaunch;
+            w.epStartPc = 0;
+            w.epActive = true;
+            w.loopTripsInit.resize(kernel.loops.size());
+            for (std::size_t l = 0; l < kernel.loops.size(); ++l) {
+                const isa::LoopSpec &spec = kernel.loops[l];
+                std::uint32_t trips = spec.baseTrips;
+                if (spec.tripVariation > 0) {
+                    const std::uint64_t h = hashCombine(
+                        kernel.seed ^ ctx.cfg.seed,
+                        hashCombine(w.globalId, l));
+                    trips = spec.baseTrips - spec.tripVariation +
+                        static_cast<std::uint32_t>(
+                            h % (2 * spec.tripVariation + 1));
+                }
+                w.loopTripsInit[l] = std::max<std::uint32_t>(trips, 1);
+            }
+            w.loopTrips = w.loopTripsInit;
+            // Keep the wave's arrival time: it was not stalled before
+            // existing; stats markers start clean.
+            w.stallEnter = now;
+            w.barrierEnter = now;
+        }
+        --ctx.dispatch.wgUndispatched;
+        dispatched = true;
+    }
+    return dispatched;
+}
+
+void
+ComputeUnit::releaseBarrier(std::uint32_t wg_index, Tick now)
+{
+    for (Wavefront &w : slots) {
+        if (w.state == WaveState::WaitBarrier && w.wgIndex == wg_index) {
+            w.epBarrierStall += now - w.barrierEnter;
+            w.state = WaveState::Ready;
+            ++w.pc;
+            ++w.epCommitted;
+            ++epCommitted;
+            ++lifeCommitted_;
+            lastCommit_ = now;
+        }
+    }
+    wgs[wg_index].arrived = 0;
+}
+
+void
+ComputeUnit::issue(CuContext &ctx, Wavefront &wave, Tick now)
+{
+    const isa::Kernel &kernel = ctx.app.launches[wave.launchIndex];
+    const isa::Instruction &ins = kernel.code[wave.pc];
+
+    auto commit = [&]() {
+        ++wave.epCommitted;
+        ++epCommitted;
+        ++lifeCommitted_;
+        lastCommit_ = now;
+    };
+    auto busy_for = [&](Cycles cycles) {
+        wave.state = WaveState::Busy;
+        wave.readyAt = now + cycles * period_;
+    };
+
+    switch (ins.op) {
+      case isa::OpType::VAlu:
+      case isa::OpType::SAlu:
+      case isa::OpType::Lds:
+        commit();
+        ++wave.pc;
+        busy_for(ins.latency);
+        break;
+
+      case isa::OpType::VMemLoad:
+      case isa::OpType::VMemStore: {
+        const bool is_store = ins.op == isa::OpType::VMemStore;
+        if (outstandingTotal >= ctx.cfg.mem.maxOutstandingPerCu) {
+            // MSHRs full: a memory-capacity stall until something
+            // drains. Booked as WaitMem so the wavefront estimators
+            // see bandwidth saturation as asynchronous time.
+            Tick wake = now + period_;
+            if (!loadCompletions.empty())
+                wake = std::max(wake, loadCompletions.front());
+            if (!storeCompletions.empty() &&
+                (loadCompletions.empty() ||
+                 storeCompletions.front() < loadCompletions.front())) {
+                wake = std::max(now + period_, storeCompletions.front());
+            }
+            wave.state = WaveState::WaitMem;
+            wave.readyAt = wake;
+            wave.stallEnter = now;
+            wave.stallGateStore = is_store;
+            break;
+        }
+        const std::uint64_t addr = genAddress(kernel, wave, ins);
+        const memory::MemResult res =
+            ctx.mem.access(cuId, addr, is_store, now, period_);
+        PendingMem pm{res.completion, is_store};
+        wave.pending.insert(
+            std::upper_bound(wave.pending.begin(), wave.pending.end(), pm),
+            pm);
+        ++wave.memSeq;
+        ++outstandingTotal;
+        if (is_store) {
+            ++epStores;
+            storeCompletions.push_back(res.completion);
+            std::push_heap(storeCompletions.begin(),
+                           storeCompletions.end(), std::greater<>());
+        } else {
+            ++epLoads;
+            if (outstandingLoads == 0) {
+                memActive = true;
+                memStart = now;
+                if (!leadActive) {
+                    leadActive = true;
+                    leadStart = now;
+                    leadUntil = res.completion;
+                }
+            }
+            ++outstandingLoads;
+            loadCompletions.push_back(res.completion);
+            std::push_heap(loadCompletions.begin(), loadCompletions.end(),
+                           std::greater<>());
+        }
+        commit();
+        ++wave.pc;
+        busy_for(ins.latency);
+        break;
+      }
+
+      case isa::OpType::Waitcnt: {
+        wave.retireCompleted(now);
+        if (wave.pending.size() <= ins.maxOutstanding) {
+            commit();
+            ++wave.pc;
+            busy_for(ins.latency);
+        } else {
+            const std::size_t gate_idx =
+                wave.pending.size() - ins.maxOutstanding - 1;
+            wave.state = WaveState::WaitMem;
+            wave.readyAt = wave.pending[gate_idx].completion;
+            wave.stallEnter = now;
+            wave.stallGateStore = wave.pending[gate_idx].isStore;
+        }
+        break;
+      }
+
+      case isa::OpType::Barrier: {
+        ResidentWg &wg = wgs[wave.wgIndex];
+        wave.state = WaveState::WaitBarrier;
+        wave.barrierEnter = now;
+        ++wg.arrived;
+        if (wg.arrived + wg.done >= wg.waveCount)
+            releaseBarrier(wave.wgIndex, now);
+        break;
+      }
+
+      case isa::OpType::Branch: {
+        std::uint32_t &trips = wave.loopTrips[ins.loopId];
+        panicIf(trips == 0, "loop trip counter underflow");
+        --trips;
+        if (trips > 0) {
+            wave.pc = static_cast<std::uint32_t>(ins.target);
+        } else {
+            trips = wave.loopTripsInit[ins.loopId];
+            ++wave.pc;
+        }
+        commit();
+        busy_for(ins.latency);
+        break;
+      }
+
+      case isa::OpType::EndPgm: {
+        commit();
+        wave.state = WaveState::Idle;
+        ++freeSlots;
+        ResidentWg &wg = wgs[wave.wgIndex];
+        ++wg.done;
+        if (wg.done == wg.waveCount) {
+            wg.valid = false;
+            ++ctx.dispatch.wgCompleted;
+        }
+        break;
+      }
+    }
+
+}
+
+StepResult
+ComputeUnit::step(CuContext &ctx, Tick now)
+{
+    StepResult result;
+
+    drainLoadCompletions(now);
+    closeSleep(now);
+    wakeWaves(now);
+
+    if (now < freqStallUntil) {
+        result.next = freqStallUntil;
+        return result;
+    }
+
+    const std::uint32_t completed_before = ctx.dispatch.wgCompleted;
+    const std::uint32_t num_simds = std::max(ctx.cfg.simdsPerCu, 1u);
+
+    // Refill free slots from the dispatcher before issuing.
+    if (freeSlots > 0 && ctx.dispatch.wgUndispatched > 0)
+        tryDispatch(ctx, now);
+
+    // Each SIMD issues at most one instruction this cycle,
+    // oldest-ready-first among its resident waves.
+    bool issued_any = false;
+    for (std::uint32_t simd = 0; simd < num_simds; ++simd) {
+        const int ready = pickReadyWave(simd, num_simds);
+        if (ready >= 0) {
+            issue(ctx, slots[static_cast<std::size_t>(ready)], now);
+            issued_any = true;
+            epBusy += period_;
+        }
+    }
+
+    if (issued_any) {
+        if (outstandingLoads > 0)
+            epOverlap += period_;
+        result.next = now + period_;
+        // Completing the last workgroup of a launch advances the
+        // dispatcher to the next kernel; every CU must be woken.
+        if (ctx.dispatch.wgCompleted != completed_before &&
+            ctx.dispatch.curLaunch < ctx.app.launches.size()) {
+            const isa::Kernel &cur =
+                ctx.app.launches[ctx.dispatch.curLaunch];
+            if (ctx.dispatch.wgCompleted == cur.numWorkgroups) {
+                ++ctx.dispatch.curLaunch;
+                ctx.dispatch.wgCompleted = 0;
+                if (ctx.dispatch.curLaunch < ctx.app.launches.size()) {
+                    ctx.dispatch.wgUndispatched =
+                        ctx.app.launches[ctx.dispatch.curLaunch]
+                        .numWorkgroups;
+                    result.launchFinished = true;
+                }
+            }
+        }
+        return result;
+    }
+
+    // No ready wave: sleep until the earliest wake, classifying the
+    // gate for STALL/CRISP accounting.
+    Tick wake = tickInf;
+    bool wake_is_mem = false;
+    bool wake_is_store = false;
+    for (const Wavefront &w : slots) {
+        if (w.state == WaveState::Busy || w.state == WaveState::WaitMem) {
+            if (w.readyAt < wake) {
+                wake = w.readyAt;
+                wake_is_mem = w.state == WaveState::WaitMem;
+                wake_is_store = wake_is_mem && w.stallGateStore;
+            }
+        }
+    }
+
+    if (wake == tickInf) {
+        // Fully drained (or only barrier waiters, which would be a
+        // deadlock and cannot happen with well-formed kernels).
+        for (const Wavefront &w : slots)
+            panicIf(w.state == WaveState::WaitBarrier,
+                    "barrier deadlock: all remaining waves at s_barrier");
+        result.next = tickInf;
+        return result;
+    }
+
+    sleeping = true;
+    sleepStart = now;
+    sleepUntil = wake;
+    sleepGate = !wake_is_mem ? SleepGate::None
+        : (wake_is_store ? SleepGate::Store : SleepGate::Load);
+    result.next = wake;
+    return result;
+}
+
+void
+ComputeUnit::harvest(CuContext &ctx, Tick boundary, CuEpochRecord &cu_out,
+                     std::vector<WaveEpochRecord> &waves_out)
+{
+    drainLoadCompletions(boundary);
+    wakeWaves(boundary);
+
+    // Close open accrual intervals at the boundary and restart them.
+    if (sleeping) {
+        const Tick end = std::min(boundary, sleepUntil);
+        if (end > sleepStart) {
+            if (sleepGate == SleepGate::Load)
+                epLoadStall += end - sleepStart;
+            else if (sleepGate == SleepGate::Store)
+                epStoreStall += end - sleepStart;
+        }
+        sleepStart = std::max(sleepStart, end);
+    }
+    if (memActive) {
+        epMemInterval += boundary - memStart;
+        memStart = boundary;
+    }
+    if (leadActive) {
+        const Tick end = std::min(leadUntil, boundary);
+        if (end > leadStart)
+            epLeadLoad += end - leadStart;
+        if (leadUntil <= boundary)
+            leadActive = false;
+        else
+            leadStart = boundary;
+    }
+
+    cu_out.committed = epCommitted;
+    cu_out.vmemLoads = epLoads;
+    cu_out.vmemStores = epStores;
+    cu_out.busy = epBusy;
+    cu_out.loadStall = epLoadStall;
+    cu_out.storeStall = epStoreStall;
+    cu_out.leadLoad = epLeadLoad;
+    cu_out.memInterval = epMemInterval;
+    cu_out.overlap = epOverlap;
+    cu_out.mem = ctx.mem.activity(cuId);
+    cu_out.freq = freq_;
+
+    for (std::uint32_t i = 0; i < slots.size(); ++i) {
+        Wavefront &w = slots[i];
+        if (!w.epActive && w.state == WaveState::Idle)
+            continue;
+        // Clip in-progress waits at the boundary.
+        if (w.state == WaveState::WaitMem) {
+            const Tick end = std::min(boundary, w.readyAt);
+            if (end > w.stallEnter)
+                w.epMemStall += end - w.stallEnter;
+            w.stallEnter = std::max(w.stallEnter, end);
+        } else if (w.state == WaveState::WaitBarrier) {
+            if (boundary > w.barrierEnter)
+                w.epBarrierStall += boundary - w.barrierEnter;
+            w.barrierEnter = boundary;
+        }
+
+        WaveEpochRecord rec;
+        rec.cu = cuId;
+        rec.slot = i;
+        rec.startPc = w.epStartPc;
+        rec.startPcAddr =
+            ctx.app.launches[w.launchIndex].pcAddr(w.epStartPc);
+        rec.committed = w.epCommitted;
+        rec.memStall = w.epMemStall;
+        rec.barrierStall = w.epBarrierStall;
+        rec.ageRank = w.state == WaveState::Idle ? 0 : ageRankOf(i);
+        rec.active = true;
+        waves_out.push_back(rec);
+
+        // Reset per-epoch wave accounting.
+        w.epCommitted = 0;
+        w.epMemStall = 0;
+        w.epBarrierStall = 0;
+        w.epStartPc = w.pc;
+        w.epActive = w.state != WaveState::Idle;
+    }
+
+    epCommitted = 0;
+    epLoads = 0;
+    epStores = 0;
+    epBusy = 0;
+    epOverlap = 0;
+    epLoadStall = 0;
+    epStoreStall = 0;
+    epLeadLoad = 0;
+    epMemInterval = 0;
+}
+
+void
+ComputeUnit::appendSnapshots(const isa::Application &app,
+                             std::vector<WaveSnapshot> &out) const
+{
+    for (std::uint32_t i = 0; i < slots.size(); ++i) {
+        const Wavefront &w = slots[i];
+        if (w.state == WaveState::Idle)
+            continue;
+        WaveSnapshot snap;
+        snap.cu = cuId;
+        snap.slot = i;
+        snap.pc = w.pc;
+        snap.pcAddr = app.launches[w.launchIndex].pcAddr(w.pc);
+        snap.ageRank = ageRankOf(i);
+        out.push_back(snap);
+    }
+}
+
+} // namespace pcstall::gpu

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * One GCN3-like compute unit: up to 40 resident wavefronts scheduled
+ * oldest-first, one issue slot per CU cycle, workgroup barriers, and
+ * the per-epoch instrumentation every estimation model consumes
+ * (stall time, leading loads, in-flight-load interval union, overlap).
+ *
+ * A ComputeUnit is pure data plus methods that receive an explicit
+ * context (memory system, application, dispatcher); it contains no
+ * pointers, so GpuChip snapshots are plain copies.
+ */
+
+#ifndef PCSTALL_GPU_COMPUTE_UNIT_HH
+#define PCSTALL_GPU_COMPUTE_UNIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/epoch_stats.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/wavefront.hh"
+#include "isa/kernel.hh"
+#include "memory/memory_system.hh"
+
+namespace pcstall::gpu
+{
+
+/** GPU-wide workgroup dispatch state (lives in GpuChip). */
+struct DispatchState
+{
+    /** Index of the kernel launch currently being dispatched. */
+    std::uint32_t curLaunch = 0;
+    /** Workgroups of the current launch not yet handed to a CU. */
+    std::uint32_t wgUndispatched = 0;
+    /** Workgroups of the current launch fully completed. */
+    std::uint32_t wgCompleted = 0;
+    /** Monotone wavefront id source. */
+    std::uint64_t nextGlobalWaveId = 0;
+};
+
+/** Shared references a ComputeUnit needs while executing. */
+struct CuContext
+{
+    memory::MemorySystem &mem;
+    const isa::Application &app;
+    DispatchState &dispatch;
+    const GpuConfig &cfg;
+};
+
+/** Why a CU-wide sleep is gated (for STALL/CRISP accounting). */
+enum class SleepGate : std::uint8_t { None, Load, Store };
+
+/** Outcome of one CU activation. */
+struct StepResult
+{
+    /** When this CU next wants to run (tickInf = parked). */
+    Tick next = tickInf;
+    /** True when the current kernel launch completed: wake all CUs. */
+    bool launchFinished = false;
+};
+
+/** A workgroup resident on a CU (barrier bookkeeping). */
+struct ResidentWg
+{
+    bool valid = false;
+    std::uint32_t launchIndex = 0;
+    std::uint32_t waveCount = 0;
+    std::uint32_t arrived = 0;
+    std::uint32_t done = 0;
+};
+
+/** One compute unit. */
+class ComputeUnit
+{
+  public:
+    /** Prepare @p slot_count empty wave slots for CU @p id. */
+    void init(std::uint32_t id, std::uint32_t slot_count, Freq freq);
+
+    /**
+     * Process one activation at global time @p now: wake waves, issue
+     * at most one instruction, or compute the next wake time.
+     */
+    StepResult step(CuContext &ctx, Tick now);
+
+    /**
+     * Close all accrual intervals at @p boundary, emit this CU's and
+     * its waves' epoch records into @p out, and reset epoch state.
+     */
+    void harvest(CuContext &ctx, Tick boundary, CuEpochRecord &cu_out,
+                 std::vector<WaveEpochRecord> &waves_out);
+
+    /** Change the operating frequency (stalls issue for @p trans). */
+    void setFrequency(Freq freq, Tick now, Tick trans);
+
+    Freq frequency() const { return freq_; }
+    Tick period() const { return period_; }
+
+    /** When this CU next wants to be activated (tickInf = parked). */
+    Tick nextEventAt = 0;
+
+    /** True when no wavefronts are resident. */
+    bool idle() const;
+
+    /** Resident-wave snapshots with age ranks (predictor lookups). */
+    void appendSnapshots(const isa::Application &app,
+                         std::vector<WaveSnapshot> &out) const;
+
+    /** Lifetime committed-instruction count. */
+    std::uint64_t lifeCommitted() const { return lifeCommitted_; }
+
+    /** Tick of the most recent commit on this CU. */
+    Tick lastCommitTick() const { return lastCommit_; }
+
+    std::uint32_t id() const { return cuId; }
+
+  private:
+    /** Retire CU-level load completions up to @p now. */
+    void drainLoadCompletions(Tick now);
+    /** Move waves whose wake time has passed back to Ready. */
+    void wakeWaves(Tick now);
+    /** Close an in-progress CU sleep interval. */
+    void closeSleep(Tick now);
+    /** Issue @p wave's next instruction. */
+    void issue(CuContext &ctx, Wavefront &wave, Tick now);
+    /** Try to pull new workgroups from the dispatcher. */
+    bool tryDispatch(CuContext &ctx, Tick now);
+    /** Release every wave of workgroup @p wg_index blocked at barrier. */
+    void releaseBarrier(std::uint32_t wg_index, Tick now);
+    /** Compute the address of a vector memory access. */
+    std::uint64_t genAddress(const isa::Kernel &kernel,
+                             const Wavefront &wave,
+                             const isa::Instruction &ins) const;
+    /** Oldest ready wave on SIMD @p simd (-1 when none). */
+    int pickReadyWave(std::uint32_t simd, std::uint32_t num_simds) const;
+    /** Age rank (0 = oldest) of slot @p slot among resident waves. */
+    std::uint32_t ageRankOf(std::uint32_t slot) const;
+
+    std::uint32_t cuId = 0;
+    Freq freq_ = 0;
+    Tick period_ = 0;
+    /** Issue blocked until this tick after a V/f transition. */
+    Tick freqStallUntil = 0;
+
+    std::vector<Wavefront> slots;
+    std::vector<ResidentWg> wgs;
+    /** Cached count of Idle slots (dispatch gating). */
+    std::uint32_t freeSlots = 0;
+    std::uint64_t seqCounter = 0;
+    std::uint64_t lifeCommitted_ = 0;
+    Tick lastCommit_ = 0;
+
+    /** Min-heap (via std::*_heap with std::greater) of in-flight load
+     *  completion ticks, CU-wide. */
+    std::vector<Tick> loadCompletions;
+    /** Min-heap of in-flight store completion ticks (MSHR release). */
+    std::vector<Tick> storeCompletions;
+    std::uint32_t outstandingLoads = 0;
+    std::uint32_t outstandingTotal = 0;
+
+    // --- accrual markers ---
+    bool sleeping = false;
+    Tick sleepStart = 0;
+    Tick sleepUntil = 0;
+    SleepGate sleepGate = SleepGate::None;
+
+    bool memActive = false;
+    Tick memStart = 0;
+
+    bool leadActive = false;
+    Tick leadStart = 0;
+    Tick leadUntil = 0;
+
+    // --- per-epoch counters ---
+    std::uint64_t epCommitted = 0;
+    std::uint64_t epLoads = 0;
+    std::uint64_t epStores = 0;
+    Tick epBusy = 0;
+    Tick epOverlap = 0;
+    Tick epLoadStall = 0;
+    Tick epStoreStall = 0;
+    Tick epLeadLoad = 0;
+    Tick epMemInterval = 0;
+};
+
+} // namespace pcstall::gpu
+
+#endif // PCSTALL_GPU_COMPUTE_UNIT_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-epoch statistics records harvested at each DVFS epoch boundary.
+ * These are the raw inputs to every estimation model in src/models and
+ * to the PC-based predictor in src/predict.
+ */
+
+#ifndef PCSTALL_GPU_EPOCH_STATS_HH
+#define PCSTALL_GPU_EPOCH_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "memory/memory_system.hh"
+
+namespace pcstall::gpu
+{
+
+/** What one wavefront did during one epoch. */
+struct WaveEpochRecord
+{
+    std::uint32_t cu = 0;
+    std::uint32_t slot = 0;
+    /** The wavefront's PC at the start of the epoch (code index). */
+    std::uint32_t startPc = 0;
+    /** Byte address of startPc including the kernel's code base (the
+     *  PC-table key). */
+    std::uint64_t startPcAddr = 0;
+    /** Instructions committed during the epoch. */
+    std::uint64_t committed = 0;
+    /** Time blocked at s_waitcnt for memory responses. */
+    Tick memStall = 0;
+    /** Time blocked at s_barrier. */
+    Tick barrierStall = 0;
+    /** Age rank among the CU's resident waves (0 = oldest). */
+    std::uint32_t ageRank = 0;
+    /** True if the wave existed at any point during the epoch. */
+    bool active = false;
+};
+
+/** What one compute unit did during one epoch. */
+struct CuEpochRecord
+{
+    std::uint64_t committed = 0;
+    std::uint64_t vmemLoads = 0;
+    std::uint64_t vmemStores = 0;
+
+    /** Issue slots actually used, expressed as time (issued * period). */
+    Tick busy = 0;
+    /** Time with zero ready waves, gated by an outstanding load. */
+    Tick loadStall = 0;
+    /** Time with zero ready waves, gated by an outstanding store. */
+    Tick storeStall = 0;
+    /** Sum of leading-load latencies (LEAD model async time). */
+    Tick leadLoad = 0;
+    /** Union of in-flight-load intervals (CRIT model async time). */
+    Tick memInterval = 0;
+    /** Issue time that overlapped in-flight loads (CRISP credit). */
+    Tick overlap = 0;
+
+    /** Memory-level activity during the epoch (power model input). */
+    memory::MemActivity mem;
+
+    /** Operating frequency during the epoch. */
+    Freq freq = 0;
+};
+
+/** Everything harvested at one epoch boundary. */
+struct EpochRecord
+{
+    Tick start = 0;
+    Tick end = 0;
+    std::vector<CuEpochRecord> cus;
+    std::vector<WaveEpochRecord> waves;
+
+    /** Total instructions committed across all CUs. */
+    std::uint64_t totalCommitted() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &cu : cus)
+            sum += cu.committed;
+        return sum;
+    }
+};
+
+/** A resident wavefront's identity at a point in time (for lookups). */
+struct WaveSnapshot
+{
+    std::uint32_t cu = 0;
+    std::uint32_t slot = 0;
+    /** Current PC (code index). */
+    std::uint32_t pc = 0;
+    /** Byte address of pc including the kernel's code base (the key
+     *  for PC-table lookups of the next epoch). */
+    std::uint64_t pcAddr = 0;
+    /** Age rank among the CU's resident waves (0 = oldest). */
+    std::uint32_t ageRank = 0;
+};
+
+} // namespace pcstall::gpu
+
+#endif // PCSTALL_GPU_EPOCH_STATS_HH

@@ -1,0 +1,193 @@
+#include "gpu/gpu_chip.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace pcstall::gpu
+{
+
+namespace
+{
+/** Sync derived fields of the configuration. */
+GpuConfig
+normalized(GpuConfig cfg)
+{
+    fatalIf(cfg.numCus == 0, "GPU needs at least one CU");
+    fatalIf(cfg.waveSlotsPerCu == 0, "GPU needs at least one wave slot");
+    cfg.mem.numCus = cfg.numCus;
+    return cfg;
+}
+} // namespace
+
+GpuChip::GpuChip(const GpuConfig &config,
+                 std::shared_ptr<const isa::Application> app_in)
+    : cfg(normalized(config)), app(std::move(app_in)), mem(cfg.mem)
+{
+    fatalIf(!app, "GpuChip requires an application");
+    fatalIf(app->launches.empty(),
+            "application '" + app->name + "' has no kernel launches");
+    for (const isa::Kernel &k : app->launches) {
+        k.validate();
+        fatalIf(k.wavesPerWorkgroup > cfg.waveSlotsPerCu,
+                "kernel '" + k.name + "' workgroup does not fit in a CU");
+    }
+
+    cus.resize(cfg.numCus);
+    for (std::uint32_t i = 0; i < cfg.numCus; ++i)
+        cus[i].init(i, cfg.waveSlotsPerCu, cfg.defaultFreq);
+
+    dispatch.curLaunch = 0;
+    dispatch.wgUndispatched = app->launches[0].numWorkgroups;
+    dispatch.wgCompleted = 0;
+}
+
+CuContext
+GpuChip::makeContext()
+{
+    return CuContext{mem, *app, dispatch, cfg};
+}
+
+bool
+GpuChip::done() const
+{
+    if (dispatch.curLaunch < app->launches.size())
+        return false;
+    for (const ComputeUnit &cu : cus)
+        if (!cu.idle())
+            return false;
+    return true;
+}
+
+bool
+GpuChip::runUntil(Tick until)
+{
+    panicIf(until < curTick, "runUntil into the past");
+    CuContext ctx = makeContext();
+
+    using Entry = std::pair<Tick, std::uint32_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (std::uint32_t i = 0; i < cus.size(); ++i)
+        if (cus[i].nextEventAt < until)
+            heap.emplace(cus[i].nextEventAt, i);
+
+    while (!heap.empty()) {
+        auto [t, id] = heap.top();
+        heap.pop();
+        // Stale entry: the CU was rescheduled (e.g. woken by a kernel
+        // transition) since this entry was pushed.
+        if (cus[id].nextEventAt != t)
+            continue;
+        if (t >= until)
+            break;
+
+        const StepResult res = cus[id].step(ctx, t);
+        cus[id].nextEventAt = res.next;
+        if (res.next < until)
+            heap.emplace(res.next, id);
+
+        if (res.launchFinished) {
+            // A new kernel launch became available: wake every CU so
+            // idle ones can pull workgroups.
+            for (std::uint32_t i = 0; i < cus.size(); ++i) {
+                if (i == id)
+                    continue;
+                if (cus[i].nextEventAt > t) {
+                    cus[i].nextEventAt = t;
+                    heap.emplace(t, i);
+                }
+            }
+        }
+    }
+
+    curTick = until;
+    return done();
+}
+
+EpochRecord
+GpuChip::harvestEpoch(Tick epoch_start)
+{
+    CuContext ctx = makeContext();
+    EpochRecord record;
+    record.start = epoch_start;
+    record.end = curTick;
+    record.cus.resize(cus.size());
+    for (std::uint32_t i = 0; i < cus.size(); ++i)
+        cus[i].harvest(ctx, curTick, record.cus[i], record.waves);
+    mem.resetActivity();
+    return record;
+}
+
+void
+GpuChip::setCuFrequency(std::uint32_t cu_id, Freq freq,
+                        Tick transition_latency)
+{
+    panicIf(cu_id >= cus.size(), "setCuFrequency: bad CU id");
+    cus[cu_id].setFrequency(freq, curTick, transition_latency);
+}
+
+Freq
+GpuChip::cuFrequency(std::uint32_t cu_id) const
+{
+    panicIf(cu_id >= cus.size(), "cuFrequency: bad CU id");
+    return cus[cu_id].frequency();
+}
+
+std::vector<WaveSnapshot>
+GpuChip::waveSnapshots() const
+{
+    std::vector<WaveSnapshot> out;
+    for (const ComputeUnit &cu : cus)
+        cu.appendSnapshots(*app, out);
+    return out;
+}
+
+std::uint64_t
+GpuChip::totalCommitted() const
+{
+    std::uint64_t sum = 0;
+    for (const ComputeUnit &cu : cus)
+        sum += cu.lifeCommitted();
+    return sum;
+}
+
+Tick
+GpuChip::lastCommitTick() const
+{
+    Tick last = 0;
+    for (const ComputeUnit &cu : cus)
+        last = std::max(last, cu.lastCommitTick());
+    return last;
+}
+
+Tick
+transitionLatencyFor(Tick epoch_length)
+{
+    // Paper Section 5: 4 ns @ 1 us, 40 ns @ 10 us, 200 ns @ 50 us,
+    // 400 ns @ 100 us. Interpolate linearly between the published
+    // points and clamp outside.
+    struct Point { Tick epoch; Tick latency; };
+    static constexpr Point points[] = {
+        {1 * tickUs, 4 * tickNs},
+        {10 * tickUs, 40 * tickNs},
+        {50 * tickUs, 200 * tickNs},
+        {100 * tickUs, 400 * tickNs},
+    };
+    if (epoch_length <= points[0].epoch)
+        return points[0].latency;
+    for (std::size_t i = 1; i < std::size(points); ++i) {
+        if (epoch_length <= points[i].epoch) {
+            const auto &a = points[i - 1];
+            const auto &b = points[i];
+            const double frac =
+                static_cast<double>(epoch_length - a.epoch) /
+                static_cast<double>(b.epoch - a.epoch);
+            return a.latency + static_cast<Tick>(
+                frac * static_cast<double>(b.latency - a.latency));
+        }
+    }
+    return points[std::size(points) - 1].latency;
+}
+
+} // namespace pcstall::gpu

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Kernel and application containers: a kernel is a flat instruction
+ * vector plus its memory regions, loop descriptors and launch geometry;
+ * an application is an ordered sequence of kernel launches (Table II
+ * lists applications with 1..27 unique kernels).
+ */
+
+#ifndef PCSTALL_ISA_KERNEL_HH
+#define PCSTALL_ISA_KERNEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace pcstall::isa
+{
+
+/** A contiguous global-memory buffer a kernel accesses. */
+struct MemRegion
+{
+    std::string name;
+    /** Base byte address in the flat simulated address space. */
+    std::uint64_t base = 0;
+    /** Extent in bytes. */
+    std::uint64_t sizeBytes = 0;
+};
+
+/** Loop trip-count descriptor; trips may vary per wavefront. */
+struct LoopSpec
+{
+    /** Mean trip count. */
+    std::uint32_t baseTrips = 1;
+    /**
+     * Half-width of the per-wavefront uniform trip-count variation
+     * (Monte Carlo style divergence, e.g. quickS). Zero means all
+     * wavefronts iterate identically.
+     */
+    std::uint32_t tripVariation = 0;
+};
+
+/** A compiled kernel ready for dispatch. */
+struct Kernel
+{
+    std::string name;
+    std::vector<Instruction> code;
+    std::vector<MemRegion> regions;
+    std::vector<LoopSpec> loops;
+
+    /**
+     * Byte address the kernel's code is loaded at. Assigned by
+     * Application::assignCodeBases() so PCs of different kernels do
+     * not alias in PC-indexed predictor tables.
+     */
+    std::uint64_t codeBase = 0;
+
+    /** Byte address of the instruction at code index @p pc_index. */
+    std::uint64_t pcAddr(std::uint32_t pc_index) const
+    {
+        return codeBase + pcAddress(pc_index);
+    }
+
+    /** Wavefronts per workgroup (barriers synchronize within these). */
+    std::uint32_t wavesPerWorkgroup = 4;
+    /** Total workgroups in the launch grid. */
+    std::uint32_t numWorkgroups = 64;
+    /** Seed mixed into per-wavefront randomness (addresses, trips). */
+    std::uint64_t seed = 1;
+
+    /** Total wavefronts this launch creates. */
+    std::uint64_t totalWaves() const
+    {
+        return static_cast<std::uint64_t>(wavesPerWorkgroup) * numWorkgroups;
+    }
+
+    /**
+     * Validate structural invariants (terminating EndPgm, branch
+     * targets in range, loop/region ids in range). Calls fatal() with
+     * a description on violation; used by the builder and tests.
+     */
+    void validate() const;
+};
+
+/** An application: kernels launched back to back. */
+struct Application
+{
+    std::string name;
+    /** Kernels in launch order (a kernel may appear multiple times). */
+    std::vector<Kernel> launches;
+
+    /** Number of distinct kernel names (Table II's braces column). */
+    std::size_t uniqueKernelCount() const;
+
+    /**
+     * Assign each launch a code base address; launches of the same
+     * kernel (same name) share one base, as relaunching a kernel does
+     * not relocate its code.
+     */
+    void assignCodeBases();
+};
+
+} // namespace pcstall::isa
+
+#endif // PCSTALL_ISA_KERNEL_HH

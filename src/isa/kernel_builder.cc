@@ -1,0 +1,183 @@
+#include "isa/kernel_builder.hh"
+
+#include "common/logging.hh"
+
+namespace pcstall::isa
+{
+
+KernelBuilder::KernelBuilder(std::string name)
+{
+    kernel.name = std::move(name);
+}
+
+std::uint16_t
+KernelBuilder::region(const std::string &name, std::uint64_t size_bytes)
+{
+    fatalIf(size_bytes == 0, "region '" + name + "' must not be empty");
+    MemRegion r;
+    r.name = name;
+    r.base = nextRegionBase;
+    r.sizeBytes = size_bytes;
+    // Regions are placed back to back with a guard gap so patterns in
+    // different regions never alias in the caches by construction.
+    nextRegionBase += (size_bytes + 0xFFFFFULL) & ~0xFFFFFULL;
+    kernel.regions.push_back(std::move(r));
+    return static_cast<std::uint16_t>(kernel.regions.size() - 1);
+}
+
+KernelBuilder &
+KernelBuilder::valu(std::uint16_t latency, std::uint32_t count)
+{
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Instruction ins;
+        ins.op = OpType::VAlu;
+        ins.latency = latency;
+        kernel.code.push_back(ins);
+    }
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::salu(std::uint32_t count)
+{
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Instruction ins;
+        ins.op = OpType::SAlu;
+        ins.latency = 1;
+        kernel.code.push_back(ins);
+    }
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::lds(std::uint16_t latency, std::uint32_t count)
+{
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Instruction ins;
+        ins.op = OpType::Lds;
+        ins.latency = latency;
+        kernel.code.push_back(ins);
+    }
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::load(std::uint16_t region_id, AccessPattern pattern,
+                    std::uint32_t stride_bytes)
+{
+    Instruction ins;
+    ins.op = OpType::VMemLoad;
+    ins.latency = 1;
+    ins.mem.regionId = region_id;
+    ins.mem.pattern = pattern;
+    ins.mem.strideBytes = stride_bytes;
+    kernel.code.push_back(ins);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::store(std::uint16_t region_id, AccessPattern pattern,
+                     std::uint32_t stride_bytes)
+{
+    Instruction ins;
+    ins.op = OpType::VMemStore;
+    ins.latency = 1;
+    ins.mem.regionId = region_id;
+    ins.mem.pattern = pattern;
+    ins.mem.strideBytes = stride_bytes;
+    kernel.code.push_back(ins);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::waitcnt(std::uint16_t max_outstanding)
+{
+    Instruction ins;
+    ins.op = OpType::Waitcnt;
+    ins.latency = 1;
+    ins.maxOutstanding = max_outstanding;
+    kernel.code.push_back(ins);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::barrier()
+{
+    // A barrier inside a loop whose trip count varies per wavefront
+    // would deadlock: some waves would arrive more often than others.
+    for (const auto &[head, loop_id] : openLoops) {
+        fatalIf(kernel.loops[loop_id].tripVariation > 0,
+                "kernel '" + kernel.name + "' places a barrier inside "
+                "a divergent loop");
+    }
+    Instruction ins;
+    ins.op = OpType::Barrier;
+    ins.latency = 1;
+    kernel.code.push_back(ins);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::loop(std::uint32_t base_trips, std::uint32_t trip_variation)
+{
+    LoopSpec spec;
+    spec.baseTrips = base_trips;
+    spec.tripVariation = trip_variation;
+    kernel.loops.push_back(spec);
+    const auto loop_id = static_cast<std::uint16_t>(kernel.loops.size() - 1);
+    openLoops.emplace_back(
+        static_cast<std::uint32_t>(kernel.code.size()), loop_id);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::endLoop()
+{
+    fatalIf(openLoops.empty(),
+            "endLoop() without a matching loop() in kernel '" +
+            kernel.name + "'");
+    auto [head, loop_id] = openLoops.back();
+    openLoops.pop_back();
+    fatalIf(head == kernel.code.size(),
+            "empty loop body in kernel '" + kernel.name + "'");
+    Instruction ins;
+    ins.op = OpType::Branch;
+    ins.latency = 1;
+    ins.target = static_cast<std::int32_t>(head);
+    ins.loopId = loop_id;
+    kernel.code.push_back(ins);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::grid(std::uint32_t workgroups,
+                    std::uint32_t waves_per_workgroup)
+{
+    kernel.numWorkgroups = workgroups;
+    kernel.wavesPerWorkgroup = waves_per_workgroup;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::seed(std::uint64_t value)
+{
+    kernel.seed = value;
+    return *this;
+}
+
+Kernel
+KernelBuilder::build()
+{
+    panicIf(built, "KernelBuilder::build() called twice");
+    fatalIf(!openLoops.empty(),
+            "kernel '" + kernel.name + "' built with unclosed loops");
+    Instruction end;
+    end.op = OpType::EndPgm;
+    end.latency = 1;
+    kernel.code.push_back(end);
+    kernel.validate();
+    built = true;
+    return std::move(kernel);
+}
+
+} // namespace pcstall::isa

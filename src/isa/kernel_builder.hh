@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fluent builder for kernels. The workload generators (Table II) are
+ * written against this DSL, e.g.:
+ *
+ * @code
+ *   KernelBuilder b("force");
+ *   auto pos = b.region("pos", 8 << 20);
+ *   b.loop(120, 16);
+ *       b.load(pos, AccessPattern::Streaming);
+ *       b.load(pos, AccessPattern::Random);
+ *       b.waitcnt(0);
+ *       b.valu(4, 12);
+ *   b.endLoop();
+ *   Kernel k = b.build();
+ * @endcode
+ */
+
+#ifndef PCSTALL_ISA_KERNEL_BUILDER_HH
+#define PCSTALL_ISA_KERNEL_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace pcstall::isa
+{
+
+/** Builds a structurally valid Kernel instruction by instruction. */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name);
+
+    /** Declare a memory region; returns its region id. */
+    std::uint16_t region(const std::string &name, std::uint64_t size_bytes);
+
+    /** Append @p count vector ALU ops of @p latency cycles each. */
+    KernelBuilder &valu(std::uint16_t latency, std::uint32_t count = 1);
+
+    /** Append @p count scalar ALU ops (1 cycle each). */
+    KernelBuilder &salu(std::uint32_t count = 1);
+
+    /** Append @p count LDS ops of @p latency cycles each. */
+    KernelBuilder &lds(std::uint16_t latency, std::uint32_t count = 1);
+
+    /** Append a vector load from @p region_id with @p pattern. */
+    KernelBuilder &load(std::uint16_t region_id, AccessPattern pattern,
+                        std::uint32_t stride_bytes = 64);
+
+    /** Append a vector store to @p region_id with @p pattern. */
+    KernelBuilder &store(std::uint16_t region_id, AccessPattern pattern,
+                         std::uint32_t stride_bytes = 64);
+
+    /** Append s_waitcnt: block until outstanding <= @p max_outstanding. */
+    KernelBuilder &waitcnt(std::uint16_t max_outstanding = 0);
+
+    /** Append a workgroup barrier. */
+    KernelBuilder &barrier();
+
+    /** Open a loop; its body is everything until the matching endLoop. */
+    KernelBuilder &loop(std::uint32_t base_trips,
+                        std::uint32_t trip_variation = 0);
+
+    /** Close the innermost open loop (emits the back-edge branch). */
+    KernelBuilder &endLoop();
+
+    /** Set launch geometry. */
+    KernelBuilder &grid(std::uint32_t workgroups,
+                        std::uint32_t waves_per_workgroup = 4);
+
+    /** Set the kernel seed (address/trip randomness). */
+    KernelBuilder &seed(std::uint64_t value);
+
+    /**
+     * Finish: closes nothing implicitly (open loops are an error),
+     * appends s_endpgm, validates, and returns the kernel.
+     */
+    Kernel build();
+
+  private:
+    Kernel kernel;
+    /** Stack of (loop head code index, loop id) for open loops. */
+    std::vector<std::pair<std::uint32_t, std::uint16_t>> openLoops;
+    /** Running base for auto-placed regions in the flat address space. */
+    std::uint64_t nextRegionBase = 0x1000'0000ULL;
+    bool built = false;
+};
+
+} // namespace pcstall::isa
+
+#endif // PCSTALL_ISA_KERNEL_BUILDER_HH

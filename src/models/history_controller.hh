@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A global-phase-history-table (GPHT) predictor, the strongest prior
+ * CPU prediction mechanism the paper discusses (Section 2.4, Isci et
+ * al. / Bircher & John): quantize the recent sequence of per-domain
+ * phases, and predict the next phase from what historically followed
+ * that sequence. It uses the same wavefront-level STALL estimation as
+ * PCSTALL, so comparing the two isolates the *prediction* mechanism:
+ * pattern-of-recent-phases (GPHT) versus program counters (PCSTALL).
+ */
+
+#ifndef PCSTALL_MODELS_HISTORY_CONTROLLER_HH
+#define PCSTALL_MODELS_HISTORY_CONTROLLER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dvfs/controller.hh"
+#include "models/wave_estimator.hh"
+
+namespace pcstall::models
+{
+
+/** Configuration of the history predictor. */
+struct HistoryConfig
+{
+    /** Phases kept in the history register. */
+    std::uint32_t historyLength = 4;
+    /** Quantization buckets for the sensitivity dimension. */
+    std::uint32_t buckets = 16;
+    /** Largest sensitivity mapped onto the bucket range. */
+    double maxSensitivity = 4096.0;
+    /** EWMA weight for table updates. */
+    double blend = 0.5;
+    models::WaveEstimatorConfig estimator;
+};
+
+/** Global phase history table DVFS controller. */
+class HistoryController : public dvfs::DvfsController
+{
+  public:
+    HistoryController(const HistoryConfig &config,
+                      std::uint32_t num_domains);
+
+    std::string name() const override { return "GPHT"; }
+
+    std::vector<dvfs::DomainDecision>
+    decide(const dvfs::EpochContext &ctx) override;
+
+    /** Fraction of predictions served from the pattern table. */
+    double tableHitRatio() const;
+
+  private:
+    /** The phase model predicted for a pattern. */
+    struct Entry
+    {
+        double sens = 0.0;
+        double level = 0.0;
+    };
+
+    std::uint32_t bucketOf(double sensitivity) const;
+
+    HistoryConfig cfg;
+    /** Per-domain shift register of recent phase buckets. */
+    std::vector<std::vector<std::uint32_t>> history;
+    /** Per-domain last estimated model (fallback prediction). */
+    std::vector<Entry> lastEntry;
+    /** Pattern -> predicted next model, shared across domains
+     *  ("global" in the GPHT sense). */
+    std::unordered_map<std::uint64_t, Entry> table;
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+};
+
+} // namespace pcstall::models
+
+#endif // PCSTALL_MODELS_HISTORY_CONTROLLER_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reactive DVFS controllers (STALL / LEAD / CRIT / CRISP in Table
+ * III): estimate I(f) for the elapsed epoch with a CU-level model and
+ * apply it unchanged as the prediction for the next epoch
+ * (last-value prediction, Figure 3a).
+ */
+
+#ifndef PCSTALL_MODELS_REACTIVE_CONTROLLER_HH
+#define PCSTALL_MODELS_REACTIVE_CONTROLLER_HH
+
+#include "dvfs/controller.hh"
+#include "models/estimation.hh"
+
+namespace pcstall::models
+{
+
+/** Last-value reactive controller parameterized by estimation model. */
+class ReactiveController : public dvfs::DvfsController
+{
+  public:
+    explicit ReactiveController(EstimationKind kind) : kind(kind) {}
+
+    std::string name() const override
+    {
+        return estimationKindName(kind);
+    }
+
+    std::vector<dvfs::DomainDecision>
+    decide(const dvfs::EpochContext &ctx) override;
+
+  private:
+    EstimationKind kind;
+};
+
+} // namespace pcstall::models
+
+#endif // PCSTALL_MODELS_REACTIVE_CONTROLLER_HH

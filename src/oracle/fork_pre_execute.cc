@@ -1,0 +1,123 @@
+#include "oracle/fork_pre_execute.hh"
+
+#include <map>
+#include <tuple>
+
+#include "common/logging.hh"
+#include "common/stats_util.hh"
+
+namespace pcstall::oracle
+{
+
+dvfs::AccurateEstimates
+forkPreExecuteSweep(const gpu::GpuChip &chip,
+                    const dvfs::DomainMap &domains,
+                    const power::VfTable &table, Tick epoch_len,
+                    const SweepOptions &options)
+{
+    const std::size_t num_states = table.numStates();
+    const std::uint32_t num_domains = domains.numDomains();
+    const Tick start = chip.now();
+
+    dvfs::AccurateEstimates est;
+    est.domainInstr.assign(num_domains,
+                           std::vector<double>(num_states, 0.0));
+
+    // (cu, slot, startPcAddr) -> sampled (f_GHz, committed) points.
+    using WaveKey = std::tuple<std::uint32_t, std::uint32_t,
+                               std::uint64_t>;
+    struct WavePoints
+    {
+        std::vector<double> freqs;
+        std::vector<double> instr;
+        std::uint32_t ageRank = 0;
+    };
+    std::map<WaveKey, WavePoints> wave_points;
+
+    for (std::size_t k = 0; k < num_states; ++k) {
+        gpu::GpuChip sample = chip;
+        // Sampling processes transition instantaneously: the paper's
+        // methodology measures the work segment itself, not the
+        // IVR settle time.
+        for (std::uint32_t d = 0; d < num_domains; ++d) {
+            const std::size_t state = options.shuffle
+                ? (k + d) % num_states : k;
+            const Freq freq = table.state(state).freq;
+            const std::uint32_t first = domains.firstCu(d);
+            for (std::uint32_t cu = first;
+                 cu < first + domains.cusPerDomain(); ++cu) {
+                sample.setCuFrequency(cu, freq, 0);
+            }
+        }
+
+        sample.runUntil(start + epoch_len);
+        const gpu::EpochRecord record = sample.harvestEpoch(start);
+
+        for (std::uint32_t d = 0; d < num_domains; ++d) {
+            const std::size_t state = options.shuffle
+                ? (k + d) % num_states : k;
+            double committed = 0.0;
+            const std::uint32_t first = domains.firstCu(d);
+            for (std::uint32_t cu = first;
+                 cu < first + domains.cusPerDomain(); ++cu) {
+                committed += static_cast<double>(
+                    record.cus[cu].committed);
+            }
+            est.domainInstr[d][state] = committed;
+        }
+
+        if (options.waveLevel) {
+            for (const gpu::WaveEpochRecord &w : record.waves) {
+                if (!w.active)
+                    continue;
+                const std::size_t state = options.shuffle
+                    ? (k + domains.domainOf(w.cu)) % num_states : k;
+                WavePoints &pts =
+                    wave_points[{w.cu, w.slot, w.startPcAddr}];
+                pts.freqs.push_back(freqGHzD(table.state(state).freq));
+                pts.instr.push_back(static_cast<double>(w.committed));
+                pts.ageRank = w.ageRank;
+            }
+        }
+    }
+
+    if (options.waveLevel) {
+        for (const auto &[key, pts] : wave_points) {
+            if (pts.freqs.size() < 3)
+                continue;
+            const LinearFit fit = linearFit(pts.freqs, pts.instr);
+            dvfs::AccurateEstimates::WaveSens ws;
+            ws.cu = std::get<0>(key);
+            ws.slot = std::get<1>(key);
+            ws.startPcAddr = std::get<2>(key);
+            ws.sensitivity = fit.slope;
+            ws.level = std::max(fit.intercept, 0.0);
+            ws.ageRank = pts.ageRank;
+            est.waves.push_back(ws);
+        }
+    }
+
+    return est;
+}
+
+DomainSensitivity
+domainSensitivity(const dvfs::AccurateEstimates &est,
+                  const power::VfTable &table, std::uint32_t domain)
+{
+    panicIf(domain >= est.domainInstr.size(),
+            "domainSensitivity: bad domain");
+    std::vector<double> freqs;
+    std::vector<double> instr;
+    for (std::size_t s = 0; s < table.numStates(); ++s) {
+        freqs.push_back(freqGHzD(table.state(s).freq));
+        instr.push_back(est.domainInstr[domain][s]);
+    }
+    const LinearFit fit = linearFit(freqs, instr);
+    DomainSensitivity out;
+    out.sensitivity = fit.slope;
+    out.intercept = fit.intercept;
+    out.r2 = fit.r2;
+    return out;
+}
+
+} // namespace pcstall::oracle

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fork-pre-execute oracle methodology (paper Section 5.1, Figure 13).
+ *
+ * At an epoch boundary the simulator state is snapshotted ("forked")
+ * once per V/f state. Sample k runs the upcoming epoch with domain d
+ * operating at state (k + d) mod S -- the paper's frequency shuffle,
+ * which exposes each domain to every state exactly once while the
+ * other domains' frequencies vary, approximating the 10^64-path
+ * search with S samples (97.6% accurate in the paper with 10).
+ *
+ * The samples yield, per domain, the instructions committed at every
+ * state (the accurate I(f) curve), and per wavefront a linear-
+ * regression sensitivity (dI/df) across the sampled frequencies.
+ */
+
+#ifndef PCSTALL_ORACLE_FORK_PRE_EXECUTE_HH
+#define PCSTALL_ORACLE_FORK_PRE_EXECUTE_HH
+
+#include "common/types.hh"
+#include "dvfs/controller.hh"
+#include "dvfs/domain_map.hh"
+#include "gpu/gpu_chip.hh"
+#include "power/vf_table.hh"
+
+namespace pcstall::oracle
+{
+
+/** Options for the sweep. */
+struct SweepOptions
+{
+    /** Shuffle frequencies across domains (paper's approach). If
+     *  false, sample k runs every domain at state k. */
+    bool shuffle = true;
+    /** Also regress per-wavefront sensitivities (needed by ACCPC and
+     *  the characterization studies; costs some bookkeeping). */
+    bool waveLevel = true;
+};
+
+/**
+ * Run the fork-pre-execute sweep for the epoch
+ * [chip.now(), chip.now() + epoch_len) and return the accurate
+ * estimates. @p chip is copied per sample and left untouched.
+ */
+dvfs::AccurateEstimates
+forkPreExecuteSweep(const gpu::GpuChip &chip,
+                    const dvfs::DomainMap &domains,
+                    const power::VfTable &table, Tick epoch_len,
+                    const SweepOptions &options = SweepOptions{});
+
+/**
+ * Per-domain linear sensitivity (d instructions / d f_GHz) fitted
+ * over the accurate I(f) points of @p estimates for one domain,
+ * with the fit's R^2 (Figure 5's metric).
+ */
+struct DomainSensitivity
+{
+    double sensitivity = 0.0;
+    double intercept = 0.0;
+    double r2 = 0.0;
+};
+
+DomainSensitivity domainSensitivity(const dvfs::AccurateEstimates &est,
+                                    const power::VfTable &table,
+                                    std::uint32_t domain);
+
+} // namespace pcstall::oracle
+
+#endif // PCSTALL_ORACLE_FORK_PRE_EXECUTE_HH

@@ -1,0 +1,111 @@
+#include "power/vf_table.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pcstall::power
+{
+
+namespace
+{
+
+/** Vega-like V/f curve: superlinear voltage over the DVFS range. */
+Volts
+curveVoltage(double f_ghz)
+{
+    // Anchored at 0.75 V @ 1.3 GHz and 1.05 V @ 2.2 GHz with a mild
+    // quadratic term so the top states pay disproportionate power.
+    // (The IVR-constrained range of a commercial part, paper Sec 5.4.)
+    const double x = (f_ghz - 1.3) / 0.9;
+    return 0.75 + 0.22 * x + 0.08 * x * x;
+}
+
+} // namespace
+
+VfTable::VfTable(std::vector<VfState> states) : states_(std::move(states))
+{
+    fatalIf(states_.empty(), "VfTable needs at least one state");
+    for (std::size_t i = 1; i < states_.size(); ++i) {
+        fatalIf(states_[i].freq <= states_[i - 1].freq,
+                "VfTable states must be ascending in frequency");
+        fatalIf(states_[i].voltage < states_[i - 1].voltage,
+                "VfTable voltage must be non-decreasing with frequency");
+    }
+    for (const VfState &s : states_)
+        fatalIf(s.voltage <= 0.0, "VfTable voltage must be positive");
+}
+
+VfTable
+VfTable::paperTable()
+{
+    std::vector<VfState> states;
+    for (int mhz = 1300; mhz <= 2200; mhz += 100) {
+        VfState s;
+        s.freq = static_cast<Freq>(mhz) * freqMHz;
+        s.voltage = curveVoltage(mhz / 1000.0);
+        states.push_back(s);
+    }
+    return VfTable(std::move(states));
+}
+
+VfTable
+VfTable::wideTable()
+{
+    std::vector<VfState> states;
+    for (int mhz = 1000; mhz <= 3000; mhz += 250) {
+        VfState s;
+        s.freq = static_cast<Freq>(mhz) * freqMHz;
+        s.voltage = std::max(0.65, curveVoltage(mhz / 1000.0));
+        states.push_back(s);
+    }
+    return VfTable(std::move(states));
+}
+
+int
+VfTable::indexOf(Freq freq) const
+{
+    for (std::size_t i = 0; i < states_.size(); ++i)
+        if (states_[i].freq == freq)
+            return static_cast<int>(i);
+    return -1;
+}
+
+std::size_t
+VfTable::nearestIndex(Freq freq) const
+{
+    std::size_t best = 0;
+    std::uint64_t best_dist = ~0ULL;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        const std::uint64_t dist = states_[i].freq > freq
+            ? states_[i].freq - freq : freq - states_[i].freq;
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = i;
+        }
+    }
+    return best;
+}
+
+Volts
+VfTable::voltageAt(Freq freq) const
+{
+    if (freq <= states_.front().freq)
+        return states_.front().voltage;
+    if (freq >= states_.back().freq)
+        return states_.back().voltage;
+    for (std::size_t i = 1; i < states_.size(); ++i) {
+        if (freq <= states_[i].freq) {
+            const VfState &a = states_[i - 1];
+            const VfState &b = states_[i];
+            const double frac =
+                static_cast<double>(freq - a.freq) /
+                static_cast<double>(b.freq - a.freq);
+            return a.voltage + frac * (b.voltage - a.voltage);
+        }
+    }
+    return states_.back().voltage;
+}
+
+} // namespace pcstall::power

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The discrete voltage/frequency operating points of a DVFS domain.
+ * The paper's evaluation uses 10 states from 1.3 GHz to 2.2 GHz in
+ * 100 MHz steps (Section 5), with the supply voltage rising
+ * superlinearly toward the top of the range as in real V/f curves.
+ */
+
+#ifndef PCSTALL_POWER_VF_TABLE_HH
+#define PCSTALL_POWER_VF_TABLE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pcstall::power
+{
+
+/** One operating point. */
+struct VfState
+{
+    Freq freq = 0;
+    Volts voltage = 0.0;
+};
+
+/** An ordered (ascending frequency) set of V/f states. */
+class VfTable
+{
+  public:
+    /** Build from explicit states (must be ascending in frequency). */
+    explicit VfTable(std::vector<VfState> states);
+
+    /**
+     * The paper's table: 1.3–2.2 GHz in 100 MHz steps with a
+     * Vega-like voltage curve (0.70 V at the bottom, 1.10 V at the
+     * top, superlinear).
+     */
+    static VfTable paperTable();
+
+    /**
+     * A wider table (1.0–3.0 GHz) used for the linearity
+     * characterization in Figure 5.
+     */
+    static VfTable wideTable();
+
+    std::size_t numStates() const { return states_.size(); }
+    const VfState &state(std::size_t i) const { return states_.at(i); }
+
+    /** Index of the state with frequency @p freq; -1 if absent. */
+    int indexOf(Freq freq) const;
+
+    /** Index of the state closest to @p freq. */
+    std::size_t nearestIndex(Freq freq) const;
+
+    const VfState &lowest() const { return states_.front(); }
+    const VfState &highest() const { return states_.back(); }
+
+    /** Voltage for an arbitrary frequency (interp/extrapolated). */
+    Volts voltageAt(Freq freq) const;
+
+  private:
+    std::vector<VfState> states_;
+};
+
+} // namespace pcstall::power
+
+#endif // PCSTALL_POWER_VF_TABLE_HH

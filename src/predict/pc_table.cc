@@ -1,0 +1,108 @@
+#include "predict/pc_table.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stats_util.hh"
+
+namespace pcstall::predict
+{
+
+namespace
+{
+
+/** Round @p value to an 8-bit grid over [0, max_value]. */
+double
+quantizeTo(double value, double max_value)
+{
+    const double clamped = clampTo(value, 0.0, max_value);
+    const double step = max_value / 255.0;
+    return std::round(clamped / step) * step;
+}
+
+} // namespace
+
+PcSensitivityTable::PcSensitivityTable(const PcTableConfig &config)
+    : cfg(config)
+{
+    fatalIf(cfg.entries == 0, "PC table needs at least one entry");
+    fatalIf(cfg.maxSensitivity <= 0.0 || cfg.maxLevel <= 0.0,
+            "PC table quantization range must be positive");
+    fatalIf(cfg.updateBlend <= 0.0 || cfg.updateBlend > 1.0,
+            "PC table update blend must be in (0, 1]");
+    values.assign(cfg.entries, 0.0);
+    levels.assign(cfg.entries, 0.0);
+    valid.assign(cfg.entries, false);
+}
+
+std::size_t
+PcSensitivityTable::indexOf(std::uint64_t pc_addr) const
+{
+    return static_cast<std::size_t>(
+        (pc_addr >> cfg.offsetBits) % cfg.entries);
+}
+
+double
+PcSensitivityTable::quantized(double sensitivity) const
+{
+    if (!cfg.quantize)
+        return sensitivity;
+    return quantizeTo(sensitivity, cfg.maxSensitivity);
+}
+
+void
+PcSensitivityTable::update(std::uint64_t pc_addr, double sensitivity,
+                           double level)
+{
+    const std::size_t idx = indexOf(pc_addr);
+    double s = std::max(sensitivity, 0.0);
+    double l = cfg.storeLevel ? std::max(level, 0.0) : 0.0;
+    if (valid[idx] && cfg.updateBlend < 1.0) {
+        s = (1.0 - cfg.updateBlend) * values[idx] + cfg.updateBlend * s;
+        l = (1.0 - cfg.updateBlend) * levels[idx] + cfg.updateBlend * l;
+    }
+    if (cfg.quantize) {
+        s = quantizeTo(s, cfg.maxSensitivity);
+        l = quantizeTo(l, cfg.maxLevel);
+    }
+    values[idx] = s;
+    levels[idx] = l;
+    valid[idx] = true;
+}
+
+std::optional<PcEntry>
+PcSensitivityTable::lookup(std::uint64_t pc_addr)
+{
+    ++lookups;
+    const std::size_t idx = indexOf(pc_addr);
+    if (!valid[idx])
+        return std::nullopt;
+    ++lookupHits;
+    return PcEntry{values[idx], levels[idx]};
+}
+
+double
+PcSensitivityTable::hitRatio() const
+{
+    return lookups == 0 ? 0.0
+        : static_cast<double>(lookupHits) / static_cast<double>(lookups);
+}
+
+std::uint64_t
+PcSensitivityTable::storageBytes() const
+{
+    // 1 byte per stored field per entry when quantized (Table I),
+    // 4 bytes otherwise.
+    const std::uint64_t per_field = cfg.quantize ? 1 : 4;
+    const std::uint64_t fields = cfg.storeLevel ? 2 : 1;
+    return static_cast<std::uint64_t>(cfg.entries) * per_field * fields;
+}
+
+void
+PcSensitivityTable::reset()
+{
+    std::fill(valid.begin(), valid.end(), false);
+}
+
+} // namespace pcstall::predict

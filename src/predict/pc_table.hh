@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The PC-indexed sensitivity table at the heart of PCSTALL (paper
+ * Section 4.4, Figure 12).
+ *
+ * Microarchitecture being modelled:
+ *  - 128 entries, direct-mapped, no tags (Table I charges 1 byte per
+ *    entry, so aliasing is accepted by design);
+ *  - indexed by (pc_byte_address >> offsetBits) % entries, with
+ *    offsetBits = 4 (~4 instructions per entry) at the knee found in
+ *    Figure 11(b);
+ *  - each entry holds an 8-bit quantized sensitivity;
+ *  - updated at epoch end with each wavefront's estimated sensitivity
+ *    and looked up with each wavefront's next PC before the epoch
+ *    starts.
+ */
+
+#ifndef PCSTALL_PREDICT_PC_TABLE_HH
+#define PCSTALL_PREDICT_PC_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pcstall::predict
+{
+
+/** Geometry and quantization of the PC table. */
+struct PcTableConfig
+{
+    /** Number of entries (the paper settles on 128). */
+    std::uint32_t entries = 128;
+    /** Low PC-address bits dropped before indexing (paper: 4). */
+    std::uint32_t offsetBits = 4;
+    /** Store entries as 8-bit quantized values (Table I: 1 B/entry). */
+    bool quantize = true;
+    /**
+     * Largest representable sensitivity when quantizing; values are
+     * stored in 256 steps of maxSensitivity/255. Scales with epoch
+     * length (longer epochs commit proportionally more instructions).
+     */
+    double maxSensitivity = 64.0;
+    /**
+     * Quantization range of the level (I0) field; instruction counts
+     * per wave-epoch, so it scales with the epoch length too.
+     */
+    double maxLevel = 256.0;
+    /**
+     * Store a per-entry level (I0) alongside the sensitivity so the
+     * predicted instruction count is fully PC-based instead of being
+     * anchored at the last epoch's count (one extra byte per entry;
+     * ablation toggle - false reproduces a slope-only table).
+     */
+    bool storeLevel = true;
+    /**
+     * Exponential blending weight for updates that hit a valid entry
+     * (1.0 = overwrite, the hardware-faithful default).
+     */
+    double updateBlend = 1.0;
+};
+
+/** One table entry: the linear phase model I(f) = level + sens * f. */
+struct PcEntry
+{
+    /** d(instructions)/d(f_GHz) of an epoch starting at this PC. */
+    double sensitivity = 0.0;
+    /** Frequency-independent instruction floor I0 of that epoch. */
+    double level = 0.0;
+};
+
+/** One PC-indexed sensitivity table instance. */
+class PcSensitivityTable
+{
+  public:
+    explicit PcSensitivityTable(const PcTableConfig &config);
+
+    /** Record an estimated phase model for the epoch at @p pc_addr. */
+    void update(std::uint64_t pc_addr, double sensitivity,
+                double level = 0.0);
+
+    /**
+     * Predict the phase model of the epoch starting at @p pc_addr.
+     * Empty when the entry has never been written.
+     */
+    std::optional<PcEntry> lookup(std::uint64_t pc_addr);
+
+    /** Fraction of lookups that found a valid entry. */
+    double hitRatio() const;
+
+    std::uint64_t lookupCount() const { return lookups; }
+    std::uint64_t lookupHitCount() const { return lookupHits; }
+
+    /** Storage cost of the entry array in bytes (Table I). */
+    std::uint64_t storageBytes() const;
+
+    /** Invalidate all entries (kernel switch in shared-table mode). */
+    void reset();
+
+    const PcTableConfig &config() const { return cfg; }
+
+    /** Quantization round-trip of @p sensitivity (test hook). */
+    double quantized(double sensitivity) const;
+
+  private:
+    std::size_t indexOf(std::uint64_t pc_addr) const;
+
+    PcTableConfig cfg;
+    std::vector<double> values;
+    std::vector<double> levels;
+    std::vector<bool> valid;
+    std::uint64_t lookups = 0;
+    std::uint64_t lookupHits = 0;
+};
+
+} // namespace pcstall::predict
+
+#endif // PCSTALL_PREDICT_PC_TABLE_HH

@@ -1,0 +1,65 @@
+#include "predict/storage.hh"
+
+namespace pcstall::predict
+{
+
+std::vector<StorageRow>
+storageBreakdown(const PcTableConfig &table_cfg, std::uint32_t wave_slots,
+                 std::uint32_t mshrs)
+{
+    std::vector<StorageRow> rows;
+    const std::uint64_t entry_bytes = table_cfg.quantize ? 1 : 4;
+
+    // --- PCSTALL (paper: 128 + 40 + 160 = 328 B; this
+    //     implementation optionally adds a level field per entry,
+    //     see DESIGN.md) ---
+    rows.push_back({"PCSTALL", "Sensitivity table",
+                    std::to_string(table_cfg.entries) + " entries",
+                    table_cfg.entries * entry_bytes});
+    if (table_cfg.storeLevel) {
+        rows.push_back({"PCSTALL", "Level (I0) field",
+                        std::to_string(table_cfg.entries) + " entries",
+                        table_cfg.entries * entry_bytes});
+    }
+    rows.push_back({"PCSTALL", "Starting PC register (index bits only)",
+                    std::to_string(wave_slots) + "x",
+                    static_cast<std::uint64_t>(wave_slots) * 1});
+    rows.push_back({"PCSTALL", "Stall time registers",
+                    std::to_string(wave_slots) + "x (1/WF)",
+                    static_cast<std::uint64_t>(wave_slots) * 4});
+
+    // --- CRISP: per-MSHR critical-path timestamps + store-stall and
+    //     overlap accumulators (MICRO'15 datapath). ---
+    rows.push_back({"CRISP", "Critical path timestamps",
+                    std::to_string(mshrs) + "x (1/MSHR)",
+                    static_cast<std::uint64_t>(mshrs) * 8});
+    rows.push_back({"CRISP", "Store stall + overlap accumulators", "4x",
+                    16});
+
+    // --- CRIT: per-MSHR timestamps + accumulator. ---
+    rows.push_back({"CRIT", "Critical path timestamps",
+                    std::to_string(mshrs) + "x (1/MSHR)",
+                    static_cast<std::uint64_t>(mshrs) * 8});
+    rows.push_back({"CRIT", "Critical path accumulator", "1x", 4});
+
+    // --- LEAD: leading-load timestamp + accumulator. ---
+    rows.push_back({"LEAD", "Leading load timestamp", "1x", 8});
+    rows.push_back({"LEAD", "Leading load accumulator", "1x", 4});
+
+    // --- STALL: one stall-cycle accumulator (paper: 4 B). ---
+    rows.push_back({"STALL", "Stall cycle accumulator", "1x", 4});
+
+    return rows;
+}
+
+std::uint64_t
+designTotal(const std::vector<StorageRow> &rows, const std::string &design)
+{
+    std::uint64_t total = 0;
+    for (const StorageRow &row : rows)
+        if (row.design == design)
+            total += row.bytes;
+    return total;
+}
+
+} // namespace pcstall::predict

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Hardware storage accounting per predictor instance (paper Table I).
+ * PCSTALL's numbers follow the paper exactly (128 B sensitivity table
+ * + 40 x 1 B starting-PC index registers + 40 x 4 B stall-time
+ * registers = 328 B). The baselines are derived from the counter sets
+ * each model needs; the paper's table shows CRISP costing more than
+ * PCSTALL and STALL costing a single 4 B register.
+ */
+
+#ifndef PCSTALL_PREDICT_STORAGE_HH
+#define PCSTALL_PREDICT_STORAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "predict/pc_table.hh"
+
+namespace pcstall::predict
+{
+
+/** One row of the Table I breakdown. */
+struct StorageRow
+{
+    std::string design;
+    std::string component;
+    std::string count;
+    std::uint64_t bytes = 0;
+};
+
+/**
+ * Compute the per-instance storage breakdown for every Table III
+ * design, for a given PC-table geometry and wave-slot count.
+ */
+std::vector<StorageRow> storageBreakdown(const PcTableConfig &table_cfg,
+                                         std::uint32_t wave_slots,
+                                         std::uint32_t mshrs);
+
+/** Total bytes attributed to one design in @p rows. */
+std::uint64_t designTotal(const std::vector<StorageRow> &rows,
+                          const std::string &design);
+
+} // namespace pcstall::predict
+
+#endif // PCSTALL_PREDICT_STORAGE_HH

@@ -1,0 +1,237 @@
+#include "sim/experiment.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stats_util.hh"
+#include "oracle/fork_pre_execute.hh"
+
+namespace pcstall::sim
+{
+
+void
+scaleToCus(gpu::GpuConfig &gpu_cfg, power::PowerParams &power_cfg,
+           std::uint32_t num_cus)
+{
+    fatalIf(num_cus == 0, "scaleToCus: zero CUs");
+    gpu_cfg.numCus = num_cus;
+    const double frac = static_cast<double>(num_cus) / 64.0;
+    auto scale_count = [&](std::uint32_t paper_value,
+                           std::uint32_t floor_value) {
+        return std::max<std::uint32_t>(
+            floor_value, static_cast<std::uint32_t>(
+                std::llround(paper_value * frac)));
+    };
+    gpu_cfg.mem.l2Banks = scale_count(16, 2);
+    gpu_cfg.mem.dramChannels = scale_count(8, 1);
+    const std::uint64_t slice = 256 * 1024; // 4 MiB / 16 banks
+    gpu_cfg.mem.l2SizeBytes = slice * gpu_cfg.mem.l2Banks;
+    power_cfg.memStatic = 56.0 * std::max(frac, 0.05);
+}
+
+ExperimentDriver::ExperimentDriver(const RunConfig &config)
+    : cfg(config), vfTable(power::VfTable::paperTable()),
+      powerModel(config.power), nominalIdx(0)
+{
+    const int idx = vfTable.indexOf(cfg.nominalFreq);
+    fatalIf(idx < 0, "nominal frequency is not a V/f table state");
+    nominalIdx = static_cast<std::size_t>(idx);
+    fatalIf(cfg.epochLen <= 0, "epoch length must be positive");
+}
+
+RunResult
+ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
+                      dvfs::DvfsController &controller)
+{
+    gpu::GpuConfig gpu_cfg = cfg.gpu;
+    gpu_cfg.defaultFreq = cfg.nominalFreq;
+    gpu::GpuChip chip(gpu_cfg, app);
+
+    const dvfs::DomainMap domains(gpu_cfg.numCus, cfg.cusPerDomain);
+    const Tick trans = cfg.transitionLatency >= 0
+        ? cfg.transitionLatency : gpu::transitionLatencyFor(cfg.epochLen);
+    const dvfs::SweepNeed need = controller.sweepNeed();
+    const oracle::SweepOptions sweep_opts{
+        true, controller.needsWaveLevel()};
+
+    power::ThermalModel thermal;
+
+    RunResult result;
+    result.controller = controller.name();
+    result.workload = app->name;
+    result.freqTimeShare.assign(vfTable.numStates(), 0.0);
+
+    std::vector<std::size_t> domain_state(domains.numDomains(),
+                                          nominalIdx);
+    std::vector<double> prev_pred(domains.numDomains(), -1.0);
+    dvfs::AccurateEstimates prev_sweep;
+
+    // Running averages for the marginal objectives (EWMA, alpha 0.2).
+    Watts avg_power = 0.0;
+    std::vector<double> avg_instr(domains.numDomains(), 0.0);
+    constexpr double avg_alpha = 0.2;
+
+    double accuracy_sum = 0.0;
+    std::size_t accuracy_n = 0;
+    std::uint64_t domain_epochs = 0;
+
+    Tick epoch_start = 0;
+    bool done = false;
+    while (!done && epoch_start < cfg.maxSimTime) {
+        const Tick epoch_end = epoch_start + cfg.epochLen;
+        done = chip.runUntil(epoch_end);
+        gpu::EpochRecord record = chip.harvestEpoch(epoch_start);
+        ++result.epochs;
+
+        // --- prediction accuracy of the decisions made last epoch ---
+        for (std::uint32_t d = 0; d < domains.numDomains(); ++d) {
+            const double actual = dvfs::sumOverDomain(
+                domains, d, [&](std::uint32_t cu) {
+                    return static_cast<double>(record.cus[cu].committed);
+                });
+            if (prev_pred[d] >= 0.0 && actual > 0.0) {
+                const double err =
+                    std::abs(prev_pred[d] - actual) / actual;
+                accuracy_sum += clampTo(1.0 - err, 0.0, 1.0);
+                ++accuracy_n;
+            }
+        }
+
+        // --- energy accounting (prorate the final partial epoch) ---
+        const Tick accounted_end =
+            done ? std::min(epoch_end, chip.lastCommitTick()) : epoch_end;
+        const Tick eff_len =
+            std::max<Tick>(accounted_end - epoch_start, 0);
+        if (eff_len > 0) {
+            double epoch_energy = 0.0;
+            memory::MemActivity total_activity;
+            for (std::uint32_t cu = 0; cu < gpu_cfg.numCus; ++cu) {
+                const gpu::CuEpochRecord &cr = record.cus[cu];
+                const Volts v = vfTable
+                    .state(domain_state[domains.domainOf(cu)]).voltage;
+                epoch_energy += powerModel.cuEpochEnergy(
+                    v, cr.freq, cr.committed, cr.mem, eff_len,
+                    thermal.temperature()).total();
+                total_activity += cr.mem;
+            }
+            epoch_energy += powerModel.memEpochEnergy(total_activity,
+                                                      eff_len);
+            result.energy += epoch_energy;
+            thermal.update(epoch_energy / tickSeconds(eff_len),
+                           tickSeconds(eff_len));
+            const Watts epoch_power =
+                epoch_energy / tickSeconds(eff_len);
+            avg_power = avg_power == 0.0 ? epoch_power
+                : (1.0 - avg_alpha) * avg_power +
+                  avg_alpha * epoch_power;
+        }
+        for (std::uint32_t d = 0; d < domains.numDomains(); ++d) {
+            const double instr = dvfs::sumOverDomain(
+                domains, d, [&](std::uint32_t cu) {
+                    return static_cast<double>(
+                        record.cus[cu].committed);
+                });
+            avg_instr[d] = avg_instr[d] == 0.0 ? instr
+                : (1.0 - avg_alpha) * avg_instr[d] +
+                  avg_alpha * instr;
+        }
+
+        // --- frequency residency ---
+        for (std::uint32_t d = 0; d < domains.numDomains(); ++d)
+            result.freqTimeShare[domain_state[d]] += 1.0;
+        domain_epochs += domains.numDomains();
+
+        if (cfg.collectTrace) {
+            EpochTraceEntry entry;
+            entry.start = epoch_start;
+            for (std::uint32_t d = 0; d < domains.numDomains(); ++d) {
+                entry.domainState.push_back(
+                    static_cast<std::uint8_t>(domain_state[d]));
+                entry.domainCommitted.push_back(dvfs::sumOverDomain(
+                    domains, d, [&](std::uint32_t cu) {
+                        return static_cast<double>(
+                            record.cus[cu].committed);
+                    }));
+            }
+            result.trace.push_back(std::move(entry));
+        }
+
+        if (done)
+            break;
+
+        // --- sweeps for accurate-estimate controllers ---
+        dvfs::AccurateEstimates cur_sweep;
+        if (need != dvfs::SweepNeed::None) {
+            cur_sweep = oracle::forkPreExecuteSweep(
+                chip, domains, vfTable, cfg.epochLen, sweep_opts);
+        }
+
+        // --- decide & apply next epoch's frequencies ---
+        const std::vector<gpu::WaveSnapshot> snaps =
+            chip.waveSnapshots();
+        dvfs::EpochContext ctx{
+            record, snaps, domains, vfTable, powerModel,
+            cfg.epochLen, thermal.temperature(), cfg.objective,
+            cfg.perfDegradationLimit, nominalIdx,
+            prev_sweep.empty() ? nullptr : &prev_sweep,
+            cur_sweep.empty() ? nullptr : &cur_sweep,
+            avg_power, &avg_instr};
+
+        // The very first epoch has no elapsed-epoch estimate yet;
+        // accurate-reactive controllers stay at nominal.
+        std::vector<dvfs::DomainDecision> decisions;
+        if (need == dvfs::SweepNeed::Elapsed && prev_sweep.empty()) {
+            decisions.assign(domains.numDomains(),
+                             dvfs::DomainDecision{nominalIdx, -1.0});
+        } else {
+            decisions = controller.decide(ctx);
+        }
+        panicIf(decisions.size() != domains.numDomains(),
+                "controller returned wrong decision count");
+
+        for (std::uint32_t d = 0; d < domains.numDomains(); ++d) {
+            const std::size_t old_state = domain_state[d];
+            domain_state[d] = decisions[d].state;
+            prev_pred[d] = decisions[d].predictedInstr;
+            const Freq freq = vfTable.state(decisions[d].state).freq;
+            const std::uint32_t first = domains.firstCu(d);
+            for (std::uint32_t cu = first;
+                 cu < first + domains.cusPerDomain(); ++cu) {
+                chip.setCuFrequency(cu, freq, trans);
+            }
+            if (old_state != decisions[d].state) {
+                result.transitions += domains.cusPerDomain();
+                const Joules te = powerModel.transitionEnergy(
+                    vfTable.state(old_state).voltage,
+                    vfTable.state(decisions[d].state).voltage) *
+                    domains.cusPerDomain();
+                result.transitionEnergy += te;
+                result.energy += te;
+            }
+        }
+
+        prev_sweep = std::move(cur_sweep);
+        epoch_start = epoch_end;
+    }
+
+    result.completed = done;
+    if (!done) {
+        warn("run of '" + app->name + "' under " + controller.name() +
+             " hit the simulation wall at " +
+             std::to_string(cfg.maxSimTime / tickUs) + " us");
+    }
+    result.execTime = done ? chip.lastCommitTick() : cfg.maxSimTime;
+    result.instructions = chip.totalCommitted();
+    result.predictionAccuracy =
+        accuracy_n > 0 ? accuracy_sum / static_cast<double>(accuracy_n)
+                       : 0.0;
+    if (domain_epochs > 0) {
+        for (double &share : result.freqTimeShare)
+            share /= static_cast<double>(domain_epochs);
+    }
+    result.finalTemperature = thermal.temperature();
+    return result;
+}
+
+} // namespace pcstall::sim

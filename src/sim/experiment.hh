@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The experiment driver: runs an application on the simulated GPU
+ * under a DVFS controller at a fixed epoch length, accounting energy,
+ * delay, prediction accuracy and frequency residency - everything the
+ * paper's evaluation figures are computed from.
+ */
+
+#ifndef PCSTALL_SIM_EXPERIMENT_HH
+#define PCSTALL_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "dvfs/controller.hh"
+#include "dvfs/domain_map.hh"
+#include "gpu/gpu_chip.hh"
+#include "power/power_model.hh"
+#include "power/vf_table.hh"
+
+namespace pcstall::sim
+{
+
+/**
+ * Scale the memory system and its static power to a GPU of
+ * @p num_cus compute units. The paper's 64-CU GPU has 16 L2 banks,
+ * 4 MiB of L2, 8 DRAM channels and ~28 W of memory-domain static
+ * power; smaller experimental configurations get a proportionally
+ * smaller memory subsystem so per-CU bandwidth pressure and the
+ * energy split stay representative.
+ */
+void scaleToCus(gpu::GpuConfig &gpu_cfg, power::PowerParams &power_cfg,
+                std::uint32_t num_cus);
+
+/** Configuration of one experiment run. */
+struct RunConfig
+{
+    gpu::GpuConfig gpu;
+    /** DVFS epoch length. */
+    Tick epochLen = tickUs;
+    /** CUs per V/f domain (1 in most of the paper's evaluation). */
+    std::uint32_t cusPerDomain = 1;
+    dvfs::Objective objective = dvfs::Objective::Ed2p;
+    /** For the EnergyUnderPerfBound objective. */
+    double perfDegradationLimit = 0.05;
+    power::PowerParams power;
+    /** Nominal frequency: static baseline anchor (paper: 1.7 GHz). */
+    Freq nominalFreq = 1'700 * freqMHz;
+    /** Hard wall so a mis-sized workload cannot run forever. */
+    Tick maxSimTime = 20 * tickMs;
+    /**
+     * V/f transition stall applied on a frequency change; negative
+     * means "derive from the epoch length" (paper Section 5).
+     */
+    Tick transitionLatency = -1;
+    /** Record a per-epoch trace (frequency residency, work). */
+    bool collectTrace = false;
+
+    /** Apply scaleToCus() for the configured CU count. */
+    RunConfig &scaled()
+    {
+        scaleToCus(gpu, power, gpu.numCus);
+        return *this;
+    }
+};
+
+/** Per-epoch trace entry (when RunConfig::collectTrace is set). */
+struct EpochTraceEntry
+{
+    Tick start = 0;
+    /** Chosen V/f state per domain for the epoch. */
+    std::vector<std::uint8_t> domainState;
+    /** Instructions committed per domain in the epoch. */
+    std::vector<double> domainCommitted;
+};
+
+/** Results of one run. */
+struct RunResult
+{
+    std::string controller;
+    std::string workload;
+    /** True when the application ran to completion within the wall. */
+    bool completed = false;
+    /** Number of DVFS epochs executed. */
+    std::size_t epochs = 0;
+    /** Time of the last committed instruction. */
+    Tick execTime = 0;
+    /** Total energy to completion. */
+    Joules energy = 0.0;
+    /** Total instructions committed. */
+    std::uint64_t instructions = 0;
+    /** Mean per-epoch prediction accuracy in [0, 1] (see below). */
+    double predictionAccuracy = 0.0;
+    /** Number of per-CU V/f transitions performed. */
+    std::uint64_t transitions = 0;
+    /** Energy spent in IVR/FLL V/f transitions (included in energy). */
+    Joules transitionEnergy = 0.0;
+    /** Fraction of domain-epochs spent at each V/f state. */
+    std::vector<double> freqTimeShare;
+    /** Final die temperature. */
+    double finalTemperature = 0.0;
+    std::vector<EpochTraceEntry> trace;
+
+    double seconds() const { return tickSeconds(execTime); }
+    Watts avgPower() const
+    {
+        return seconds() > 0.0 ? energy / seconds() : 0.0;
+    }
+    double edp() const { return energy * seconds(); }
+    double ed2p() const { return energy * seconds() * seconds(); }
+    double ed3p() const
+    {
+        return energy * seconds() * seconds() * seconds();
+    }
+};
+
+/**
+ * Runs experiments. Prediction accuracy is scored per the paper
+ * (Section 6.1): the controller's predicted instructions for the
+ * chosen state are compared against the instructions actually
+ * committed, accuracy = 1 - |pred - actual| / actual, averaged over
+ * domains and epochs with work.
+ */
+class ExperimentDriver
+{
+  public:
+    explicit ExperimentDriver(const RunConfig &config);
+
+    /** Run @p app to completion under @p controller. */
+    RunResult run(std::shared_ptr<const isa::Application> app,
+                  dvfs::DvfsController &controller);
+
+    const power::VfTable &table() const { return vfTable; }
+    const RunConfig &config() const { return cfg; }
+
+    /** Index of the nominal state in the V/f table. */
+    std::size_t nominalState() const { return nominalIdx; }
+
+  private:
+    RunConfig cfg;
+    power::VfTable vfTable;
+    power::PowerModel powerModel;
+    std::size_t nominalIdx;
+};
+
+} // namespace pcstall::sim
+
+#endif // PCSTALL_SIM_EXPERIMENT_HH

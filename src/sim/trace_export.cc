@@ -1,0 +1,78 @@
+#include "sim/trace_export.hh"
+
+#include <fstream>
+
+namespace pcstall::sim
+{
+
+void
+writeRunTraceCsv(std::ostream &os, const RunResult &result,
+                 const power::VfTable &table)
+{
+    os << "epoch_us,domain,state,freq_ghz,committed\n";
+    for (const EpochTraceEntry &entry : result.trace) {
+        const double epoch_us = static_cast<double>(entry.start) /
+            static_cast<double>(tickUs);
+        for (std::size_t d = 0; d < entry.domainState.size(); ++d) {
+            const std::size_t state = entry.domainState[d];
+            os << epoch_us << ',' << d << ',' << state << ','
+               << freqGHzD(table.state(state).freq) << ','
+               << entry.domainCommitted[d] << '\n';
+        }
+    }
+}
+
+void
+writeProfileCsv(std::ostream &os, const ProfileResult &profile)
+{
+    os << "epoch_us,domain,sensitivity,intercept,r2\n";
+    for (const EpochProfile &ep : profile.epochs) {
+        const double epoch_us = static_cast<double>(ep.start) /
+            static_cast<double>(tickUs);
+        for (std::size_t d = 0; d < ep.domains.size(); ++d) {
+            os << epoch_us << ',' << d << ','
+               << ep.domains[d].sensitivity << ','
+               << ep.domains[d].intercept << ','
+               << ep.domains[d].r2 << '\n';
+        }
+    }
+}
+
+void
+writeWaveProfileCsv(std::ostream &os, const ProfileResult &profile)
+{
+    os << "epoch_us,cu,slot,start_pc_addr,sensitivity,level,age_rank\n";
+    for (const EpochProfile &ep : profile.epochs) {
+        const double epoch_us = static_cast<double>(ep.start) /
+            static_cast<double>(tickUs);
+        for (const auto &w : ep.waves) {
+            os << epoch_us << ',' << w.cu << ',' << w.slot << ','
+               << w.startPcAddr << ',' << w.sensitivity << ','
+               << w.level << ',' << w.ageRank << '\n';
+        }
+    }
+}
+
+bool
+writeRunTraceCsvFile(const std::string &path, const RunResult &result,
+                     const power::VfTable &table)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeRunTraceCsv(os, result, table);
+    return static_cast<bool>(os);
+}
+
+bool
+writeProfileCsvFile(const std::string &path,
+                    const ProfileResult &profile)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeProfileCsv(os, profile);
+    return static_cast<bool>(os);
+}
+
+} // namespace pcstall::sim

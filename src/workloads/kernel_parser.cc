@@ -1,0 +1,267 @@
+#include "workloads/kernel_parser.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "isa/kernel_builder.hh"
+
+namespace pcstall::workloads
+{
+
+namespace
+{
+
+/** Split a line into whitespace-separated tokens, dropping comments. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream ss(line);
+    std::string token;
+    while (ss >> token) {
+        if (token[0] == '#')
+            break;
+        tokens.push_back(token);
+    }
+    return tokens;
+}
+
+/** Parse "16", "64K", "8M" into bytes. */
+bool
+parseSize(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    std::uint64_t multiplier = 1;
+    std::string digits = text;
+    const char suffix = text.back();
+    if (suffix == 'K' || suffix == 'k') {
+        multiplier = 1024;
+        digits = text.substr(0, text.size() - 1);
+    } else if (suffix == 'M' || suffix == 'm') {
+        multiplier = 1024 * 1024;
+        digits = text.substr(0, text.size() - 1);
+    } else if (suffix == 'G' || suffix == 'g') {
+        multiplier = 1024ULL * 1024 * 1024;
+        digits = text.substr(0, text.size() - 1);
+    }
+    if (digits.empty())
+        return false;
+    std::uint64_t value = 0;
+    for (const char c : digits) {
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    out = value * multiplier;
+    return true;
+}
+
+bool
+parseUint(const std::string &text, std::uint64_t &out)
+{
+    return parseSize(text, out) && out <= 0xFFFFFFFFULL;
+}
+
+bool
+parsePattern(const std::string &text, isa::AccessPattern &out)
+{
+    if (text == "stream" || text == "streaming") {
+        out = isa::AccessPattern::Streaming;
+    } else if (text == "strided") {
+        out = isa::AccessPattern::Strided;
+    } else if (text == "random") {
+        out = isa::AccessPattern::Random;
+    } else if (text == "sharedhot" || text == "shared") {
+        out = isa::AccessPattern::SharedHot;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+ParseResult
+parseApplication(std::istream &in)
+{
+    ParseResult result;
+    std::map<std::string, isa::Kernel> kernels;
+    std::unique_ptr<isa::KernelBuilder> builder;
+    std::map<std::string, std::uint16_t> regions;
+    std::string kernel_name;
+    int open_loops = 0;
+
+    isa::Application app;
+    bool have_app = false;
+
+    std::string line;
+    int line_no = 0;
+    auto fail = [&](const std::string &message) {
+        result.error =
+            "line " + std::to_string(line_no) + ": " + message;
+        return result;
+    };
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+        const std::string &word = tokens[0];
+
+        if (word == "kernel") {
+            if (builder)
+                return fail("nested kernel block");
+            if (tokens.size() != 2)
+                return fail("kernel needs a name");
+            kernel_name = tokens[1];
+            builder = std::make_unique<isa::KernelBuilder>(kernel_name);
+            regions.clear();
+            open_loops = 0;
+            continue;
+        }
+
+        if (word == "app") {
+            // app NAME = K1 K2 ...
+            if (builder)
+                return fail("app line inside a kernel block");
+            if (tokens.size() < 4 || tokens[2] != "=")
+                return fail("expected: app NAME = KERNEL...");
+            app.name = tokens[1];
+            for (std::size_t i = 3; i < tokens.size(); ++i) {
+                const auto it = kernels.find(tokens[i]);
+                if (it == kernels.end())
+                    return fail("unknown kernel '" + tokens[i] + "'");
+                app.launches.push_back(it->second);
+            }
+            have_app = true;
+            continue;
+        }
+
+        if (!builder)
+            return fail("statement outside a kernel block");
+
+        if (word == "endkernel") {
+            if (open_loops != 0)
+                return fail("endkernel with unclosed loops");
+            kernels.emplace(kernel_name, builder->build());
+            builder.reset();
+        } else if (word == "grid") {
+            std::uint64_t wgs = 0, waves = 4;
+            if (tokens.size() < 2 || !parseUint(tokens[1], wgs) ||
+                (tokens.size() > 2 && !parseUint(tokens[2], waves))) {
+                return fail("expected: grid WORKGROUPS [WAVES]");
+            }
+            builder->grid(static_cast<std::uint32_t>(wgs),
+                          static_cast<std::uint32_t>(waves));
+        } else if (word == "seed") {
+            std::uint64_t seed = 0;
+            if (tokens.size() != 2 || !parseSize(tokens[1], seed))
+                return fail("expected: seed N");
+            builder->seed(seed);
+        } else if (word == "region") {
+            std::uint64_t size = 0;
+            if (tokens.size() != 3 || !parseSize(tokens[2], size) ||
+                size == 0) {
+                return fail("expected: region NAME SIZE (nonzero)");
+            }
+            regions[tokens[1]] = builder->region(tokens[1], size);
+        } else if (word == "loop") {
+            std::uint64_t trips = 0, variation = 0;
+            if (tokens.size() < 2 || !parseUint(tokens[1], trips) ||
+                (tokens.size() > 2 &&
+                 !parseUint(tokens[2], variation))) {
+                return fail("expected: loop TRIPS [VARIATION]");
+            }
+            builder->loop(static_cast<std::uint32_t>(trips),
+                          static_cast<std::uint32_t>(variation));
+            ++open_loops;
+        } else if (word == "endloop") {
+            if (open_loops == 0)
+                return fail("endloop without loop");
+            builder->endLoop();
+            --open_loops;
+        } else if (word == "valu" || word == "lds") {
+            std::uint64_t lat = 0, count = 1;
+            if (tokens.size() < 2 || !parseUint(tokens[1], lat) ||
+                (tokens.size() > 2 && !parseUint(tokens[2], count))) {
+                return fail("expected: " + word + " LATENCY [COUNT]");
+            }
+            if (word == "valu") {
+                builder->valu(static_cast<std::uint16_t>(lat),
+                              static_cast<std::uint32_t>(count));
+            } else {
+                builder->lds(static_cast<std::uint16_t>(lat),
+                             static_cast<std::uint32_t>(count));
+            }
+        } else if (word == "salu") {
+            std::uint64_t count = 1;
+            if (tokens.size() > 1 && !parseUint(tokens[1], count))
+                return fail("expected: salu [COUNT]");
+            builder->salu(static_cast<std::uint32_t>(count));
+        } else if (word == "load" || word == "store") {
+            isa::AccessPattern pattern;
+            std::uint64_t stride = 64;
+            if (tokens.size() < 3 ||
+                regions.find(tokens[1]) == regions.end() ||
+                !parsePattern(tokens[2], pattern) ||
+                (tokens.size() > 3 && !parseSize(tokens[3], stride))) {
+                return fail("expected: " + word +
+                            " REGION PATTERN [STRIDE]");
+            }
+            if (word == "load") {
+                builder->load(regions[tokens[1]], pattern,
+                              static_cast<std::uint32_t>(stride));
+            } else {
+                builder->store(regions[tokens[1]], pattern,
+                               static_cast<std::uint32_t>(stride));
+            }
+        } else if (word == "waitcnt") {
+            std::uint64_t n = 0;
+            if (tokens.size() > 1 && !parseUint(tokens[1], n))
+                return fail("expected: waitcnt [N]");
+            builder->waitcnt(static_cast<std::uint16_t>(n));
+        } else if (word == "barrier") {
+            builder->barrier();
+        } else {
+            return fail("unknown statement '" + word + "'");
+        }
+    }
+
+    if (builder)
+        return fail("unterminated kernel block");
+    if (!have_app)
+        return fail("missing 'app NAME = ...' line");
+    if (app.launches.empty())
+        return fail("application has no launches");
+
+    app.assignCodeBases();
+    result.app = std::move(app);
+    return result;
+}
+
+ParseResult
+parseApplication(const std::string &text)
+{
+    std::istringstream in(text);
+    return parseApplication(in);
+}
+
+ParseResult
+parseApplicationFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        ParseResult result;
+        result.error = "cannot open '" + path + "'";
+        return result;
+    }
+    return parseApplication(in);
+}
+
+} // namespace pcstall::workloads

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A small text format for describing kernels and applications, so
+ * workloads can be authored without recompiling (the "bring your own
+ * workload" path). Example:
+ *
+ * @code
+ *   # CoMD-like timestep
+ *   kernel force
+ *     grid 160 4
+ *     seed 7
+ *     region pos 16M
+ *     region neigh 32M
+ *     loop 22
+ *       load neigh stream 16
+ *       load pos random
+ *       waitcnt 0
+ *       valu 2 3
+ *     endloop
+ *     loop 85
+ *       valu 4 4
+ *       lds 8 1
+ *     endloop
+ *     store pos stream 16
+ *   endkernel
+ *
+ *   app comd = force force force
+ * @endcode
+ *
+ * Supported statements inside a kernel: grid W V, seed N,
+ * region NAME SIZE (K/M suffixes), loop TRIPS [VARIATION], endloop,
+ * valu LAT COUNT, salu COUNT, lds LAT COUNT,
+ * load REGION PATTERN [STRIDE], store REGION PATTERN [STRIDE],
+ * waitcnt N, barrier. Patterns: stream, strided, random, sharedhot.
+ * The file ends with one `app NAME = K1 K2 ...` line naming the
+ * launch sequence.
+ */
+
+#ifndef PCSTALL_WORKLOADS_KERNEL_PARSER_HH
+#define PCSTALL_WORKLOADS_KERNEL_PARSER_HH
+
+#include <istream>
+#include <optional>
+#include <string>
+
+#include "isa/kernel.hh"
+
+namespace pcstall::workloads
+{
+
+/** Result of a parse: an application or a diagnostic. */
+struct ParseResult
+{
+    std::optional<isa::Application> app;
+    /** Empty on success; "line N: message" otherwise. */
+    std::string error;
+
+    bool ok() const { return app.has_value(); }
+};
+
+/** Parse an application description from a stream. */
+ParseResult parseApplication(std::istream &in);
+
+/** Parse from a string (convenience for tests and tools). */
+ParseResult parseApplication(const std::string &text);
+
+/** Parse from a file path. */
+ParseResult parseApplicationFile(const std::string &path);
+
+} // namespace pcstall::workloads
+
+#endif // PCSTALL_WORKLOADS_KERNEL_PARSER_HH

@@ -1,0 +1,160 @@
+#include "workloads/kernel_writer.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pcstall::workloads
+{
+
+namespace
+{
+
+/** Format a byte count with the largest exact suffix. */
+std::string
+sizeText(std::uint64_t bytes)
+{
+    if (bytes >= (1ULL << 30) && bytes % (1ULL << 30) == 0)
+        return std::to_string(bytes >> 30) + "G";
+    if (bytes >= (1ULL << 20) && bytes % (1ULL << 20) == 0)
+        return std::to_string(bytes >> 20) + "M";
+    if (bytes >= (1ULL << 10) && bytes % (1ULL << 10) == 0)
+        return std::to_string(bytes >> 10) + "K";
+    return std::to_string(bytes);
+}
+
+const char *
+patternText(isa::AccessPattern pattern)
+{
+    switch (pattern) {
+      case isa::AccessPattern::Streaming: return "stream";
+      case isa::AccessPattern::Strided: return "strided";
+      case isa::AccessPattern::Random: return "random";
+      case isa::AccessPattern::SharedHot: return "sharedhot";
+    }
+    return "stream";
+}
+
+} // namespace
+
+void
+writeKernel(std::ostream &os, const isa::Kernel &kernel)
+{
+    os << "kernel " << kernel.name << '\n';
+    os << "  grid " << kernel.numWorkgroups << ' '
+       << kernel.wavesPerWorkgroup << '\n';
+    os << "  seed " << kernel.seed << '\n';
+    for (const isa::MemRegion &region : kernel.regions) {
+        os << "  region " << region.name << ' '
+           << sizeText(region.sizeBytes) << '\n';
+    }
+
+    // Loop heads: builder-generated code has properly nested loops,
+    // each closed by exactly one back-edge branch.
+    std::map<std::uint32_t, std::uint16_t> head_to_loop;
+    for (const isa::Instruction &ins : kernel.code) {
+        if (ins.op == isa::OpType::Branch) {
+            head_to_loop[static_cast<std::uint32_t>(ins.target)] =
+                ins.loopId;
+        }
+    }
+
+    int depth = 1;
+    auto indent = [&]() {
+        for (int i = 0; i < depth; ++i)
+            os << "  ";
+    };
+
+    // Merge runs of identical ALU ops into count form.
+    const auto &code = kernel.code;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const auto head = head_to_loop.find(
+            static_cast<std::uint32_t>(i));
+        if (head != head_to_loop.end()) {
+            const isa::LoopSpec &loop = kernel.loops[head->second];
+            indent();
+            os << "loop " << loop.baseTrips;
+            if (loop.tripVariation > 0)
+                os << ' ' << loop.tripVariation;
+            os << '\n';
+            ++depth;
+        }
+
+        const isa::Instruction &ins = code[i];
+        switch (ins.op) {
+          case isa::OpType::VAlu:
+          case isa::OpType::SAlu:
+          case isa::OpType::Lds: {
+            std::size_t run = 1;
+            while (i + run < code.size() &&
+                   code[i + run].op == ins.op &&
+                   code[i + run].latency == ins.latency &&
+                   head_to_loop.find(static_cast<std::uint32_t>(
+                       i + run)) == head_to_loop.end()) {
+                ++run;
+            }
+            indent();
+            if (ins.op == isa::OpType::VAlu)
+                os << "valu " << ins.latency << ' ' << run << '\n';
+            else if (ins.op == isa::OpType::Lds)
+                os << "lds " << ins.latency << ' ' << run << '\n';
+            else
+                os << "salu " << run << '\n';
+            i += run - 1;
+            break;
+          }
+          case isa::OpType::VMemLoad:
+          case isa::OpType::VMemStore:
+            indent();
+            os << (ins.op == isa::OpType::VMemLoad ? "load " : "store ")
+               << kernel.regions[ins.mem.regionId].name << ' '
+               << patternText(ins.mem.pattern) << ' '
+               << ins.mem.strideBytes << '\n';
+            break;
+          case isa::OpType::Waitcnt:
+            indent();
+            os << "waitcnt " << ins.maxOutstanding << '\n';
+            break;
+          case isa::OpType::Barrier:
+            indent();
+            os << "barrier\n";
+            break;
+          case isa::OpType::Branch:
+            --depth;
+            indent();
+            os << "endloop\n";
+            break;
+          case isa::OpType::EndPgm:
+            break;
+        }
+    }
+    os << "endkernel\n";
+}
+
+void
+writeApplication(std::ostream &os, const isa::Application &app)
+{
+    std::set<std::string> written;
+    for (const isa::Kernel &k : app.launches) {
+        if (written.insert(k.name).second) {
+            writeKernel(os, k);
+            os << '\n';
+        }
+    }
+    os << "app " << app.name << " =";
+    for (const isa::Kernel &k : app.launches)
+        os << ' ' << k.name;
+    os << '\n';
+}
+
+std::string
+applicationToText(const isa::Application &app)
+{
+    std::ostringstream os;
+    writeApplication(os, app);
+    return os.str();
+}
+
+} // namespace pcstall::workloads

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Serialize kernels/applications back into the text format accepted
+ * by the parser (`docs/workload_format.md`), so the built-in Table II
+ * generators can be exported, edited and re-run. Round-trip property:
+ * parseApplication(writeApplication(app)) reconstructs the same
+ * structure.
+ */
+
+#ifndef PCSTALL_WORKLOADS_KERNEL_WRITER_HH
+#define PCSTALL_WORKLOADS_KERNEL_WRITER_HH
+
+#include <ostream>
+#include <string>
+
+#include "isa/kernel.hh"
+
+namespace pcstall::workloads
+{
+
+/** Write one kernel block (kernel NAME ... endkernel). */
+void writeKernel(std::ostream &os, const isa::Kernel &kernel);
+
+/** Write a whole application (kernel blocks + app line). */
+void writeApplication(std::ostream &os, const isa::Application &app);
+
+/** Convenience: application to string. */
+std::string applicationToText(const isa::Application &app);
+
+} // namespace pcstall::workloads
+
+#endif // PCSTALL_WORKLOADS_KERNEL_WRITER_HH

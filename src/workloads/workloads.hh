@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synthetic reconstructions of the paper's workload suite (Table II):
+ * nine ECP-proxy HPC applications and seven DeepBench/DNNMark machine
+ * intelligence kernels. Each generator reproduces the *phase
+ * signature* the paper attributes to the application (compute/memory
+ * mix, loop structure, kernel count, inter-wavefront divergence,
+ * working-set size) rather than its numerics - DVFS phase prediction
+ * only observes timing behaviour.
+ *
+ * Signatures encoded here (from the paper's text):
+ *  - dgemm: compute-bound with heterogeneous tile phases (Fig 16);
+ *  - hacc:  compute-bound, spiky sensitivity (Fig 6b);
+ *  - hpgmg, xsbench: memory-bound, low frequencies win (Fig 16);
+ *  - quickS: highest inter-wavefront variation (Fig 11a);
+ *  - BwdPool: constant instruction rate -> settles on one state;
+ *  - FwdSoft: L2-thrashing at high frequency (Section 6.2);
+ *  - lulesh/minife/pennant: multi-kernel sequences (27/3/5 kernels).
+ */
+
+#ifndef PCSTALL_WORKLOADS_WORKLOADS_HH
+#define PCSTALL_WORKLOADS_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace pcstall::workloads
+{
+
+/** Scaling knobs shared by all generators. */
+struct WorkloadParams
+{
+    /** CU count of the target GPU (sizes launch grids for occupancy). */
+    std::uint32_t numCus = 64;
+    /** Work multiplier (1.0 = default ~100-300 us at 1.7 GHz). */
+    double scale = 1.0;
+    /** Seed for address/divergence randomness. */
+    std::uint64_t seed = 42;
+    /** Wavefronts per workgroup. */
+    std::uint32_t wavesPerWorkgroup = 4;
+    /** Wave slots per CU (sets full-occupancy workgroup counts). */
+    std::uint32_t waveSlotsPerCu = 40;
+};
+
+/** Table II metadata for one workload. */
+struct WorkloadInfo
+{
+    std::string name;
+    std::string description;
+    /** "HPC" or "MI". */
+    std::string suite;
+    /** Unique kernel count (the braces column of Table II). */
+    std::size_t uniqueKernels = 1;
+};
+
+/** All workload names in Table II order (HPC first, then MI). */
+const std::vector<WorkloadInfo> &workloadTable();
+
+/** True if @p name is a known workload. */
+bool isWorkload(const std::string &name);
+
+/**
+ * Build the named workload. Calls fatal() for unknown names. The
+ * returned application has code bases assigned and validates.
+ */
+isa::Application makeWorkload(const std::string &name,
+                              const WorkloadParams &params);
+
+/** Convenience: every workload in Table II order. */
+std::vector<isa::Application> makeAllWorkloads(
+    const WorkloadParams &params);
+
+} // namespace pcstall::workloads
+
+#endif // PCSTALL_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Randomized hardening tests: generate structurally valid random
+ * kernels and check simulator-wide invariants (no panics, work
+ * conservation across frequency schedules, snapshot determinism,
+ * epoch-stat sanity), plus a differential test of the cache model
+ * against a trivially correct reference implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <memory>
+
+#include "common/rng.hh"
+#include "gpu/gpu_chip.hh"
+#include "isa/kernel_builder.hh"
+#include "memory/cache_model.hh"
+
+using namespace pcstall;
+
+namespace
+{
+
+/** Build a random, structurally valid application. */
+std::shared_ptr<const isa::Application>
+randomApp(std::uint64_t seed)
+{
+    Rng rng(seed);
+    auto app = std::make_shared<isa::Application>();
+    app->name = "fuzz_" + std::to_string(seed);
+
+    const int kernels = 1 + static_cast<int>(rng.below(3));
+    for (int k = 0; k < kernels; ++k) {
+        isa::KernelBuilder b("fuzz_k" + std::to_string(k));
+        std::vector<std::uint16_t> regions;
+        const int nregions = 1 + static_cast<int>(rng.below(3));
+        for (int r = 0; r < nregions; ++r) {
+            regions.push_back(b.region(
+                "r" + std::to_string(r),
+                (1 + rng.below(64)) * 64 * 1024));
+        }
+        b.grid(1 + static_cast<std::uint32_t>(rng.below(12)),
+               rng.chance(0.5) ? 4 : 8);
+        b.seed(rng.next());
+
+        const int blocks = 1 + static_cast<int>(rng.below(4));
+        for (int blk = 0; blk < blocks; ++blk) {
+            const std::uint32_t trips =
+                1 + static_cast<std::uint32_t>(rng.below(30));
+            const std::uint32_t variation = rng.chance(0.3)
+                ? static_cast<std::uint32_t>(rng.below(trips)) : 0;
+            b.loop(trips, variation);
+            const int body = 1 + static_cast<int>(rng.below(5));
+            bool pending_mem = false;
+            for (int i = 0; i < body; ++i) {
+                switch (rng.below(5)) {
+                  case 0:
+                    b.valu(static_cast<std::uint16_t>(
+                               1 + rng.below(6)),
+                           1 + static_cast<std::uint32_t>(
+                               rng.below(8)));
+                    break;
+                  case 1:
+                    b.lds(8, 1);
+                    break;
+                  case 2:
+                    b.load(regions[rng.below(regions.size())],
+                           rng.chance(0.5)
+                               ? isa::AccessPattern::Random
+                               : isa::AccessPattern::Streaming,
+                           16 << rng.below(3));
+                    pending_mem = true;
+                    break;
+                  case 3:
+                    b.store(regions[rng.below(regions.size())],
+                            isa::AccessPattern::Streaming,
+                            16 << rng.below(3));
+                    pending_mem = true;
+                    break;
+                  default:
+                    b.salu(1);
+                    break;
+                }
+            }
+            if (pending_mem)
+                b.waitcnt(static_cast<std::uint16_t>(rng.below(2)));
+            b.endLoop();
+            if (variation == 0 && rng.chance(0.3))
+                b.barrier();
+        }
+        app->launches.push_back(b.build());
+    }
+    app->assignCodeBases();
+    return app;
+}
+
+/** Run to completion; returns (committed, finish tick). */
+std::pair<std::uint64_t, Tick>
+runToCompletion(std::shared_ptr<const isa::Application> app, Freq freq)
+{
+    gpu::GpuConfig cfg;
+    cfg.numCus = 2;
+    cfg.waveSlotsPerCu = 8;
+    cfg.defaultFreq = freq;
+    gpu::GpuChip chip(cfg, app);
+    for (int e = 1; e <= 20000; ++e) {
+        if (chip.runUntil(e * tickUs))
+            return {chip.totalCommitted(), chip.lastCommitTick()};
+    }
+    ADD_FAILURE() << "fuzz app did not complete";
+    return {0, 0};
+}
+
+} // namespace
+
+class KernelFuzz : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(KernelFuzz, WorkConservedAcrossFrequencies)
+{
+    const auto app = randomApp(static_cast<std::uint64_t>(GetParam()));
+    const auto slow = runToCompletion(app, 1'300 * freqMHz);
+    const auto fast = runToCompletion(app, 2'200 * freqMHz);
+    EXPECT_EQ(slow.first, fast.first);
+    EXPECT_GT(slow.first, 0u);
+    // Faster clock never loses time.
+    EXPECT_GE(slow.second + tickUs / 10, fast.second);
+}
+
+TEST_P(KernelFuzz, SnapshotReplaysExactly)
+{
+    const auto app = randomApp(
+        static_cast<std::uint64_t>(GetParam()) ^ 0xF00D);
+    gpu::GpuConfig cfg;
+    cfg.numCus = 2;
+    cfg.waveSlotsPerCu = 8;
+    gpu::GpuChip chip(cfg, app);
+    chip.runUntil(2 * tickUs);
+    chip.harvestEpoch(0);
+
+    gpu::GpuChip copy = chip;
+    const bool done_a = chip.runUntil(chip.now() + 6 * tickUs);
+    const bool done_b = copy.runUntil(copy.now() + 6 * tickUs);
+    EXPECT_EQ(done_a, done_b);
+    EXPECT_EQ(chip.totalCommitted(), copy.totalCommitted());
+    EXPECT_EQ(chip.lastCommitTick(), copy.lastCommitTick());
+}
+
+TEST_P(KernelFuzz, EpochStatsStayWithinBounds)
+{
+    const auto app = randomApp(
+        static_cast<std::uint64_t>(GetParam()) ^ 0xBEEF);
+    gpu::GpuConfig cfg;
+    cfg.numCus = 2;
+    cfg.waveSlotsPerCu = 8;
+    gpu::GpuChip chip(cfg, app);
+    Tick t = 0;
+    std::uint64_t harvested = 0;
+    bool done = false;
+    while (!done && t < 20 * tickMs) {
+        done = chip.runUntil(t + tickUs);
+        const gpu::EpochRecord rec = chip.harvestEpoch(t);
+        t += tickUs;
+        harvested += rec.totalCommitted();
+        for (const auto &cu : rec.cus) {
+            EXPECT_GE(cu.loadStall, 0);
+            EXPECT_LE(cu.loadStall, tickUs);
+            EXPECT_LE(cu.storeStall, tickUs);
+            EXPECT_LE(cu.memInterval, tickUs);
+            EXPECT_LE(cu.leadLoad, tickUs);
+        }
+        for (const auto &w : rec.waves) {
+            EXPECT_LE(w.memStall, tickUs);
+            EXPECT_LE(w.barrierStall, tickUs);
+        }
+    }
+    ASSERT_TRUE(done);
+    EXPECT_EQ(harvested, chip.totalCommitted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelFuzz,
+                         ::testing::Range(1, 13));
+
+// ---------------------------------------------------------------------
+// Cache differential test against a reference LRU.
+// ---------------------------------------------------------------------
+namespace
+{
+
+/** Trivially correct set-associative LRU reference. */
+class ReferenceCache
+{
+  public:
+    ReferenceCache(std::uint64_t size, std::uint32_t line,
+                   std::uint32_t ways)
+        : line(line), ways(ways), sets(size / line / ways),
+          lru(sets)
+    {}
+
+    bool
+    access(std::uint64_t addr)
+    {
+        const std::uint64_t tag = addr / line;
+        auto &set = lru[tag % sets];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (*it == tag) {
+                set.erase(it);
+                set.push_front(tag);
+                return true;
+            }
+        }
+        set.push_front(tag);
+        if (set.size() > ways)
+            set.pop_back();
+        return false;
+    }
+
+  private:
+    std::uint64_t line;
+    std::uint32_t ways;
+    std::uint64_t sets;
+    std::vector<std::list<std::uint64_t>> lru;
+};
+
+} // namespace
+
+class CacheDifferential : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CacheDifferential, MatchesReferenceLru)
+{
+    const std::uint64_t size = 4096;
+    const std::uint32_t line = 64;
+    const std::uint32_t ways = GetParam() == 0 ? 1
+        : (GetParam() == 1 ? 2 : 4);
+    memory::CacheModel dut(size, line, ways);
+    ReferenceCache ref(size, line, ways);
+
+    Rng rng(0xCACE + static_cast<std::uint64_t>(GetParam()));
+    for (int i = 0; i < 20000; ++i) {
+        // Skewed footprint: ~2x the cache so hits and misses mix.
+        const std::uint64_t addr = rng.below(2 * size);
+        ASSERT_EQ(dut.access(addr, true), ref.access(addr))
+            << "access " << i << " addr " << addr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CacheDifferential,
+                         ::testing::Values(0, 1, 2));

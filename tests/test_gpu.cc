@@ -1,0 +1,487 @@
+/** @file Unit tests for src/gpu: wavefronts, CUs, chip event loop. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gpu/gpu_chip.hh"
+#include "isa/kernel_builder.hh"
+
+using namespace pcstall;
+using namespace pcstall::gpu;
+
+namespace
+{
+
+std::shared_ptr<const isa::Application>
+computeApp(std::uint32_t workgroups = 4, std::uint32_t trips = 50)
+{
+    isa::KernelBuilder b("compute");
+    b.grid(workgroups, 4);
+    b.loop(trips);
+    b.valu(4, 8);
+    b.endLoop();
+    auto app = std::make_shared<isa::Application>();
+    app->name = "compute_app";
+    app->launches.push_back(b.build());
+    app->assignCodeBases();
+    return app;
+}
+
+std::shared_ptr<const isa::Application>
+memoryApp(std::uint32_t workgroups = 4, std::uint32_t trips = 30)
+{
+    isa::KernelBuilder b("memory");
+    const auto r = b.region("data", 64 << 20);
+    b.grid(workgroups, 4);
+    b.loop(trips);
+    b.load(r, isa::AccessPattern::Random);
+    b.load(r, isa::AccessPattern::Random);
+    b.waitcnt(0);
+    b.valu(2, 2);
+    b.endLoop();
+    auto app = std::make_shared<isa::Application>();
+    app->name = "memory_app";
+    app->launches.push_back(b.build());
+    app->assignCodeBases();
+    return app;
+}
+
+GpuConfig
+smallGpu(std::uint32_t cus = 2)
+{
+    GpuConfig cfg;
+    cfg.numCus = cus;
+    cfg.waveSlotsPerCu = 8;
+    return cfg;
+}
+
+} // namespace
+
+TEST(GpuChip, RunsComputeKernelToCompletion)
+{
+    GpuChip chip(smallGpu(), computeApp());
+    bool done = false;
+    for (int epoch = 1; epoch <= 200 && !done; ++epoch)
+        done = chip.runUntil(epoch * tickUs);
+    EXPECT_TRUE(done);
+    // 4 wgs x 4 waves x (50 trips x 9 body + 1 endpgm) committed.
+    EXPECT_EQ(chip.totalCommitted(), 4u * 4u * (50u * 9u + 1u));
+}
+
+TEST(GpuChip, CommitCountIndependentOfEpochLength)
+{
+    GpuChip a(smallGpu(), computeApp());
+    GpuChip b(smallGpu(), computeApp());
+    bool done_a = false, done_b = false;
+    for (int i = 1; i <= 400 && !done_a; ++i)
+        done_a = a.runUntil(i * (tickUs / 2));
+    for (int i = 1; i <= 100 && !done_b; ++i)
+        done_b = b.runUntil(i * (2 * tickUs));
+    ASSERT_TRUE(done_a);
+    ASSERT_TRUE(done_b);
+    EXPECT_EQ(a.totalCommitted(), b.totalCommitted());
+}
+
+TEST(GpuChip, HigherFrequencyFinishesComputeSooner)
+{
+    auto run_at = [](Freq freq) {
+        GpuConfig cfg = smallGpu();
+        cfg.defaultFreq = freq;
+        GpuChip chip(cfg, computeApp(4, 200));
+        for (int epoch = 1; epoch <= 2000; ++epoch)
+            if (chip.runUntil(epoch * tickUs))
+                break;
+        return chip.lastCommitTick();
+    };
+    const Tick fast = run_at(2'200 * freqMHz);
+    const Tick slow = run_at(1'300 * freqMHz);
+    ASSERT_GT(fast, 0);
+    ASSERT_GT(slow, 0);
+    // Compute-bound: runtime close to inversely proportional.
+    const double ratio = static_cast<double>(slow) /
+        static_cast<double>(fast);
+    EXPECT_NEAR(ratio, 2200.0 / 1300.0, 0.25);
+}
+
+TEST(GpuChip, MemoryBoundIsFrequencyInsensitive)
+{
+    auto run_at = [](Freq freq) {
+        GpuConfig cfg = smallGpu();
+        cfg.defaultFreq = freq;
+        GpuChip chip(cfg, memoryApp(4, 60));
+        for (int epoch = 1; epoch <= 4000; ++epoch)
+            if (chip.runUntil(epoch * tickUs))
+                break;
+        return chip.lastCommitTick();
+    };
+    const Tick fast = run_at(2'200 * freqMHz);
+    const Tick slow = run_at(1'300 * freqMHz);
+    const double ratio = static_cast<double>(slow) /
+        static_cast<double>(fast);
+    // Much less speedup than the 1.69x clock ratio.
+    EXPECT_LT(ratio, 1.35);
+}
+
+TEST(GpuChip, EpochStatsSumToLifetime)
+{
+    GpuChip chip(smallGpu(), computeApp());
+    std::uint64_t harvested = 0;
+    Tick start = 0;
+    bool done = false;
+    while (!done && start < 400 * tickUs) {
+        done = chip.runUntil(start + tickUs);
+        const EpochRecord rec = chip.harvestEpoch(start);
+        harvested += rec.totalCommitted();
+        start += tickUs;
+    }
+    EXPECT_TRUE(done);
+    EXPECT_EQ(harvested, chip.totalCommitted());
+}
+
+TEST(GpuChip, WaveStallAccountingForMemoryApp)
+{
+    GpuChip chip(smallGpu(1), memoryApp(2, 20));
+    chip.runUntil(20 * tickUs);
+    const EpochRecord rec = chip.harvestEpoch(0);
+    // Memory-bound waves must report substantial stall time.
+    Tick total_stall = 0;
+    std::uint64_t committed = 0;
+    for (const auto &w : rec.waves) {
+        total_stall += w.memStall;
+        committed += w.committed;
+    }
+    EXPECT_GT(committed, 0u);
+    EXPECT_GT(total_stall, 0);
+    // CU-level async counters populated too.
+    EXPECT_GT(rec.cus[0].memInterval, 0);
+    EXPECT_GT(rec.cus[0].loadStall, 0);
+    EXPECT_GT(rec.cus[0].leadLoad, 0);
+}
+
+TEST(GpuChip, ComputeAppHasLowStall)
+{
+    GpuChip chip(smallGpu(1), computeApp(2, 100));
+    chip.runUntil(10 * tickUs);
+    const EpochRecord rec = chip.harvestEpoch(0);
+    EXPECT_EQ(rec.cus[0].loadStall, 0);
+    EXPECT_EQ(rec.cus[0].memInterval, 0);
+    EXPECT_GT(rec.cus[0].busy, 0);
+}
+
+TEST(GpuChip, SnapshotCopyDivergesDeterministically)
+{
+    GpuChip chip(smallGpu(), memoryApp(8, 40));
+    chip.runUntil(5 * tickUs);
+    chip.harvestEpoch(0);
+
+    GpuChip copy1 = chip;
+    GpuChip copy2 = chip;
+    copy1.runUntil(chip.now() + 5 * tickUs);
+    copy2.runUntil(chip.now() + 5 * tickUs);
+    // Identical copies evolve identically.
+    EXPECT_EQ(copy1.totalCommitted(), copy2.totalCommitted());
+    // And the original is untouched.
+    EXPECT_LT(chip.totalCommitted(), copy1.totalCommitted());
+}
+
+TEST(GpuChip, FrequencyChangeAffectsCopyOnly)
+{
+    GpuChip chip(smallGpu(), computeApp(8, 400));
+    chip.runUntil(2 * tickUs);
+    chip.harvestEpoch(0);
+
+    GpuChip fast = chip;
+    for (std::uint32_t cu = 0; cu < 2; ++cu)
+        fast.setCuFrequency(cu, 2'200 * freqMHz, 0);
+    fast.runUntil(chip.now() + 10 * tickUs);
+    chip.runUntil(chip.now() + 10 * tickUs);
+    EXPECT_GT(fast.totalCommitted(), chip.totalCommitted());
+}
+
+TEST(GpuChip, TransitionLatencyStallsIssue)
+{
+    GpuChip a(smallGpu(1), computeApp(2, 300));
+    GpuChip b(smallGpu(1), computeApp(2, 300));
+    a.runUntil(tickUs);
+    b.runUntil(tickUs);
+    a.harvestEpoch(0);
+    b.harvestEpoch(0);
+    // Same target frequency; a pays a long transition stall.
+    a.setCuFrequency(0, 2'000 * freqMHz, 100 * tickNs);
+    b.setCuFrequency(0, 2'000 * freqMHz, 0);
+    a.runUntil(2 * tickUs);
+    b.runUntil(2 * tickUs);
+    const EpochRecord ra = a.harvestEpoch(tickUs);
+    const EpochRecord rb = b.harvestEpoch(tickUs);
+    EXPECT_LT(ra.cus[0].committed, rb.cus[0].committed);
+}
+
+TEST(GpuChip, MultiKernelLaunchesRunSequentially)
+{
+    isa::KernelBuilder k1("first");
+    k1.grid(2, 4);
+    k1.valu(4, 10);
+    isa::KernelBuilder k2("second");
+    k2.grid(2, 4);
+    k2.valu(4, 10);
+    auto app = std::make_shared<isa::Application>();
+    app->name = "two_kernels";
+    app->launches.push_back(k1.build());
+    app->launches.push_back(k2.build());
+    app->assignCodeBases();
+
+    GpuChip chip(smallGpu(), app);
+    bool done = false;
+    for (int i = 1; i <= 100 && !done; ++i)
+        done = chip.runUntil(i * tickUs);
+    EXPECT_TRUE(done);
+    EXPECT_EQ(chip.totalCommitted(), 2u * (2u * 4u * 11u));
+}
+
+TEST(GpuChip, BarrierSynchronizesWorkgroup)
+{
+    isa::KernelBuilder b("bar");
+    b.grid(1, 4);
+    b.valu(4, 4);
+    b.barrier();
+    b.valu(4, 4);
+    auto app = std::make_shared<isa::Application>();
+    app->name = "barrier_app";
+    app->launches.push_back(b.build());
+    app->assignCodeBases();
+
+    GpuChip chip(smallGpu(1), app);
+    bool done = false;
+    for (int i = 1; i <= 50 && !done; ++i)
+        done = chip.runUntil(i * tickUs);
+    EXPECT_TRUE(done);
+    // 4 waves x (4 + barrier + 4 + endpgm) instructions.
+    EXPECT_EQ(chip.totalCommitted(), 4u * 10u);
+}
+
+TEST(GpuChip, WaveSnapshotsExposeResidentWaves)
+{
+    GpuChip chip(smallGpu(), computeApp(8, 400));
+    chip.runUntil(tickUs);
+    const auto snaps = chip.waveSnapshots();
+    EXPECT_FALSE(snaps.empty());
+    for (const auto &s : snaps) {
+        EXPECT_LT(s.cu, 2u);
+        EXPECT_LT(s.slot, 8u);
+        EXPECT_GE(s.pcAddr, 0x4000'0000ULL); // code base applied
+    }
+    // Age ranks within a CU are unique.
+    std::vector<std::uint32_t> ranks;
+    for (const auto &s : snaps)
+        if (s.cu == 0)
+            ranks.push_back(s.ageRank);
+    std::sort(ranks.begin(), ranks.end());
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+        EXPECT_EQ(ranks[i], i);
+}
+
+TEST(GpuChip, DivergentTripCountsVaryPerWave)
+{
+    isa::KernelBuilder b("diverge");
+    b.grid(4, 4).seed(7);
+    b.loop(50, 40);
+    b.valu(4, 4);
+    b.endLoop();
+    auto app = std::make_shared<isa::Application>();
+    app->name = "divergent";
+    app->launches.push_back(b.build());
+    app->assignCodeBases();
+
+    GpuChip chip(smallGpu(1), app);
+    chip.runUntil(2 * tickUs);
+    const EpochRecord rec = chip.harvestEpoch(0);
+    // Some waves finish far earlier than others -> committed spread.
+    std::uint64_t min_c = ~0ULL, max_c = 0;
+    for (const auto &w : rec.waves) {
+        min_c = std::min(min_c, w.committed);
+        max_c = std::max(max_c, w.committed);
+    }
+    EXPECT_GT(max_c, min_c);
+}
+
+TEST(TransitionLatency, MatchesPaperPoints)
+{
+    EXPECT_EQ(transitionLatencyFor(1 * tickUs), 4 * tickNs);
+    EXPECT_EQ(transitionLatencyFor(10 * tickUs), 40 * tickNs);
+    EXPECT_EQ(transitionLatencyFor(50 * tickUs), 200 * tickNs);
+    EXPECT_EQ(transitionLatencyFor(100 * tickUs), 400 * tickNs);
+    // Clamped outside and monotone inside.
+    EXPECT_EQ(transitionLatencyFor(tickUs / 2), 4 * tickNs);
+    EXPECT_EQ(transitionLatencyFor(200 * tickUs), 400 * tickNs);
+    EXPECT_GT(transitionLatencyFor(30 * tickUs),
+              transitionLatencyFor(10 * tickUs));
+}
+
+TEST(GpuChip, WaveCommittedSumsMatchCuCommitted)
+{
+    GpuChip chip(smallGpu(), memoryApp(8, 40));
+    Tick t = 0;
+    for (int e = 0; e < 6; ++e) {
+        const bool done = chip.runUntil(t + tickUs);
+        const EpochRecord rec = chip.harvestEpoch(t);
+        t += tickUs;
+        std::vector<std::uint64_t> per_cu(2, 0);
+        for (const auto &w : rec.waves)
+            per_cu[w.cu] += w.committed;
+        for (std::uint32_t cu = 0; cu < 2; ++cu)
+            EXPECT_EQ(per_cu[cu], rec.cus[cu].committed) << "epoch " << e;
+        if (done)
+            break;
+    }
+}
+
+TEST(GpuChip, StallClippedAtEpochBoundary)
+{
+    // No wave can report more stall time than the epoch contains.
+    GpuChip chip(smallGpu(), memoryApp(8, 40));
+    Tick t = 0;
+    for (int e = 0; e < 8; ++e) {
+        const bool done = chip.runUntil(t + tickUs);
+        const EpochRecord rec = chip.harvestEpoch(t);
+        t += tickUs;
+        for (const auto &w : rec.waves) {
+            EXPECT_LE(w.memStall, tickUs);
+            EXPECT_LE(w.barrierStall, tickUs);
+        }
+        for (const auto &cu : rec.cus) {
+            EXPECT_LE(cu.loadStall, tickUs);
+            EXPECT_LE(cu.storeStall, tickUs);
+            EXPECT_LE(cu.memInterval, tickUs);
+        }
+        if (done)
+            break;
+    }
+}
+
+TEST(GpuChip, WaitcntAllowsOutstandingRequests)
+{
+    // With s_waitcnt(1), one load may remain in flight: the wave
+    // commits more per unit time than with a full join.
+    auto make_app = [](std::uint16_t max_outstanding) {
+        isa::KernelBuilder b("w");
+        const auto r = b.region("data", 64 << 20);
+        b.grid(2, 4);
+        b.loop(60);
+        b.load(r, isa::AccessPattern::Random);
+        b.load(r, isa::AccessPattern::Random);
+        b.waitcnt(max_outstanding);
+        b.valu(2, 2);
+        b.endLoop();
+        auto app = std::make_shared<isa::Application>();
+        app->name = "w";
+        app->launches.push_back(b.build());
+        app->assignCodeBases();
+        return app;
+    };
+    auto run = [&](std::uint16_t n) {
+        GpuChip chip(smallGpu(1), make_app(n));
+        for (int e = 1; e <= 1000; ++e)
+            if (chip.runUntil(e * tickUs))
+                break;
+        return chip.lastCommitTick();
+    };
+    EXPECT_LT(run(1), run(0));
+}
+
+TEST(GpuChip, BarrierStallIsAccounted)
+{
+    // Eight waves per workgroup compete for four SIMDs, plus memory
+    // latency jitter: arrivals at the barrier stagger, so the early
+    // waves must report barrier wait time.
+    isa::KernelBuilder b("bar");
+    const auto r = b.region("data", 64 << 20);
+    b.grid(1, 8).seed(3);
+    b.loop(20);
+    b.load(r, isa::AccessPattern::Random);
+    b.waitcnt(0);
+    b.valu(4, 4);
+    b.endLoop();
+    b.barrier();
+    auto app = std::make_shared<isa::Application>();
+    app->name = "bar";
+    app->launches.push_back(b.build());
+    app->assignCodeBases();
+
+    GpuChip chip(smallGpu(1), app);
+    Tick total_barrier = 0;
+    Tick t = 0;
+    bool done = false;
+    while (!done && t < 1000 * tickUs) {
+        done = chip.runUntil(t + tickUs);
+        const EpochRecord rec = chip.harvestEpoch(t);
+        t += tickUs;
+        for (const auto &w : rec.waves)
+            total_barrier += w.barrierStall;
+    }
+    ASSERT_TRUE(done);
+    EXPECT_GT(total_barrier, 0);
+}
+
+TEST(GpuChip, MoreSimdsRaiseThroughput)
+{
+    auto run_with = [](std::uint32_t simds) {
+        GpuConfig cfg = smallGpu(1);
+        cfg.simdsPerCu = simds;
+        cfg.waveSlotsPerCu = 16;
+        GpuChip chip(cfg, computeApp(4, 400));
+        chip.runUntil(4 * tickUs);
+        return chip.totalCommitted();
+    };
+    EXPECT_GT(run_with(4), run_with(1));
+    EXPECT_GE(run_with(2), run_with(1));
+}
+
+TEST(GpuChip, SnapshotsIncludeLaunchCodeBase)
+{
+    // Waves from the second kernel must expose that kernel's PC base.
+    isa::KernelBuilder k1("alpha");
+    k1.grid(2, 4);
+    k1.valu(4, 4);
+    isa::KernelBuilder k2("beta");
+    k2.grid(2, 4);
+    k2.loop(4000);
+    k2.valu(4, 4);
+    k2.endLoop();
+    auto app = std::make_shared<isa::Application>();
+    app->name = "two";
+    app->launches.push_back(k1.build());
+    app->launches.push_back(k2.build());
+    app->assignCodeBases();
+    const std::uint64_t beta_base = app->launches[1].codeBase;
+
+    GpuChip chip(smallGpu(1), app);
+    chip.runUntil(20 * tickUs); // well into kernel beta
+    bool saw_beta = false;
+    for (const auto &s : chip.waveSnapshots())
+        if (s.pcAddr >= beta_base)
+            saw_beta = true;
+    EXPECT_TRUE(saw_beta);
+}
+
+using GpuDeath = ::testing::Test;
+
+TEST(GpuDeath, RejectsEmptyApplication)
+{
+    auto app = std::make_shared<isa::Application>();
+    app->name = "empty";
+    EXPECT_EXIT(GpuChip(smallGpu(), app), ::testing::ExitedWithCode(1),
+                "no kernel launches");
+}
+
+TEST(GpuDeath, RejectsOversizedWorkgroup)
+{
+    isa::KernelBuilder b("big_wg");
+    b.grid(1, 64); // 64 waves > 8 slots
+    b.valu(1, 1);
+    auto app = std::make_shared<isa::Application>();
+    app->name = "big";
+    app->launches.push_back(b.build());
+    EXPECT_EXIT(GpuChip(smallGpu(), app), ::testing::ExitedWithCode(1),
+                "does not fit");
+}

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Cross-module integration tests: real Table II workloads under the
+ * full driver + controller stack, checking the paper's qualitative
+ * claims end to end on a reduced configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/pcstall_controller.hh"
+#include "dvfs/hierarchical.hh"
+#include "models/history_controller.hh"
+#include "models/reactive_controller.hh"
+#include "oracle/oracle_controllers.hh"
+#include "sim/experiment.hh"
+#include "workloads/workloads.hh"
+
+using namespace pcstall;
+using namespace pcstall::sim;
+
+namespace
+{
+
+RunConfig
+testConfig(std::uint32_t cus = 4)
+{
+    RunConfig cfg;
+    cfg.gpu.numCus = cus;
+    cfg.maxSimTime = 3 * tickMs;
+    cfg.scaled();
+    return cfg;
+}
+
+std::shared_ptr<const isa::Application>
+app(const std::string &name, std::uint32_t cus = 4, double scale = 0.3)
+{
+    workloads::WorkloadParams p;
+    p.numCus = cus;
+    p.scale = scale;
+    return std::make_shared<const isa::Application>(
+        workloads::makeWorkload(name, p));
+}
+
+} // namespace
+
+TEST(Integration, ComdCompletesUnderAllImplementableDesigns)
+{
+    ExperimentDriver driver(testConfig());
+    const auto a = app("comd");
+
+    for (const auto kind : {models::EstimationKind::Stall,
+                            models::EstimationKind::Lead,
+                            models::EstimationKind::Crit,
+                            models::EstimationKind::Crisp}) {
+        models::ReactiveController c(kind);
+        const RunResult r = driver.run(a, c);
+        EXPECT_TRUE(r.completed) << models::estimationKindName(kind);
+        EXPECT_GT(r.instructions, 0u);
+    }
+    core::PcstallController pc(core::PcstallConfig::forEpoch(tickUs),
+                               4);
+    EXPECT_TRUE(driver.run(a, pc).completed);
+}
+
+TEST(Integration, DvfsReducesEd2pVsStaticNominalOnMixedWorkload)
+{
+    ExperimentDriver driver(testConfig());
+    const auto a = app("comd");
+
+    dvfs::StaticController nominal(driver.nominalState());
+    const RunResult base = driver.run(a, nominal);
+
+    core::PcstallController pc(core::PcstallConfig::forEpoch(tickUs),
+                               4);
+    const RunResult dvfs_run = driver.run(a, pc);
+
+    ASSERT_TRUE(base.completed);
+    ASSERT_TRUE(dvfs_run.completed);
+    // PCSTALL should not be materially worse than static nominal.
+    EXPECT_LT(dvfs_run.ed2p(), base.ed2p() * 1.10);
+}
+
+TEST(Integration, OracleBeatsReactiveOnEd2p)
+{
+    ExperimentDriver driver(testConfig(2));
+    const auto a = app("BwdBN", 2, 0.25);
+
+    oracle::OracleController oracle_c;
+    const RunResult oracle_r = driver.run(a, oracle_c);
+
+    models::ReactiveController crisp(models::EstimationKind::Crisp);
+    const RunResult crisp_r = driver.run(a, crisp);
+
+    ASSERT_TRUE(oracle_r.completed);
+    ASSERT_TRUE(crisp_r.completed);
+    // Per-epoch greedy selection is a heuristic; allow a small margin
+    // on tiny configurations.
+    EXPECT_LE(oracle_r.ed2p(), crisp_r.ed2p() * 1.10);
+}
+
+TEST(Integration, MemoryBoundWorkloadParksLow)
+{
+    ExperimentDriver driver(testConfig(2));
+    const auto a = app("xsbench", 2, 0.25);
+    core::PcstallController pc(core::PcstallConfig::forEpoch(tickUs),
+                               2);
+    const RunResult r = driver.run(a, pc);
+    ASSERT_TRUE(r.completed);
+    // Most domain-epochs in the lower half of the V/f range.
+    double low_share = 0.0;
+    for (std::size_t s = 0; s < 5; ++s)
+        low_share += r.freqTimeShare[s];
+    EXPECT_GE(low_share, 0.5);
+}
+
+TEST(Integration, ComputeBoundWorkloadRunsHighForEd2p)
+{
+    ExperimentDriver driver(testConfig(2));
+    const auto a = app("hacc", 2, 0.25);
+    core::PcstallController pc(core::PcstallConfig::forEpoch(tickUs),
+                               2);
+    const RunResult r = driver.run(a, pc);
+    ASSERT_TRUE(r.completed);
+    double high_share = 0.0;
+    for (std::size_t s = 5; s < 10; ++s)
+        high_share += r.freqTimeShare[s];
+    EXPECT_GT(high_share, 0.4);
+}
+
+TEST(Integration, AccpcRunsWithElapsedSweeps)
+{
+    ExperimentDriver driver(testConfig(2));
+    const auto a = app("comd", 2, 0.2);
+    core::PcstallConfig cfg = core::PcstallConfig::forEpoch(tickUs);
+    cfg.accurateEstimates = true;
+    core::PcstallController accpc(cfg, 2);
+    const RunResult r = driver.run(a, accpc);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.predictionAccuracy, 0.0);
+}
+
+TEST(Integration, AccreacRunsWithElapsedSweeps)
+{
+    ExperimentDriver driver(testConfig(2));
+    const auto a = app("comd", 2, 0.2);
+    oracle::AccurateReactiveController accreac;
+    const RunResult r = driver.run(a, accreac);
+    EXPECT_TRUE(r.completed);
+}
+
+TEST(Integration, DeterministicAcrossRuns)
+{
+    ExperimentDriver driver(testConfig(2));
+    const auto a = app("quickS", 2, 0.2);
+    core::PcstallController c1(core::PcstallConfig::forEpoch(tickUs), 2);
+    core::PcstallController c2(core::PcstallConfig::forEpoch(tickUs), 2);
+    const RunResult r1 = driver.run(a, c1);
+    const RunResult r2 = driver.run(a, c2);
+    EXPECT_EQ(r1.execTime, r2.execTime);
+    EXPECT_EQ(r1.instructions, r2.instructions);
+    EXPECT_DOUBLE_EQ(r1.energy, r2.energy);
+}
+
+/** Every workload completes under PCSTALL at reduced scale. */
+class AllWorkloads : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(AllWorkloads, CompletesUnderPcstall)
+{
+    ExperimentDriver driver(testConfig(2));
+    const auto a = app(GetParam(), 2, 0.15);
+    core::PcstallController pc(core::PcstallConfig::forEpoch(tickUs),
+                               2);
+    const RunResult r = driver.run(a, pc);
+    EXPECT_TRUE(r.completed) << GetParam();
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.energy, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableII, AllWorkloads,
+    ::testing::Values("comd", "hpgmg", "lulesh", "minife", "xsbench",
+                      "hacc", "quickS", "pennant", "snapc", "dgemm",
+                      "BwdBN", "BwdPool", "BwdSoft", "FwdBN", "FwdPool",
+                      "FwdSoft"));
+
+TEST(Integration, HierarchicalForwardsSweepsForOracle)
+{
+    // The power-cap layer must forward the wrapped controller's sweep
+    // requirements so ORACLE+CAP still gets its upcoming estimates.
+    ExperimentDriver driver(testConfig(2));
+    const auto a = app("BwdBN", 2, 0.25);
+    oracle::OracleController inner;
+    dvfs::HierarchicalConfig hcfg;
+    hcfg.powerCap = 10.0;
+    hcfg.reviewEpochs = 5;
+    dvfs::HierarchicalPowerManager mgr(inner, hcfg);
+    EXPECT_EQ(mgr.sweepNeed(), dvfs::SweepNeed::Upcoming);
+    const RunResult r = driver.run(a, mgr);
+    EXPECT_TRUE(r.completed);
+}
+
+TEST(Integration, GphtCompletesOnRealWorkload)
+{
+    ExperimentDriver driver(testConfig(2));
+    const auto a = app("BwdBN", 2, 0.25);
+    models::HistoryConfig hcfg;
+    hcfg.estimator.waveSlots = 40;
+    models::HistoryController gpht(hcfg, 2);
+    const RunResult r = driver.run(a, gpht);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.predictionAccuracy, 0.0);
+}
+
+TEST(Integration, MarginalObjectiveCompletes)
+{
+    RunConfig cfg = testConfig(2);
+    cfg.objective = dvfs::Objective::MarginalEd2p;
+    ExperimentDriver driver(cfg);
+    const auto a = app("comd", 2, 0.2);
+    core::PcstallController pc(core::PcstallConfig::forEpoch(tickUs),
+                               2);
+    const RunResult r = driver.run(a, pc);
+    EXPECT_TRUE(r.completed);
+}

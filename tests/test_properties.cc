@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Cross-module property tests: invariants that must hold across
+ * parameter sweeps (frequencies, epoch lengths, table geometries,
+ * scheduler configurations), exercised with parameterized gtest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/pcstall_controller.hh"
+#include "gpu/gpu_chip.hh"
+#include "isa/kernel_builder.hh"
+#include "models/estimation.hh"
+#include "oracle/fork_pre_execute.hh"
+#include "sim/experiment.hh"
+#include "workloads/workloads.hh"
+
+using namespace pcstall;
+
+namespace
+{
+
+std::shared_ptr<const isa::Application>
+mixedApp(std::uint32_t trips = 300)
+{
+    isa::KernelBuilder b("mixed");
+    const auto r = b.region("data", 32 << 20);
+    b.grid(16, 4);
+    b.loop(trips);
+    b.load(r, isa::AccessPattern::Streaming, 16);
+    b.waitcnt(0);
+    b.valu(4, 6);
+    b.endLoop();
+    auto app = std::make_shared<isa::Application>();
+    app->name = "mixed";
+    app->launches.push_back(b.build());
+    app->assignCodeBases();
+    return app;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Work conservation: total committed instructions are an invariant of
+// the program, independent of frequency schedule or epoch length.
+// ---------------------------------------------------------------------
+class WorkConservation : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(WorkConservation, CommitCountIndependentOfFrequency)
+{
+    const int mhz = GetParam();
+    gpu::GpuConfig cfg;
+    cfg.numCus = 2;
+    cfg.waveSlotsPerCu = 8;
+    cfg.defaultFreq = static_cast<Freq>(mhz) * freqMHz;
+    gpu::GpuChip chip(cfg, mixedApp());
+    bool done = false;
+    for (int e = 1; e <= 4000 && !done; ++e)
+        done = chip.runUntil(e * tickUs);
+    ASSERT_TRUE(done);
+
+    gpu::GpuConfig ref_cfg = cfg;
+    ref_cfg.defaultFreq = 1'700 * freqMHz;
+    gpu::GpuChip ref(ref_cfg, mixedApp());
+    done = false;
+    for (int e = 1; e <= 4000 && !done; ++e)
+        done = ref.runUntil(e * tickUs);
+    ASSERT_TRUE(done);
+    EXPECT_EQ(chip.totalCommitted(), ref.totalCommitted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, WorkConservation,
+                         ::testing::Values(1300, 1500, 1800, 2200));
+
+// ---------------------------------------------------------------------
+// Monotonicity: more frequency never slows a run down (no contention
+// pathologies in an isolated 1-CU configuration).
+// ---------------------------------------------------------------------
+TEST(Monotonicity, SingleCuRuntimeNonIncreasingInFrequency)
+{
+    Tick prev = 0;
+    for (int mhz = 1300; mhz <= 2200; mhz += 300) {
+        gpu::GpuConfig cfg;
+        cfg.numCus = 1;
+        cfg.waveSlotsPerCu = 8;
+        cfg.defaultFreq = static_cast<Freq>(mhz) * freqMHz;
+        gpu::GpuChip chip(cfg, mixedApp(150));
+        for (int e = 1; e <= 4000; ++e)
+            if (chip.runUntil(e * tickUs))
+                break;
+        if (prev > 0) {
+            EXPECT_LE(chip.lastCommitTick(), prev + tickUs / 10)
+                << mhz << " MHz";
+        }
+        prev = chip.lastCommitTick();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Estimation models: identity at the measured frequency and
+// monotonicity in target frequency hold for every model and every
+// async decomposition the simulator can produce.
+// ---------------------------------------------------------------------
+class EstimationProperties
+    : public ::testing::TestWithParam<models::EstimationKind>
+{};
+
+TEST_P(EstimationProperties, IdentityAndMonotonicityOnRealRecords)
+{
+    gpu::GpuConfig cfg;
+    cfg.numCus = 2;
+    cfg.waveSlotsPerCu = 8;
+    gpu::GpuChip chip(cfg, mixedApp());
+    chip.runUntil(tickUs);
+    const gpu::EpochRecord rec = chip.harvestEpoch(0);
+
+    for (const auto &cu : rec.cus) {
+        if (cu.committed == 0)
+            continue;
+        const double at_same = models::cuInstrAt(
+            GetParam(), cu, tickUs, cu.freq);
+        EXPECT_NEAR(at_same, static_cast<double>(cu.committed), 1e-6);
+        double prev = 0.0;
+        for (int mhz = 1300; mhz <= 2200; mhz += 100) {
+            const double v = models::cuInstrAt(
+                GetParam(), cu, tickUs,
+                static_cast<Freq>(mhz) * freqMHz);
+            EXPECT_GE(v, prev);
+            prev = v;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, EstimationProperties,
+    ::testing::Values(models::EstimationKind::Stall,
+                      models::EstimationKind::Lead,
+                      models::EstimationKind::Crit,
+                      models::EstimationKind::Crisp));
+
+// ---------------------------------------------------------------------
+// Oracle sweep: with shuffling, every (domain, state) cell is filled
+// and agrees with a direct single-frequency execution.
+// ---------------------------------------------------------------------
+class SweepCoverage : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SweepCoverage, EveryStateMeasuredMatchesDirectRun)
+{
+    const std::size_t check_state =
+        static_cast<std::size_t>(GetParam());
+    gpu::GpuConfig cfg;
+    cfg.numCus = 2;
+    cfg.waveSlotsPerCu = 8;
+    gpu::GpuChip chip(cfg, mixedApp());
+    chip.runUntil(tickUs);
+    chip.harvestEpoch(0);
+
+    const dvfs::DomainMap domains(2, 1);
+    const power::VfTable table = power::VfTable::paperTable();
+    oracle::SweepOptions opts;
+    opts.waveLevel = false;
+    const auto est = oracle::forkPreExecuteSweep(chip, domains, table,
+                                                 tickUs, opts);
+
+    // Direct run: both domains at check_state.
+    gpu::GpuChip direct = chip;
+    for (std::uint32_t cu = 0; cu < 2; ++cu)
+        direct.setCuFrequency(cu, table.state(check_state).freq, 0);
+    direct.runUntil(chip.now() + tickUs);
+    const auto rec = direct.harvestEpoch(chip.now());
+
+    for (std::uint32_t d = 0; d < 2; ++d) {
+        const double sampled = est.domainInstr[d][check_state];
+        const double actual = static_cast<double>(rec.cus[d].committed);
+        ASSERT_GT(sampled, 0.0);
+        ASSERT_GT(actual, 0.0);
+        // Shuffled neighbours differ from the direct run; agreement
+        // should still be within ~15% (paper: 97.6% on their setup).
+        EXPECT_NEAR(sampled / actual, 1.0, 0.15);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(States, SweepCoverage,
+                         ::testing::Values(0, 3, 6, 9));
+
+// ---------------------------------------------------------------------
+// Epoch-length invariance of the driver: energy accounting over the
+// same static run must not depend (much) on how it is sliced.
+// ---------------------------------------------------------------------
+class EpochSlicing : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(EpochSlicing, StaticEnergyIndependentOfEpochLength)
+{
+    sim::RunConfig cfg;
+    cfg.gpu.numCus = 2;
+    cfg.gpu.waveSlotsPerCu = 8;
+    cfg.maxSimTime = 5 * tickMs;
+    cfg.scaled();
+    cfg.epochLen = GetParam() * tickUs;
+
+    sim::ExperimentDriver driver(cfg);
+    dvfs::StaticController c(driver.nominalState());
+    const sim::RunResult r = driver.run(mixedApp(), c);
+    ASSERT_TRUE(r.completed);
+
+    sim::RunConfig ref_cfg = cfg;
+    ref_cfg.epochLen = tickUs;
+    sim::ExperimentDriver ref_driver(ref_cfg);
+    dvfs::StaticController ref_c(ref_driver.nominalState());
+    const sim::RunResult ref = ref_driver.run(mixedApp(), ref_c);
+
+    EXPECT_EQ(r.instructions, ref.instructions);
+    EXPECT_NEAR(r.energy / ref.energy, 1.0, 0.05);
+    EXPECT_NEAR(static_cast<double>(r.execTime) /
+                static_cast<double>(ref.execTime), 1.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Epochs, EpochSlicing,
+                         ::testing::Values(2, 5, 10));
+
+// ---------------------------------------------------------------------
+// PCSTALL sharing: table sharing across CUs must not change the
+// decision plumbing (runs complete; storage shrinks).
+// ---------------------------------------------------------------------
+class TableSharing : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TableSharing, SharedTablesRunAndShrinkStorage)
+{
+    const auto cus_per_table = static_cast<std::uint32_t>(GetParam());
+    sim::RunConfig cfg;
+    cfg.gpu.numCus = 4;
+    cfg.gpu.waveSlotsPerCu = 8;
+    cfg.maxSimTime = 5 * tickMs;
+    cfg.scaled();
+
+    core::PcstallConfig pcfg = core::PcstallConfig::forEpoch(tickUs, 8);
+    pcfg.cusPerTable = cus_per_table;
+    core::PcstallController c(pcfg, 4);
+
+    sim::ExperimentDriver driver(cfg);
+    const sim::RunResult r = driver.run(mixedApp(), c);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(c.storageBytes(),
+              (4 / cus_per_table) *
+                  predict::PcSensitivityTable(pcfg.table)
+                      .storageBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sharing, TableSharing,
+                         ::testing::Values(1, 2, 4));
+
+// ---------------------------------------------------------------------
+// Objective sweep: for every objective, every workload-independent
+// invariant of chooseState holds on driver-produced inputs.
+// ---------------------------------------------------------------------
+class ObjectiveSweep
+    : public ::testing::TestWithParam<dvfs::Objective>
+{};
+
+TEST_P(ObjectiveSweep, RunsCompleteUnderEveryObjective)
+{
+    sim::RunConfig cfg;
+    cfg.gpu.numCus = 2;
+    cfg.gpu.waveSlotsPerCu = 8;
+    cfg.maxSimTime = 5 * tickMs;
+    cfg.objective = GetParam();
+    cfg.scaled();
+    sim::ExperimentDriver driver(cfg);
+    core::PcstallController c(core::PcstallConfig::forEpoch(tickUs, 8),
+                              2);
+    const sim::RunResult r = driver.run(mixedApp(), c);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.energy, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Objectives, ObjectiveSweep,
+    ::testing::Values(dvfs::Objective::Edp, dvfs::Objective::Ed2p,
+                      dvfs::Objective::Ed3p,
+                      dvfs::Objective::EnergyUnderPerfBound));
+
+// ---------------------------------------------------------------------
+// Snapshot determinism across workloads: a forked copy replays the
+// original's future exactly when driven identically.
+// ---------------------------------------------------------------------
+class SnapshotDeterminism
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(SnapshotDeterminism, CopyReplaysOriginalFuture)
+{
+    workloads::WorkloadParams p;
+    p.numCus = 2;
+    p.scale = 0.15;
+    auto app = std::make_shared<const isa::Application>(
+        workloads::makeWorkload(GetParam(), p));
+    gpu::GpuConfig cfg;
+    cfg.numCus = 2;
+    gpu::GpuChip chip(cfg, app);
+    chip.runUntil(3 * tickUs);
+    chip.harvestEpoch(0);
+
+    gpu::GpuChip copy = chip;
+    chip.runUntil(chip.now() + 4 * tickUs);
+    copy.runUntil(copy.now() + 4 * tickUs);
+    EXPECT_EQ(chip.totalCommitted(), copy.totalCommitted());
+    EXPECT_EQ(chip.lastCommitTick(), copy.lastCommitTick());
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, SnapshotDeterminism,
+                         ::testing::Values("comd", "quickS", "dgemm",
+                                           "BwdBN", "xsbench"));

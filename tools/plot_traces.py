@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Plot CSV traces exported by the simulator.
+
+Usage:
+  plot_traces.py run   trace.csv   [out.png]   # frequency/work per epoch
+  plot_traces.py prof  profile.csv [out.png]   # sensitivity profiles
+
+The CSVs come from sim::writeRunTraceCsv / sim::writeProfileCsv (see
+`examples/custom_workload --trace-csv`). Requires matplotlib.
+"""
+
+import csv
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    with open(path) as f:
+        return list(csv.DictReader(f))
+
+
+def plot_run(rows, out):
+    import matplotlib.pyplot as plt
+
+    domains = defaultdict(lambda: ([], [], []))
+    for r in rows:
+        t, f, c = domains[int(r["domain"])]
+        t.append(float(r["epoch_us"]))
+        f.append(float(r["freq_ghz"]))
+        c.append(float(r["committed"]))
+
+    fig, (ax_f, ax_c) = plt.subplots(2, 1, sharex=True, figsize=(10, 6))
+    for d, (t, f, c) in sorted(domains.items()):
+        ax_f.step(t, f, where="post", label=f"domain {d}", alpha=0.7)
+        ax_c.plot(t, c, alpha=0.7)
+    ax_f.set_ylabel("frequency (GHz)")
+    ax_f.legend(loc="upper right", fontsize="small")
+    ax_c.set_ylabel("instructions / epoch")
+    ax_c.set_xlabel("time (us)")
+    fig.suptitle("PCSTALL run trace")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_profile(rows, out):
+    import matplotlib.pyplot as plt
+
+    domains = defaultdict(lambda: ([], []))
+    for r in rows:
+        t, s = domains[int(r["domain"])]
+        t.append(float(r["epoch_us"]))
+        s.append(float(r["sensitivity"]))
+
+    fig, ax = plt.subplots(figsize=(10, 4))
+    for d, (t, s) in sorted(domains.items()):
+        ax.plot(t, s, label=f"domain {d}", alpha=0.7)
+    ax.set_xlabel("time (us)")
+    ax.set_ylabel("sensitivity (instr/GHz)")
+    ax.legend(loc="upper right", fontsize="small")
+    fig.suptitle("Frequency-sensitivity profile (cf. paper Fig 6)")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    if len(sys.argv) < 3 or sys.argv[1] not in ("run", "prof"):
+        print(__doc__)
+        return 1
+    rows = load(sys.argv[2])
+    out = sys.argv[3] if len(sys.argv) > 3 else "trace.png"
+    if sys.argv[1] == "run":
+        plot_run(rows, out)
+    else:
+        plot_profile(rows, out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
