@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions.dir/extensions.cc.o"
+  "CMakeFiles/extensions.dir/extensions.cc.o.d"
+  "CMakeFiles/extensions.dir/harness.cc.o"
+  "CMakeFiles/extensions.dir/harness.cc.o.d"
+  "extensions"
+  "extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01a_opportunity.dir/fig01a_opportunity.cc.o"
+  "CMakeFiles/fig01a_opportunity.dir/fig01a_opportunity.cc.o.d"
+  "CMakeFiles/fig01a_opportunity.dir/harness.cc.o"
+  "CMakeFiles/fig01a_opportunity.dir/harness.cc.o.d"
+  "fig01a_opportunity"
+  "fig01a_opportunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01a_opportunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

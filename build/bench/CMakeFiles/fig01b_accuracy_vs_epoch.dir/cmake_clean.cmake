@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01b_accuracy_vs_epoch.dir/fig01b_accuracy_vs_epoch.cc.o"
+  "CMakeFiles/fig01b_accuracy_vs_epoch.dir/fig01b_accuracy_vs_epoch.cc.o.d"
+  "CMakeFiles/fig01b_accuracy_vs_epoch.dir/harness.cc.o"
+  "CMakeFiles/fig01b_accuracy_vs_epoch.dir/harness.cc.o.d"
+  "fig01b_accuracy_vs_epoch"
+  "fig01b_accuracy_vs_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01b_accuracy_vs_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_linearity.dir/fig05_linearity.cc.o"
+  "CMakeFiles/fig05_linearity.dir/fig05_linearity.cc.o.d"
+  "CMakeFiles/fig05_linearity.dir/harness.cc.o"
+  "CMakeFiles/fig05_linearity.dir/harness.cc.o.d"
+  "fig05_linearity"
+  "fig05_linearity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_linearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_sensitivity_profiles.dir/fig06_sensitivity_profiles.cc.o"
+  "CMakeFiles/fig06_sensitivity_profiles.dir/fig06_sensitivity_profiles.cc.o.d"
+  "CMakeFiles/fig06_sensitivity_profiles.dir/harness.cc.o"
+  "CMakeFiles/fig06_sensitivity_profiles.dir/harness.cc.o.d"
+  "fig06_sensitivity_profiles"
+  "fig06_sensitivity_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_sensitivity_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

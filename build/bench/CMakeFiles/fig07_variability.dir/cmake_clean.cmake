@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_variability.dir/fig07_variability.cc.o"
+  "CMakeFiles/fig07_variability.dir/fig07_variability.cc.o.d"
+  "CMakeFiles/fig07_variability.dir/harness.cc.o"
+  "CMakeFiles/fig07_variability.dir/harness.cc.o.d"
+  "fig07_variability"
+  "fig07_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_wavefront_contribution.dir/fig08_wavefront_contribution.cc.o"
+  "CMakeFiles/fig08_wavefront_contribution.dir/fig08_wavefront_contribution.cc.o.d"
+  "CMakeFiles/fig08_wavefront_contribution.dir/harness.cc.o"
+  "CMakeFiles/fig08_wavefront_contribution.dir/harness.cc.o.d"
+  "fig08_wavefront_contribution"
+  "fig08_wavefront_contribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_wavefront_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

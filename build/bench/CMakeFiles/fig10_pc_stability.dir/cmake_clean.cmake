@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pc_stability.dir/fig10_pc_stability.cc.o"
+  "CMakeFiles/fig10_pc_stability.dir/fig10_pc_stability.cc.o.d"
+  "CMakeFiles/fig10_pc_stability.dir/harness.cc.o"
+  "CMakeFiles/fig10_pc_stability.dir/harness.cc.o.d"
+  "fig10_pc_stability"
+  "fig10_pc_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pc_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_contention_offset.dir/fig11_contention_offset.cc.o"
+  "CMakeFiles/fig11_contention_offset.dir/fig11_contention_offset.cc.o.d"
+  "CMakeFiles/fig11_contention_offset.dir/harness.cc.o"
+  "CMakeFiles/fig11_contention_offset.dir/harness.cc.o.d"
+  "fig11_contention_offset"
+  "fig11_contention_offset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_contention_offset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

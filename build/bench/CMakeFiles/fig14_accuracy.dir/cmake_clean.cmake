@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_accuracy.dir/fig14_accuracy.cc.o"
+  "CMakeFiles/fig14_accuracy.dir/fig14_accuracy.cc.o.d"
+  "CMakeFiles/fig14_accuracy.dir/harness.cc.o"
+  "CMakeFiles/fig14_accuracy.dir/harness.cc.o.d"
+  "fig14_accuracy"
+  "fig14_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_ed2p.dir/fig15_ed2p.cc.o"
+  "CMakeFiles/fig15_ed2p.dir/fig15_ed2p.cc.o.d"
+  "CMakeFiles/fig15_ed2p.dir/harness.cc.o"
+  "CMakeFiles/fig15_ed2p.dir/harness.cc.o.d"
+  "fig15_ed2p"
+  "fig15_ed2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ed2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

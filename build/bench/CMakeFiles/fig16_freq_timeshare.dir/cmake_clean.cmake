@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_freq_timeshare.dir/fig16_freq_timeshare.cc.o"
+  "CMakeFiles/fig16_freq_timeshare.dir/fig16_freq_timeshare.cc.o.d"
+  "CMakeFiles/fig16_freq_timeshare.dir/harness.cc.o"
+  "CMakeFiles/fig16_freq_timeshare.dir/harness.cc.o.d"
+  "fig16_freq_timeshare"
+  "fig16_freq_timeshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_freq_timeshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

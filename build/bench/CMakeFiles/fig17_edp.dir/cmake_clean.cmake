@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_edp.dir/fig17_edp.cc.o"
+  "CMakeFiles/fig17_edp.dir/fig17_edp.cc.o.d"
+  "CMakeFiles/fig17_edp.dir/harness.cc.o"
+  "CMakeFiles/fig17_edp.dir/harness.cc.o.d"
+  "fig17_edp"
+  "fig17_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18a_energy_savings.dir/fig18a_energy_savings.cc.o"
+  "CMakeFiles/fig18a_energy_savings.dir/fig18a_energy_savings.cc.o.d"
+  "CMakeFiles/fig18a_energy_savings.dir/harness.cc.o"
+  "CMakeFiles/fig18a_energy_savings.dir/harness.cc.o.d"
+  "fig18a_energy_savings"
+  "fig18a_energy_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18a_energy_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

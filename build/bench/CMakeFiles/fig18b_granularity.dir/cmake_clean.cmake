@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18b_granularity.dir/fig18b_granularity.cc.o"
+  "CMakeFiles/fig18b_granularity.dir/fig18b_granularity.cc.o.d"
+  "CMakeFiles/fig18b_granularity.dir/harness.cc.o"
+  "CMakeFiles/fig18b_granularity.dir/harness.cc.o.d"
+  "fig18b_granularity"
+  "fig18b_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18b_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

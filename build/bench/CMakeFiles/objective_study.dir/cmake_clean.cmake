@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objective_study.dir/harness.cc.o"
+  "CMakeFiles/objective_study.dir/harness.cc.o.d"
+  "CMakeFiles/objective_study.dir/objective_study.cc.o"
+  "CMakeFiles/objective_study.dir/objective_study.cc.o.d"
+  "objective_study"
+  "objective_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objective_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

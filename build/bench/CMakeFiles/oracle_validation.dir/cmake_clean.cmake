@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_validation.dir/harness.cc.o"
+  "CMakeFiles/oracle_validation.dir/harness.cc.o.d"
+  "CMakeFiles/oracle_validation.dir/oracle_validation.cc.o"
+  "CMakeFiles/oracle_validation.dir/oracle_validation.cc.o.d"
+  "oracle_validation"
+  "oracle_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_designs.dir/harness.cc.o"
+  "CMakeFiles/table3_designs.dir/harness.cc.o.d"
+  "CMakeFiles/table3_designs.dir/table3_designs.cc.o"
+  "CMakeFiles/table3_designs.dir/table3_designs.cc.o.d"
+  "table3_designs"
+  "table3_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

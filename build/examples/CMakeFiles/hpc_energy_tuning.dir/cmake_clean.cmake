@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_energy_tuning.dir/hpc_energy_tuning.cpp.o"
+  "CMakeFiles/hpc_energy_tuning.dir/hpc_energy_tuning.cpp.o.d"
+  "hpc_energy_tuning"
+  "hpc_energy_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_energy_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

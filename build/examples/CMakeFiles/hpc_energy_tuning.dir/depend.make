@@ -1,0 +1,2 @@
+# Empty dependencies file for hpc_energy_tuning.
+# This may be replaced when dependencies are built.

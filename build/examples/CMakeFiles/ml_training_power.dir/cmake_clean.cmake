@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_training_power.dir/ml_training_power.cpp.o"
+  "CMakeFiles/ml_training_power.dir/ml_training_power.cpp.o.d"
+  "ml_training_power"
+  "ml_training_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_training_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

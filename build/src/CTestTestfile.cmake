@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("isa")
+subdirs("memory")
+subdirs("gpu")
+subdirs("power")
+subdirs("dvfs")
+subdirs("models")
+subdirs("predict")
+subdirs("core")
+subdirs("oracle")
+subdirs("workloads")
+subdirs("sim")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcstall_common.dir/cli.cc.o"
+  "CMakeFiles/pcstall_common.dir/cli.cc.o.d"
+  "CMakeFiles/pcstall_common.dir/logging.cc.o"
+  "CMakeFiles/pcstall_common.dir/logging.cc.o.d"
+  "CMakeFiles/pcstall_common.dir/stats_util.cc.o"
+  "CMakeFiles/pcstall_common.dir/stats_util.cc.o.d"
+  "CMakeFiles/pcstall_common.dir/table_writer.cc.o"
+  "CMakeFiles/pcstall_common.dir/table_writer.cc.o.d"
+  "libpcstall_common.a"
+  "libpcstall_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcstall_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcstall_core.dir/pcstall_controller.cc.o"
+  "CMakeFiles/pcstall_core.dir/pcstall_controller.cc.o.d"
+  "libpcstall_core.a"
+  "libpcstall_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcstall_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

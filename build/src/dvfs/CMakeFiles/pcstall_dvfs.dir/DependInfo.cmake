@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvfs/controller.cc" "src/dvfs/CMakeFiles/pcstall_dvfs.dir/controller.cc.o" "gcc" "src/dvfs/CMakeFiles/pcstall_dvfs.dir/controller.cc.o.d"
+  "/root/repo/src/dvfs/hierarchical.cc" "src/dvfs/CMakeFiles/pcstall_dvfs.dir/hierarchical.cc.o" "gcc" "src/dvfs/CMakeFiles/pcstall_dvfs.dir/hierarchical.cc.o.d"
+  "/root/repo/src/dvfs/objective.cc" "src/dvfs/CMakeFiles/pcstall_dvfs.dir/objective.cc.o" "gcc" "src/dvfs/CMakeFiles/pcstall_dvfs.dir/objective.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcstall_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/pcstall_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcstall_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pcstall_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/pcstall_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

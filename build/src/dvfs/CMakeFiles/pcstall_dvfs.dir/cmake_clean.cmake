@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcstall_dvfs.dir/controller.cc.o"
+  "CMakeFiles/pcstall_dvfs.dir/controller.cc.o.d"
+  "CMakeFiles/pcstall_dvfs.dir/hierarchical.cc.o"
+  "CMakeFiles/pcstall_dvfs.dir/hierarchical.cc.o.d"
+  "CMakeFiles/pcstall_dvfs.dir/objective.cc.o"
+  "CMakeFiles/pcstall_dvfs.dir/objective.cc.o.d"
+  "libpcstall_dvfs.a"
+  "libpcstall_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcstall_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/compute_unit.cc" "src/gpu/CMakeFiles/pcstall_gpu.dir/compute_unit.cc.o" "gcc" "src/gpu/CMakeFiles/pcstall_gpu.dir/compute_unit.cc.o.d"
+  "/root/repo/src/gpu/gpu_chip.cc" "src/gpu/CMakeFiles/pcstall_gpu.dir/gpu_chip.cc.o" "gcc" "src/gpu/CMakeFiles/pcstall_gpu.dir/gpu_chip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcstall_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pcstall_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/pcstall_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

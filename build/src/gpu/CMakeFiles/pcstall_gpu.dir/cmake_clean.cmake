@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcstall_gpu.dir/compute_unit.cc.o"
+  "CMakeFiles/pcstall_gpu.dir/compute_unit.cc.o.d"
+  "CMakeFiles/pcstall_gpu.dir/gpu_chip.cc.o"
+  "CMakeFiles/pcstall_gpu.dir/gpu_chip.cc.o.d"
+  "libpcstall_gpu.a"
+  "libpcstall_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcstall_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcstall_isa.dir/kernel.cc.o"
+  "CMakeFiles/pcstall_isa.dir/kernel.cc.o.d"
+  "CMakeFiles/pcstall_isa.dir/kernel_builder.cc.o"
+  "CMakeFiles/pcstall_isa.dir/kernel_builder.cc.o.d"
+  "libpcstall_isa.a"
+  "libpcstall_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcstall_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

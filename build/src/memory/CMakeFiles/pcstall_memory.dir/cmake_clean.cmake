@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcstall_memory.dir/cache_model.cc.o"
+  "CMakeFiles/pcstall_memory.dir/cache_model.cc.o.d"
+  "CMakeFiles/pcstall_memory.dir/memory_system.cc.o"
+  "CMakeFiles/pcstall_memory.dir/memory_system.cc.o.d"
+  "libpcstall_memory.a"
+  "libpcstall_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcstall_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

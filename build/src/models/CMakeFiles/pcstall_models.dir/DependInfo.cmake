@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/estimation.cc" "src/models/CMakeFiles/pcstall_models.dir/estimation.cc.o" "gcc" "src/models/CMakeFiles/pcstall_models.dir/estimation.cc.o.d"
+  "/root/repo/src/models/history_controller.cc" "src/models/CMakeFiles/pcstall_models.dir/history_controller.cc.o" "gcc" "src/models/CMakeFiles/pcstall_models.dir/history_controller.cc.o.d"
+  "/root/repo/src/models/reactive_controller.cc" "src/models/CMakeFiles/pcstall_models.dir/reactive_controller.cc.o" "gcc" "src/models/CMakeFiles/pcstall_models.dir/reactive_controller.cc.o.d"
+  "/root/repo/src/models/wave_estimator.cc" "src/models/CMakeFiles/pcstall_models.dir/wave_estimator.cc.o" "gcc" "src/models/CMakeFiles/pcstall_models.dir/wave_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcstall_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/pcstall_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/pcstall_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pcstall_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcstall_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/pcstall_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcstall_models.dir/estimation.cc.o"
+  "CMakeFiles/pcstall_models.dir/estimation.cc.o.d"
+  "CMakeFiles/pcstall_models.dir/history_controller.cc.o"
+  "CMakeFiles/pcstall_models.dir/history_controller.cc.o.d"
+  "CMakeFiles/pcstall_models.dir/reactive_controller.cc.o"
+  "CMakeFiles/pcstall_models.dir/reactive_controller.cc.o.d"
+  "CMakeFiles/pcstall_models.dir/wave_estimator.cc.o"
+  "CMakeFiles/pcstall_models.dir/wave_estimator.cc.o.d"
+  "libpcstall_models.a"
+  "libpcstall_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcstall_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

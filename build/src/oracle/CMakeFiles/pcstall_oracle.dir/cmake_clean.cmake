@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcstall_oracle.dir/fork_pre_execute.cc.o"
+  "CMakeFiles/pcstall_oracle.dir/fork_pre_execute.cc.o.d"
+  "CMakeFiles/pcstall_oracle.dir/oracle_controllers.cc.o"
+  "CMakeFiles/pcstall_oracle.dir/oracle_controllers.cc.o.d"
+  "libpcstall_oracle.a"
+  "libpcstall_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcstall_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

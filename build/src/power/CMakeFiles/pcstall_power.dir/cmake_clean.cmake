@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcstall_power.dir/power_model.cc.o"
+  "CMakeFiles/pcstall_power.dir/power_model.cc.o.d"
+  "CMakeFiles/pcstall_power.dir/vf_table.cc.o"
+  "CMakeFiles/pcstall_power.dir/vf_table.cc.o.d"
+  "libpcstall_power.a"
+  "libpcstall_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcstall_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcstall_predict.dir/pc_table.cc.o"
+  "CMakeFiles/pcstall_predict.dir/pc_table.cc.o.d"
+  "CMakeFiles/pcstall_predict.dir/storage.cc.o"
+  "CMakeFiles/pcstall_predict.dir/storage.cc.o.d"
+  "libpcstall_predict.a"
+  "libpcstall_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcstall_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

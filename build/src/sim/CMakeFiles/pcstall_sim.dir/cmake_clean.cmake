@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcstall_sim.dir/experiment.cc.o"
+  "CMakeFiles/pcstall_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/pcstall_sim.dir/profiler.cc.o"
+  "CMakeFiles/pcstall_sim.dir/profiler.cc.o.d"
+  "CMakeFiles/pcstall_sim.dir/trace_export.cc.o"
+  "CMakeFiles/pcstall_sim.dir/trace_export.cc.o.d"
+  "libpcstall_sim.a"
+  "libpcstall_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcstall_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

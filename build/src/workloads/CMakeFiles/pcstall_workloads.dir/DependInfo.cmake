@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/kernel_parser.cc" "src/workloads/CMakeFiles/pcstall_workloads.dir/kernel_parser.cc.o" "gcc" "src/workloads/CMakeFiles/pcstall_workloads.dir/kernel_parser.cc.o.d"
+  "/root/repo/src/workloads/kernel_writer.cc" "src/workloads/CMakeFiles/pcstall_workloads.dir/kernel_writer.cc.o" "gcc" "src/workloads/CMakeFiles/pcstall_workloads.dir/kernel_writer.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/pcstall_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/pcstall_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcstall_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pcstall_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

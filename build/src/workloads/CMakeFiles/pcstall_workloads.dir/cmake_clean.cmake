@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcstall_workloads.dir/kernel_parser.cc.o"
+  "CMakeFiles/pcstall_workloads.dir/kernel_parser.cc.o.d"
+  "CMakeFiles/pcstall_workloads.dir/kernel_writer.cc.o"
+  "CMakeFiles/pcstall_workloads.dir/kernel_writer.cc.o.d"
+  "CMakeFiles/pcstall_workloads.dir/workloads.cc.o"
+  "CMakeFiles/pcstall_workloads.dir/workloads.cc.o.d"
+  "libpcstall_workloads.a"
+  "libpcstall_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcstall_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
