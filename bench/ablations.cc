@@ -107,6 +107,8 @@ main(int argc, char **argv)
         std::uint64_t storage = 0;
         for (const std::string &name : names) {
             const auto app = bench::makeApp(name, opts);
+            if (!app)
+                continue;
             dvfs::StaticController nominal(driver.nominalState());
             const sim::RunResult base = driver.run(app, nominal);
             core::PcstallController c(variant.cfg, cfg.gpu.numCus);

@@ -42,6 +42,8 @@ main(int argc, char **argv)
         std::vector<double> pc_norm, gp_norm;
         for (const std::string &name : opts.workloadNames()) {
             const auto app = bench::makeApp(name, opts);
+            if (!app)
+                continue;
             dvfs::StaticController nominal(driver.nominalState());
             const sim::RunResult base = driver.run(app, nominal);
 
@@ -87,6 +89,8 @@ main(int argc, char **argv)
                            "time us", "energy mJ"});
         const auto app = bench::makeApp(
             opts.firstWorkload("hacc"), opts);
+        if (!app)
+            return 1;
 
         // Uncapped reference.
         core::PcstallController ref(

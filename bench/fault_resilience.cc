@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Fault-resilience study: how gracefully does each controller degrade
+ * when the idealized stack turns hostile?
+ *
+ *  (1) telemetry noise sweep - relative Gaussian noise on every epoch
+ *      counter, sigma 0 -> 20%, for reactive STALL, plain PCSTALL and
+ *      PCSTALL with the divergence watchdog. Reports EDP degradation
+ *      against each controller's own fault-free run, the fraction of
+ *      epochs the watchdog spent in its STALL fallback, and a legality
+ *      check over every V/f state the run emitted.
+ *  (2) predictor-storage upsets - bit flips in the PC tables with and
+ *      without the parity scrub.
+ *  (3) DVFS transition faults - transient failures, extra settle
+ *      latency and frequency-grid quantization.
+ *
+ * All injections are deterministic in --fault-seed, so every row is
+ * reproducible.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common/stats_util.hh"
+#include "harness.hh"
+
+using namespace pcstall;
+
+namespace
+{
+
+struct Variant
+{
+    const char *label;
+    const char *design;
+    bool watchdog;
+};
+
+constexpr Variant kVariants[] = {
+    {"STALL", "STALL", false},
+    {"PCSTALL", "PCSTALL", false},
+    {"PCSTALL+WD", "PCSTALL", true},
+};
+
+/** Run one (variant, fault config) cell and sanity-check its trace. */
+sim::RunResult
+runCell(const bench::BenchOptions &opts, const Variant &variant,
+        const faults::FaultConfig &faults,
+        std::shared_ptr<const isa::Application> app,
+        bool *states_legal)
+{
+    bench::BenchOptions cell = opts;
+    cell.faults = faults;
+    cell.watchdog = variant.watchdog;
+    sim::RunConfig cfg = cell.runConfig();
+    cfg.collectTrace = true;
+    sim::ExperimentDriver driver(cfg);
+    const auto controller = bench::makeController(variant.design, cfg);
+    const sim::RunResult r = driver.run(app, *controller);
+    for (const sim::EpochTraceEntry &e : r.trace) {
+        for (const std::uint8_t s : e.domainState) {
+            if (s >= driver.table().numStates())
+                *states_legal = false;
+        }
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::BenchOptions::parse(argc, argv);
+    bench::banner("FAULT RESILIENCE",
+                  "EDP degradation under injected faults", opts);
+
+    std::vector<std::string> names = {"hacc", "xsbench"};
+    if (!opts.workloads.empty())
+        names = opts.workloads;
+
+    bool states_legal = true;
+
+    // ----------------------------------------------------------------
+    // 1. Telemetry noise sweep.
+    // ----------------------------------------------------------------
+    std::printf("--- (1) telemetry noise (relative sigma on every "
+                "counter) ---\n");
+    const double sigmas[] = {0.0, 0.02, 0.05, 0.10, 0.20};
+    for (const std::string &name : names) {
+        const auto app = bench::makeApp(name, opts);
+        if (!app)
+            continue;
+
+        std::vector<double> base_edp;
+        for (const Variant &v : kVariants) {
+            const sim::RunResult r = runCell(
+                opts, v, faults::FaultConfig{}, app, &states_legal);
+            base_edp.push_back(r.edp());
+        }
+
+        TableWriter table({"sigma", "STALL EDPx", "PCSTALL EDPx",
+                           "PCSTALL acc", "+WD EDPx", "+WD acc",
+                           "+WD fallback%", "+WD trips"});
+        for (const double sigma : sigmas) {
+            faults::FaultConfig fc = opts.faults;
+            fc.telemetry.sigma = sigma;
+            fc.telemetry.enabled = sigma > 0.0;
+
+            table.beginRow().cell(sigma, 2);
+            double pc_acc = 0.0, wd_acc = 0.0;
+            double fallback_share = 0.0;
+            std::uint64_t trips = 0;
+            for (std::size_t i = 0; i < 3; ++i) {
+                const sim::RunResult r = runCell(
+                    opts, kVariants[i], fc, app, &states_legal);
+                table.cell(r.edp() / base_edp[i], 3);
+                if (i == 1)
+                    pc_acc = r.predictionAccuracy;
+                if (i == 2) {
+                    wd_acc = r.predictionAccuracy;
+                    fallback_share = r.epochs == 0 ? 0.0
+                        : 100.0 *
+                          static_cast<double>(r.faults.fallbackEpochs) /
+                          static_cast<double>(r.epochs);
+                    trips = r.faults.watchdogTrips;
+                }
+                if (i == 1) {
+                    table.cell(pc_acc, 3);
+                } else if (i == 2) {
+                    table.cell(wd_acc, 3)
+                        .cell(fallback_share, 1)
+                        .cell(static_cast<long long>(trips));
+                }
+            }
+            table.endRow();
+        }
+        std::printf("%s:\n", name.c_str());
+        bench::emit(opts, table);
+        std::printf("\n");
+    }
+
+    // ----------------------------------------------------------------
+    // 2. Predictor-storage upsets (PC-table bit flips).
+    // ----------------------------------------------------------------
+    std::printf("--- (2) PC-table bit flips (PCSTALL, 2 upsets/epoch) "
+                "---\n");
+    {
+        TableWriter table({"workload", "ecc", "bit flips", "scrubs",
+                           "accuracy", "EDPx"});
+        for (const std::string &name : names) {
+            const auto app = bench::makeApp(name, opts);
+            if (!app)
+                continue;
+            const Variant pc = kVariants[1];
+            const sim::RunResult base = runCell(
+                opts, pc, faults::FaultConfig{}, app, &states_legal);
+            for (const bool ecc : {false, true}) {
+                faults::FaultConfig fc = opts.faults;
+                fc.storage.enabled = true;
+                fc.storage.upsetsPerEpoch = 2.0;
+                bench::BenchOptions cell = opts;
+                cell.faults = fc;
+                cell.ecc = ecc;
+                sim::RunConfig cfg = cell.runConfig();
+                cfg.collectTrace = true;
+                sim::ExperimentDriver driver(cfg);
+                const auto controller =
+                    bench::makeController("PCSTALL", cfg);
+                const sim::RunResult r = driver.run(app, *controller);
+                table.beginRow()
+                    .cell(name)
+                    .cell(ecc ? "on" : "off")
+                    .cell(static_cast<long long>(
+                        r.faults.tableBitFlips))
+                    .cell(static_cast<long long>(r.faults.tableScrubs))
+                    .cell(r.predictionAccuracy, 3)
+                    .cell(r.edp() / base.edp(), 3);
+                table.endRow();
+            }
+        }
+        bench::emit(opts, table);
+        std::printf("\n");
+    }
+
+    // ----------------------------------------------------------------
+    // 3. DVFS transition faults.
+    // ----------------------------------------------------------------
+    std::printf("--- (3) V/f transition faults (25%% transient fails, "
+                "+1 us settle, 200 MHz grid) ---\n");
+    {
+        TableWriter table({"workload", "design", "transitions",
+                           "failed", "EDPx"});
+        for (const std::string &name : names) {
+            const auto app = bench::makeApp(name, opts);
+            if (!app)
+                continue;
+            for (const std::size_t i : {std::size_t{0},
+                                        std::size_t{1}}) {
+                const Variant &v = kVariants[i];
+                const sim::RunResult base = runCell(
+                    opts, v, faults::FaultConfig{}, app,
+                    &states_legal);
+                faults::FaultConfig fc = opts.faults;
+                fc.dvfs.enabled = true;
+                fc.dvfs.transitionFailProb = 0.25;
+                fc.dvfs.extraSwitchLatency = tickUs;
+                fc.dvfs.granularity = 200 * freqMHz;
+                const sim::RunResult r =
+                    runCell(opts, v, fc, app, &states_legal);
+                table.beginRow()
+                    .cell(name)
+                    .cell(v.label)
+                    .cell(static_cast<long long>(r.transitions))
+                    .cell(static_cast<long long>(
+                        r.faults.transitionFailures))
+                    .cell(r.edp() / base.edp(), 3);
+                table.endRow();
+            }
+        }
+        bench::emit(opts, table);
+        std::printf("\n");
+    }
+
+    std::printf("all emitted V/f states legal: %s\n",
+                states_legal ? "yes" : "NO - BUG");
+    return states_legal ? 0 : 1;
+}

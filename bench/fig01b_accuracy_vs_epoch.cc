@@ -36,6 +36,8 @@ main(int argc, char **argv)
         for (const std::string &name :
                  epoch_opts.sweepWorkloadNames()) {
             const auto app = bench::makeApp(name, epoch_opts);
+            if (!app)
+                continue;
             for (const std::string &design : designs) {
                 const auto controller =
                     bench::makeController(design, cfg);

@@ -33,9 +33,11 @@ main(int argc, char **argv)
     pcfg.sampleEvery = 3; // sample distinct program regions
 
     const std::string workload = opts.firstWorkload("comd");
+    const auto app = bench::makeApp(workload, opts);
+    if (!app)
+        return 1;
     sim::SensitivityProfiler profiler(pcfg);
-    const sim::ProfileResult profile =
-        profiler.profile(bench::makeApp(workload, opts));
+    const sim::ProfileResult profile = profiler.profile(app);
 
     std::vector<std::string> headers = {"epoch@us", "domain"};
     for (std::size_t s = 0; s < profile.table.numStates(); ++s) {

@@ -27,12 +27,14 @@ main(int argc, char **argv)
         names = opts.workloads;
 
     for (const std::string &name : names) {
+        const auto app = bench::makeApp(name, opts);
+        if (!app)
+            continue;
         sim::ProfileConfig pcfg = opts.profileConfig();
         pcfg.waveLevel = false;
         pcfg.maxEpochs = 48;
         sim::SensitivityProfiler profiler(pcfg);
-        const sim::ProfileResult profile =
-            profiler.profile(bench::makeApp(name, opts));
+        const sim::ProfileResult profile = profiler.profile(app);
 
         const std::vector<double> series = profile.domainSeries(0);
         std::printf("%s (domain 0, %zu epochs):\n ", name.c_str(),

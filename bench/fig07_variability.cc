@@ -38,8 +38,10 @@ variabilityOf(const std::string &name, const bench::BenchOptions &opts,
     const double epoch_us = static_cast<double>(epoch_len) /
         static_cast<double>(tickUs);
     sized.scale = opts.scale * std::max(1.0, epoch_us / 2.0);
-    const sim::ProfileResult profile =
-        profiler.profile(bench::makeApp(name, sized));
+    const auto app = bench::makeApp(name, sized);
+    if (!app)
+        return 0.0;
+    const sim::ProfileResult profile = profiler.profile(app);
 
     std::vector<double> changes;
     for (std::uint32_t d = 0; d < profile.epochs.front().domains.size();

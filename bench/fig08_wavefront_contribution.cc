@@ -29,6 +29,8 @@ main(int argc, char **argv)
 
     const std::string workload = opts.firstWorkload("BwdBN");
     const auto app = bench::makeApp(workload, opts);
+    if (!app)
+        return 1;
     gpu::GpuConfig gcfg = opts.runConfig().gpu;
     gpu::GpuChip chip(gcfg, app);
     models::WaveEstimatorConfig est;

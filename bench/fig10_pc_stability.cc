@@ -76,6 +76,8 @@ main(int argc, char **argv)
 
     for (const std::string &name : opts.workloadNames()) {
         const auto app = bench::makeApp(name, opts);
+        if (!app)
+            continue;
         gpu::GpuConfig gcfg = opts.runConfig().gpu;
         gpu::GpuChip chip(gcfg, app);
 

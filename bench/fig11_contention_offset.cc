@@ -44,6 +44,8 @@ collect(const std::string &name, const bench::BenchOptions &opts,
         int max_epochs)
 {
     const auto app = bench::makeApp(name, opts);
+    if (!app)
+        return {};
     gpu::GpuConfig gcfg = opts.runConfig().gpu;
     gpu::GpuChip chip(gcfg, app);
     models::WaveEstimatorConfig est;
@@ -218,6 +220,8 @@ main(int argc, char **argv)
             sim::ExperimentDriver driver(cfg);
             const auto app = bench::makeApp(
                 opts.firstWorkload("comd"), opts);
+            if (!app)
+                continue;
             driver.run(app, c);
             table.beginRow()
                 .cell(static_cast<long long>(entries))

@@ -33,6 +33,8 @@ main(int argc, char **argv)
     std::map<std::string, std::vector<double>> acc;
     for (const std::string &name : opts.workloadNames()) {
         const auto app = bench::makeApp(name, opts);
+        if (!app)
+            continue;
         table.beginRow().cell(name);
         for (const std::string &design : bench::designNames()) {
             const auto controller = bench::makeController(design, cfg);

@@ -36,6 +36,8 @@ main(int argc, char **argv)
     std::map<std::string, std::vector<double>> norm;
     for (const std::string &name : opts.workloadNames()) {
         const auto app = bench::makeApp(name, opts);
+        if (!app)
+            continue;
         dvfs::StaticController nominal(driver.nominalState());
         const sim::RunResult base = driver.run(app, nominal);
 

@@ -34,6 +34,8 @@ main(int argc, char **argv)
 
     for (const std::string &name : opts.workloadNames()) {
         const auto app = bench::makeApp(name, opts);
+        if (!app)
+            continue;
         const auto controller = bench::makeController("PCSTALL", cfg);
         const sim::RunResult r = driver.run(app, *controller);
 

@@ -37,6 +37,8 @@ main(int argc, char **argv)
             std::vector<double> slowdowns;
             for (const std::string &name : opts.sweepWorkloadNames()) {
                 const auto app = bench::makeApp(name, opts);
+                if (!app)
+                    continue;
                 dvfs::StaticController nominal(driver.nominalState());
                 const sim::RunResult base = driver.run(app, nominal);
                 const auto controller =

@@ -40,6 +40,8 @@ main(int argc, char **argv)
         for (const std::string &name :
              gran_opts.sweepWorkloadNames()) {
             const auto app = bench::makeApp(name, gran_opts);
+            if (!app)
+                continue;
             dvfs::StaticController nominal(driver.nominalState());
             const sim::RunResult base = driver.run(app, nominal);
             for (const std::string &design : designs) {

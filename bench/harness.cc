@@ -26,16 +26,48 @@ BenchOptions::parse(int argc, char **argv)
     opts.seed = static_cast<std::uint64_t>(cli.getInt("seed", 42));
     opts.csv = cli.has("csv");
 
+    // Fault-injection flags: any nonzero magnitude enables its class.
+    opts.faults.seed = static_cast<std::uint64_t>(
+        cli.getInt("fault-seed", static_cast<std::int64_t>(
+            opts.faults.seed)));
+    opts.faults.telemetry.sigma = cli.getDouble("noise-sigma", 0.0);
+    opts.faults.telemetry.dropoutProb =
+        cli.getDouble("noise-dropout", 0.0);
+    opts.faults.telemetry.enabled = opts.faults.telemetry.sigma > 0.0 ||
+        opts.faults.telemetry.dropoutProb > 0.0;
+    opts.faults.dvfs.transitionFailProb =
+        cli.getDouble("trans-fail", 0.0);
+    opts.faults.dvfs.extraSwitchLatency = static_cast<Tick>(
+        cli.getDouble("trans-extra-ns", 0.0) * 1000.0);
+    opts.faults.dvfs.granularity = static_cast<Freq>(
+        cli.getInt("freq-quant-mhz", 0)) * freqMHz;
+    opts.faults.dvfs.enabled =
+        opts.faults.dvfs.transitionFailProb > 0.0 ||
+        opts.faults.dvfs.extraSwitchLatency > 0 ||
+        opts.faults.dvfs.granularity > 0;
+    opts.faults.storage.upsetsPerEpoch = cli.getDouble("bitflips", 0.0);
+    opts.faults.storage.enabled =
+        opts.faults.storage.upsetsPerEpoch > 0.0;
+    opts.watchdog = cli.has("watchdog");
+    opts.ecc = cli.has("ecc");
+
     const std::string list = cli.get("workloads", "");
     if (!list.empty()) {
         std::stringstream ss(list);
         std::string item;
         while (std::getline(ss, item, ',')) {
-            fatalIf(!workloads::isWorkload(item),
-                    "unknown workload '" + item + "'");
+            const bool is_path =
+                item.find('/') != std::string::npos ||
+                item.find('.') != std::string::npos;
+            if (!is_path && !workloads::isWorkload(item)) {
+                warn("ignoring unknown workload '" + item + "'");
+                continue;
+            }
             opts.workloads.push_back(item);
         }
     }
+    for (const std::string &err : cli.errors())
+        warn("bad option " + err + " (using the default)");
     return opts;
 }
 
@@ -57,6 +89,9 @@ BenchOptions::runConfig() const
     cfg.gpu.seed = seed;
     cfg.epochLen = epochLen;
     cfg.cusPerDomain = cusPerDomain;
+    cfg.faults = faults;
+    cfg.watchdogFallback = watchdog;
+    cfg.eccProtectTables = ecc;
     cfg.scaled();
     return cfg;
 }
@@ -97,8 +132,14 @@ BenchOptions::sweepWorkloadNames() const
 std::shared_ptr<const isa::Application>
 makeApp(const std::string &name, const BenchOptions &opts)
 {
+    workloads::WorkloadLoadResult loaded =
+        workloads::loadWorkload(name, opts.workloadParams());
+    if (!loaded.ok()) {
+        warn("skipping workload: " + loaded.error);
+        return nullptr;
+    }
     return std::make_shared<const isa::Application>(
-        workloads::makeWorkload(name, opts.workloadParams()));
+        std::move(*loaded.app));
 }
 
 std::unique_ptr<dvfs::DvfsController>
@@ -129,6 +170,8 @@ makeController(const std::string &name, const sim::RunConfig &cfg)
         core::PcstallConfig pc = core::PcstallConfig::forEpoch(
             cfg.epochLen, cfg.gpu.waveSlotsPerCu);
         pc.accurateEstimates = name == "ACCPC";
+        pc.watchdog.enabled = cfg.watchdogFallback;
+        pc.table.parityProtected = cfg.eccProtectTables;
         return std::make_unique<core::PcstallController>(
             pc, cfg.gpu.numCus);
     }

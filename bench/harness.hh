@@ -21,6 +21,7 @@
 #include "common/cli.hh"
 #include "common/table_writer.hh"
 #include "dvfs/controller.hh"
+#include "faults/fault_config.hh"
 #include "isa/kernel.hh"
 #include "sim/experiment.hh"
 #include "sim/profiler.hh"
@@ -38,11 +39,22 @@ struct BenchOptions
     std::uint32_t cusPerDomain = 1;
     std::uint64_t seed = 42;
     bool csv = false;
-    /** Subset of workloads to run (all when empty). */
+    /** Subset of workloads to run (all when empty). Entries may be
+     *  Table II names or kernel-script paths. */
     std::vector<std::string> workloads;
+    /** Fault injection (see src/faults; disabled by default). */
+    faults::FaultConfig faults;
+    /** Enable the PCSTALL divergence watchdog (STALL fallback). */
+    bool watchdog = false;
+    /** Parity-protect PC tables (scrub corrupted entries). */
+    bool ecc = false;
 
     /** Parse from argv; honours --cus --scale --epoch-us --domain-cus
-     *  --seed --csv --workloads a,b,c. */
+     *  --seed --csv --workloads a,b,c plus the fault flags
+     *  --fault-seed --noise-sigma --noise-dropout --trans-fail
+     *  --trans-extra-ns --freq-quant-mhz --bitflips --ecc --watchdog.
+     *  Malformed options and unknown workloads are warned about and
+     *  dropped, never fatal. */
     static BenchOptions parse(int argc, char **argv);
 
     workloads::WorkloadParams workloadParams() const;
@@ -83,7 +95,12 @@ struct BenchOptions
     }
 };
 
-/** Build a workload application as a shared immutable object. */
+/**
+ * Build a workload application as a shared immutable object. @p name
+ * may be a Table II name or a kernel-script path. Returns null (after
+ * a warn) when the workload cannot be built, so one bad workload
+ * fails one run instead of the whole harness - callers skip null apps.
+ */
 std::shared_ptr<const isa::Application>
 makeApp(const std::string &name, const BenchOptions &opts);
 

@@ -51,6 +51,8 @@ main(int argc, char **argv)
             cfg.objective = c.objective;
             sim::ExperimentDriver driver(cfg);
             const auto app = bench::makeApp(name, opts);
+            if (!app)
+                continue;
             dvfs::StaticController nominal(driver.nominalState());
             const sim::RunResult base = driver.run(app, nominal);
             const auto controller = bench::makeController(c.design, cfg);

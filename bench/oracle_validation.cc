@@ -34,6 +34,8 @@ main(int argc, char **argv)
     Rng rng(opts.seed);
     for (const std::string &name : opts.workloadNames()) {
         const auto app = bench::makeApp(name, opts);
+        if (!app)
+            continue;
         gpu::GpuConfig gcfg = opts.runConfig().gpu;
         gpu::GpuChip chip(gcfg, app);
         const dvfs::DomainMap domains(gcfg.numCus, opts.cusPerDomain);

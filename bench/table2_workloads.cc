@@ -23,6 +23,8 @@ main(int argc, char **argv)
                        "total waves"});
     for (const auto &info : workloads::workloadTable()) {
         const auto app = bench::makeApp(info.name, opts);
+        if (!app)
+            continue;
         std::uint64_t code = 0;
         std::uint64_t waves = 0;
         for (const auto &k : app->launches) {

@@ -26,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/memory/CMakeFiles/pcstall_memory.dir/DependInfo.cmake"
   "/root/repo/build/src/isa/CMakeFiles/pcstall_isa.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/pcstall_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/pcstall_faults.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

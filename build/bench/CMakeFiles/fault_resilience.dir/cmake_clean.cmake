@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_resilience.dir/fault_resilience.cc.o"
+  "CMakeFiles/fault_resilience.dir/fault_resilience.cc.o.d"
+  "CMakeFiles/fault_resilience.dir/harness.cc.o"
+  "CMakeFiles/fault_resilience.dir/harness.cc.o.d"
+  "fault_resilience"
+  "fault_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -227,7 +227,8 @@ bench/CMakeFiles/fig08_wavefront_contribution.dir/fig08_wavefront_contribution.c
  /root/repo/src/common/table_writer.hh /root/repo/src/dvfs/controller.hh \
  /root/repo/src/dvfs/domain_map.hh /root/repo/src/common/logging.hh \
  /root/repo/src/dvfs/objective.hh /root/repo/src/power/power_model.hh \
- /root/repo/src/power/vf_table.hh /root/repo/src/sim/experiment.hh \
- /root/repo/src/sim/profiler.hh /root/repo/src/oracle/fork_pre_execute.hh \
- /root/repo/src/workloads/workloads.hh \
+ /root/repo/src/power/vf_table.hh /root/repo/src/faults/fault_config.hh \
+ /root/repo/src/sim/experiment.hh /root/repo/src/sim/profiler.hh \
+ /root/repo/src/oracle/fork_pre_execute.hh \
+ /root/repo/src/workloads/workloads.hh /usr/include/c++/12/optional \
  /root/repo/src/models/wave_estimator.hh

@@ -221,17 +221,19 @@ bench/CMakeFiles/fig10_pc_stability.dir/harness.cc.o: \
  /root/repo/src/memory/memory_system.hh \
  /root/repo/src/memory/cache_model.hh /root/repo/src/power/power_model.hh \
  /root/repo/src/power/vf_table.hh /root/repo/src/gpu/epoch_stats.hh \
- /root/repo/src/isa/kernel.hh /root/repo/src/isa/instruction.hh \
- /root/repo/src/sim/experiment.hh /root/repo/src/gpu/gpu_chip.hh \
- /root/repo/src/gpu/compute_unit.hh /root/repo/src/gpu/gpu_config.hh \
- /root/repo/src/gpu/wavefront.hh /usr/include/c++/12/limits \
- /root/repo/src/sim/profiler.hh /root/repo/src/oracle/fork_pre_execute.hh \
- /root/repo/src/workloads/workloads.hh /usr/include/c++/12/iostream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/faults/fault_config.hh /root/repo/src/isa/kernel.hh \
+ /root/repo/src/isa/instruction.hh /root/repo/src/sim/experiment.hh \
+ /root/repo/src/gpu/gpu_chip.hh /root/repo/src/gpu/compute_unit.hh \
+ /root/repo/src/gpu/gpu_config.hh /root/repo/src/gpu/wavefront.hh \
+ /usr/include/c++/12/limits /root/repo/src/sim/profiler.hh \
+ /root/repo/src/oracle/fork_pre_execute.hh \
+ /root/repo/src/workloads/workloads.hh /usr/include/c++/12/optional \
+ /usr/include/c++/12/iostream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/core/pcstall_controller.hh \
- /root/repo/src/models/wave_estimator.hh \
- /root/repo/src/predict/pc_table.hh /usr/include/c++/12/optional \
  /root/repo/src/models/reactive_controller.hh \
  /root/repo/src/models/estimation.hh \
+ /root/repo/src/models/wave_estimator.hh \
+ /root/repo/src/predict/pc_table.hh \
  /root/repo/src/oracle/oracle_controllers.hh

@@ -248,9 +248,12 @@ bench/CMakeFiles/fig11_contention_offset.dir/fig11_contention_offset.cc.o: \
  /root/repo/src/common/table_writer.hh /root/repo/src/dvfs/controller.hh \
  /root/repo/src/dvfs/domain_map.hh /root/repo/src/common/logging.hh \
  /root/repo/src/dvfs/objective.hh /root/repo/src/power/power_model.hh \
- /root/repo/src/power/vf_table.hh /root/repo/src/sim/experiment.hh \
- /root/repo/src/sim/profiler.hh /root/repo/src/oracle/fork_pre_execute.hh \
- /root/repo/src/workloads/workloads.hh \
+ /root/repo/src/power/vf_table.hh /root/repo/src/faults/fault_config.hh \
+ /root/repo/src/sim/experiment.hh /root/repo/src/sim/profiler.hh \
+ /root/repo/src/oracle/fork_pre_execute.hh \
+ /root/repo/src/workloads/workloads.hh /usr/include/c++/12/optional \
  /root/repo/src/core/pcstall_controller.hh \
+ /root/repo/src/models/reactive_controller.hh \
+ /root/repo/src/models/estimation.hh \
  /root/repo/src/models/wave_estimator.hh \
- /root/repo/src/predict/pc_table.hh /usr/include/c++/12/optional
+ /root/repo/src/predict/pc_table.hh

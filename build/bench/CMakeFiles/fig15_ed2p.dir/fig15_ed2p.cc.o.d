@@ -224,9 +224,10 @@ bench/CMakeFiles/fig15_ed2p.dir/fig15_ed2p.cc.o: \
  /root/repo/src/memory/memory_system.hh \
  /root/repo/src/memory/cache_model.hh /root/repo/src/power/power_model.hh \
  /root/repo/src/power/vf_table.hh /root/repo/src/gpu/epoch_stats.hh \
- /root/repo/src/isa/kernel.hh /root/repo/src/isa/instruction.hh \
- /root/repo/src/sim/experiment.hh /root/repo/src/gpu/gpu_chip.hh \
- /root/repo/src/gpu/compute_unit.hh /root/repo/src/gpu/gpu_config.hh \
- /root/repo/src/gpu/wavefront.hh /usr/include/c++/12/limits \
- /root/repo/src/sim/profiler.hh /root/repo/src/oracle/fork_pre_execute.hh \
- /root/repo/src/workloads/workloads.hh
+ /root/repo/src/faults/fault_config.hh /root/repo/src/isa/kernel.hh \
+ /root/repo/src/isa/instruction.hh /root/repo/src/sim/experiment.hh \
+ /root/repo/src/gpu/gpu_chip.hh /root/repo/src/gpu/compute_unit.hh \
+ /root/repo/src/gpu/gpu_config.hh /root/repo/src/gpu/wavefront.hh \
+ /usr/include/c++/12/limits /root/repo/src/sim/profiler.hh \
+ /root/repo/src/oracle/fork_pre_execute.hh \
+ /root/repo/src/workloads/workloads.hh /usr/include/c++/12/optional

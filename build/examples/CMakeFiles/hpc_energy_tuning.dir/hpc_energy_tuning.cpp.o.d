@@ -211,11 +211,12 @@ examples/CMakeFiles/hpc_energy_tuning.dir/hpc_energy_tuning.cpp.o: \
  /root/repo/src/memory/memory_system.hh \
  /root/repo/src/memory/cache_model.hh /root/repo/src/power/power_model.hh \
  /root/repo/src/power/vf_table.hh /root/repo/src/gpu/epoch_stats.hh \
+ /root/repo/src/models/reactive_controller.hh \
+ /root/repo/src/models/estimation.hh \
  /root/repo/src/models/wave_estimator.hh \
  /root/repo/src/predict/pc_table.hh /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/models/reactive_controller.hh \
- /root/repo/src/models/estimation.hh /root/repo/src/sim/experiment.hh \
+ /root/repo/src/sim/experiment.hh /root/repo/src/faults/fault_config.hh \
  /root/repo/src/gpu/gpu_chip.hh /root/repo/src/gpu/compute_unit.hh \
  /root/repo/src/gpu/gpu_config.hh /root/repo/src/gpu/wavefront.hh \
  /usr/include/c++/12/limits /root/repo/src/isa/kernel.hh \

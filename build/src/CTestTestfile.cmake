@@ -12,6 +12,7 @@ subdirs("power")
 subdirs("dvfs")
 subdirs("models")
 subdirs("predict")
+subdirs("faults")
 subdirs("core")
 subdirs("oracle")
 subdirs("workloads")

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/pcstall_common.dir/DependInfo.cmake"
   "/root/repo/build/src/dvfs/CMakeFiles/pcstall_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/pcstall_faults.dir/DependInfo.cmake"
   "/root/repo/build/src/models/CMakeFiles/pcstall_models.dir/DependInfo.cmake"
   "/root/repo/build/src/predict/CMakeFiles/pcstall_predict.dir/DependInfo.cmake"
   "/root/repo/build/src/power/CMakeFiles/pcstall_power.dir/DependInfo.cmake"

@@ -134,6 +134,8 @@ src/core/CMakeFiles/pcstall_core.dir/pcstall_controller.cc.o: \
  /root/repo/src/memory/memory_system.hh \
  /root/repo/src/memory/cache_model.hh /root/repo/src/power/power_model.hh \
  /root/repo/src/power/vf_table.hh /root/repo/src/gpu/epoch_stats.hh \
+ /root/repo/src/models/reactive_controller.hh \
+ /root/repo/src/models/estimation.hh \
  /root/repo/src/models/wave_estimator.hh \
  /root/repo/src/predict/pc_table.hh /usr/include/c++/12/optional \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
@@ -149,4 +151,6 @@ src/core/CMakeFiles/pcstall_core.dir/pcstall_controller.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/faults/fault_injector.hh /root/repo/src/common/rng.hh \
+ /root/repo/src/faults/fault_config.hh

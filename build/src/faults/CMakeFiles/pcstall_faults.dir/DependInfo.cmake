@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/fault_injector.cc" "src/faults/CMakeFiles/pcstall_faults.dir/fault_injector.cc.o" "gcc" "src/faults/CMakeFiles/pcstall_faults.dir/fault_injector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcstall_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/pcstall_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcstall_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/pcstall_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pcstall_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/pcstall_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

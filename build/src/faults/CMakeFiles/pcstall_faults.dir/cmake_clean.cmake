@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcstall_faults.dir/fault_injector.cc.o"
+  "CMakeFiles/pcstall_faults.dir/fault_injector.cc.o.d"
+  "libpcstall_faults.a"
+  "libpcstall_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcstall_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcstall_faults.a"
+)

@@ -18,8 +18,10 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/pcstall_common.dir/DependInfo.cmake"
   "/root/repo/build/src/gpu/CMakeFiles/pcstall_gpu.dir/DependInfo.cmake"
   "/root/repo/build/src/dvfs/CMakeFiles/pcstall_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/pcstall_faults.dir/DependInfo.cmake"
   "/root/repo/build/src/power/CMakeFiles/pcstall_power.dir/DependInfo.cmake"
   "/root/repo/build/src/oracle/CMakeFiles/pcstall_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/pcstall_predict.dir/DependInfo.cmake"
   "/root/repo/build/src/isa/CMakeFiles/pcstall_isa.dir/DependInfo.cmake"
   "/root/repo/build/src/memory/CMakeFiles/pcstall_memory.dir/DependInfo.cmake"
   )

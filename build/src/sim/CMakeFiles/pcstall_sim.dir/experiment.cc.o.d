@@ -204,11 +204,11 @@ src/sim/CMakeFiles/pcstall_sim.dir/experiment.cc.o: \
  /usr/include/c++/12/cstddef /root/repo/src/memory/memory_system.hh \
  /root/repo/src/memory/cache_model.hh /root/repo/src/power/power_model.hh \
  /root/repo/src/power/vf_table.hh /root/repo/src/gpu/epoch_stats.hh \
- /root/repo/src/gpu/gpu_chip.hh /root/repo/src/gpu/compute_unit.hh \
- /root/repo/src/gpu/gpu_config.hh /root/repo/src/gpu/wavefront.hh \
- /usr/include/c++/12/limits /root/repo/src/isa/kernel.hh \
- /root/repo/src/isa/instruction.hh /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/faults/fault_config.hh /root/repo/src/gpu/gpu_chip.hh \
+ /root/repo/src/gpu/compute_unit.hh /root/repo/src/gpu/gpu_config.hh \
+ /root/repo/src/gpu/wavefront.hh /usr/include/c++/12/limits \
+ /root/repo/src/isa/kernel.hh /root/repo/src/isa/instruction.hh \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
@@ -237,4 +237,7 @@ src/sim/CMakeFiles/pcstall_sim.dir/experiment.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/common/stats_util.hh \
+ /root/repo/src/faults/fault_injector.hh /root/repo/src/common/rng.hh \
+ /root/repo/src/predict/pc_table.hh /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/oracle/fork_pre_execute.hh

@@ -204,13 +204,14 @@ src/sim/CMakeFiles/pcstall_sim.dir/trace_export.cc.o: \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /root/repo/src/memory/memory_system.hh \
  /root/repo/src/memory/cache_model.hh /root/repo/src/power/power_model.hh \
- /root/repo/src/gpu/epoch_stats.hh /root/repo/src/gpu/gpu_chip.hh \
- /root/repo/src/gpu/compute_unit.hh /root/repo/src/gpu/gpu_config.hh \
- /root/repo/src/gpu/wavefront.hh /usr/include/c++/12/limits \
- /root/repo/src/isa/kernel.hh /root/repo/src/isa/instruction.hh \
- /root/repo/src/sim/profiler.hh /root/repo/src/oracle/fork_pre_execute.hh \
- /usr/include/c++/12/fstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /root/repo/src/gpu/epoch_stats.hh /root/repo/src/faults/fault_config.hh \
+ /root/repo/src/gpu/gpu_chip.hh /root/repo/src/gpu/compute_unit.hh \
+ /root/repo/src/gpu/gpu_config.hh /root/repo/src/gpu/wavefront.hh \
+ /usr/include/c++/12/limits /root/repo/src/isa/kernel.hh \
+ /root/repo/src/isa/instruction.hh /root/repo/src/sim/profiler.hh \
+ /root/repo/src/oracle/fork_pre_execute.hh /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc

@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/pcstall_core.dir/DependInfo.cmake"
   "/root/repo/build/src/oracle/CMakeFiles/pcstall_oracle.dir/DependInfo.cmake"
   "/root/repo/build/src/models/CMakeFiles/pcstall_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/pcstall_faults.dir/DependInfo.cmake"
   "/root/repo/build/src/predict/CMakeFiles/pcstall_predict.dir/DependInfo.cmake"
   "/root/repo/build/src/workloads/CMakeFiles/pcstall_workloads.dir/DependInfo.cmake"
   "/root/repo/build/src/dvfs/CMakeFiles/pcstall_dvfs.dir/DependInfo.cmake"

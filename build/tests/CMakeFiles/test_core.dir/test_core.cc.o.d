@@ -300,9 +300,11 @@ tests/CMakeFiles/test_core.dir/test_core.cc.o: \
  /root/repo/src/memory/memory_system.hh \
  /root/repo/src/memory/cache_model.hh /root/repo/src/power/power_model.hh \
  /root/repo/src/power/vf_table.hh /root/repo/src/gpu/epoch_stats.hh \
+ /root/repo/src/models/reactive_controller.hh \
+ /root/repo/src/models/estimation.hh \
  /root/repo/src/models/wave_estimator.hh \
  /root/repo/src/predict/pc_table.hh /root/repo/src/sim/experiment.hh \
- /root/repo/src/gpu/gpu_chip.hh /root/repo/src/gpu/compute_unit.hh \
- /root/repo/src/gpu/gpu_config.hh /root/repo/src/gpu/wavefront.hh \
- /root/repo/src/isa/kernel.hh /root/repo/src/isa/instruction.hh \
- /root/repo/src/isa/kernel_builder.hh
+ /root/repo/src/faults/fault_config.hh /root/repo/src/gpu/gpu_chip.hh \
+ /root/repo/src/gpu/compute_unit.hh /root/repo/src/gpu/gpu_config.hh \
+ /root/repo/src/gpu/wavefront.hh /root/repo/src/isa/kernel.hh \
+ /root/repo/src/isa/instruction.hh /root/repo/src/isa/kernel_builder.hh

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_faults.cc" "tests/CMakeFiles/test_faults.dir/test_faults.cc.o" "gcc" "tests/CMakeFiles/test_faults.dir/test_faults.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pcstall_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pcstall_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/pcstall_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pcstall_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/pcstall_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/pcstall_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pcstall_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/pcstall_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcstall_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/pcstall_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/pcstall_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pcstall_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcstall_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

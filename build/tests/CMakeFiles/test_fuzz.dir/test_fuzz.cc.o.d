@@ -299,4 +299,5 @@ tests/CMakeFiles/test_fuzz.dir/test_fuzz.cc.o: \
  /root/repo/src/gpu/epoch_stats.hh /root/repo/src/memory/memory_system.hh \
  /root/repo/src/memory/cache_model.hh /root/repo/src/gpu/gpu_config.hh \
  /root/repo/src/gpu/wavefront.hh /root/repo/src/isa/kernel.hh \
- /root/repo/src/isa/instruction.hh /root/repo/src/isa/kernel_builder.hh
+ /root/repo/src/isa/instruction.hh /root/repo/src/isa/kernel_builder.hh \
+ /root/repo/src/workloads/kernel_parser.hh

@@ -300,13 +300,14 @@ tests/CMakeFiles/test_integration.dir/test_integration.cc.o: \
  /root/repo/src/memory/memory_system.hh \
  /root/repo/src/memory/cache_model.hh /root/repo/src/power/power_model.hh \
  /root/repo/src/power/vf_table.hh /root/repo/src/gpu/epoch_stats.hh \
+ /root/repo/src/models/reactive_controller.hh \
+ /root/repo/src/models/estimation.hh \
  /root/repo/src/models/wave_estimator.hh \
  /root/repo/src/predict/pc_table.hh /root/repo/src/dvfs/hierarchical.hh \
  /root/repo/src/models/history_controller.hh \
- /root/repo/src/models/reactive_controller.hh \
- /root/repo/src/models/estimation.hh \
  /root/repo/src/oracle/oracle_controllers.hh \
- /root/repo/src/sim/experiment.hh /root/repo/src/gpu/gpu_chip.hh \
- /root/repo/src/gpu/compute_unit.hh /root/repo/src/gpu/gpu_config.hh \
- /root/repo/src/gpu/wavefront.hh /root/repo/src/isa/kernel.hh \
- /root/repo/src/isa/instruction.hh /root/repo/src/workloads/workloads.hh
+ /root/repo/src/sim/experiment.hh /root/repo/src/faults/fault_config.hh \
+ /root/repo/src/gpu/gpu_chip.hh /root/repo/src/gpu/compute_unit.hh \
+ /root/repo/src/gpu/gpu_config.hh /root/repo/src/gpu/wavefront.hh \
+ /root/repo/src/isa/kernel.hh /root/repo/src/isa/instruction.hh \
+ /root/repo/src/workloads/workloads.hh

@@ -305,4 +305,4 @@ tests/CMakeFiles/test_oracle.dir/test_oracle.cc.o: \
  /usr/include/c++/12/span /root/repo/src/power/power_model.hh \
  /root/repo/src/power/vf_table.hh \
  /root/repo/src/oracle/oracle_controllers.hh \
- /root/repo/src/sim/experiment.hh
+ /root/repo/src/sim/experiment.hh /root/repo/src/faults/fault_config.hh

@@ -13,6 +13,7 @@ include("/root/repo/build/tests/test_dvfs[1]_include.cmake")
 include("/root/repo/build/tests/test_models[1]_include.cmake")
 include("/root/repo/build/tests/test_predict[1]_include.cmake")
 include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_faults[1]_include.cmake")
 include("/root/repo/build/tests/test_oracle[1]_include.cmake")
 include("/root/repo/build/tests/test_workloads[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")

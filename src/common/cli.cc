@@ -44,16 +44,33 @@ std::int64_t
 CliOptions::getInt(const std::string &name, std::int64_t def) const
 {
     auto it = values.find(name);
-    return it == values.end() ? def : std::strtoll(it->second.c_str(),
-                                                   nullptr, 10);
+    if (it == values.end())
+        return def;
+    char *end = nullptr;
+    const std::int64_t parsed =
+        std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+        parseErrors.push_back("--" + name + ": '" + it->second +
+                              "' is not an integer");
+        return def;
+    }
+    return parsed;
 }
 
 double
 CliOptions::getDouble(const std::string &name, double def) const
 {
     auto it = values.find(name);
-    return it == values.end() ? def : std::strtod(it->second.c_str(),
-                                                  nullptr);
+    if (it == values.end())
+        return def;
+    char *end = nullptr;
+    const double parsed = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+        parseErrors.push_back("--" + name + ": '" + it->second +
+                              "' is not a number");
+        return def;
+    }
+    return parsed;
 }
 
 } // namespace pcstall

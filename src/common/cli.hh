@@ -19,6 +19,11 @@ namespace pcstall
  * Parses argv into a name -> value map and offers typed accessors with
  * defaults. Unknown options are accepted (the figure harnesses share a
  * common option vocabulary but only consume a subset each).
+ *
+ * Malformed values are recoverable, not fatal: a typed accessor that
+ * cannot parse its value returns the default and records a diagnostic
+ * in errors(), so a harness can report every bad option and keep
+ * running (or bail out cleanly) instead of exiting mid-parse.
  */
 class CliOptions
 {
@@ -31,18 +36,23 @@ class CliOptions
     /** String option; returns @p def when absent. */
     std::string get(const std::string &name, const std::string &def) const;
 
-    /** Integer option; returns @p def when absent. */
+    /** Integer option; returns @p def when absent or malformed. */
     std::int64_t getInt(const std::string &name, std::int64_t def) const;
 
-    /** Floating-point option; returns @p def when absent. */
+    /** Floating-point option; returns @p def when absent or malformed. */
     double getDouble(const std::string &name, double def) const;
 
     /** Positional (non --option) arguments in order. */
     const std::vector<std::string> &positional() const { return extras; }
 
+    /** Diagnostics for values a typed accessor could not parse. */
+    const std::vector<std::string> &errors() const { return parseErrors; }
+
   private:
     std::map<std::string, std::string> values;
     std::vector<std::string> extras;
+    /** Mutable: accessors are logically const but record bad values. */
+    mutable std::vector<std::string> parseErrors;
 };
 
 } // namespace pcstall

@@ -39,7 +39,10 @@ void warn(const std::string &msg);
 /** Report neutral status information. */
 void inform(const std::string &msg);
 
-/** Abort with a message when @p cond is false (always on, unlike assert). */
+/**
+ * Abort with a message when @p cond is true - i.e. @p cond asserts
+ * the *failure*, not the invariant (always on, unlike assert).
+ */
 inline void
 panicIf(bool cond, const std::string &msg)
 {
@@ -47,7 +50,7 @@ panicIf(bool cond, const std::string &msg)
         panic(msg);
 }
 
-/** Exit with a message when @p cond is true. */
+/** Exit with a message when @p cond is true (see panicIf). */
 inline void
 fatalIf(bool cond, const std::string &msg)
 {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "faults/fault_injector.hh"
 
 namespace pcstall::core
 {
@@ -97,9 +98,75 @@ PcstallController::learnContention(const dvfs::EpochContext &ctx)
     }
 }
 
+void
+PcstallController::observeWatchdog(const dvfs::EpochContext &ctx)
+{
+    if (!cfg.watchdog.enabled)
+        return;
+    if (!havePrev) {
+        havePrev = true;
+        return;
+    }
+
+    // Telemetry plausibility: the GPU model clips every time-class
+    // counter at the epoch boundary, so every clean record satisfies
+    // these per-CU invariants exactly (see ComputeUnit epoch harvest).
+    // Independently corrupted counters violate them whenever the two
+    // sides are close. The tolerance absorbs the one issue slot that
+    // may straddle the boundary.
+    const Tick span = ctx.record.end - ctx.record.start;
+    const Tick tol = span / 64;
+    std::size_t implausible = 0;
+    for (const gpu::CuEpochRecord &cu : ctx.record.cus) {
+        if (cu.loadStall + cu.storeStall > span + tol ||
+            cu.overlap > cu.busy + tol ||
+            cu.leadLoad > cu.memInterval + tol ||
+            cu.memInterval > span + tol) {
+            ++implausible;
+        }
+    }
+
+    // Score the previous epoch's phase model at the frequency each
+    // domain actually ran, so realized-but-not-requested states (DVFS
+    // transition faults) do not read as prediction error.
+    double error_sum = 0.0;
+    std::size_t scored = 0;
+    for (std::uint32_t d = 0; d < ctx.domains.numDomains(); ++d) {
+        const double realized = dvfs::sumOverDomain(
+            ctx.domains, d, [&](std::uint32_t cu) {
+                return static_cast<double>(ctx.record.cus[cu].committed);
+            });
+        if (realized <= 0.0)
+            continue; // idle domain: nothing to score
+        const double f =
+            freqGHzD(ctx.record.cus[ctx.domains.firstCu(d)].freq);
+        const double pred =
+            std::max(prevLevel[d] + prevSens[d] * f, 0.0);
+        error_sum += std::abs(pred - realized) / realized;
+        ++scored;
+    }
+    if (scored == 0 && implausible == 0)
+        return; // fully idle epoch: leave the streaks alone
+
+    const bool bad = implausible > 0 ||
+        (scored > 0 && error_sum / static_cast<double>(scored) >
+                           cfg.watchdog.errorThreshold);
+    badStreak = bad ? badStreak + 1 : 0;
+    goodStreak = bad ? 0 : goodStreak + 1;
+    if (!fallback_ && badStreak >= cfg.watchdog.tripAfter) {
+        fallback_ = true;
+        ++trips_;
+        goodStreak = 0;
+    } else if (fallback_ && goodStreak >= cfg.watchdog.recoverAfter) {
+        fallback_ = false;
+        badStreak = 0;
+    }
+}
+
 std::vector<dvfs::DomainDecision>
 PcstallController::decide(const dvfs::EpochContext &ctx)
 {
+    observeWatchdog(ctx);
     learnContention(ctx);
 
     // ------------------------------------------------------------------
@@ -182,6 +249,17 @@ PcstallController::decide(const dvfs::EpochContext &ctx)
         domain_level[d] += level;
     }
 
+    // Shadow the phase model even when the fallback decides: the
+    // watchdog keeps scoring the predictor in the background so a
+    // recovered table can win control back.
+    prevSens = domain_sens;
+    prevLevel = domain_level;
+
+    if (fallback_) {
+        ++fallbackEpochs_;
+        return stallFallback.decide(ctx);
+    }
+
     // ------------------------------------------------------------------
     // SELECT: I(f) = I0 + S * f, objective-driven (the frequency
     // choice itself is orthogonal to the prediction, Section 5.2).
@@ -222,6 +300,22 @@ PcstallController::decide(const dvfs::EpochContext &ctx)
         out[d].predictedInstr = instr_at[out[d].state];
     }
     return out;
+}
+
+void
+PcstallController::applyStorageFaults(faults::FaultInjector &injector)
+{
+    for (predict::PcSensitivityTable &t : tables)
+        bitFlips_ += injector.corrupt(t);
+}
+
+std::uint64_t
+PcstallController::storageScrubs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &t : tables)
+        total += t.scrubCount();
+    return total;
 }
 
 double

@@ -1,7 +1,34 @@
 #include "dvfs/controller.hh"
 
+#include <cmath>
+
 namespace pcstall::dvfs
 {
+
+std::size_t
+sanitizeDecisions(std::vector<DomainDecision> &decisions,
+                  const power::VfTable &table, std::size_t num_domains,
+                  std::size_t fallback_state)
+{
+    std::size_t repairs = 0;
+    if (decisions.size() != num_domains) {
+        ++repairs;
+        decisions.resize(num_domains,
+                         DomainDecision{fallback_state, -1.0});
+    }
+    const std::size_t top = table.numStates() - 1;
+    for (DomainDecision &d : decisions) {
+        if (d.state > top) {
+            d.state = top;
+            ++repairs;
+        }
+        if (!std::isfinite(d.predictedInstr)) {
+            d.predictedInstr = -1.0;
+            ++repairs;
+        }
+    }
+    return repairs;
+}
 
 std::string
 StaticController::name() const

@@ -19,6 +19,11 @@
 #include "power/power_model.hh"
 #include "power/vf_table.hh"
 
+namespace pcstall::faults
+{
+class FaultInjector;
+} // namespace pcstall::faults
+
 namespace pcstall::dvfs
 {
 
@@ -133,7 +138,42 @@ class DvfsController
      */
     virtual std::vector<DomainDecision> decide(const EpochContext &ctx)
         = 0;
+
+    /**
+     * Expose any predictor storage to the fault injector (called once
+     * per epoch boundary, before decide()). Stateless controllers
+     * have nothing to corrupt; the default is a no-op.
+     */
+    virtual void applyStorageFaults(faults::FaultInjector &injector)
+    {
+        (void)injector;
+    }
+
+    /** Times a divergence watchdog tripped into its fallback policy. */
+    virtual std::uint64_t watchdogTrips() const { return 0; }
+
+    /** Epochs decided by the fallback policy instead of the primary. */
+    virtual std::uint64_t fallbackEpochs() const { return 0; }
+
+    /** Storage bits flipped in this controller's predictor tables. */
+    virtual std::uint64_t storageBitFlips() const { return 0; }
+
+    /** Corrupted entries caught and scrubbed by parity protection. */
+    virtual std::uint64_t storageScrubs() const { return 0; }
 };
+
+/**
+ * Repair a decision vector in place so it is always legal to apply:
+ * wrong-length vectors are resized (new slots run at
+ * @p fallback_state), out-of-range state indices are clamped into the
+ * table, and non-finite instruction predictions are dropped. Returns
+ * the number of repairs, so the driver can count how often a
+ * controller emitted something illegal.
+ */
+std::size_t sanitizeDecisions(std::vector<DomainDecision> &decisions,
+                              const power::VfTable &table,
+                              std::size_t num_domains,
+                              std::size_t fallback_state);
 
 /** Always runs every domain at one fixed state (static baselines). */
 class StaticController : public DvfsController

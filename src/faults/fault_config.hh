@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Configuration of the deterministic fault-injection framework.
+ *
+ * The reproduction otherwise models an idealized DVFS stack: V/f
+ * transitions are instantaneous and always succeed, epoch telemetry is
+ * noise-free, and predictor storage never corrupts. Real deployments
+ * see none of that: measured GPU frequency-switch latencies reach tens
+ * of microseconds, on-chip counters are noisy, and small SRAM tables
+ * take soft errors. Each fault class below perturbs the simulation at
+ * one well-defined seam so controllers can be evaluated for graceful
+ * degradation instead of silent trust in perfect inputs.
+ *
+ * All classes default to disabled; a fully disabled config makes the
+ * injector a strict no-op, so fault-free runs remain bit-identical to
+ * runs of a build without the framework.
+ */
+
+#ifndef PCSTALL_FAULTS_FAULT_CONFIG_HH
+#define PCSTALL_FAULTS_FAULT_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pcstall::faults
+{
+
+/** Faults at the V/f transition seam (IVR/FLL imperfections). */
+struct DvfsFaultConfig
+{
+    bool enabled = false;
+    /**
+     * Probability that a requested state change transiently fails,
+     * leaving the domain at its old V/f state for the epoch.
+     */
+    double transitionFailProb = 0.0;
+    /** Extra settle latency added to every successful state change. */
+    Tick extraSwitchLatency = 0;
+    /**
+     * Frequency-granularity quantization: requested frequencies are
+     * floored to this grid before snapping back to the nearest table
+     * state (0 disables). Models PLLs coarser than the V/f table.
+     */
+    Freq granularity = 0;
+};
+
+/** Faults on harvested epoch telemetry (noisy sensors/counters). */
+struct TelemetryFaultConfig
+{
+    bool enabled = false;
+    /** Relative Gaussian noise (sigma as a fraction) per counter. */
+    double sigma = 0.0;
+    /** Probability a counter read drops out and reads as zero. */
+    double dropoutProb = 0.0;
+};
+
+/** Faults in predictor storage (soft errors in the PC table SRAM). */
+struct StorageFaultConfig
+{
+    bool enabled = false;
+    /** Expected single-bit upsets per table per epoch (may be < 1). */
+    double upsetsPerEpoch = 0.0;
+};
+
+/** Full fault-injection configuration. */
+struct FaultConfig
+{
+    /** Seed of the injector's private random streams. */
+    std::uint64_t seed = 0xF4017ULL;
+    DvfsFaultConfig dvfs;
+    TelemetryFaultConfig telemetry;
+    StorageFaultConfig storage;
+
+    bool
+    anyEnabled() const
+    {
+        return dvfs.enabled || telemetry.enabled || storage.enabled;
+    }
+};
+
+} // namespace pcstall::faults
+
+#endif // PCSTALL_FAULTS_FAULT_CONFIG_HH

@@ -1,0 +1,165 @@
+#include "faults/fault_injector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pcstall::faults
+{
+
+FaultInjector::FaultInjector(const FaultConfig &config)
+    : cfg(config),
+      telemetryRng(hashCombine(config.seed, 0x7E1E)),
+      dvfsRng(hashCombine(config.seed, 0xD4F5)),
+      storageRng(hashCombine(config.seed, 0x5707))
+{
+    fatalIf(cfg.telemetry.sigma < 0.0,
+            "fault injector: telemetry sigma must be >= 0");
+    fatalIf(cfg.telemetry.dropoutProb < 0.0 ||
+                cfg.telemetry.dropoutProb > 1.0,
+            "fault injector: dropout probability must be in [0, 1]");
+    fatalIf(cfg.dvfs.transitionFailProb < 0.0 ||
+                cfg.dvfs.transitionFailProb > 1.0,
+            "fault injector: transition-fail probability must be in "
+            "[0, 1]");
+    fatalIf(cfg.dvfs.extraSwitchLatency < 0,
+            "fault injector: extra switch latency must be >= 0");
+    fatalIf(cfg.storage.upsetsPerEpoch < 0.0,
+            "fault injector: storage upset rate must be >= 0");
+}
+
+double
+FaultInjector::gaussian(Rng &rng)
+{
+    // Box-Muller; u1 is kept away from 0 so the log stays finite.
+    const double u1 = std::max(rng.uniform(), 1e-12);
+    const double u2 = rng.uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+        std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+TelemetryOutcome
+FaultInjector::perturbRecord(gpu::EpochRecord &record, Tick epoch_len)
+{
+    TelemetryOutcome out;
+    if (!cfg.telemetry.enabled)
+        return out;
+
+    // Sensors drop out whole, or read with multiplicative Gaussian
+    // noise. Perturbed values stay in the counter's physical range so
+    // downstream models never see impossible telemetry.
+    auto sample = [&](double value, double cap) {
+        if (cfg.telemetry.dropoutProb > 0.0 &&
+            telemetryRng.chance(cfg.telemetry.dropoutProb)) {
+            ++out.dropouts;
+            if (value != 0.0)
+                ++out.perturbed;
+            return 0.0;
+        }
+        double noisy = value *
+            (1.0 + cfg.telemetry.sigma * gaussian(telemetryRng));
+        noisy = std::clamp(noisy, 0.0, cap);
+        if (noisy != value)
+            ++out.perturbed;
+        return noisy;
+    };
+    const double tick_cap = static_cast<double>(epoch_len);
+    auto count = [&](std::uint64_t &v) {
+        v = static_cast<std::uint64_t>(
+            std::llround(sample(static_cast<double>(v), 1e18)));
+    };
+    auto span = [&](Tick &v) {
+        v = static_cast<Tick>(
+            std::llround(sample(static_cast<double>(v), tick_cap)));
+    };
+
+    for (gpu::CuEpochRecord &cu : record.cus) {
+        count(cu.committed);
+        count(cu.vmemLoads);
+        count(cu.vmemStores);
+        span(cu.busy);
+        span(cu.loadStall);
+        span(cu.storeStall);
+        span(cu.leadLoad);
+        span(cu.memInterval);
+        span(cu.overlap);
+    }
+    for (gpu::WaveEpochRecord &w : record.waves) {
+        if (!w.active)
+            continue;
+        count(w.committed);
+        span(w.memStall);
+        span(w.barrierStall);
+    }
+
+    sum.telemetryPerturbations += out.perturbed;
+    sum.telemetryDropouts += out.dropouts;
+    return out;
+}
+
+TransitionOutcome
+FaultInjector::transition(std::size_t current_state,
+                          std::size_t requested_state,
+                          const power::VfTable &table)
+{
+    TransitionOutcome out;
+    out.state = std::min(requested_state, table.numStates() - 1);
+    if (!cfg.dvfs.enabled)
+        return out;
+
+    if (cfg.dvfs.granularity > 0) {
+        // A PLL coarser than the V/f table can only realise
+        // frequencies on its own grid; floor the request to the grid
+        // and run at the nearest legal table state.
+        const Freq wanted = table.state(out.state).freq;
+        const Freq floored =
+            std::max<Freq>(wanted / cfg.dvfs.granularity, 1) *
+            cfg.dvfs.granularity;
+        out.state = table.nearestIndex(floored);
+    }
+    if (out.state == current_state)
+        return out;
+
+    if (cfg.dvfs.transitionFailProb > 0.0 &&
+        dvfsRng.chance(cfg.dvfs.transitionFailProb)) {
+        out.state = current_state;
+        out.failed = true;
+        ++sum.transitionFailures;
+        return out;
+    }
+    out.extraLatency = cfg.dvfs.extraSwitchLatency;
+    sum.transitionExtraLatency += out.extraLatency;
+    return out;
+}
+
+std::uint64_t
+FaultInjector::corrupt(predict::PcSensitivityTable &table)
+{
+    if (!cfg.storage.enabled || cfg.storage.upsetsPerEpoch <= 0.0)
+        return 0;
+
+    // Expected-rate draw: the integer part always lands, the
+    // fractional part lands probabilistically, so sub-1/epoch rates
+    // still inject over long runs.
+    const double rate = cfg.storage.upsetsPerEpoch;
+    std::uint64_t upsets = static_cast<std::uint64_t>(rate);
+    if (storageRng.chance(rate - std::floor(rate)))
+        ++upsets;
+
+    std::uint64_t flipped = 0;
+    for (std::uint64_t i = 0; i < upsets; ++i) {
+        const std::size_t entry = static_cast<std::size_t>(
+            storageRng.below(table.config().entries));
+        const bool level_field = table.config().storeLevel &&
+            storageRng.chance(0.5);
+        const std::uint32_t bit =
+            static_cast<std::uint32_t>(storageRng.below(8));
+        if (table.injectBitFlip(entry, level_field, bit))
+            ++flipped;
+    }
+    sum.tableBitFlips += flipped;
+    return flipped;
+}
+
+} // namespace pcstall::faults

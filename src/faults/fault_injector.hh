@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The deterministic, seeded fault injector. One instance lives in the
+ * experiment driver and perturbs the simulation at three seams:
+ *
+ *  - telemetry: harvested EpochRecord counters (the *observed* copy,
+ *    never the physical record used for energy accounting);
+ *  - DVFS transitions: requested state changes may quantize, fail
+ *    transiently, or pay extra settle latency;
+ *  - predictor storage: single-bit upsets in quantized PC-table
+ *    entries (optionally caught by the table's parity scrub).
+ *
+ * Each fault class draws from its own forked pcstall::Rng stream, so
+ * enabling one class never shifts another class's random sequence and
+ * every run is reproducible from FaultConfig::seed alone.
+ */
+
+#ifndef PCSTALL_FAULTS_FAULT_INJECTOR_HH
+#define PCSTALL_FAULTS_FAULT_INJECTOR_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "faults/fault_config.hh"
+#include "gpu/epoch_stats.hh"
+#include "power/vf_table.hh"
+#include "predict/pc_table.hh"
+
+namespace pcstall::faults
+{
+
+/** What actually happened to a requested V/f state change. */
+struct TransitionOutcome
+{
+    /** State the domain will really run at next epoch. */
+    std::size_t state = 0;
+    /** Settle latency added on top of the nominal transition stall. */
+    Tick extraLatency = 0;
+    /** True when the change transiently failed (state == old state). */
+    bool failed = false;
+};
+
+/** Per-call result of a telemetry perturbation pass. */
+struct TelemetryOutcome
+{
+    /** Counters whose observed value changed. */
+    std::uint64_t perturbed = 0;
+    /** Counters that dropped out and read as zero. */
+    std::uint64_t dropouts = 0;
+};
+
+/** Deterministic fault injector (see file comment). */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &config);
+
+    /** True when any fault class is enabled. */
+    bool active() const { return cfg.anyEnabled(); }
+
+    const FaultConfig &config() const { return cfg; }
+
+    /**
+     * Apply telemetry noise to an *observed* copy of an epoch record.
+     * No-op unless telemetry faults are enabled. @p epoch_len bounds
+     * the perturbed stall/interval counters.
+     */
+    TelemetryOutcome perturbRecord(gpu::EpochRecord &record,
+                                   Tick epoch_len);
+
+    /**
+     * Resolve a requested V/f state change for one domain against the
+     * configured transition faults. Identity when DVFS faults are
+     * disabled or the request keeps the current state.
+     */
+    TransitionOutcome transition(std::size_t current_state,
+                                 std::size_t requested_state,
+                                 const power::VfTable &table);
+
+    /**
+     * Apply this epoch's storage upsets to one PC table instance.
+     * Returns the number of bits actually flipped (upsets landing in
+     * never-written entries are harmless and not counted).
+     */
+    std::uint64_t corrupt(predict::PcSensitivityTable &table);
+
+    /** Lifetime totals across all calls. */
+    struct Totals
+    {
+        std::uint64_t telemetryPerturbations = 0;
+        std::uint64_t telemetryDropouts = 0;
+        std::uint64_t transitionFailures = 0;
+        Tick transitionExtraLatency = 0;
+        std::uint64_t tableBitFlips = 0;
+    };
+
+    const Totals &totals() const { return sum; }
+
+  private:
+    /** Standard-normal variate (Box-Muller over the class stream). */
+    double gaussian(Rng &rng);
+
+    FaultConfig cfg;
+    Rng telemetryRng;
+    Rng dvfsRng;
+    Rng storageRng;
+    Totals sum;
+};
+
+} // namespace pcstall::faults
+
+#endif // PCSTALL_FAULTS_FAULT_INJECTOR_HH

@@ -84,6 +84,30 @@ struct EpochRecord
     }
 };
 
+/**
+ * Faults injected / repairs performed during one epoch (filled by the
+ * experiment driver when fault injection is enabled; all-zero
+ * otherwise). Lives here so per-epoch traces can carry it alongside
+ * the performance counters.
+ */
+struct FaultEpochCounters
+{
+    /** Telemetry counters whose observed value was perturbed. */
+    std::uint64_t telemetryPerturbations = 0;
+    /** Telemetry counters that dropped out (read as zero). */
+    std::uint64_t telemetryDropouts = 0;
+    /** Requested V/f changes that transiently failed this epoch. */
+    std::uint64_t transitionFailures = 0;
+    /** Extra settle latency paid this epoch. */
+    Tick transitionExtraLatency = 0;
+    /** Bits flipped in predictor storage this epoch. */
+    std::uint64_t tableBitFlips = 0;
+    /** Illegal controller decisions repaired this epoch. */
+    std::uint64_t clampedDecisions = 0;
+    /** True when a divergence watchdog decided via its fallback. */
+    bool fallbackActive = false;
+};
+
 /** A resident wavefront's identity at a point in time (for lookups). */
 struct WaveSnapshot
 {

@@ -21,6 +21,25 @@ quantizeTo(double value, double max_value)
     return std::round(clamped / step) * step;
 }
 
+/** The 8-bit storage code of @p value on that same grid. */
+std::uint8_t
+codeOf(double value, double max_value)
+{
+    const double clamped = clampTo(value, 0.0, max_value);
+    const double step = max_value / 255.0;
+    return static_cast<std::uint8_t>(std::lround(clamped / step));
+}
+
+/** Parity (popcount mod 2) of one 8-bit code. */
+std::uint8_t
+bitParity(std::uint8_t code)
+{
+    code ^= code >> 4;
+    code ^= code >> 2;
+    code ^= code >> 1;
+    return code & 1;
+}
+
 } // namespace
 
 PcSensitivityTable::PcSensitivityTable(const PcTableConfig &config)
@@ -34,6 +53,14 @@ PcSensitivityTable::PcSensitivityTable(const PcTableConfig &config)
     values.assign(cfg.entries, 0.0);
     levels.assign(cfg.entries, 0.0);
     valid.assign(cfg.entries, false);
+    parity.assign(cfg.entries, 0);
+}
+
+std::uint8_t
+PcSensitivityTable::parityOf(std::size_t idx) const
+{
+    return bitParity(codeOf(values[idx], cfg.maxSensitivity)) ^
+        bitParity(codeOf(levels[idx], cfg.maxLevel));
 }
 
 std::size_t
@@ -69,6 +96,7 @@ PcSensitivityTable::update(std::uint64_t pc_addr, double sensitivity,
     values[idx] = s;
     levels[idx] = l;
     valid[idx] = true;
+    parity[idx] = parityOf(idx);
 }
 
 std::optional<PcEntry>
@@ -78,8 +106,38 @@ PcSensitivityTable::lookup(std::uint64_t pc_addr)
     const std::size_t idx = indexOf(pc_addr);
     if (!valid[idx])
         return std::nullopt;
+    if (cfg.parityProtected && parity[idx] != parityOf(idx)) {
+        // Corrupted entry: scrub it and take a clean miss rather than
+        // handing a bogus phase model to the controller.
+        valid[idx] = false;
+        ++scrubs;
+        return std::nullopt;
+    }
     ++lookupHits;
     return PcEntry{values[idx], levels[idx]};
+}
+
+bool
+PcSensitivityTable::entryValid(std::size_t idx) const
+{
+    return idx < valid.size() && valid[idx];
+}
+
+bool
+PcSensitivityTable::injectBitFlip(std::size_t idx, bool level_field,
+                                  std::uint32_t bit)
+{
+    if (!entryValid(idx))
+        return false;
+    if (level_field && !cfg.storeLevel)
+        return false;
+    const double max_value =
+        level_field ? cfg.maxLevel : cfg.maxSensitivity;
+    std::vector<double> &field = level_field ? levels : values;
+    const std::uint8_t code = static_cast<std::uint8_t>(
+        codeOf(field[idx], max_value) ^ (1u << (bit & 7u)));
+    field[idx] = static_cast<double>(code) * (max_value / 255.0);
+    return true;
 }
 
 double

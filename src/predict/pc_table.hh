@@ -59,6 +59,13 @@ struct PcTableConfig
      * (1.0 = overwrite, the hardware-faithful default).
      */
     double updateBlend = 1.0;
+    /**
+     * Keep a parity bit per entry and scrub (invalidate) entries whose
+     * parity no longer matches at lookup time. Turns a storage bit
+     * flip into a predictable table miss instead of a silently wrong
+     * prediction. Off by default (Table I charges no parity storage).
+     */
+    bool parityProtected = false;
 };
 
 /** One table entry: the linear phase model I(f) = level + sens * f. */
@@ -103,15 +110,39 @@ class PcSensitivityTable
     /** Quantization round-trip of @p sensitivity (test hook). */
     double quantized(double sensitivity) const;
 
+    std::size_t numEntries() const { return valid.size(); }
+
+    /** True when entry @p idx holds a written value. */
+    bool entryValid(std::size_t idx) const;
+
+    /**
+     * Flip one bit of the 8-bit stored code of entry @p idx (the
+     * storage-fault seam). @p level_field selects the level (I0) byte
+     * instead of the sensitivity byte. The stored parity bit is left
+     * untouched - that mismatch is exactly what the scrub detects.
+     * Returns false (no flip) when the entry was never written or the
+     * selected field is not stored.
+     */
+    bool injectBitFlip(std::size_t idx, bool level_field,
+                       std::uint32_t bit);
+
+    /** Entries invalidated by parity-mismatch scrubs so far. */
+    std::uint64_t scrubCount() const { return scrubs; }
+
   private:
     std::size_t indexOf(std::uint64_t pc_addr) const;
+
+    /** Even parity over both stored 8-bit codes of entry @p idx. */
+    std::uint8_t parityOf(std::size_t idx) const;
 
     PcTableConfig cfg;
     std::vector<double> values;
     std::vector<double> levels;
     std::vector<bool> valid;
+    std::vector<std::uint8_t> parity;
     std::uint64_t lookups = 0;
     std::uint64_t lookupHits = 0;
+    std::uint64_t scrubs = 0;
 };
 
 } // namespace pcstall::predict

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/stats_util.hh"
+#include "faults/fault_injector.hh"
 #include "oracle/fork_pre_execute.hh"
 
 namespace pcstall::sim
@@ -30,14 +31,45 @@ scaleToCus(gpu::GpuConfig &gpu_cfg, power::PowerParams &power_cfg,
     power_cfg.memStatic = 56.0 * std::max(frac, 0.05);
 }
 
+std::string
+validateRunConfig(const RunConfig &config)
+{
+    if (config.epochLen <= 0)
+        return "run config: epoch length must be positive";
+    if (config.maxSimTime <= 0)
+        return "run config: simulation wall must be positive";
+    if (config.gpu.numCus == 0)
+        return "run config: need at least one CU";
+    if (config.cusPerDomain == 0 ||
+        config.gpu.numCus % config.cusPerDomain != 0) {
+        return "run config: CU count must divide evenly into "
+               "V/f domains";
+    }
+    if (power::VfTable::paperTable().indexOf(config.nominalFreq) < 0)
+        return "run config: nominal frequency is not a V/f table state";
+    const faults::FaultConfig &f = config.faults;
+    if (f.telemetry.sigma < 0.0 || f.telemetry.dropoutProb < 0.0 ||
+        f.telemetry.dropoutProb > 1.0) {
+        return "run config: telemetry fault parameters out of range";
+    }
+    if (f.dvfs.transitionFailProb < 0.0 ||
+        f.dvfs.transitionFailProb > 1.0 ||
+        f.dvfs.extraSwitchLatency < 0) {
+        return "run config: DVFS fault parameters out of range";
+    }
+    if (f.storage.upsetsPerEpoch < 0.0)
+        return "run config: storage fault parameters out of range";
+    return "";
+}
+
 ExperimentDriver::ExperimentDriver(const RunConfig &config)
     : cfg(config), vfTable(power::VfTable::paperTable()),
       powerModel(config.power), nominalIdx(0)
 {
-    const int idx = vfTable.indexOf(cfg.nominalFreq);
-    fatalIf(idx < 0, "nominal frequency is not a V/f table state");
-    nominalIdx = static_cast<std::size_t>(idx);
-    fatalIf(cfg.epochLen <= 0, "epoch length must be positive");
+    const std::string err = validateRunConfig(cfg);
+    fatalIf(!err.empty(), err);
+    nominalIdx = static_cast<std::size_t>(
+        vfTable.indexOf(cfg.nominalFreq));
 }
 
 RunResult
@@ -56,6 +88,7 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
         true, controller.needsWaveLevel()};
 
     power::ThermalModel thermal;
+    faults::FaultInjector injector(cfg.faults);
 
     RunResult result;
     result.controller = controller.name();
@@ -83,6 +116,21 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
         done = chip.runUntil(epoch_end);
         gpu::EpochRecord record = chip.harvestEpoch(epoch_start);
         ++result.epochs;
+
+        // Controllers see the *observed* record; energy accounting,
+        // accuracy scoring and traces keep the physical one, so noisy
+        // sensors cannot retroactively change what really happened.
+        const faults::FaultInjector::Totals epoch_base =
+            injector.totals();
+        const std::uint64_t fallback_base = controller.fallbackEpochs();
+        std::uint64_t epoch_clamped = 0;
+        gpu::EpochRecord observed_storage;
+        const gpu::EpochRecord *observed = &record;
+        if (cfg.faults.telemetry.enabled) {
+            observed_storage = record;
+            injector.perturbRecord(observed_storage, cfg.epochLen);
+            observed = &observed_storage;
+        }
 
         // --- prediction accuracy of the decisions made last epoch ---
         for (std::uint32_t d = 0; d < domains.numDomains(); ++d) {
@@ -130,7 +178,7 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
             const double instr = dvfs::sumOverDomain(
                 domains, d, [&](std::uint32_t cu) {
                     return static_cast<double>(
-                        record.cus[cu].committed);
+                        observed->cus[cu].committed);
                 });
             avg_instr[d] = avg_instr[d] == 0.0 ? instr
                 : (1.0 - avg_alpha) * avg_instr[d] +
@@ -171,12 +219,16 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
         const std::vector<gpu::WaveSnapshot> snaps =
             chip.waveSnapshots();
         dvfs::EpochContext ctx{
-            record, snaps, domains, vfTable, powerModel,
+            *observed, snaps, domains, vfTable, powerModel,
             cfg.epochLen, thermal.temperature(), cfg.objective,
             cfg.perfDegradationLimit, nominalIdx,
             prev_sweep.empty() ? nullptr : &prev_sweep,
             cur_sweep.empty() ? nullptr : &cur_sweep,
             avg_power, &avg_instr};
+
+        // Storage upsets land between epochs, before the controller
+        // reads its tables (no-op unless storage faults are enabled).
+        controller.applyStorageFaults(injector);
 
         // The very first epoch has no elapsed-epoch estimate yet;
         // accurate-reactive controllers stay at nominal.
@@ -187,28 +239,56 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
         } else {
             decisions = controller.decide(ctx);
         }
-        panicIf(decisions.size() != domains.numDomains(),
-                "controller returned wrong decision count");
+        // Never trust a controller's output blindly: repair illegal
+        // decisions instead of crashing or applying garbage.
+        epoch_clamped = dvfs::sanitizeDecisions(
+            decisions, vfTable, domains.numDomains(), nominalIdx);
+        result.faults.clampedDecisions += epoch_clamped;
 
         for (std::uint32_t d = 0; d < domains.numDomains(); ++d) {
             const std::size_t old_state = domain_state[d];
-            domain_state[d] = decisions[d].state;
-            prev_pred[d] = decisions[d].predictedInstr;
-            const Freq freq = vfTable.state(decisions[d].state).freq;
+            const faults::TransitionOutcome applied = injector
+                .transition(old_state, decisions[d].state, vfTable);
+            domain_state[d] = applied.state;
+            // A failed or re-quantized transition means the predicted
+            // state was never applied; don't score that prediction.
+            prev_pred[d] = applied.state == decisions[d].state
+                ? decisions[d].predictedInstr : -1.0;
+            const Freq freq = vfTable.state(applied.state).freq;
             const std::uint32_t first = domains.firstCu(d);
             for (std::uint32_t cu = first;
                  cu < first + domains.cusPerDomain(); ++cu) {
-                chip.setCuFrequency(cu, freq, trans);
+                chip.setCuFrequency(cu, freq,
+                                    trans + applied.extraLatency);
             }
-            if (old_state != decisions[d].state) {
+            if (old_state != applied.state) {
                 result.transitions += domains.cusPerDomain();
                 const Joules te = powerModel.transitionEnergy(
                     vfTable.state(old_state).voltage,
-                    vfTable.state(decisions[d].state).voltage) *
+                    vfTable.state(applied.state).voltage) *
                     domains.cusPerDomain();
                 result.transitionEnergy += te;
                 result.energy += te;
             }
+        }
+
+        if (cfg.collectTrace && !result.trace.empty()) {
+            const faults::FaultInjector::Totals &now = injector.totals();
+            gpu::FaultEpochCounters &fc = result.trace.back().faults;
+            fc.telemetryPerturbations =
+                now.telemetryPerturbations - epoch_base
+                                                 .telemetryPerturbations;
+            fc.telemetryDropouts =
+                now.telemetryDropouts - epoch_base.telemetryDropouts;
+            fc.transitionFailures =
+                now.transitionFailures - epoch_base.transitionFailures;
+            fc.transitionExtraLatency = now.transitionExtraLatency -
+                epoch_base.transitionExtraLatency;
+            fc.tableBitFlips =
+                now.tableBitFlips - epoch_base.tableBitFlips;
+            fc.clampedDecisions = epoch_clamped;
+            fc.fallbackActive =
+                controller.fallbackEpochs() > fallback_base;
         }
 
         prev_sweep = std::move(cur_sweep);
@@ -231,6 +311,16 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
             share /= static_cast<double>(domain_epochs);
     }
     result.finalTemperature = thermal.temperature();
+
+    const faults::FaultInjector::Totals &tot = injector.totals();
+    result.faults.telemetryPerturbations = tot.telemetryPerturbations;
+    result.faults.telemetryDropouts = tot.telemetryDropouts;
+    result.faults.transitionFailures = tot.transitionFailures;
+    result.faults.transitionExtraLatency = tot.transitionExtraLatency;
+    result.faults.tableBitFlips = controller.storageBitFlips();
+    result.faults.tableScrubs = controller.storageScrubs();
+    result.faults.watchdogTrips = controller.watchdogTrips();
+    result.faults.fallbackEpochs = controller.fallbackEpochs();
     return result;
 }
 

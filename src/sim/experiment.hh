@@ -17,6 +17,7 @@
 #include "common/types.hh"
 #include "dvfs/controller.hh"
 #include "dvfs/domain_map.hh"
+#include "faults/fault_config.hh"
 #include "gpu/gpu_chip.hh"
 #include "power/power_model.hh"
 #include "power/vf_table.hh"
@@ -58,6 +59,12 @@ struct RunConfig
     Tick transitionLatency = -1;
     /** Record a per-epoch trace (frequency residency, work). */
     bool collectTrace = false;
+    /** Fault injection (all classes disabled by default). */
+    faults::FaultConfig faults;
+    /** Enable the PCSTALL divergence watchdog (STALL fallback). */
+    bool watchdogFallback = false;
+    /** Parity-protect PC tables (scrub corrupted entries on lookup). */
+    bool eccProtectTables = false;
 
     /** Apply scaleToCus() for the configured CU count. */
     RunConfig &scaled()
@@ -75,6 +82,31 @@ struct EpochTraceEntry
     std::vector<std::uint8_t> domainState;
     /** Instructions committed per domain in the epoch. */
     std::vector<double> domainCommitted;
+    /** Injected faults / repairs observed this epoch. */
+    gpu::FaultEpochCounters faults;
+};
+
+/** Lifetime fault/degradation counters of one run. */
+struct FaultSummary
+{
+    /** Telemetry counters whose observed value was perturbed. */
+    std::uint64_t telemetryPerturbations = 0;
+    /** Telemetry counters that dropped out (read as zero). */
+    std::uint64_t telemetryDropouts = 0;
+    /** Requested V/f changes that transiently failed. */
+    std::uint64_t transitionFailures = 0;
+    /** Extra settle latency paid across all transitions. */
+    Tick transitionExtraLatency = 0;
+    /** Bits flipped in predictor storage. */
+    std::uint64_t tableBitFlips = 0;
+    /** Corrupted entries caught and scrubbed by parity. */
+    std::uint64_t tableScrubs = 0;
+    /** Illegal controller decisions repaired by the driver. */
+    std::uint64_t clampedDecisions = 0;
+    /** Times the divergence watchdog tripped into its fallback. */
+    std::uint64_t watchdogTrips = 0;
+    /** Epochs decided by the fallback policy. */
+    std::uint64_t fallbackEpochs = 0;
 };
 
 /** Results of one run. */
@@ -102,6 +134,8 @@ struct RunResult
     std::vector<double> freqTimeShare;
     /** Final die temperature. */
     double finalTemperature = 0.0;
+    /** Injected-fault / graceful-degradation totals. */
+    FaultSummary faults;
     std::vector<EpochTraceEntry> trace;
 
     double seconds() const { return tickSeconds(execTime); }
@@ -116,6 +150,14 @@ struct RunResult
         return energy * seconds() * seconds() * seconds();
     }
 };
+
+/**
+ * Check a run configuration for user errors. Returns an empty string
+ * when the configuration is usable, otherwise a one-line diagnostic.
+ * Harnesses can call this to reject one bad run instead of letting
+ * ExperimentDriver's constructor exit the whole process.
+ */
+std::string validateRunConfig(const RunConfig &config);
 
 /**
  * Runs experiments. Prediction accuracy is scored per the paper

@@ -94,7 +94,12 @@ parseApplication(std::istream &in)
     std::unique_ptr<isa::KernelBuilder> builder;
     std::map<std::string, std::uint16_t> regions;
     std::string kernel_name;
-    int open_loops = 0;
+    // Open loops: (trip variation, statements emitted when opened).
+    // Tracked here so structural errors (barrier in a divergent loop,
+    // empty loop bodies) surface as "line N:" diagnostics instead of
+    // reaching the builder's fatal() checks.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> open_loops;
+    std::uint64_t emitted = 0;
 
     isa::Application app;
     bool have_app = false;
@@ -120,9 +125,12 @@ parseApplication(std::istream &in)
             if (tokens.size() != 2)
                 return fail("kernel needs a name");
             kernel_name = tokens[1];
+            if (kernels.count(kernel_name))
+                return fail("duplicate kernel '" + kernel_name + "'");
             builder = std::make_unique<isa::KernelBuilder>(kernel_name);
             regions.clear();
-            open_loops = 0;
+            open_loops.clear();
+            emitted = 0;
             continue;
         }
 
@@ -130,6 +138,8 @@ parseApplication(std::istream &in)
             // app NAME = K1 K2 ...
             if (builder)
                 return fail("app line inside a kernel block");
+            if (have_app)
+                return fail("duplicate app line");
             if (tokens.size() < 4 || tokens[2] != "=")
                 return fail("expected: app NAME = KERNEL...");
             app.name = tokens[1];
@@ -147,8 +157,10 @@ parseApplication(std::istream &in)
             return fail("statement outside a kernel block");
 
         if (word == "endkernel") {
-            if (open_loops != 0)
+            if (!open_loops.empty())
                 return fail("endkernel with unclosed loops");
+            if (emitted == 0)
+                return fail("kernel '" + kernel_name + "' has no body");
             kernels.emplace(kernel_name, builder->build());
             builder.reset();
         } else if (word == "grid") {
@@ -157,6 +169,10 @@ parseApplication(std::istream &in)
                 (tokens.size() > 2 && !parseUint(tokens[2], waves))) {
                 return fail("expected: grid WORKGROUPS [WAVES]");
             }
+            if (wgs == 0)
+                return fail("grid needs at least one workgroup");
+            if (waves == 0 || waves > 64)
+                return fail("grid waves must be in [1, 64]");
             builder->grid(static_cast<std::uint32_t>(wgs),
                           static_cast<std::uint32_t>(waves));
         } else if (word == "seed") {
@@ -178,20 +194,32 @@ parseApplication(std::istream &in)
                  !parseUint(tokens[2], variation))) {
                 return fail("expected: loop TRIPS [VARIATION]");
             }
+            if (trips == 0)
+                return fail("loop needs at least one trip");
+            if (variation >= trips)
+                return fail("loop variation must be below the trip "
+                            "count");
             builder->loop(static_cast<std::uint32_t>(trips),
                           static_cast<std::uint32_t>(variation));
-            ++open_loops;
+            open_loops.emplace_back(variation, emitted);
         } else if (word == "endloop") {
-            if (open_loops == 0)
+            if (open_loops.empty())
                 return fail("endloop without loop");
+            if (open_loops.back().second == emitted)
+                return fail("empty loop body");
             builder->endLoop();
-            --open_loops;
+            open_loops.pop_back();
+            ++emitted; // the loop's closing branch
         } else if (word == "valu" || word == "lds") {
             std::uint64_t lat = 0, count = 1;
             if (tokens.size() < 2 || !parseUint(tokens[1], lat) ||
                 (tokens.size() > 2 && !parseUint(tokens[2], count))) {
                 return fail("expected: " + word + " LATENCY [COUNT]");
             }
+            if (lat == 0 || lat > 0xFFFF)
+                return fail(word + " latency must be in [1, 65535]");
+            if (count == 0)
+                return fail(word + " count must be >= 1");
             if (word == "valu") {
                 builder->valu(static_cast<std::uint16_t>(lat),
                               static_cast<std::uint32_t>(count));
@@ -199,11 +227,15 @@ parseApplication(std::istream &in)
                 builder->lds(static_cast<std::uint16_t>(lat),
                              static_cast<std::uint32_t>(count));
             }
+            ++emitted;
         } else if (word == "salu") {
             std::uint64_t count = 1;
             if (tokens.size() > 1 && !parseUint(tokens[1], count))
                 return fail("expected: salu [COUNT]");
+            if (count == 0)
+                return fail("salu count must be >= 1");
             builder->salu(static_cast<std::uint32_t>(count));
+            ++emitted;
         } else if (word == "load" || word == "store") {
             isa::AccessPattern pattern;
             std::uint64_t stride = 64;
@@ -214,6 +246,8 @@ parseApplication(std::istream &in)
                 return fail("expected: " + word +
                             " REGION PATTERN [STRIDE]");
             }
+            if (stride == 0 || stride > 0xFFFFFFFFULL)
+                return fail(word + " stride must be in [1, 2^32)");
             if (word == "load") {
                 builder->load(regions[tokens[1]], pattern,
                               static_cast<std::uint32_t>(stride));
@@ -221,13 +255,25 @@ parseApplication(std::istream &in)
                 builder->store(regions[tokens[1]], pattern,
                                static_cast<std::uint32_t>(stride));
             }
+            ++emitted;
         } else if (word == "waitcnt") {
             std::uint64_t n = 0;
             if (tokens.size() > 1 && !parseUint(tokens[1], n))
                 return fail("expected: waitcnt [N]");
+            if (n > 0xFFFF)
+                return fail("waitcnt bound must be below 65536");
             builder->waitcnt(static_cast<std::uint16_t>(n));
+            ++emitted;
         } else if (word == "barrier") {
+            // A barrier inside a divergent loop would deadlock (waves
+            // arrive different numbers of times); reject it here with
+            // a line number instead of dying in the builder.
+            for (const auto &[variation, at] : open_loops) {
+                if (variation > 0)
+                    return fail("barrier inside a divergent loop");
+            }
             builder->barrier();
+            ++emitted;
         } else {
             return fail("unknown statement '" + word + "'");
         }

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "isa/kernel_builder.hh"
+#include "workloads/kernel_parser.hh"
 
 namespace pcstall::workloads
 {
@@ -727,6 +728,29 @@ makeAllWorkloads(const WorkloadParams &params)
     for (const WorkloadInfo &info : workloadTable())
         apps.push_back(makeWorkload(info.name, params));
     return apps;
+}
+
+WorkloadLoadResult
+loadWorkload(const std::string &spec, const WorkloadParams &params)
+{
+    WorkloadLoadResult out;
+    if (isWorkload(spec)) {
+        out.app = makeWorkload(spec, params);
+        return out;
+    }
+    if (spec.find('/') != std::string::npos ||
+        spec.find('.') != std::string::npos) {
+        ParseResult parsed = parseApplicationFile(spec);
+        if (!parsed.ok()) {
+            out.error = spec + ": " + parsed.error;
+            return out;
+        }
+        out.app = std::move(*parsed.app);
+        return out;
+    }
+    out.error = "unknown workload '" + spec +
+        "' (not a Table II name, and not a kernel-script path)";
+    return out;
 }
 
 } // namespace pcstall::workloads

@@ -22,6 +22,7 @@
 #define PCSTALL_WORKLOADS_WORKLOADS_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,26 @@ isa::Application makeWorkload(const std::string &name,
 /** Convenience: every workload in Table II order. */
 std::vector<isa::Application> makeAllWorkloads(
     const WorkloadParams &params);
+
+/** Result of resolving a workload spec: an application or an error. */
+struct WorkloadLoadResult
+{
+    std::optional<isa::Application> app;
+    /** Empty on success; a one-line diagnostic otherwise. */
+    std::string error;
+
+    bool ok() const { return app.has_value(); }
+};
+
+/**
+ * Resolve @p spec - either a Table II workload name or a path to a
+ * kernel-script file (anything containing '/' or '.') - into an
+ * application. Unlike makeWorkload(), never exits the process: a bad
+ * name or an unparseable file comes back as a diagnostic, so one bad
+ * workload fails one run instead of the whole harness.
+ */
+WorkloadLoadResult loadWorkload(const std::string &spec,
+                                const WorkloadParams &params);
 
 } // namespace pcstall::workloads
 

@@ -191,6 +191,17 @@ TEST(Cli, ParsesOptionsAndPositionals)
     EXPECT_EQ(cli.positional()[0], "pos1");
 }
 
+TEST(Cli, MalformedValuesFallBackAndAreDiagnosed)
+{
+    const char *argv[] = {"prog", "--cus", "lots", "--scale=fast"};
+    CliOptions cli(4, const_cast<char **>(argv));
+    EXPECT_EQ(cli.getInt("cus", 8), 8);
+    EXPECT_DOUBLE_EQ(cli.getDouble("scale", 1.0), 1.0);
+    ASSERT_EQ(cli.errors().size(), 2u);
+    EXPECT_NE(cli.errors()[0].find("--cus"), std::string::npos);
+    EXPECT_NE(cli.errors()[1].find("--scale"), std::string::npos);
+}
+
 TEST(Stats, StdDevKnownValues)
 {
     const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0,

@@ -17,6 +17,7 @@
 #include "gpu/gpu_chip.hh"
 #include "isa/kernel_builder.hh"
 #include "memory/cache_model.hh"
+#include "workloads/kernel_parser.hh"
 
 using namespace pcstall;
 
@@ -249,3 +250,93 @@ TEST_P(CacheDifferential, MatchesReferenceLru)
 
 INSTANTIATE_TEST_SUITE_P(Ways, CacheDifferential,
                          ::testing::Values(0, 1, 2));
+
+// ---------------------------------------------------------------------
+// Kernel-script parser robustness.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const char *const kSeedScript = R"(
+kernel main
+  seed 7
+  region state 64M
+  region table 2M
+  grid 24 4
+  loop 40 8
+    load state random
+    load table stream
+    waitcnt 0
+    valu 6 4
+    lds 2 8
+  endloop
+  salu 3
+  barrier
+  store state strided 128
+  waitcnt 0
+endkernel
+kernel tail
+  valu 4 16
+endkernel
+app fuzzed = main tail
+)";
+
+} // namespace
+
+TEST(ParserFuzz, TruncationsNeverCrashAndDiagnoseWithLineNumbers)
+{
+    // Every prefix of a valid script either parses or yields a
+    // "line N:" diagnostic; the parser must never crash or exit.
+    const std::string script(kSeedScript);
+    ASSERT_TRUE(workloads::parseApplication(script).ok())
+        << workloads::parseApplication(script).error;
+    for (std::size_t cut = 0; cut <= script.size(); cut += 7) {
+        const auto result =
+            workloads::parseApplication(script.substr(0, cut));
+        if (!result.ok()) {
+            EXPECT_NE(result.error.find("line "), std::string::npos)
+                << "cut=" << cut << ": " << result.error;
+        }
+    }
+}
+
+TEST(ParserFuzz, RandomMutationsNeverCrash)
+{
+    const std::string script(kSeedScript);
+    Rng rng(0xBADF00D);
+    static const char kNoise[] =
+        "0123456789 \tkernelloopgrid-+.KMGxyz\n";
+    for (int trial = 0; trial < 400; ++trial) {
+        std::string mutated = script;
+        const int edits = 1 + static_cast<int>(rng.below(8));
+        for (int e = 0; e < edits; ++e) {
+            const std::size_t pos = static_cast<std::size_t>(
+                rng.below(mutated.size()));
+            switch (rng.below(3)) {
+            case 0: // overwrite
+                mutated[pos] =
+                    kNoise[rng.below(sizeof(kNoise) - 1)];
+                break;
+            case 1: // delete
+                mutated.erase(pos, 1 + rng.below(5));
+                break;
+            default: // duplicate a chunk (unbalances blocks)
+                mutated.insert(pos,
+                               mutated.substr(pos,
+                                              1 + rng.below(12)));
+                break;
+            }
+            if (mutated.empty())
+                mutated = " ";
+        }
+        const auto result = workloads::parseApplication(mutated);
+        if (!result.ok()) {
+            EXPECT_NE(result.error.find("line "), std::string::npos)
+                << result.error;
+        } else {
+            // Whatever parsed must be a well-formed application.
+            EXPECT_FALSE(result.app->launches.empty());
+        }
+    }
+}

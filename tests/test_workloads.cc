@@ -422,3 +422,117 @@ TEST(KernelWriter, RoundTripBehaviourMatches)
     };
     EXPECT_EQ(run(original), run(*parsed.app));
 }
+
+TEST(KernelParser, MalformedInputsFailCleanlyWithLineNumbers)
+{
+    // Every malformed script must produce a "line N:" diagnostic, not
+    // a crash or a process exit (the builder's fatal() checks must be
+    // unreachable from file input).
+    auto expect_line_error = [](const std::string &text,
+                                const std::string &fragment) {
+        const auto result = parseApplication(text);
+        ASSERT_FALSE(result.ok()) << "accepted: " << text;
+        EXPECT_NE(result.error.find("line "), std::string::npos)
+            << result.error;
+        EXPECT_NE(result.error.find(fragment), std::string::npos)
+            << result.error;
+    };
+
+    // Truncated files.
+    expect_line_error("kernel k\n", "unterminated kernel");
+    expect_line_error("kernel k\nvalu 4 1\n", "unterminated kernel");
+    expect_line_error("kernel k\nloop 5\nvalu 4 1\n",
+                      "unterminated kernel");
+    expect_line_error("", "missing 'app");
+
+    // Structurally empty bodies.
+    expect_line_error("kernel k\nendkernel\napp a = k\n", "no body");
+    expect_line_error("kernel k\nvalu 4 1\nloop 5\nendloop\n"
+                      "endkernel\napp a = k\n",
+                      "empty loop body");
+
+    // Out-of-range grid.
+    expect_line_error("kernel k\ngrid 0 4\nvalu 4 1\nendkernel\n"
+                      "app a = k\n",
+                      "at least one workgroup");
+    expect_line_error("kernel k\ngrid 8 0\nvalu 4 1\nendkernel\n"
+                      "app a = k\n",
+                      "waves must be in [1, 64]");
+    expect_line_error("kernel k\ngrid 8 65\nvalu 4 1\nendkernel\n"
+                      "app a = k\n",
+                      "waves must be in [1, 64]");
+
+    // Degenerate loops.
+    expect_line_error("kernel k\nloop 0\nvalu 4 1\nendloop\n"
+                      "endkernel\napp a = k\n",
+                      "at least one trip");
+    expect_line_error("kernel k\nloop 5 5\nvalu 4 1\nendloop\n"
+                      "endkernel\napp a = k\n",
+                      "variation must be below");
+    expect_line_error("kernel k\nvalu 4 1\nendloop\nendkernel\n"
+                      "app a = k\n",
+                      "endloop without loop");
+
+    // A barrier inside a divergent loop would deadlock the CU.
+    expect_line_error("kernel k\nloop 8 4\nvalu 4 1\nbarrier\n"
+                      "endloop\nendkernel\napp a = k\n",
+                      "divergent loop");
+
+    // Out-of-range operation parameters.
+    expect_line_error("kernel k\nvalu 0 1\nendkernel\napp a = k\n",
+                      "latency must be in");
+    expect_line_error("kernel k\nvalu 70000 1\nendkernel\napp a = k\n",
+                      "latency must be in");
+    expect_line_error("kernel k\nvalu 4 0\nendkernel\napp a = k\n",
+                      "count must be >= 1");
+    expect_line_error("kernel k\nsalu 0\nendkernel\napp a = k\n",
+                      "count must be >= 1");
+    expect_line_error("kernel k\nregion r 1M\n"
+                      "load r strided 0\nwaitcnt 0\nendkernel\n"
+                      "app a = k\n",
+                      "stride must be in");
+    expect_line_error("kernel k\nvalu 4 1\nwaitcnt 70000\nendkernel\n"
+                      "app a = k\n",
+                      "waitcnt bound");
+
+    // Duplicate definitions.
+    expect_line_error("kernel k\nvalu 4 1\nendkernel\n"
+                      "kernel k\nvalu 4 1\nendkernel\napp a = k\n",
+                      "duplicate kernel");
+    expect_line_error("kernel k\nvalu 4 1\nendkernel\n"
+                      "app a = k\napp b = k\n",
+                      "duplicate app");
+
+    // Unknown statements.
+    expect_line_error("kernel k\nfrobnicate 1\nendkernel\napp a = k\n",
+                      "unknown statement");
+}
+
+TEST(KernelParser, DiagnosticNamesTheOffendingLine)
+{
+    const auto result = parseApplication(
+        "kernel k\nvalu 4 1\ngrid 0\nendkernel\napp a = k\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error.rfind("line 3:", 0), 0u) << result.error;
+}
+
+TEST(Workloads, LoadWorkloadResolvesNamesAndReportsErrors)
+{
+    const auto p = smallParams();
+
+    const auto builtin = loadWorkload("comd", p);
+    ASSERT_TRUE(builtin.ok()) << builtin.error;
+    EXPECT_EQ(builtin.app->name, "comd");
+
+    const auto missing_file = loadWorkload("/nonexistent/app.k", p);
+    EXPECT_FALSE(missing_file.ok());
+    EXPECT_NE(missing_file.error.find("/nonexistent/app.k"),
+              std::string::npos)
+        << missing_file.error;
+
+    const auto unknown = loadWorkload("nonexistent", p);
+    EXPECT_FALSE(unknown.ok());
+    EXPECT_NE(unknown.error.find("unknown workload"),
+              std::string::npos)
+        << unknown.error;
+}
