@@ -45,19 +45,22 @@ main(int argc, char **argv)
             if (!app)
                 continue;
             dvfs::StaticController nominal(driver.nominalState());
-            const sim::RunResult base = driver.run(app, nominal);
+            const sim::RunResult base =
+                bench::runTraced(driver, app, nominal, opts, name);
 
             core::PcstallController pc(
                 core::PcstallConfig::forEpoch(cfg.epochLen,
                                               cfg.gpu.waveSlotsPerCu),
                 cfg.gpu.numCus);
-            const sim::RunResult rp = driver.run(app, pc);
+            const sim::RunResult rp =
+                bench::runTraced(driver, app, pc, opts, name);
 
             models::HistoryConfig hcfg;
             hcfg.estimator.waveSlots = cfg.gpu.waveSlotsPerCu;
             models::HistoryController gp(hcfg, cfg.gpu.numCus /
                                                    cfg.cusPerDomain);
-            const sim::RunResult rg = driver.run(app, gp);
+            const sim::RunResult rg =
+                bench::runTraced(driver, app, gp, opts, name);
 
             pc_norm.push_back(rp.ed2p() / base.ed2p());
             gp_norm.push_back(rg.ed2p() / base.ed2p());
@@ -87,8 +90,8 @@ main(int argc, char **argv)
         std::printf("--- (2) hierarchical power cap over PCSTALL ---\n");
         TableWriter table({"cap W", "avg power W", "ceiling state",
                            "time us", "energy mJ"});
-        const auto app = bench::makeApp(
-            opts.firstWorkload("hacc"), opts);
+        const std::string workload = opts.firstWorkload("hacc");
+        const auto app = bench::makeApp(workload, opts);
         if (!app)
             return 1;
 
@@ -97,7 +100,8 @@ main(int argc, char **argv)
             core::PcstallConfig::forEpoch(cfg.epochLen,
                                           cfg.gpu.waveSlotsPerCu),
             cfg.gpu.numCus);
-        const sim::RunResult free_run = driver.run(app, ref);
+        const sim::RunResult free_run =
+            bench::runTraced(driver, app, ref, opts, workload);
         const double free_power = free_run.avgPower();
 
         for (const double frac : {1.2, 0.9, 0.7, 0.5}) {
@@ -109,7 +113,8 @@ main(int argc, char **argv)
             hcfg.powerCap = free_power * frac;
             hcfg.reviewEpochs = 10;
             dvfs::HierarchicalPowerManager mgr(inner, hcfg);
-            const sim::RunResult r = driver.run(app, mgr);
+            const sim::RunResult r =
+                bench::runTraced(driver, app, mgr, opts, workload);
             table.beginRow()
                 .cell(hcfg.powerCap, 1)
                 .cell(r.avgPower(), 1)

@@ -38,7 +38,8 @@ main(int argc, char **argv)
         table.beginRow().cell(name);
         for (const std::string &design : bench::designNames()) {
             const auto controller = bench::makeController(design, cfg);
-            const sim::RunResult r = driver.run(app, *controller);
+            const sim::RunResult r =
+                bench::runTraced(driver, app, *controller, opts, name);
             acc[design].push_back(r.predictionAccuracy);
             table.cell(formatPercent(r.predictionAccuracy));
         }

@@ -39,7 +39,8 @@ main(int argc, char **argv)
         if (!app)
             continue;
         dvfs::StaticController nominal(driver.nominalState());
-        const sim::RunResult base = driver.run(app, nominal);
+        const sim::RunResult base =
+            bench::runTraced(driver, app, nominal, opts, name);
 
         table.beginRow().cell(name);
         for (const std::string &design : designs) {
@@ -50,7 +51,8 @@ main(int argc, char **argv)
                 controller = std::make_unique<dvfs::StaticController>(9);
             else
                 controller = bench::makeController(design, cfg);
-            const sim::RunResult r = driver.run(app, *controller);
+            const sim::RunResult r =
+                bench::runTraced(driver, app, *controller, opts, name);
             const double v = r.ed2p() / base.ed2p();
             norm[design].push_back(v);
             table.cell(v, 3);

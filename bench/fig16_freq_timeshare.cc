@@ -37,7 +37,8 @@ main(int argc, char **argv)
         if (!app)
             continue;
         const auto controller = bench::makeController("PCSTALL", cfg);
-        const sim::RunResult r = driver.run(app, *controller);
+        const sim::RunResult r =
+            bench::runTraced(driver, app, *controller, opts, name);
 
         table.beginRow().cell(name);
         double mean_ghz = 0.0;

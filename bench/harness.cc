@@ -2,12 +2,18 @@
 
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.hh"
 #include "core/pcstall_controller.hh"
+#include "dvfs/hierarchical.hh"
 #include "models/reactive_controller.hh"
 #include "oracle/oracle_controllers.hh"
+#include "trace/format.hh"
+#include "trace/replay.hh"
+#include "trace/snapshot.hh"
 
 namespace pcstall::bench
 {
@@ -50,6 +56,11 @@ BenchOptions::parse(int argc, char **argv)
         opts.faults.storage.upsetsPerEpoch > 0.0;
     opts.watchdog = cli.has("watchdog");
     opts.ecc = cli.has("ecc");
+
+    opts.traceOut = cli.get("trace-out", "");
+    opts.replayTrace = cli.get("replay", "");
+    opts.pcSnapshotOut = cli.get("pc-snapshot-out", "");
+    opts.pcSnapshotIn = cli.get("pc-snapshot-in", "");
 
     const std::string list = cli.get("workloads", "");
     if (!list.empty()) {
@@ -186,6 +197,194 @@ designNames()
         "ORACLE",
     };
     return names;
+}
+
+namespace
+{
+
+/** Filesystem-safe run label ('/' and spaces become '_'). */
+std::string
+pathLabel(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        if (c == '/' || c == ' ' || c == '+')
+            c = '_';
+    }
+    return out;
+}
+
+/**
+ * Expand a --trace-out / --pc-snapshot-out template: "{w}"/"{c}"
+ * placeholders, or a "-workload-controller" suffix before the
+ * extension when no placeholder is present (so sweep captures do not
+ * overwrite each other).
+ */
+std::string
+expandRunPath(const std::string &pattern, const std::string &workload,
+              const std::string &controller)
+{
+    std::string path = pattern;
+    bool substituted = false;
+    for (const auto &[key, value] :
+         {std::pair<std::string, std::string>{"{w}", workload},
+          {"{c}", controller}}) {
+        std::size_t at;
+        while ((at = path.find(key)) != std::string::npos) {
+            path.replace(at, key.size(), pathLabel(value));
+            substituted = true;
+        }
+    }
+    if (substituted)
+        return path;
+    const std::string suffix =
+        "-" + pathLabel(workload) + "-" + pathLabel(controller);
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return path + suffix;
+    }
+    return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+/** The PCSTALL controller behind @p controller, if any (possibly
+ *  wrapped by a hierarchical power manager). */
+core::PcstallController *
+pcstallBehind(dvfs::DvfsController &controller)
+{
+    dvfs::DvfsController *c = &controller;
+    if (auto *hier = dynamic_cast<dvfs::HierarchicalPowerManager *>(c))
+        c = &hier->innerController();
+    return dynamic_cast<core::PcstallController *>(c);
+}
+
+/** HierarchicalMeta describing @p controller's wrapper, if any. */
+trace::HierarchicalMeta
+hierarchicalMetaOf(const dvfs::DvfsController &controller)
+{
+    trace::HierarchicalMeta meta;
+    const auto *hier =
+        dynamic_cast<const dvfs::HierarchicalPowerManager *>(
+            &controller);
+    if (hier != nullptr) {
+        meta.enabled = true;
+        meta.powerCap = hier->config().powerCap;
+        meta.reviewEpochs = hier->config().reviewEpochs;
+        meta.widenBelow = hier->config().widenBelow;
+    }
+    return meta;
+}
+
+/** Decoded --replay traces, loaded once per file. */
+const trace::TraceData *
+loadReplayTrace(const std::string &path)
+{
+    static std::map<std::string, trace::TraceData> cache;
+    const auto it = cache.find(path);
+    if (it != cache.end())
+        return &it->second;
+    trace::TraceReadResult read = trace::readTraceFile(path);
+    if (!read.ok()) {
+        warn("--replay: " + read.error);
+        return nullptr;
+    }
+    return &cache.emplace(path, std::move(*read.trace)).first->second;
+}
+
+} // namespace
+
+sim::RunResult
+runTraced(sim::ExperimentDriver &driver,
+          std::shared_ptr<const isa::Application> app,
+          dvfs::DvfsController &controller, const BenchOptions &opts,
+          const std::string &workload)
+{
+    core::PcstallController *pcstall = pcstallBehind(controller);
+    if (!opts.pcSnapshotIn.empty() && pcstall != nullptr) {
+        trace::PcSnapshotReadResult snap =
+            trace::readPcSnapshotFile(opts.pcSnapshotIn);
+        std::string err = snap.error;
+        if (snap.ok()) {
+            err = trace::restorePcTables(*snap.snapshot,
+                                         pcstall->pcTables());
+        }
+        if (!err.empty())
+            warn("--pc-snapshot-in: " + err + " (starting cold)");
+    }
+
+    // Run: replayed from a trace, captured to a trace, or plain.
+    sim::RunResult result;
+    bool ran = false;
+    if (!opts.replayTrace.empty()) {
+        const trace::TraceData *data = loadReplayTrace(
+            expandRunPath(opts.replayTrace, workload,
+                          controller.name()));
+        if (data != nullptr) {
+            if (data->meta.workload != workload) {
+                warn("--replay: trace was captured on '" +
+                     data->meta.workload + "', not '" + workload +
+                     "'; replayed metrics describe the recorded run");
+            }
+            trace::ReplayDriver replayer(*data);
+            trace::ReplayOptions ropts;
+            ropts.verifyDecisions =
+                controller.name() == data->meta.controller;
+            trace::ReplayOutcome outcome =
+                replayer.run(controller, ropts);
+            if (outcome.ok()) {
+                if (ropts.verifyDecisions &&
+                    outcome.decisionMismatches > 0) {
+                    warn("--replay: " +
+                         std::to_string(outcome.decisionMismatches) +
+                         " decision mismatch(es); first: " +
+                         outcome.firstMismatch);
+                }
+                result = outcome.result;
+                ran = true;
+            } else {
+                warn("--replay: " + outcome.error +
+                     " (falling back to a live run)");
+            }
+        }
+    }
+    if (!ran && !opts.traceOut.empty()) {
+        const trace::TraceMeta meta = trace::makeTraceMeta(
+            driver.config(), driver.table(), workload, controller,
+            hierarchicalMetaOf(controller));
+        const std::string path =
+            expandRunPath(opts.traceOut, workload, controller.name());
+        trace::TraceWriter writer(path, meta);
+        if (writer.ok()) {
+            trace::TraceCapture capture(writer);
+            if (pcstall != nullptr) {
+                capture.setSnapshotProvider([pcstall] {
+                    return trace::snapshotPcTables(
+                        pcstall->pcTables());
+                });
+            }
+            result = driver.run(app, controller, &capture);
+            ran = true;
+            if (!writer.ok())
+                warn("--trace-out: I/O error writing '" + path + "'");
+        } else {
+            warn("--trace-out: cannot write '" + path +
+                 "' (running untraced)");
+        }
+    }
+    if (!ran)
+        result = driver.run(app, controller);
+
+    if (!opts.pcSnapshotOut.empty() && pcstall != nullptr) {
+        const std::string snap_path = expandRunPath(
+            opts.pcSnapshotOut, workload, controller.name());
+        if (!trace::writePcSnapshotFile(
+                snap_path,
+                trace::snapshotPcTables(pcstall->pcTables()))) {
+            warn("--pc-snapshot-out: cannot write '" + snap_path + "'");
+        }
+    }
+    return result;
 }
 
 void

@@ -48,13 +48,34 @@ struct BenchOptions
     bool watchdog = false;
     /** Parity-protect PC tables (scrub corrupted entries). */
     bool ecc = false;
+    /**
+     * Capture every run routed through runTraced() to a binary epoch
+     * trace (--trace-out). "{w}"/"{c}" expand to the workload and
+     * controller name; without placeholders a "-workload-controller"
+     * suffix is inserted before the extension so a sweep's captures
+     * do not overwrite each other.
+     */
+    std::string traceOut;
+    /**
+     * Re-drive controllers from a previously captured trace instead
+     * of simulating (--replay). Metrics then describe the recorded
+     * epochs, so this is exact for the captured controller and a fast
+     * what-if for the others.
+     */
+    std::string replayTrace;
+    /** Write the learned PC table after each PCSTALL run
+     *  (--pc-snapshot-out; same placeholder rules as traceOut). */
+    std::string pcSnapshotOut;
+    /** Warm-start PCSTALL tables from a snapshot (--pc-snapshot-in). */
+    std::string pcSnapshotIn;
 
     /** Parse from argv; honours --cus --scale --epoch-us --domain-cus
      *  --seed --csv --workloads a,b,c plus the fault flags
      *  --fault-seed --noise-sigma --noise-dropout --trans-fail
-     *  --trans-extra-ns --freq-quant-mhz --bitflips --ecc --watchdog.
-     *  Malformed options and unknown workloads are warned about and
-     *  dropped, never fatal. */
+     *  --trans-extra-ns --freq-quant-mhz --bitflips --ecc --watchdog
+     *  and the trace flags --trace-out --replay --pc-snapshot-out
+     *  --pc-snapshot-in. Malformed options and unknown workloads are
+     *  warned about and dropped, never fatal. */
     static BenchOptions parse(int argc, char **argv);
 
     workloads::WorkloadParams workloadParams() const;
@@ -110,6 +131,21 @@ makeController(const std::string &name, const sim::RunConfig &cfg);
 
 /** All Table III design names in presentation order. */
 const std::vector<std::string> &designNames();
+
+/**
+ * Run one (workload, controller) pair honouring the trace flags:
+ * plain `driver.run()` when none are set; epoch-trace capture when
+ * --trace-out is given (embedding the learned PC table of PCSTALL
+ * controllers); trace replay instead of simulation when --replay is
+ * given; PC-table warm start / snapshot export when the snapshot
+ * flags are given. Falls back to an untraced live run (with a warn)
+ * when a trace file cannot be written or read.
+ */
+sim::RunResult runTraced(sim::ExperimentDriver &driver,
+                         std::shared_ptr<const isa::Application> app,
+                         dvfs::DvfsController &controller,
+                         const BenchOptions &opts,
+                         const std::string &workload);
 
 /** Print @p table as text or CSV per @p opts. */
 void emit(const BenchOptions &opts, const TableWriter &table);

@@ -163,6 +163,16 @@ class PcstallController : public dvfs::DvfsController
 
     const PcstallConfig &config() const { return cfg; }
 
+    /** The PC-table instances (snapshot/restore, see src/trace). */
+    const std::vector<predict::PcSensitivityTable> &pcTables() const
+    {
+        return tables;
+    }
+    std::vector<predict::PcSensitivityTable> &pcTables()
+    {
+        return tables;
+    }
+
   private:
     predict::PcSensitivityTable &tableFor(std::uint32_t cu)
     {

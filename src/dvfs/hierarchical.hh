@@ -54,6 +54,35 @@ class HierarchicalPowerManager : public DvfsController
 
     std::vector<DomainDecision> decide(const EpochContext &ctx) override;
 
+    // Fault/degradation plumbing passes through to the wrapped
+    // fine-grain controller (the coarse layer holds no storage).
+    void applyStorageFaults(faults::FaultInjector &injector) override
+    {
+        inner.applyStorageFaults(injector);
+    }
+    std::uint64_t watchdogTrips() const override
+    {
+        return inner.watchdogTrips();
+    }
+    std::uint64_t fallbackEpochs() const override
+    {
+        return inner.fallbackEpochs();
+    }
+    std::uint64_t storageBitFlips() const override
+    {
+        return inner.storageBitFlips();
+    }
+    std::uint64_t storageScrubs() const override
+    {
+        return inner.storageScrubs();
+    }
+
+    const HierarchicalConfig &config() const { return cfg; }
+
+    /** The wrapped fine-grain controller. */
+    const DvfsController &innerController() const { return inner; }
+    DvfsController &innerController() { return inner; }
+
     /** Highest state the fine-grain layer may currently use. */
     std::size_t ceilingState() const { return ceiling; }
 

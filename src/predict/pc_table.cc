@@ -163,4 +163,44 @@ PcSensitivityTable::reset()
     std::fill(valid.begin(), valid.end(), false);
 }
 
+std::vector<PcEntrySnapshot>
+PcSensitivityTable::exportEntries() const
+{
+    std::vector<PcEntrySnapshot> out(cfg.entries);
+    for (std::size_t i = 0; i < cfg.entries; ++i) {
+        if (!valid[i])
+            continue;
+        out[i] = PcEntrySnapshot{true, values[i], levels[i]};
+    }
+    return out;
+}
+
+bool
+PcSensitivityTable::importEntries(
+    const std::vector<PcEntrySnapshot> &entries)
+{
+    if (entries.size() != cfg.entries)
+        return false;
+    for (std::size_t i = 0; i < cfg.entries; ++i) {
+        if (!entries[i].valid) {
+            valid[i] = false;
+            values[i] = 0.0;
+            levels[i] = 0.0;
+            continue;
+        }
+        double s = std::max(entries[i].sensitivity, 0.0);
+        double l = cfg.storeLevel ? std::max(entries[i].level, 0.0)
+                                  : 0.0;
+        if (cfg.quantize) {
+            s = quantizeTo(s, cfg.maxSensitivity);
+            l = quantizeTo(l, cfg.maxLevel);
+        }
+        values[i] = s;
+        levels[i] = l;
+        valid[i] = true;
+        parity[i] = parityOf(i);
+    }
+    return true;
+}
+
 } // namespace pcstall::predict

@@ -77,6 +77,17 @@ struct PcEntry
     double level = 0.0;
 };
 
+/**
+ * Serializable image of one table entry, including whether it has ever
+ * been written (snapshot/restore support, see src/trace/snapshot.hh).
+ */
+struct PcEntrySnapshot
+{
+    bool valid = false;
+    double sensitivity = 0.0;
+    double level = 0.0;
+};
+
 /** One PC-indexed sensitivity table instance. */
 class PcSensitivityTable
 {
@@ -128,6 +139,18 @@ class PcSensitivityTable
 
     /** Entries invalidated by parity-mismatch scrubs so far. */
     std::uint64_t scrubCount() const { return scrubs; }
+
+    /** Serializable image of every entry, in index order. */
+    std::vector<PcEntrySnapshot> exportEntries() const;
+
+    /**
+     * Restore entries from a snapshot (warm start). Values are
+     * re-quantized onto this table's grid and parity is recomputed, so
+     * a snapshot of an identically-configured table round-trips
+     * exactly. Returns false (and changes nothing) when the snapshot's
+     * entry count does not match this table's geometry.
+     */
+    bool importEntries(const std::vector<PcEntrySnapshot> &entries);
 
   private:
     std::size_t indexOf(std::uint64_t pc_addr) const;

@@ -1,0 +1,214 @@
+#include "sim/epoch_ledger.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats_util.hh"
+
+namespace pcstall::sim
+{
+
+EpochLedger::EpochLedger(const RunConfig &config,
+                         const power::VfTable &vf_table,
+                         const power::PowerModel &power_model,
+                         const dvfs::DomainMap &domain_map,
+                         std::size_t nominal_idx)
+    : cfg(config), table(vf_table), power(power_model),
+      domainMap(domain_map), nominalIdx(nominal_idx)
+{
+    domainState.assign(domainMap.numDomains(), nominalIdx);
+    prevPred.assign(domainMap.numDomains(), -1.0);
+    avgInstr.assign(domainMap.numDomains(), 0.0);
+    freqShare.assign(table.numStates(), 0.0);
+}
+
+void
+EpochLedger::observeEpoch(const gpu::EpochRecord &record,
+                          const gpu::EpochRecord &observed,
+                          Tick epoch_start, Tick accounted_end)
+{
+    // --- prediction accuracy of the decisions made last epoch ---
+    for (std::uint32_t d = 0; d < domainMap.numDomains(); ++d) {
+        const double actual = dvfs::sumOverDomain(
+            domainMap, d, [&](std::uint32_t cu) {
+                return static_cast<double>(record.cus[cu].committed);
+            });
+        if (prevPred[d] >= 0.0 && actual > 0.0) {
+            const double err = std::abs(prevPred[d] - actual) / actual;
+            accuracySum += clampTo(1.0 - err, 0.0, 1.0);
+            ++accuracyN;
+        }
+    }
+
+    // --- energy accounting (prorate the final partial epoch) ---
+    const Tick eff_len =
+        std::max<Tick>(accounted_end - epoch_start, 0);
+    if (eff_len > 0) {
+        double epoch_energy = 0.0;
+        memory::MemActivity total_activity;
+        for (std::uint32_t cu = 0; cu < cfg.gpu.numCus; ++cu) {
+            const gpu::CuEpochRecord &cr = record.cus[cu];
+            const Volts v = table
+                .state(domainState[domainMap.domainOf(cu)]).voltage;
+            epoch_energy += power.cuEpochEnergy(
+                v, cr.freq, cr.committed, cr.mem, eff_len,
+                thermal.temperature()).total();
+            total_activity += cr.mem;
+        }
+        epoch_energy += power.memEpochEnergy(total_activity, eff_len);
+        energy += epoch_energy;
+        thermal.update(epoch_energy / tickSeconds(eff_len),
+                       tickSeconds(eff_len));
+        const Watts epoch_power = epoch_energy / tickSeconds(eff_len);
+        avgPower = avgPower == 0.0 ? epoch_power
+            : (1.0 - avgAlpha) * avgPower + avgAlpha * epoch_power;
+    }
+    for (std::uint32_t d = 0; d < domainMap.numDomains(); ++d) {
+        const double instr = dvfs::sumOverDomain(
+            domainMap, d, [&](std::uint32_t cu) {
+                return static_cast<double>(observed.cus[cu].committed);
+            });
+        avgInstr[d] = avgInstr[d] == 0.0 ? instr
+            : (1.0 - avgAlpha) * avgInstr[d] + avgAlpha * instr;
+    }
+
+    // --- frequency residency ---
+    for (std::uint32_t d = 0; d < domainMap.numDomains(); ++d)
+        freqShare[domainState[d]] += 1.0;
+    domainEpochs += domainMap.numDomains();
+
+    if (cfg.collectTrace) {
+        EpochTraceEntry entry;
+        entry.start = epoch_start;
+        for (std::uint32_t d = 0; d < domainMap.numDomains(); ++d) {
+            entry.domainState.push_back(
+                static_cast<std::uint8_t>(domainState[d]));
+            entry.domainCommitted.push_back(dvfs::sumOverDomain(
+                domainMap, d, [&](std::uint32_t cu) {
+                    return static_cast<double>(
+                        record.cus[cu].committed);
+                }));
+        }
+        traceEntries.push_back(std::move(entry));
+    }
+}
+
+dvfs::EpochContext
+EpochLedger::makeContext(const gpu::EpochRecord &observed,
+                         const std::vector<gpu::WaveSnapshot> &snapshots,
+                         const dvfs::AccurateEstimates *elapsed,
+                         const dvfs::AccurateEstimates *upcoming) const
+{
+    return dvfs::EpochContext{
+        observed, snapshots, domainMap, table, power,
+        cfg.epochLen, thermal.temperature(), cfg.objective,
+        cfg.perfDegradationLimit, nominalIdx,
+        elapsed, upcoming, avgPower, &avgInstr};
+}
+
+std::vector<EpochLedger::AppliedTransition>
+EpochLedger::applyDecisions(std::vector<dvfs::DomainDecision> &decisions,
+                            faults::FaultInjector &injector)
+{
+    // Never trust a controller's output blindly: repair illegal
+    // decisions instead of crashing or applying garbage.
+    lastClamped_ = dvfs::sanitizeDecisions(
+        decisions, table, domainMap.numDomains(), nominalIdx);
+    clampedDecisions += lastClamped_;
+
+    std::vector<AppliedTransition> out(domainMap.numDomains());
+    for (std::uint32_t d = 0; d < domainMap.numDomains(); ++d) {
+        const std::size_t old_state = domainState[d];
+        const faults::TransitionOutcome applied =
+            injector.transition(old_state, decisions[d].state, table);
+        domainState[d] = applied.state;
+        // A failed or re-quantized transition means the predicted
+        // state was never applied; don't score that prediction.
+        prevPred[d] = applied.state == decisions[d].state
+            ? decisions[d].predictedInstr : -1.0;
+        out[d] = AppliedTransition{applied.state, applied.extraLatency};
+        if (old_state != applied.state) {
+            transitions += domainMap.cusPerDomain();
+            const Joules te = power.transitionEnergy(
+                table.state(old_state).voltage,
+                table.state(applied.state).voltage) *
+                domainMap.cusPerDomain();
+            transitionEnergy += te;
+            energy += te;
+        }
+    }
+    return out;
+}
+
+void
+EpochLedger::traceEpochFaults(const faults::FaultInjector::Totals &base,
+                              const faults::FaultInjector &injector,
+                              bool fallback_active)
+{
+    if (!cfg.collectTrace || traceEntries.empty())
+        return;
+    const faults::FaultInjector::Totals &now = injector.totals();
+    gpu::FaultEpochCounters &fc = traceEntries.back().faults;
+    fc.telemetryPerturbations =
+        now.telemetryPerturbations - base.telemetryPerturbations;
+    fc.telemetryDropouts =
+        now.telemetryDropouts - base.telemetryDropouts;
+    fc.transitionFailures =
+        now.transitionFailures - base.transitionFailures;
+    fc.transitionExtraLatency =
+        now.transitionExtraLatency - base.transitionExtraLatency;
+    fc.tableBitFlips = now.tableBitFlips - base.tableBitFlips;
+    fc.clampedDecisions = lastClamped_;
+    fc.fallbackActive = fallback_active;
+}
+
+void
+EpochLedger::finalize(RunResult &result, bool completed,
+                      Tick last_commit, std::uint64_t total_committed,
+                      const faults::FaultInjector &injector,
+                      const dvfs::DvfsController &controller)
+{
+    result.completed = completed;
+    result.execTime = completed ? last_commit : cfg.maxSimTime;
+    result.instructions = total_committed;
+    result.energy = energy;
+    result.transitions = transitions;
+    result.transitionEnergy = transitionEnergy;
+    result.predictionAccuracy = accuracyN > 0
+        ? accuracySum / static_cast<double>(accuracyN) : 0.0;
+    result.freqTimeShare = freqShare;
+    if (domainEpochs > 0) {
+        for (double &share : result.freqTimeShare)
+            share /= static_cast<double>(domainEpochs);
+    }
+    result.finalTemperature = thermal.temperature();
+    result.trace = std::move(traceEntries);
+
+    const faults::FaultInjector::Totals &tot = injector.totals();
+    result.faults.telemetryPerturbations = tot.telemetryPerturbations;
+    result.faults.telemetryDropouts = tot.telemetryDropouts;
+    result.faults.transitionFailures = tot.transitionFailures;
+    result.faults.transitionExtraLatency = tot.transitionExtraLatency;
+    result.faults.tableBitFlips = controller.storageBitFlips();
+    result.faults.tableScrubs = controller.storageScrubs();
+    result.faults.watchdogTrips = controller.watchdogTrips();
+    result.faults.fallbackEpochs = controller.fallbackEpochs();
+    result.faults.clampedDecisions = clampedDecisions;
+}
+
+std::vector<dvfs::DomainDecision>
+decideEpoch(dvfs::DvfsController &controller,
+            const dvfs::EpochContext &ctx, dvfs::SweepNeed need,
+            bool have_elapsed, std::size_t num_domains,
+            std::size_t nominal_idx)
+{
+    // The very first epoch has no elapsed-epoch estimate yet;
+    // accurate-reactive controllers stay at nominal.
+    if (need == dvfs::SweepNeed::Elapsed && !have_elapsed) {
+        return std::vector<dvfs::DomainDecision>(
+            num_domains, dvfs::DomainDecision{nominal_idx, -1.0});
+    }
+    return controller.decide(ctx);
+}
+
+} // namespace pcstall::sim

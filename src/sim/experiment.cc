@@ -7,6 +7,7 @@
 #include "common/stats_util.hh"
 #include "faults/fault_injector.hh"
 #include "oracle/fork_pre_execute.hh"
+#include "sim/epoch_ledger.hh"
 
 namespace pcstall::sim
 {
@@ -74,7 +75,8 @@ ExperimentDriver::ExperimentDriver(const RunConfig &config)
 
 RunResult
 ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
-                      dvfs::DvfsController &controller)
+                      dvfs::DvfsController &controller,
+                      EpochObserver *observer)
 {
     gpu::GpuConfig gpu_cfg = cfg.gpu;
     gpu_cfg.defaultFreq = cfg.nominalFreq;
@@ -87,27 +89,19 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
     const oracle::SweepOptions sweep_opts{
         true, controller.needsWaveLevel()};
 
-    power::ThermalModel thermal;
     faults::FaultInjector injector(cfg.faults);
+    // All metric arithmetic lives in the ledger, shared with the trace
+    // replay engine so capture-then-replay reproduces it bit-for-bit.
+    EpochLedger ledger(cfg, vfTable, powerModel, domains, nominalIdx);
 
     RunResult result;
     result.controller = controller.name();
     result.workload = app->name;
-    result.freqTimeShare.assign(vfTable.numStates(), 0.0);
 
-    std::vector<std::size_t> domain_state(domains.numDomains(),
-                                          nominalIdx);
-    std::vector<double> prev_pred(domains.numDomains(), -1.0);
     dvfs::AccurateEstimates prev_sweep;
-
-    // Running averages for the marginal objectives (EWMA, alpha 0.2).
-    Watts avg_power = 0.0;
-    std::vector<double> avg_instr(domains.numDomains(), 0.0);
-    constexpr double avg_alpha = 0.2;
-
-    double accuracy_sum = 0.0;
-    std::size_t accuracy_n = 0;
-    std::uint64_t domain_epochs = 0;
+    static const std::vector<gpu::WaveSnapshot> no_snapshots;
+    static const std::vector<dvfs::DomainDecision> no_decisions;
+    static const std::vector<std::size_t> no_applied;
 
     Tick epoch_start = 0;
     bool done = false;
@@ -123,7 +117,6 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
         const faults::FaultInjector::Totals epoch_base =
             injector.totals();
         const std::uint64_t fallback_base = controller.fallbackEpochs();
-        std::uint64_t epoch_clamped = 0;
         gpu::EpochRecord observed_storage;
         const gpu::EpochRecord *observed = &record;
         if (cfg.faults.telemetry.enabled) {
@@ -132,81 +125,20 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
             observed = &observed_storage;
         }
 
-        // --- prediction accuracy of the decisions made last epoch ---
-        for (std::uint32_t d = 0; d < domains.numDomains(); ++d) {
-            const double actual = dvfs::sumOverDomain(
-                domains, d, [&](std::uint32_t cu) {
-                    return static_cast<double>(record.cus[cu].committed);
-                });
-            if (prev_pred[d] >= 0.0 && actual > 0.0) {
-                const double err =
-                    std::abs(prev_pred[d] - actual) / actual;
-                accuracy_sum += clampTo(1.0 - err, 0.0, 1.0);
-                ++accuracy_n;
-            }
-        }
-
-        // --- energy accounting (prorate the final partial epoch) ---
         const Tick accounted_end =
             done ? std::min(epoch_end, chip.lastCommitTick()) : epoch_end;
-        const Tick eff_len =
-            std::max<Tick>(accounted_end - epoch_start, 0);
-        if (eff_len > 0) {
-            double epoch_energy = 0.0;
-            memory::MemActivity total_activity;
-            for (std::uint32_t cu = 0; cu < gpu_cfg.numCus; ++cu) {
-                const gpu::CuEpochRecord &cr = record.cus[cu];
-                const Volts v = vfTable
-                    .state(domain_state[domains.domainOf(cu)]).voltage;
-                epoch_energy += powerModel.cuEpochEnergy(
-                    v, cr.freq, cr.committed, cr.mem, eff_len,
-                    thermal.temperature()).total();
-                total_activity += cr.mem;
+        ledger.observeEpoch(record, *observed, epoch_start,
+                            accounted_end);
+
+        if (done) {
+            if (observer) {
+                observer->onEpoch(EpochCapture{
+                    epoch_start, epoch_end, accounted_end, true,
+                    record, no_snapshots, nullptr, no_decisions,
+                    no_applied});
             }
-            epoch_energy += powerModel.memEpochEnergy(total_activity,
-                                                      eff_len);
-            result.energy += epoch_energy;
-            thermal.update(epoch_energy / tickSeconds(eff_len),
-                           tickSeconds(eff_len));
-            const Watts epoch_power =
-                epoch_energy / tickSeconds(eff_len);
-            avg_power = avg_power == 0.0 ? epoch_power
-                : (1.0 - avg_alpha) * avg_power +
-                  avg_alpha * epoch_power;
-        }
-        for (std::uint32_t d = 0; d < domains.numDomains(); ++d) {
-            const double instr = dvfs::sumOverDomain(
-                domains, d, [&](std::uint32_t cu) {
-                    return static_cast<double>(
-                        observed->cus[cu].committed);
-                });
-            avg_instr[d] = avg_instr[d] == 0.0 ? instr
-                : (1.0 - avg_alpha) * avg_instr[d] +
-                  avg_alpha * instr;
-        }
-
-        // --- frequency residency ---
-        for (std::uint32_t d = 0; d < domains.numDomains(); ++d)
-            result.freqTimeShare[domain_state[d]] += 1.0;
-        domain_epochs += domains.numDomains();
-
-        if (cfg.collectTrace) {
-            EpochTraceEntry entry;
-            entry.start = epoch_start;
-            for (std::uint32_t d = 0; d < domains.numDomains(); ++d) {
-                entry.domainState.push_back(
-                    static_cast<std::uint8_t>(domain_state[d]));
-                entry.domainCommitted.push_back(dvfs::sumOverDomain(
-                    domains, d, [&](std::uint32_t cu) {
-                        return static_cast<double>(
-                            record.cus[cu].committed);
-                    }));
-            }
-            result.trace.push_back(std::move(entry));
-        }
-
-        if (done)
             break;
+        }
 
         // --- sweeps for accurate-estimate controllers ---
         dvfs::AccurateEstimates cur_sweep;
@@ -218,109 +150,59 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
         // --- decide & apply next epoch's frequencies ---
         const std::vector<gpu::WaveSnapshot> snaps =
             chip.waveSnapshots();
-        dvfs::EpochContext ctx{
-            *observed, snaps, domains, vfTable, powerModel,
-            cfg.epochLen, thermal.temperature(), cfg.objective,
-            cfg.perfDegradationLimit, nominalIdx,
+        const dvfs::EpochContext ctx = ledger.makeContext(
+            *observed, snaps,
             prev_sweep.empty() ? nullptr : &prev_sweep,
-            cur_sweep.empty() ? nullptr : &cur_sweep,
-            avg_power, &avg_instr};
+            cur_sweep.empty() ? nullptr : &cur_sweep);
 
         // Storage upsets land between epochs, before the controller
         // reads its tables (no-op unless storage faults are enabled).
         controller.applyStorageFaults(injector);
 
-        // The very first epoch has no elapsed-epoch estimate yet;
-        // accurate-reactive controllers stay at nominal.
-        std::vector<dvfs::DomainDecision> decisions;
-        if (need == dvfs::SweepNeed::Elapsed && prev_sweep.empty()) {
-            decisions.assign(domains.numDomains(),
-                             dvfs::DomainDecision{nominalIdx, -1.0});
-        } else {
-            decisions = controller.decide(ctx);
-        }
-        // Never trust a controller's output blindly: repair illegal
-        // decisions instead of crashing or applying garbage.
-        epoch_clamped = dvfs::sanitizeDecisions(
-            decisions, vfTable, domains.numDomains(), nominalIdx);
-        result.faults.clampedDecisions += epoch_clamped;
+        std::vector<dvfs::DomainDecision> decisions = decideEpoch(
+            controller, ctx, need, !prev_sweep.empty(),
+            domains.numDomains(), nominalIdx);
 
+        const std::vector<EpochLedger::AppliedTransition> applied =
+            ledger.applyDecisions(decisions, injector);
         for (std::uint32_t d = 0; d < domains.numDomains(); ++d) {
-            const std::size_t old_state = domain_state[d];
-            const faults::TransitionOutcome applied = injector
-                .transition(old_state, decisions[d].state, vfTable);
-            domain_state[d] = applied.state;
-            // A failed or re-quantized transition means the predicted
-            // state was never applied; don't score that prediction.
-            prev_pred[d] = applied.state == decisions[d].state
-                ? decisions[d].predictedInstr : -1.0;
-            const Freq freq = vfTable.state(applied.state).freq;
+            const Freq freq = vfTable.state(applied[d].state).freq;
             const std::uint32_t first = domains.firstCu(d);
             for (std::uint32_t cu = first;
                  cu < first + domains.cusPerDomain(); ++cu) {
                 chip.setCuFrequency(cu, freq,
-                                    trans + applied.extraLatency);
-            }
-            if (old_state != applied.state) {
-                result.transitions += domains.cusPerDomain();
-                const Joules te = powerModel.transitionEnergy(
-                    vfTable.state(old_state).voltage,
-                    vfTable.state(applied.state).voltage) *
-                    domains.cusPerDomain();
-                result.transitionEnergy += te;
-                result.energy += te;
+                                    trans + applied[d].extraLatency);
             }
         }
 
-        if (cfg.collectTrace && !result.trace.empty()) {
-            const faults::FaultInjector::Totals &now = injector.totals();
-            gpu::FaultEpochCounters &fc = result.trace.back().faults;
-            fc.telemetryPerturbations =
-                now.telemetryPerturbations - epoch_base
-                                                 .telemetryPerturbations;
-            fc.telemetryDropouts =
-                now.telemetryDropouts - epoch_base.telemetryDropouts;
-            fc.transitionFailures =
-                now.transitionFailures - epoch_base.transitionFailures;
-            fc.transitionExtraLatency = now.transitionExtraLatency -
-                epoch_base.transitionExtraLatency;
-            fc.tableBitFlips =
-                now.tableBitFlips - epoch_base.tableBitFlips;
-            fc.clampedDecisions = epoch_clamped;
-            fc.fallbackActive =
-                controller.fallbackEpochs() > fallback_base;
+        ledger.traceEpochFaults(
+            epoch_base, injector,
+            controller.fallbackEpochs() > fallback_base);
+
+        if (observer) {
+            std::vector<std::size_t> applied_states(
+                domains.numDomains());
+            for (std::uint32_t d = 0; d < domains.numDomains(); ++d)
+                applied_states[d] = applied[d].state;
+            observer->onEpoch(EpochCapture{
+                epoch_start, epoch_end, accounted_end, false, record,
+                snaps, cur_sweep.empty() ? nullptr : &cur_sweep,
+                decisions, applied_states});
         }
 
         prev_sweep = std::move(cur_sweep);
         epoch_start = epoch_end;
     }
 
-    result.completed = done;
     if (!done) {
         warn("run of '" + app->name + "' under " + controller.name() +
              " hit the simulation wall at " +
              std::to_string(cfg.maxSimTime / tickUs) + " us");
     }
-    result.execTime = done ? chip.lastCommitTick() : cfg.maxSimTime;
-    result.instructions = chip.totalCommitted();
-    result.predictionAccuracy =
-        accuracy_n > 0 ? accuracy_sum / static_cast<double>(accuracy_n)
-                       : 0.0;
-    if (domain_epochs > 0) {
-        for (double &share : result.freqTimeShare)
-            share /= static_cast<double>(domain_epochs);
-    }
-    result.finalTemperature = thermal.temperature();
-
-    const faults::FaultInjector::Totals &tot = injector.totals();
-    result.faults.telemetryPerturbations = tot.telemetryPerturbations;
-    result.faults.telemetryDropouts = tot.telemetryDropouts;
-    result.faults.transitionFailures = tot.transitionFailures;
-    result.faults.transitionExtraLatency = tot.transitionExtraLatency;
-    result.faults.tableBitFlips = controller.storageBitFlips();
-    result.faults.tableScrubs = controller.storageScrubs();
-    result.faults.watchdogTrips = controller.watchdogTrips();
-    result.faults.fallbackEpochs = controller.fallbackEpochs();
+    ledger.finalize(result, done, chip.lastCommitTick(),
+                    chip.totalCommitted(), injector, controller);
+    if (observer)
+        observer->onRunEnd(result);
     return result;
 }
 

@@ -160,6 +160,48 @@ struct RunResult
 std::string validateRunConfig(const RunConfig &config);
 
 /**
+ * Everything the driver knows about one epoch boundary, exposed to an
+ * EpochObserver. This is the capture seam of the trace subsystem
+ * (src/trace): an observer that records these fields can later
+ * re-drive any controller without the GPU timing model.
+ *
+ * On the final (application-finished) epoch no decisions are made;
+ * @ref decisions and @ref appliedStates are empty and @ref snapshots
+ * refers to an empty vector.
+ */
+struct EpochCapture
+{
+    Tick start = 0;
+    Tick end = 0;
+    /** End of the energy-accounted span (prorated final epoch). */
+    Tick accountedEnd = 0;
+    bool done = false;
+    /** The *physical* epoch record (pre-telemetry-fault). */
+    const gpu::EpochRecord &record;
+    /** Waves resident at the boundary (keys of the next lookup). */
+    const std::vector<gpu::WaveSnapshot> &snapshots;
+    /** This boundary's fork-pre-execute sweep; null unless the
+     *  controller requested one. */
+    const dvfs::AccurateEstimates *sweep = nullptr;
+    /** Post-sanitize controller decisions for the next epoch. */
+    const std::vector<dvfs::DomainDecision> &decisions;
+    /** V/f state each domain will really run at (injector outcome). */
+    const std::vector<std::size_t> &appliedStates;
+};
+
+/** Observer of a live run, called once per epoch boundary. */
+class EpochObserver
+{
+  public:
+    virtual ~EpochObserver() = default;
+
+    virtual void onEpoch(const EpochCapture &epoch) = 0;
+
+    /** Called once after the run loop with the final result. */
+    virtual void onRunEnd(const RunResult &result) { (void)result; }
+};
+
+/**
  * Runs experiments. Prediction accuracy is scored per the paper
  * (Section 6.1): the controller's predicted instructions for the
  * chosen state are compared against the instructions actually
@@ -171,9 +213,13 @@ class ExperimentDriver
   public:
     explicit ExperimentDriver(const RunConfig &config);
 
-    /** Run @p app to completion under @p controller. */
+    /**
+     * Run @p app to completion under @p controller. An optional
+     * @p observer sees every epoch boundary (trace capture).
+     */
     RunResult run(std::shared_ptr<const isa::Application> app,
-                  dvfs::DvfsController &controller);
+                  dvfs::DvfsController &controller,
+                  EpochObserver *observer = nullptr);
 
     const power::VfTable &table() const { return vfTable; }
     const RunConfig &config() const { return cfg; }

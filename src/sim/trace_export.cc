@@ -5,10 +5,43 @@
 namespace pcstall::sim
 {
 
+namespace
+{
+
+/** Emit the schema-version comment shared by every exported CSV. */
+void
+writeSchemaComment(std::ostream &os, const char *kind)
+{
+    os << "# pcstall-" << kind << "-csv v" << traceCsvSchemaVersion
+       << '\n';
+}
+
+} // namespace
+
+std::string
+csvEscape(const std::string &value)
+{
+    const bool needs_quoting =
+        value.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quoting)
+        return value;
+    std::string out;
+    out.reserve(value.size() + 2);
+    out.push_back('"');
+    for (const char c : value) {
+        if (c == '"')
+            out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
 void
 writeRunTraceCsv(std::ostream &os, const RunResult &result,
                  const power::VfTable &table)
 {
+    writeSchemaComment(os, "run-trace");
     os << "epoch_us,domain,state,freq_ghz,committed\n";
     for (const EpochTraceEntry &entry : result.trace) {
         const double epoch_us = static_cast<double>(entry.start) /
@@ -25,6 +58,7 @@ writeRunTraceCsv(std::ostream &os, const RunResult &result,
 void
 writeProfileCsv(std::ostream &os, const ProfileResult &profile)
 {
+    writeSchemaComment(os, "profile");
     os << "epoch_us,domain,sensitivity,intercept,r2\n";
     for (const EpochProfile &ep : profile.epochs) {
         const double epoch_us = static_cast<double>(ep.start) /
@@ -41,6 +75,7 @@ writeProfileCsv(std::ostream &os, const ProfileResult &profile)
 void
 writeWaveProfileCsv(std::ostream &os, const ProfileResult &profile)
 {
+    writeSchemaComment(os, "wave-profile");
     os << "epoch_us,cu,slot,start_pc_addr,sensitivity,level,age_rank\n";
     for (const EpochProfile &ep : profile.epochs) {
         const double epoch_us = static_cast<double>(ep.start) /

@@ -19,6 +19,23 @@ namespace pcstall::sim
 {
 
 /**
+ * Schema version stamped into every exported CSV as a leading comment
+ * line (`# pcstall-<kind>-csv v<N>`). Consumers that parse these files
+ * (tools/plot_traces.py, external notebooks) should skip lines starting
+ * with '#' and may use the comment to detect column-set changes.
+ */
+inline constexpr int traceCsvSchemaVersion = 1;
+
+/**
+ * Escape a value for use as a single CSV field. Fields containing the
+ * separator (','), double quotes, or line breaks are wrapped in double
+ * quotes with embedded quotes doubled (RFC 4180); anything else is
+ * returned unchanged. Use for free-form string fields (workload or
+ * controller names) so a stray comma cannot corrupt the column layout.
+ */
+std::string csvEscape(const std::string &value);
+
+/**
  * Write a run's per-epoch trace as CSV:
  * epoch_us, domain, state, freq_ghz, committed.
  * Requires the run to have been collected with

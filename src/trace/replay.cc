@@ -1,0 +1,155 @@
+#include "trace/replay.hh"
+
+#include <chrono>
+
+#include "faults/fault_injector.hh"
+#include "sim/epoch_ledger.hh"
+
+namespace pcstall::trace
+{
+
+namespace
+{
+
+std::int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string
+describeMismatch(std::size_t frame_idx, std::uint32_t domain,
+                 const FrameDecision &recorded, std::size_t decided,
+                 std::size_t applied)
+{
+    return "epoch " + std::to_string(frame_idx) + " domain " +
+        std::to_string(domain) + ": recorded state " +
+        std::to_string(recorded.decided) + " (applied " +
+        std::to_string(recorded.applied) + "), replayed state " +
+        std::to_string(decided) + " (applied " +
+        std::to_string(applied) + ")";
+}
+
+} // namespace
+
+ReplayDriver::ReplayDriver(const TraceData &trace) : data(trace) {}
+
+ReplayOutcome
+ReplayDriver::run(dvfs::DvfsController &controller,
+                  const ReplayOptions &options)
+{
+    ReplayOutcome outcome;
+    outcome.captureWallMs = data.trailer.captureWallMs;
+    const std::int64_t t0 = nowNs();
+
+    const TraceMeta &meta = data.meta;
+    const sim::RunConfig cfg = runConfigFromMeta(meta);
+    const std::string cfg_err = sim::validateRunConfig(cfg);
+    if (!cfg_err.empty()) {
+        outcome.error = "trace meta yields an unusable run config: " +
+            cfg_err;
+        return outcome;
+    }
+    const power::VfTable table = vfTableFromMeta(meta);
+    const int nominal = table.indexOf(meta.nominalFreq);
+    if (nominal < 0) {
+        outcome.error =
+            "trace meta: nominal frequency not in the V/f table";
+        return outcome;
+    }
+    const std::size_t nominal_idx = static_cast<std::size_t>(nominal);
+    const power::PowerModel power_model(cfg.power);
+    const dvfs::DomainMap domains(meta.numCus, meta.cusPerDomain);
+
+    const dvfs::SweepNeed need = controller.sweepNeed();
+    if (need != dvfs::SweepNeed::None) {
+        for (const EpochFrame &frame : data.frames) {
+            if (!frame.done && !frame.hasSweep) {
+                outcome.error = "controller " + controller.name() +
+                    " needs fork-pre-execute sweeps, but the trace "
+                    "was captured without them (capture under a "
+                    "sweep-requesting controller to replay this one)";
+                return outcome;
+            }
+        }
+    }
+
+    // Same seed => the injector replays the exact fault sequence the
+    // live run saw, provided it is consulted in the same order.
+    faults::FaultInjector injector(cfg.faults);
+    sim::EpochLedger ledger(cfg, table, power_model, domains,
+                            nominal_idx);
+
+    outcome.result.controller = controller.name();
+    outcome.result.workload = meta.workload;
+
+    const dvfs::AccurateEstimates *prev_sweep = nullptr;
+    for (std::size_t i = 0; i < data.frames.size(); ++i) {
+        const EpochFrame &frame = data.frames[i];
+        ++outcome.result.epochs;
+
+        const faults::FaultInjector::Totals epoch_base =
+            injector.totals();
+        const std::uint64_t fallback_base = controller.fallbackEpochs();
+        gpu::EpochRecord observed_storage;
+        const gpu::EpochRecord *observed = &frame.record;
+        if (cfg.faults.telemetry.enabled) {
+            observed_storage = frame.record;
+            injector.perturbRecord(observed_storage, cfg.epochLen);
+            observed = &observed_storage;
+        }
+
+        ledger.observeEpoch(frame.record, *observed, frame.start,
+                            frame.accountedEnd);
+        if (frame.done)
+            break;
+
+        const dvfs::AccurateEstimates *cur_sweep =
+            frame.hasSweep ? &frame.sweep : nullptr;
+        const dvfs::EpochContext ctx = ledger.makeContext(
+            *observed, frame.snapshots,
+            need != dvfs::SweepNeed::None ? prev_sweep : nullptr,
+            need != dvfs::SweepNeed::None ? cur_sweep : nullptr);
+
+        controller.applyStorageFaults(injector);
+
+        std::vector<dvfs::DomainDecision> decisions =
+            sim::decideEpoch(controller, ctx, need,
+                             prev_sweep != nullptr,
+                             domains.numDomains(), nominal_idx);
+
+        const auto applied = ledger.applyDecisions(decisions, injector);
+
+        if (options.verifyDecisions) {
+            for (std::uint32_t d = 0; d < domains.numDomains(); ++d) {
+                const FrameDecision &rec = frame.decisions[d];
+                if (decisions[d].state != rec.decided ||
+                    applied[d].state != rec.applied) {
+                    ++outcome.decisionMismatches;
+                    if (outcome.firstMismatch.empty()) {
+                        outcome.firstMismatch = describeMismatch(
+                            i, d, rec, decisions[d].state,
+                            applied[d].state);
+                    }
+                }
+            }
+        }
+
+        ledger.traceEpochFaults(
+            epoch_base, injector,
+            controller.fallbackEpochs() > fallback_base);
+
+        prev_sweep = cur_sweep;
+    }
+
+    ledger.finalize(outcome.result, data.trailer.completed,
+                    data.trailer.lastCommitTick,
+                    data.trailer.totalCommitted, injector, controller);
+
+    outcome.replayWallMs = static_cast<double>(nowNs() - t0) / 1e6;
+    return outcome;
+}
+
+} // namespace pcstall::trace

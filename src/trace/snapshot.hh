@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Predictor snapshot/restore: a serializable image of the quantized
+ * PC sensitivity tables (src/predict), embeddable as a section of an
+ * epoch trace or stored as a standalone `.pcsnap` file. Lets runs
+ * warm-start a learned table and lets bench sweeps skip re-training.
+ */
+
+#ifndef PCSTALL_TRACE_SNAPSHOT_HH
+#define PCSTALL_TRACE_SNAPSHOT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "predict/pc_table.hh"
+
+namespace pcstall::trace
+{
+
+/** Image of every PC-table instance of one controller. */
+struct PcTableSnapshot
+{
+    /** Geometry/quantization the tables were configured with. */
+    predict::PcTableConfig config;
+    /** One entry vector per table instance, in instance order. */
+    std::vector<std::vector<predict::PcEntrySnapshot>> tables;
+
+    bool empty() const { return tables.empty(); }
+};
+
+/** Snapshot every table instance of a PCSTALL-style controller. */
+PcTableSnapshot
+snapshotPcTables(const std::vector<predict::PcSensitivityTable> &tables);
+
+/**
+ * Warm-start @p tables from @p snap. The snapshot must match the
+ * tables' geometry (instance count, entries per table) and
+ * quantization parameters; returns an empty string on success or a
+ * one-line diagnostic (tables unchanged) otherwise.
+ */
+std::string
+restorePcTables(const PcTableSnapshot &snap,
+                std::vector<predict::PcSensitivityTable> &tables);
+
+/** Encode a snapshot as a format payload (trace section body). */
+std::string encodePcSnapshot(const PcTableSnapshot &snap);
+
+/**
+ * Decode a payload produced by encodePcSnapshot(). Returns an empty
+ * string and fills @p snap on success, a diagnostic otherwise.
+ */
+std::string decodePcSnapshot(const std::string &payload,
+                             PcTableSnapshot &snap);
+
+/** Write a standalone snapshot file; false on I/O error. */
+bool writePcSnapshotFile(const std::string &path,
+                         const PcTableSnapshot &snap);
+
+/** Result of reading a standalone snapshot file. */
+struct PcSnapshotReadResult
+{
+    std::optional<PcTableSnapshot> snapshot;
+    /** Empty on success; a one-line diagnostic otherwise. */
+    std::string error;
+
+    bool ok() const { return snapshot.has_value(); }
+};
+
+/** Read and strictly validate a standalone `.pcsnap` file. */
+PcSnapshotReadResult readPcSnapshotFile(const std::string &path);
+
+} // namespace pcstall::trace
+
+#endif // PCSTALL_TRACE_SNAPSHOT_HH

@@ -258,11 +258,12 @@ TEST(TraceExport, RunTraceCsvRoundTrips)
     const std::string csv = os.str();
     EXPECT_NE(csv.find("epoch_us,domain,state,freq_ghz,committed"),
               std::string::npos);
-    // Header + epochs * domains rows.
+    EXPECT_EQ(csv.rfind("# pcstall-run-trace-csv v", 0), 0u);
+    // Schema comment + header + epochs * domains rows.
     const std::size_t lines =
         static_cast<std::size_t>(std::count(csv.begin(), csv.end(),
                                             '\n'));
-    EXPECT_EQ(lines, 1 + r.trace.size() * 2);
+    EXPECT_EQ(lines, 2 + r.trace.size() * 2);
     EXPECT_NE(csv.find(",1.6,"), std::string::npos); // state 3
 }
 
@@ -278,10 +279,11 @@ TEST(TraceExport, ProfileCsvHasAllEpochs)
     std::ostringstream os;
     writeProfileCsv(os, profile);
     const std::string csv = os.str();
+    EXPECT_EQ(csv.rfind("# pcstall-profile-csv v", 0), 0u);
     const std::size_t lines =
         static_cast<std::size_t>(std::count(csv.begin(), csv.end(),
                                             '\n'));
-    EXPECT_EQ(lines, 1 + profile.epochs.size() * 2);
+    EXPECT_EQ(lines, 2 + profile.epochs.size() * 2);
 
     std::ostringstream wos;
     writeWaveProfileCsv(wos, profile);

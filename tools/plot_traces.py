@@ -1,22 +1,51 @@
 #!/usr/bin/env python3
 """Plot CSV traces exported by the simulator.
 
-Usage:
-  plot_traces.py run   trace.csv   [out.png]   # frequency/work per epoch
-  plot_traces.py prof  profile.csv [out.png]   # sensitivity profiles
+Accepts both the legacy header-only CSVs and the current exports that
+carry a leading `# pcstall-<kind>-csv v<N>` schema comment (lines
+starting with '#' are skipped). Run traces can come either from a live
+run (`sim::writeRunTraceCsv`, e.g. `examples/custom_workload
+--trace-csv`) or from a recorded epoch trace via
+`trace_inspect csv run.pctrace > run.csv`.
 
-The CSVs come from sim::writeRunTraceCsv / sim::writeProfileCsv (see
-`examples/custom_workload --trace-csv`). Requires matplotlib.
+Requires matplotlib.
 """
 
+import argparse
 import csv
 import sys
 from collections import defaultdict
 
+EXAMPLES = """\
+examples:
+  # frequency / work per epoch from a live-run export
+  plot_traces.py run trace.csv -o run.png
+
+  # same, from a recorded epoch trace
+  trace_inspect csv run.pctrace > run.csv
+  plot_traces.py run run.csv
+
+  # per-domain sensitivity profile (cf. paper Fig 6)
+  plot_traces.py prof profile.csv -o profile.png
+"""
+
 
 def load(path):
+    """Load a CSV, skipping '#' comment lines (schema-version header)."""
     with open(path) as f:
-        return list(csv.DictReader(f))
+        rows = (line for line in f if not line.lstrip().startswith("#"))
+        return list(csv.DictReader(rows))
+
+
+def check_columns(rows, required, path):
+    if not rows:
+        sys.exit(f"error: {path}: no data rows")
+    missing = sorted(required - set(rows[0]))
+    if missing:
+        sys.exit(
+            f"error: {path}: missing column(s) {', '.join(missing)} "
+            f"(is this the right CSV kind?)"
+        )
 
 
 def plot_run(rows, out):
@@ -65,15 +94,37 @@ def plot_profile(rows, out):
 
 
 def main():
-    if len(sys.argv) < 3 or sys.argv[1] not in ("run", "prof"):
-        print(__doc__)
-        return 1
-    rows = load(sys.argv[2])
-    out = sys.argv[3] if len(sys.argv) > 3 else "trace.png"
-    if sys.argv[1] == "run":
-        plot_run(rows, out)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        epilog=EXAMPLES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "kind",
+        choices=("run", "prof"),
+        help="CSV kind: 'run' = per-epoch run trace, "
+        "'prof' = sensitivity profile",
+    )
+    parser.add_argument("csv", help="input CSV file")
+    parser.add_argument(
+        "-o",
+        "--out",
+        default="trace.png",
+        help="output image path (default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    rows = load(args.csv)
+    if args.kind == "run":
+        check_columns(
+            rows, {"epoch_us", "domain", "freq_ghz", "committed"}, args.csv
+        )
+        plot_run(rows, args.out)
     else:
-        plot_profile(rows, out)
+        check_columns(
+            rows, {"epoch_us", "domain", "sensitivity"}, args.csv
+        )
+        plot_profile(rows, args.out)
     return 0
 
 
