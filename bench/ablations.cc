@@ -19,6 +19,7 @@
 #include "common/stats_util.hh"
 #include "core/pcstall_controller.hh"
 #include "harness.hh"
+#include "sweep_runner.hh"
 
 using namespace pcstall;
 
@@ -36,97 +37,116 @@ struct Variant
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::BenchOptions::parse(argc, argv);
-    bench::banner("ABLATIONS", "PCSTALL design-choice ablations", opts);
+    return bench::guardedMain([&] {
+        auto opts = bench::BenchOptions::parse(argc, argv);
+        bench::banner("ABLATIONS", "PCSTALL design-choice ablations",
+                      opts);
 
-    std::vector<std::string> names = {"comd", "hacc", "BwdBN",
-                                      "xsbench", "dgemm", "lulesh"};
-    if (!opts.workloads.empty())
-        names = opts.workloads;
+        std::vector<std::string> names = {"comd", "hacc", "BwdBN",
+                                          "xsbench", "dgemm", "lulesh"};
+        if (!opts.workloads.empty())
+            names = opts.workloads;
 
-    const auto cfg = opts.runConfig();
-    const auto base_pcfg = core::PcstallConfig::forEpoch(
-        cfg.epochLen, cfg.gpu.waveSlotsPerCu);
+        const auto cfg = opts.runConfig();
+        const auto base_pcfg = core::PcstallConfig::forEpoch(
+            cfg.epochLen, cfg.gpu.waveSlotsPerCu);
 
-    std::vector<Variant> variants;
-    variants.push_back({"baseline", base_pcfg});
-    {
-        auto v = base_pcfg;
-        v.adaptiveContention = false;
-        variants.push_back({"static linear contention", v});
-    }
-    {
-        auto v = base_pcfg;
-        v.estimator.normalizeAge = false;
-        v.adaptiveContention = false;
-        variants.push_back({"no age normalization", v});
-    }
-    {
-        auto v = base_pcfg;
-        v.table.storeLevel = false;
-        variants.push_back({"slope-only table (paper Table I)", v});
-    }
-    {
-        auto v = base_pcfg;
-        v.lookupOnRegionChange = false;
-        variants.push_back({"always lookup (no region gate)", v});
-    }
-    {
-        auto v = base_pcfg;
-        v.table.quantize = false;
-        variants.push_back({"no 8-bit quantization", v});
-    }
-    {
-        auto v = base_pcfg;
-        v.table.updateBlend = 1.0;
-        variants.push_back({"no update blending", v});
-    }
-    {
-        auto v = base_pcfg;
-        v.reactiveFallback = false;
-        variants.push_back({"no reactive fallback on miss", v});
-    }
-    {
-        auto v = base_pcfg;
-        v.cusPerTable = cfg.gpu.numCus;
-        variants.push_back({"one table shared by all CUs", v});
-    }
-    {
-        auto v = base_pcfg;
-        v.table.entries = 32;
-        variants.push_back({"32-entry table", v});
-    }
-
-    sim::ExperimentDriver driver(cfg);
-
-    TableWriter table({"variant", "geomean ED2P vs 1.7GHz",
-                       "mean accuracy", "storage B/instance"});
-    for (const Variant &variant : variants) {
-        std::vector<double> norm;
-        std::vector<double> acc;
-        std::uint64_t storage = 0;
-        for (const std::string &name : names) {
-            const auto app = bench::makeApp(name, opts);
-            if (!app)
-                continue;
-            dvfs::StaticController nominal(driver.nominalState());
-            const sim::RunResult base = driver.run(app, nominal);
-            core::PcstallController c(variant.cfg, cfg.gpu.numCus);
-            const sim::RunResult r = driver.run(app, c);
-            norm.push_back(r.ed2p() / base.ed2p());
-            acc.push_back(r.predictionAccuracy);
-            storage = c.storageBytes() /
-                (cfg.gpu.numCus / variant.cfg.cusPerTable);
+        std::vector<Variant> variants;
+        variants.push_back({"baseline", base_pcfg});
+        {
+            auto v = base_pcfg;
+            v.adaptiveContention = false;
+            variants.push_back({"static linear contention", v});
         }
-        table.beginRow()
-            .cell(variant.name)
-            .cell(geomean(norm), 3)
-            .cell(formatPercent(mean(acc)))
-            .cell(static_cast<long long>(storage));
-        table.endRow();
-    }
-    bench::emit(opts, table);
-    std::printf("\n(each variant changes exactly one mechanism "
-                "relative to the baseline; see DESIGN.md section 5)\n");
-    return 0;
+        {
+            auto v = base_pcfg;
+            v.estimator.normalizeAge = false;
+            v.adaptiveContention = false;
+            variants.push_back({"no age normalization", v});
+        }
+        {
+            auto v = base_pcfg;
+            v.table.storeLevel = false;
+            variants.push_back({"slope-only table (paper Table I)", v});
+        }
+        {
+            auto v = base_pcfg;
+            v.lookupOnRegionChange = false;
+            variants.push_back({"always lookup (no region gate)", v});
+        }
+        {
+            auto v = base_pcfg;
+            v.table.quantize = false;
+            variants.push_back({"no 8-bit quantization", v});
+        }
+        {
+            auto v = base_pcfg;
+            v.table.updateBlend = 1.0;
+            variants.push_back({"no update blending", v});
+        }
+        {
+            auto v = base_pcfg;
+            v.reactiveFallback = false;
+            variants.push_back({"no reactive fallback on miss", v});
+        }
+        {
+            auto v = base_pcfg;
+            v.cusPerTable = cfg.gpu.numCus;
+            variants.push_back({"one table shared by all CUs", v});
+        }
+        {
+            auto v = base_pcfg;
+            v.table.entries = 32;
+            variants.push_back({"32-entry table", v});
+        }
+
+        bench::SweepRunner runner(opts);
+        std::vector<bench::SweepCell> cells;
+        for (const Variant &variant : variants) {
+            for (const std::string &name : names) {
+                bench::SweepCell c =
+                    runner.cell(name, "PCSTALL:" + variant.name, true);
+                const core::PcstallConfig pcfg = variant.cfg;
+                c.factory = [pcfg](const sim::RunConfig &rc) {
+                    return std::make_unique<core::PcstallController>(
+                        pcfg, rc.gpu.numCus);
+                };
+                cells.push_back(std::move(c));
+            }
+        }
+        const std::vector<bench::CellOutcome> outcomes =
+            runner.run(std::move(cells));
+
+        TableWriter table({"variant", "geomean ED2P vs 1.7GHz",
+                           "mean accuracy", "storage B/instance"});
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            const Variant &variant = variants[v];
+            std::vector<double> norm;
+            std::vector<double> acc;
+            for (std::size_t w = 0; w < names.size(); ++w) {
+                const bench::CellOutcome &cell =
+                    outcomes[v * names.size() + w];
+                if (!cell.run.ok || !cell.baseline.ok)
+                    continue;
+                norm.push_back(cell.run.result.ed2p() /
+                               cell.baseline.result.ed2p());
+                acc.push_back(cell.run.result.predictionAccuracy);
+            }
+            // Storage is a static property of the variant's geometry.
+            core::PcstallController probe(variant.cfg, cfg.gpu.numCus);
+            const std::uint64_t storage = probe.storageBytes() /
+                (cfg.gpu.numCus / variant.cfg.cusPerTable);
+            table.beginRow()
+                .cell(variant.name)
+                .cell(geomean(norm), 3)
+                .cell(formatPercent(mean(acc)))
+                .cell(static_cast<long long>(storage));
+            table.endRow();
+        }
+        bench::emit(opts, table);
+        std::printf("\n(each variant changes exactly one mechanism "
+                    "relative to the baseline; see DESIGN.md "
+                    "section 5)\n");
+        return 0;
+    });
 }

@@ -18,115 +18,149 @@
 #include "dvfs/hierarchical.hh"
 #include "harness.hh"
 #include "models/history_controller.hh"
+#include "sweep_runner.hh"
 
 using namespace pcstall;
+
+namespace
+{
+
+bench::ControllerFactory
+gphtFactory()
+{
+    return [](const sim::RunConfig &cfg)
+               -> std::unique_ptr<dvfs::DvfsController> {
+        models::HistoryConfig hcfg;
+        hcfg.estimator.waveSlots = cfg.gpu.waveSlotsPerCu;
+        return std::make_unique<models::HistoryController>(
+            hcfg, cfg.gpu.numCus / cfg.cusPerDomain);
+    };
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::BenchOptions::parse(argc, argv);
-    bench::banner("EXTENSIONS",
-                  "GPHT baseline and hierarchical power capping", opts);
+    return bench::guardedMain([&] {
+        auto opts = bench::BenchOptions::parse(argc, argv);
+        bench::banner(
+            "EXTENSIONS",
+            "GPHT baseline and hierarchical power capping", opts);
 
-    const auto cfg = opts.runConfig();
-    sim::ExperimentDriver driver(cfg);
+        bench::SweepRunner runner(opts);
 
-    // ----------------------------------------------------------------
-    // 1. Prediction-mechanism shoot-out with identical estimation.
-    // ----------------------------------------------------------------
-    {
-        std::printf("--- (1) prediction mechanism: PC table vs phase "
-                    "history vs last value ---\n");
-        TableWriter table({"workload", "PCSTALL ED2P", "GPHT ED2P",
-                           "PCSTALL acc", "GPHT acc"});
-        std::vector<double> pc_norm, gp_norm;
-        for (const std::string &name : opts.workloadNames()) {
-            const auto app = bench::makeApp(name, opts);
-            if (!app)
-                continue;
-            dvfs::StaticController nominal(driver.nominalState());
-            const sim::RunResult base =
-                bench::runTraced(driver, app, nominal, opts, name);
+        // ------------------------------------------------------------
+        // 1. Prediction-mechanism shoot-out with identical estimation.
+        // ------------------------------------------------------------
+        {
+            std::printf("--- (1) prediction mechanism: PC table vs "
+                        "phase history vs last value ---\n");
+            const std::vector<std::string> names =
+                opts.workloadNames();
+            std::vector<bench::SweepCell> cells;
+            for (const std::string &name : names) {
+                cells.push_back(runner.cell(name, "PCSTALL", true));
+                bench::SweepCell gp = runner.cell(name, "GPHT", true);
+                gp.factory = gphtFactory();
+                cells.push_back(std::move(gp));
+            }
+            const std::vector<bench::CellOutcome> outcomes =
+                runner.run(std::move(cells));
 
-            core::PcstallController pc(
-                core::PcstallConfig::forEpoch(cfg.epochLen,
-                                              cfg.gpu.waveSlotsPerCu),
-                cfg.gpu.numCus);
-            const sim::RunResult rp =
-                bench::runTraced(driver, app, pc, opts, name);
-
-            models::HistoryConfig hcfg;
-            hcfg.estimator.waveSlots = cfg.gpu.waveSlotsPerCu;
-            models::HistoryController gp(hcfg, cfg.gpu.numCus /
-                                                   cfg.cusPerDomain);
-            const sim::RunResult rg =
-                bench::runTraced(driver, app, gp, opts, name);
-
-            pc_norm.push_back(rp.ed2p() / base.ed2p());
-            gp_norm.push_back(rg.ed2p() / base.ed2p());
-            table.beginRow()
-                .cell(name)
-                .cell(rp.ed2p() / base.ed2p(), 3)
-                .cell(rg.ed2p() / base.ed2p(), 3)
-                .cell(formatPercent(rp.predictionAccuracy))
-                .cell(formatPercent(rg.predictionAccuracy));
+            TableWriter table({"workload", "PCSTALL ED2P", "GPHT ED2P",
+                               "PCSTALL acc", "GPHT acc"});
+            std::vector<double> pc_norm, gp_norm;
+            for (std::size_t w = 0; w < names.size(); ++w) {
+                const bench::CellOutcome &pc = outcomes[2 * w];
+                const bench::CellOutcome &gp = outcomes[2 * w + 1];
+                if (!pc.run.ok || !gp.run.ok || !pc.baseline.ok)
+                    continue;
+                const double base = pc.baseline.result.ed2p();
+                pc_norm.push_back(pc.run.result.ed2p() / base);
+                gp_norm.push_back(gp.run.result.ed2p() / base);
+                table.beginRow()
+                    .cell(names[w])
+                    .cell(pc.run.result.ed2p() / base, 3)
+                    .cell(gp.run.result.ed2p() / base, 3)
+                    .cell(formatPercent(
+                        pc.run.result.predictionAccuracy))
+                    .cell(formatPercent(
+                        gp.run.result.predictionAccuracy));
+                table.endRow();
+            }
+            table.beginRow().cell("GEOMEAN")
+                .cell(geomean(pc_norm), 3)
+                .cell(geomean(gp_norm), 3)
+                .cell("").cell("");
             table.endRow();
+            bench::emit(opts, table);
+            std::printf("(GPU phases follow code regions, not global "
+                        "phase sequences: the PC key should transfer "
+                        "across launches where the pattern key "
+                        "cannot)\n\n");
         }
-        table.beginRow().cell("GEOMEAN")
-            .cell(geomean(pc_norm), 3)
-            .cell(geomean(gp_norm), 3)
-            .cell("").cell("");
-        table.endRow();
-        bench::emit(opts, table);
-        std::printf("(GPU phases follow code regions, not global "
-                    "phase sequences: the PC key should transfer "
-                    "across launches where the pattern key cannot)\n\n");
-    }
 
-    // ----------------------------------------------------------------
-    // 2. Hierarchical power capping on top of PCSTALL.
-    // ----------------------------------------------------------------
-    {
-        std::printf("--- (2) hierarchical power cap over PCSTALL ---\n");
-        TableWriter table({"cap W", "avg power W", "ceiling state",
-                           "time us", "energy mJ"});
-        const std::string workload = opts.firstWorkload("hacc");
-        const auto app = bench::makeApp(workload, opts);
-        if (!app)
-            return 1;
+        // ------------------------------------------------------------
+        // 2. Hierarchical power capping on top of PCSTALL.
+        // ------------------------------------------------------------
+        {
+            std::printf(
+                "--- (2) hierarchical power cap over PCSTALL ---\n");
+            const std::string workload = opts.firstWorkload("hacc");
 
-        // Uncapped reference.
-        core::PcstallController ref(
-            core::PcstallConfig::forEpoch(cfg.epochLen,
-                                          cfg.gpu.waveSlotsPerCu),
-            cfg.gpu.numCus);
-        const sim::RunResult free_run =
-            bench::runTraced(driver, app, ref, opts, workload);
-        const double free_power = free_run.avgPower();
+            // Uncapped reference; the caps derive from its power.
+            const std::vector<bench::CellOutcome> ref = runner.run(
+                {runner.cell(workload, "PCSTALL")});
+            if (!ref.front().run.ok)
+                return 1;
+            const double free_power =
+                ref.front().run.result.avgPower();
 
-        for (const double frac : {1.2, 0.9, 0.7, 0.5}) {
-            core::PcstallController inner(
-                core::PcstallConfig::forEpoch(cfg.epochLen,
-                                              cfg.gpu.waveSlotsPerCu),
-                cfg.gpu.numCus);
-            dvfs::HierarchicalConfig hcfg;
-            hcfg.powerCap = free_power * frac;
-            hcfg.reviewEpochs = 10;
-            dvfs::HierarchicalPowerManager mgr(inner, hcfg);
-            const sim::RunResult r =
-                bench::runTraced(driver, app, mgr, opts, workload);
-            table.beginRow()
-                .cell(hcfg.powerCap, 1)
-                .cell(r.avgPower(), 1)
-                .cell(static_cast<long long>(mgr.ceilingState()))
-                .cell(r.seconds() * 1e6, 1)
-                .cell(r.energy * 1e3, 3);
-            table.endRow();
+            const std::vector<double> fracs = {1.2, 0.9, 0.7, 0.5};
+            std::vector<std::size_t> ceilings(fracs.size(), 0);
+            std::vector<bench::SweepCell> cells;
+            for (std::size_t i = 0; i < fracs.size(); ++i) {
+                bench::SweepCell c =
+                    runner.cell(workload, "PCSTALL+CAP");
+                dvfs::HierarchicalConfig hcfg;
+                hcfg.powerCap = free_power * fracs[i];
+                hcfg.reviewEpochs = 10;
+                c.factory = [hcfg](const sim::RunConfig &rc) {
+                    return std::make_unique<
+                        dvfs::HierarchicalPowerManager>(
+                        bench::makeController("PCSTALL", rc), hcfg);
+                };
+                c.inspect = [&ceilings,
+                             i](const dvfs::DvfsController &ctrl) {
+                    const auto &mgr = dynamic_cast<
+                        const dvfs::HierarchicalPowerManager &>(ctrl);
+                    ceilings[i] = mgr.ceilingState();
+                };
+                cells.push_back(std::move(c));
+            }
+            const std::vector<bench::CellOutcome> outcomes =
+                runner.run(std::move(cells));
+
+            TableWriter table({"cap W", "avg power W", "ceiling state",
+                               "time us", "energy mJ"});
+            for (std::size_t i = 0; i < fracs.size(); ++i) {
+                if (!outcomes[i].run.ok)
+                    continue;
+                const sim::RunResult &r = outcomes[i].run.result;
+                table.beginRow()
+                    .cell(free_power * fracs[i], 1)
+                    .cell(r.avgPower(), 1)
+                    .cell(static_cast<long long>(ceilings[i]))
+                    .cell(r.seconds() * 1e6, 1)
+                    .cell(r.energy * 1e3, 3);
+                table.endRow();
+            }
+            bench::emit(opts, table);
+            std::printf("(tighter caps narrow the V/f window the "
+                        "fine-grain layer may use - paper Section "
+                        "5.4's deployment model)\n");
         }
-        bench::emit(opts, table);
-        std::printf("(tighter caps narrow the V/f window the "
-                    "fine-grain layer may use - paper Section 5.4's "
-                    "deployment model)\n");
-    }
-    return 0;
+        return 0;
+    });
 }

@@ -15,7 +15,8 @@
  *      latency and frequency-grid quantization.
  *
  * All injections are deterministic in --fault-seed, so every row is
- * reproducible.
+ * reproducible; every (workload, variant, fault config) cell runs
+ * through the parallel SweepRunner.
  */
 
 #include <cstdio>
@@ -23,6 +24,7 @@
 
 #include "common/stats_util.hh"
 #include "harness.hh"
+#include "sweep_runner.hh"
 
 using namespace pcstall;
 
@@ -42,28 +44,29 @@ constexpr Variant kVariants[] = {
     {"PCSTALL+WD", "PCSTALL", true},
 };
 
-/** Run one (variant, fault config) cell and sanity-check its trace. */
-sim::RunResult
-runCell(const bench::BenchOptions &opts, const Variant &variant,
-        const faults::FaultConfig &faults,
-        std::shared_ptr<const isa::Application> app,
-        bool *states_legal)
+/** A sweep cell for one (variant, fault config) with trace on. */
+bench::SweepCell
+faultCell(const bench::SweepRunner &runner, const std::string &name,
+          const Variant &variant, const faults::FaultConfig &faults)
 {
-    bench::BenchOptions cell = opts;
-    cell.faults = faults;
-    cell.watchdog = variant.watchdog;
-    sim::RunConfig cfg = cell.runConfig();
-    cfg.collectTrace = true;
-    sim::ExperimentDriver driver(cfg);
-    const auto controller = bench::makeController(variant.design, cfg);
-    const sim::RunResult r = driver.run(app, *controller);
+    bench::SweepCell c = runner.cell(name, variant.design);
+    c.opts.faults = faults;
+    c.opts.watchdog = variant.watchdog;
+    c.opts.collectTrace = true;
+    return c;
+}
+
+/** Every V/f state a run's trace emitted is a legal table index. */
+bool
+statesLegal(const sim::RunResult &r, std::size_t num_states)
+{
     for (const sim::EpochTraceEntry &e : r.trace) {
         for (const std::uint8_t s : e.domainState) {
-            if (s >= driver.table().numStates())
-                *states_legal = false;
+            if (s >= num_states)
+                return false;
         }
     }
-    return r;
+    return true;
 }
 
 } // namespace
@@ -71,158 +74,220 @@ runCell(const bench::BenchOptions &opts, const Variant &variant,
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::BenchOptions::parse(argc, argv);
-    bench::banner("FAULT RESILIENCE",
-                  "EDP degradation under injected faults", opts);
+    return bench::guardedMain([&] {
+        auto opts = bench::BenchOptions::parse(argc, argv);
+        bench::banner("FAULT RESILIENCE",
+                      "EDP degradation under injected faults", opts);
 
-    std::vector<std::string> names = {"hacc", "xsbench"};
-    if (!opts.workloads.empty())
-        names = opts.workloads;
+        std::vector<std::string> names = {"hacc", "xsbench"};
+        if (!opts.workloads.empty())
+            names = opts.workloads;
 
-    bool states_legal = true;
+        const std::size_t num_states =
+            sim::ExperimentDriver(opts.runConfig()).table().numStates();
+        bool states_legal = true;
+        bench::SweepRunner runner(opts);
 
-    // ----------------------------------------------------------------
-    // 1. Telemetry noise sweep.
-    // ----------------------------------------------------------------
-    std::printf("--- (1) telemetry noise (relative sigma on every "
-                "counter) ---\n");
-    const double sigmas[] = {0.0, 0.02, 0.05, 0.10, 0.20};
-    for (const std::string &name : names) {
-        const auto app = bench::makeApp(name, opts);
-        if (!app)
-            continue;
+        const auto check = [&](const bench::CellOutcome &cell) {
+            if (cell.run.ok &&
+                !statesLegal(cell.run.result, num_states))
+                states_legal = false;
+        };
 
-        std::vector<double> base_edp;
-        for (const Variant &v : kVariants) {
-            const sim::RunResult r = runCell(
-                opts, v, faults::FaultConfig{}, app, &states_legal);
-            base_edp.push_back(r.edp());
+        // ------------------------------------------------------------
+        // 1. Telemetry noise sweep.
+        // ------------------------------------------------------------
+        std::printf("--- (1) telemetry noise (relative sigma on every "
+                    "counter) ---\n");
+        const std::vector<double> sigmas = {0.0, 0.02, 0.05, 0.10,
+                                            0.20};
+        {
+            // Per workload: 3 fault-free reference cells, then one
+            // cell per (sigma, variant).
+            const std::size_t block = 3 + sigmas.size() * 3;
+            std::vector<bench::SweepCell> cells;
+            for (const std::string &name : names) {
+                for (const Variant &v : kVariants) {
+                    cells.push_back(faultCell(runner, name, v,
+                                              faults::FaultConfig{}));
+                }
+                for (const double sigma : sigmas) {
+                    faults::FaultConfig fc = opts.faults;
+                    fc.telemetry.sigma = sigma;
+                    fc.telemetry.enabled = sigma > 0.0;
+                    for (const Variant &v : kVariants)
+                        cells.push_back(
+                            faultCell(runner, name, v, fc));
+                }
+            }
+            const std::vector<bench::CellOutcome> outcomes =
+                runner.run(std::move(cells));
+            for (const bench::CellOutcome &cell : outcomes)
+                check(cell);
+
+            for (std::size_t w = 0; w < names.size(); ++w) {
+                const std::size_t at = w * block;
+                if (!outcomes[at].run.ok)
+                    continue;
+                double base_edp[3];
+                for (std::size_t v = 0; v < 3; ++v) {
+                    base_edp[v] = outcomes[at + v].run.ok
+                        ? outcomes[at + v].run.result.edp() : 0.0;
+                }
+
+                TableWriter table({"sigma", "STALL EDPx",
+                                   "PCSTALL EDPx", "PCSTALL acc",
+                                   "+WD EDPx", "+WD acc",
+                                   "+WD fallback%", "+WD trips"});
+                for (std::size_t s = 0; s < sigmas.size(); ++s) {
+                    table.beginRow().cell(sigmas[s], 2);
+                    for (std::size_t v = 0; v < 3; ++v) {
+                        const bench::RunOutcome &run =
+                            outcomes[at + 3 + s * 3 + v].run;
+                        if (!run.ok || base_edp[v] <= 0.0) {
+                            table.cell("-");
+                            if (v >= 1)
+                                table.cell("-");
+                            if (v == 2)
+                                table.cell("-").cell("-");
+                            continue;
+                        }
+                        const sim::RunResult &r = run.result;
+                        table.cell(r.edp() / base_edp[v], 3);
+                        if (v == 1) {
+                            table.cell(r.predictionAccuracy, 3);
+                        } else if (v == 2) {
+                            const double fallback_share =
+                                r.epochs == 0 ? 0.0
+                                : 100.0 *
+                                  static_cast<double>(
+                                      r.faults.fallbackEpochs) /
+                                  static_cast<double>(r.epochs);
+                            table.cell(r.predictionAccuracy, 3)
+                                .cell(fallback_share, 1)
+                                .cell(static_cast<long long>(
+                                    r.faults.watchdogTrips));
+                        }
+                    }
+                    table.endRow();
+                }
+                std::printf("%s:\n", names[w].c_str());
+                bench::emit(opts, table);
+                std::printf("\n");
+            }
         }
 
-        TableWriter table({"sigma", "STALL EDPx", "PCSTALL EDPx",
-                           "PCSTALL acc", "+WD EDPx", "+WD acc",
-                           "+WD fallback%", "+WD trips"});
-        for (const double sigma : sigmas) {
+        // ------------------------------------------------------------
+        // 2. Predictor-storage upsets (PC-table bit flips).
+        // ------------------------------------------------------------
+        std::printf("--- (2) PC-table bit flips (PCSTALL, 2 "
+                    "upsets/epoch) ---\n");
+        {
+            std::vector<bench::SweepCell> cells;
+            for (const std::string &name : names) {
+                cells.push_back(faultCell(runner, name, kVariants[1],
+                                          faults::FaultConfig{}));
+                for (const bool ecc : {false, true}) {
+                    faults::FaultConfig fc = opts.faults;
+                    fc.storage.enabled = true;
+                    fc.storage.upsetsPerEpoch = 2.0;
+                    bench::SweepCell c =
+                        faultCell(runner, name, kVariants[1], fc);
+                    c.opts.ecc = ecc;
+                    cells.push_back(std::move(c));
+                }
+            }
+            const std::vector<bench::CellOutcome> outcomes =
+                runner.run(std::move(cells));
+            for (const bench::CellOutcome &cell : outcomes)
+                check(cell);
+
+            TableWriter table({"workload", "ecc", "bit flips",
+                               "scrubs", "accuracy", "EDPx"});
+            for (std::size_t w = 0; w < names.size(); ++w) {
+                const std::size_t at = w * 3;
+                if (!outcomes[at].run.ok)
+                    continue;
+                const double base_edp =
+                    outcomes[at].run.result.edp();
+                for (std::size_t i = 0; i < 2; ++i) {
+                    const bench::RunOutcome &run =
+                        outcomes[at + 1 + i].run;
+                    if (!run.ok)
+                        continue;
+                    const sim::RunResult &r = run.result;
+                    table.beginRow()
+                        .cell(names[w])
+                        .cell(i == 0 ? "off" : "on")
+                        .cell(static_cast<long long>(
+                            r.faults.tableBitFlips))
+                        .cell(static_cast<long long>(
+                            r.faults.tableScrubs))
+                        .cell(r.predictionAccuracy, 3)
+                        .cell(r.edp() / base_edp, 3);
+                    table.endRow();
+                }
+            }
+            bench::emit(opts, table);
+            std::printf("\n");
+        }
+
+        // ------------------------------------------------------------
+        // 3. DVFS transition faults.
+        // ------------------------------------------------------------
+        std::printf("--- (3) V/f transition faults (25%% transient "
+                    "fails, +1 us settle, 200 MHz grid) ---\n");
+        {
             faults::FaultConfig fc = opts.faults;
-            fc.telemetry.sigma = sigma;
-            fc.telemetry.enabled = sigma > 0.0;
+            fc.dvfs.enabled = true;
+            fc.dvfs.transitionFailProb = 0.25;
+            fc.dvfs.extraSwitchLatency = tickUs;
+            fc.dvfs.granularity = 200 * freqMHz;
 
-            table.beginRow().cell(sigma, 2);
-            double pc_acc = 0.0, wd_acc = 0.0;
-            double fallback_share = 0.0;
-            std::uint64_t trips = 0;
-            for (std::size_t i = 0; i < 3; ++i) {
-                const sim::RunResult r = runCell(
-                    opts, kVariants[i], fc, app, &states_legal);
-                table.cell(r.edp() / base_edp[i], 3);
-                if (i == 1)
-                    pc_acc = r.predictionAccuracy;
-                if (i == 2) {
-                    wd_acc = r.predictionAccuracy;
-                    fallback_share = r.epochs == 0 ? 0.0
-                        : 100.0 *
-                          static_cast<double>(r.faults.fallbackEpochs) /
-                          static_cast<double>(r.epochs);
-                    trips = r.faults.watchdogTrips;
-                }
-                if (i == 1) {
-                    table.cell(pc_acc, 3);
-                } else if (i == 2) {
-                    table.cell(wd_acc, 3)
-                        .cell(fallback_share, 1)
-                        .cell(static_cast<long long>(trips));
+            std::vector<bench::SweepCell> cells;
+            for (const std::string &name : names) {
+                for (const std::size_t v : {std::size_t{0},
+                                            std::size_t{1}}) {
+                    cells.push_back(faultCell(
+                        runner, name, kVariants[v],
+                        faults::FaultConfig{}));
+                    cells.push_back(
+                        faultCell(runner, name, kVariants[v], fc));
                 }
             }
-            table.endRow();
-        }
-        std::printf("%s:\n", name.c_str());
-        bench::emit(opts, table);
-        std::printf("\n");
-    }
+            const std::vector<bench::CellOutcome> outcomes =
+                runner.run(std::move(cells));
+            for (const bench::CellOutcome &cell : outcomes)
+                check(cell);
 
-    // ----------------------------------------------------------------
-    // 2. Predictor-storage upsets (PC-table bit flips).
-    // ----------------------------------------------------------------
-    std::printf("--- (2) PC-table bit flips (PCSTALL, 2 upsets/epoch) "
-                "---\n");
-    {
-        TableWriter table({"workload", "ecc", "bit flips", "scrubs",
-                           "accuracy", "EDPx"});
-        for (const std::string &name : names) {
-            const auto app = bench::makeApp(name, opts);
-            if (!app)
-                continue;
-            const Variant pc = kVariants[1];
-            const sim::RunResult base = runCell(
-                opts, pc, faults::FaultConfig{}, app, &states_legal);
-            for (const bool ecc : {false, true}) {
-                faults::FaultConfig fc = opts.faults;
-                fc.storage.enabled = true;
-                fc.storage.upsetsPerEpoch = 2.0;
-                bench::BenchOptions cell = opts;
-                cell.faults = fc;
-                cell.ecc = ecc;
-                sim::RunConfig cfg = cell.runConfig();
-                cfg.collectTrace = true;
-                sim::ExperimentDriver driver(cfg);
-                const auto controller =
-                    bench::makeController("PCSTALL", cfg);
-                const sim::RunResult r = driver.run(app, *controller);
-                table.beginRow()
-                    .cell(name)
-                    .cell(ecc ? "on" : "off")
-                    .cell(static_cast<long long>(
-                        r.faults.tableBitFlips))
-                    .cell(static_cast<long long>(r.faults.tableScrubs))
-                    .cell(r.predictionAccuracy, 3)
-                    .cell(r.edp() / base.edp(), 3);
-                table.endRow();
+            TableWriter table({"workload", "design", "transitions",
+                               "failed", "EDPx"});
+            for (std::size_t w = 0; w < names.size(); ++w) {
+                for (std::size_t v = 0; v < 2; ++v) {
+                    const std::size_t at = (w * 2 + v) * 2;
+                    if (!outcomes[at].run.ok ||
+                        !outcomes[at + 1].run.ok)
+                        continue;
+                    const double base_edp =
+                        outcomes[at].run.result.edp();
+                    const sim::RunResult &r =
+                        outcomes[at + 1].run.result;
+                    table.beginRow()
+                        .cell(names[w])
+                        .cell(kVariants[v].label)
+                        .cell(static_cast<long long>(r.transitions))
+                        .cell(static_cast<long long>(
+                            r.faults.transitionFailures))
+                        .cell(r.edp() / base_edp, 3);
+                    table.endRow();
+                }
             }
+            bench::emit(opts, table);
+            std::printf("\n");
         }
-        bench::emit(opts, table);
-        std::printf("\n");
-    }
 
-    // ----------------------------------------------------------------
-    // 3. DVFS transition faults.
-    // ----------------------------------------------------------------
-    std::printf("--- (3) V/f transition faults (25%% transient fails, "
-                "+1 us settle, 200 MHz grid) ---\n");
-    {
-        TableWriter table({"workload", "design", "transitions",
-                           "failed", "EDPx"});
-        for (const std::string &name : names) {
-            const auto app = bench::makeApp(name, opts);
-            if (!app)
-                continue;
-            for (const std::size_t i : {std::size_t{0},
-                                        std::size_t{1}}) {
-                const Variant &v = kVariants[i];
-                const sim::RunResult base = runCell(
-                    opts, v, faults::FaultConfig{}, app,
-                    &states_legal);
-                faults::FaultConfig fc = opts.faults;
-                fc.dvfs.enabled = true;
-                fc.dvfs.transitionFailProb = 0.25;
-                fc.dvfs.extraSwitchLatency = tickUs;
-                fc.dvfs.granularity = 200 * freqMHz;
-                const sim::RunResult r =
-                    runCell(opts, v, fc, app, &states_legal);
-                table.beginRow()
-                    .cell(name)
-                    .cell(v.label)
-                    .cell(static_cast<long long>(r.transitions))
-                    .cell(static_cast<long long>(
-                        r.faults.transitionFailures))
-                    .cell(r.edp() / base.edp(), 3);
-                table.endRow();
-            }
-        }
-        bench::emit(opts, table);
-        std::printf("\n");
-    }
-
-    std::printf("all emitted V/f states legal: %s\n",
-                states_legal ? "yes" : "NO - BUG");
-    return states_legal ? 0 : 1;
+        std::printf("all emitted V/f states legal: %s\n",
+                    states_legal ? "yes" : "NO - BUG");
+        return states_legal ? 0 : 1;
+    });
 }

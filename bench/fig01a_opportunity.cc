@@ -11,51 +11,73 @@
 
 #include "common/stats_util.hh"
 #include "harness.hh"
+#include "sweep_runner.hh"
 
 using namespace pcstall;
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::BenchOptions::parse(argc, argv);
-    bench::banner("FIGURE 1(a)",
-                  "ED2P opportunity vs DVFS epoch duration", opts);
+    return bench::guardedMain([&] {
+        auto opts = bench::BenchOptions::parse(argc, argv);
+        bench::banner("FIGURE 1(a)",
+                      "ED2P opportunity vs DVFS epoch duration", opts);
 
-    const std::vector<std::string> designs = {"CRISP", "PCSTALL",
-                                              "ORACLE"};
-    std::vector<std::string> headers = {"epoch"};
-    for (const auto &d : designs)
-        headers.push_back(d);
-    TableWriter table(headers);
+        const std::vector<double> epochs = {1.0, 10.0, 100.0};
+        const std::vector<std::string> designs = {"CRISP", "PCSTALL",
+                                                  "ORACLE"};
+        const std::vector<std::string> names =
+            opts.sweepWorkloadNames();
 
-    for (const double us : {1.0, 10.0, 100.0}) {
-        const auto epoch_opts = opts.sizedForEpoch(us);
-        const auto cfg = epoch_opts.runConfig();
-        sim::ExperimentDriver driver(cfg);
-
-        std::map<std::string, std::vector<double>> norm;
-        for (const std::string &name :
-                 epoch_opts.sweepWorkloadNames()) {
-            const auto app = bench::makeApp(name, epoch_opts);
-            if (!app)
-                continue;
-            dvfs::StaticController nominal(driver.nominalState());
-            const sim::RunResult base = driver.run(app, nominal);
-            for (const std::string &design : designs) {
-                const auto controller =
-                    bench::makeController(design, cfg);
-                const sim::RunResult r = driver.run(app, *controller);
-                norm[design].push_back(r.ed2p() / base.ed2p());
+        // Every epoch row's grid goes into one sweep.
+        bench::SweepRunner runner(opts);
+        std::vector<bench::SweepCell> cells;
+        for (const double us : epochs) {
+            const auto epoch_opts = opts.sizedForEpoch(us);
+            for (const std::string &name : names) {
+                for (const std::string &design : designs) {
+                    bench::SweepCell c =
+                        runner.cell(name, design, true);
+                    c.opts = epoch_opts;
+                    cells.push_back(std::move(c));
+                }
             }
         }
-        table.beginRow().cell(formatFixed(us, 0) + "us");
-        for (const std::string &design : designs)
-            table.cell(geomean(norm[design]), 3);
-        table.endRow();
-    }
-    bench::emit(opts, table);
-    std::printf("\n(normalized geomean ED2P vs static 1.7 GHz; the "
-                "ORACLE row is the opportunity curve of paper "
-                "Fig 1a - it should improve as epochs shrink)\n");
-    return 0;
+        const std::vector<bench::CellOutcome> outcomes =
+            runner.run(std::move(cells));
+
+        std::vector<std::string> headers = {"epoch"};
+        for (const auto &d : designs)
+            headers.push_back(d);
+        TableWriter table(headers);
+
+        for (std::size_t e = 0; e < epochs.size(); ++e) {
+            std::map<std::string, std::vector<double>> norm;
+            for (std::size_t w = 0; w < names.size(); ++w) {
+                const std::size_t row =
+                    (e * names.size() + w) * designs.size();
+                if (!outcomes[row].baseline.ok)
+                    continue;
+                const double base =
+                    outcomes[row].baseline.result.ed2p();
+                for (std::size_t d = 0; d < designs.size(); ++d) {
+                    const bench::RunOutcome &run =
+                        outcomes[row + d].run;
+                    if (run.ok) {
+                        norm[designs[d]].push_back(
+                            run.result.ed2p() / base);
+                    }
+                }
+            }
+            table.beginRow().cell(formatFixed(epochs[e], 0) + "us");
+            for (const std::string &design : designs)
+                table.cell(geomean(norm[design]), 3);
+            table.endRow();
+        }
+        bench::emit(opts, table);
+        std::printf("\n(normalized geomean ED2P vs static 1.7 GHz; "
+                    "the ORACLE row is the opportunity curve of paper "
+                    "Fig 1a - it should improve as epochs shrink)\n");
+        return 0;
+    });
 }

@@ -11,47 +11,66 @@
 
 #include "common/stats_util.hh"
 #include "harness.hh"
+#include "sweep_runner.hh"
 
 using namespace pcstall;
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::BenchOptions::parse(argc, argv);
-    bench::banner("FIGURE 1(b)", "Prediction accuracy vs epoch", opts);
+    return bench::guardedMain([&] {
+        auto opts = bench::BenchOptions::parse(argc, argv);
+        bench::banner("FIGURE 1(b)", "Prediction accuracy vs epoch",
+                      opts);
 
-    const std::vector<std::string> designs = {"CRISP", "ACCREAC",
-                                              "PCSTALL"};
-    std::vector<std::string> headers = {"epoch"};
-    for (const auto &d : designs)
-        headers.push_back(d);
-    TableWriter table(headers);
+        const std::vector<double> epochs = {1.0, 10.0, 50.0};
+        const std::vector<std::string> designs = {"CRISP", "ACCREAC",
+                                                  "PCSTALL"};
+        const std::vector<std::string> names =
+            opts.sweepWorkloadNames();
 
-    for (const double us : {1.0, 10.0, 50.0}) {
-        const auto epoch_opts = opts.sizedForEpoch(us);
-        const auto cfg = epoch_opts.runConfig();
-        sim::ExperimentDriver driver(cfg);
-
-        std::map<std::string, std::vector<double>> acc;
-        for (const std::string &name :
-                 epoch_opts.sweepWorkloadNames()) {
-            const auto app = bench::makeApp(name, epoch_opts);
-            if (!app)
-                continue;
-            for (const std::string &design : designs) {
-                const auto controller =
-                    bench::makeController(design, cfg);
-                const sim::RunResult r = driver.run(app, *controller);
-                acc[design].push_back(r.predictionAccuracy);
+        bench::SweepRunner runner(opts);
+        std::vector<bench::SweepCell> cells;
+        for (const double us : epochs) {
+            const auto epoch_opts = opts.sizedForEpoch(us);
+            for (const std::string &name : names) {
+                for (const std::string &design : designs) {
+                    bench::SweepCell c = runner.cell(name, design);
+                    c.opts = epoch_opts;
+                    cells.push_back(std::move(c));
+                }
             }
         }
-        table.beginRow().cell(formatFixed(us, 0) + "us");
-        for (const std::string &design : designs)
-            table.cell(formatPercent(mean(acc[design])));
-        table.endRow();
-    }
-    bench::emit(opts, table);
-    std::printf("\n(paper Fig 1b: PCSTALL above ACCREAC above CRISP, "
-                "with the gap widening toward 1 us)\n");
-    return 0;
+        const std::vector<bench::CellOutcome> outcomes =
+            runner.run(std::move(cells));
+
+        std::vector<std::string> headers = {"epoch"};
+        for (const auto &d : designs)
+            headers.push_back(d);
+        TableWriter table(headers);
+
+        for (std::size_t e = 0; e < epochs.size(); ++e) {
+            std::map<std::string, std::vector<double>> acc;
+            for (std::size_t w = 0; w < names.size(); ++w) {
+                const std::size_t row =
+                    (e * names.size() + w) * designs.size();
+                for (std::size_t d = 0; d < designs.size(); ++d) {
+                    const bench::RunOutcome &run =
+                        outcomes[row + d].run;
+                    if (run.ok) {
+                        acc[designs[d]].push_back(
+                            run.result.predictionAccuracy);
+                    }
+                }
+            }
+            table.beginRow().cell(formatFixed(epochs[e], 0) + "us");
+            for (const std::string &design : designs)
+                table.cell(formatPercent(mean(acc[design])));
+            table.endRow();
+        }
+        bench::emit(opts, table);
+        std::printf("\n(paper Fig 1b: PCSTALL above ACCREAC above "
+                    "CRISP, with the gap widening toward 1 us)\n");
+        return 0;
+    });
 }

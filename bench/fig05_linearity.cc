@@ -18,8 +18,11 @@
 
 using namespace pcstall;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runHarness(int argc, char **argv)
 {
     auto opts = bench::BenchOptions::parse(argc, argv);
     bench::banner("FIGURE 5",
@@ -73,4 +76,12 @@ main(int argc, char **argv)
                 "(paper: ~0.82)\n",
                 r2s.size(), mean(r2s));
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::guardedMain([&] { return runHarness(argc, argv); });
 }

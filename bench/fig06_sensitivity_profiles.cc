@@ -12,39 +12,59 @@
 
 #include "common/stats_util.hh"
 #include "harness.hh"
+#include "sweep_runner.hh"
 
 using namespace pcstall;
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::BenchOptions::parse(argc, argv);
-    bench::banner("FIGURE 6", "Sensitivity profiles over time", opts);
+    return bench::guardedMain([&] {
+        auto opts = bench::BenchOptions::parse(argc, argv);
+        bench::banner("FIGURE 6", "Sensitivity profiles over time",
+                      opts);
 
-    std::vector<std::string> names = {"dgemm", "hacc", "BwdBN",
-                                      "xsbench"};
-    if (!opts.workloads.empty())
-        names = opts.workloads;
+        std::vector<std::string> names = {"dgemm", "hacc", "BwdBN",
+                                          "xsbench"};
+        if (!opts.workloads.empty())
+            names = opts.workloads;
 
-    for (const std::string &name : names) {
-        const auto app = bench::makeApp(name, opts);
-        if (!app)
-            continue;
-        sim::ProfileConfig pcfg = opts.profileConfig();
-        pcfg.waveLevel = false;
-        pcfg.maxEpochs = 48;
-        sim::SensitivityProfiler profiler(pcfg);
-        const sim::ProfileResult profile = profiler.profile(app);
+        struct Profile
+        {
+            bool ok = false;
+            std::vector<double> series;
+        };
 
-        const std::vector<double> series = profile.domainSeries(0);
-        std::printf("%s (domain 0, %zu epochs):\n ", name.c_str(),
-                    series.size());
-        for (double s : series)
-            std::printf(" %.0f", s);
-        std::printf("\n  mean %.1f instr/GHz  stddev %.1f  "
-                    "avg relative change %s\n\n",
-                    mean(series), stddev(series),
-                    formatPercent(avgRelativeChange(series)).c_str());
-    }
-    return 0;
+        bench::SweepRunner runner(opts);
+        const std::vector<Profile> profiles = runner.map<Profile>(
+            names.size(), [&](std::size_t i) {
+                Profile p;
+                const auto app = bench::makeApp(names[i], opts);
+                if (!app)
+                    return p;
+                sim::ProfileConfig pcfg = opts.profileConfig();
+                pcfg.waveLevel = false;
+                pcfg.maxEpochs = 48;
+                sim::SensitivityProfiler profiler(pcfg);
+                p.series = profiler.profile(app).domainSeries(0);
+                p.ok = true;
+                return p;
+            });
+
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (!profiles[i].ok)
+                continue;
+            const std::vector<double> &series = profiles[i].series;
+            std::printf("%s (domain 0, %zu epochs):\n ",
+                        names[i].c_str(), series.size());
+            for (double s : series)
+                std::printf(" %.0f", s);
+            std::printf("\n  mean %.1f instr/GHz  stddev %.1f  "
+                        "avg relative change %s\n\n",
+                        mean(series), stddev(series),
+                        formatPercent(
+                            avgRelativeChange(series)).c_str());
+        }
+        return 0;
+    });
 }

@@ -12,6 +12,7 @@
 
 #include "common/stats_util.hh"
 #include "harness.hh"
+#include "sweep_runner.hh"
 
 using namespace pcstall;
 
@@ -65,42 +66,61 @@ variabilityOf(const std::string &name, const bench::BenchOptions &opts,
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::BenchOptions::parse(argc, argv);
-    bench::banner("FIGURE 7",
-                  "Sensitivity variability across consecutive epochs",
-                  opts);
+    return bench::guardedMain([&] {
+        auto opts = bench::BenchOptions::parse(argc, argv);
+        bench::banner(
+            "FIGURE 7",
+            "Sensitivity variability across consecutive epochs", opts);
 
-    // (a) per-workload at the configured epoch (default 1 us).
-    TableWriter per_workload({"workload", "avg relative change"});
-    std::vector<double> all;
-    for (const std::string &name : opts.workloadNames()) {
-        const double v = variabilityOf(name, opts, opts.epochLen, 40);
-        all.push_back(v);
-        per_workload.beginRow().cell(name).cell(formatPercent(v));
+        bench::SweepRunner runner(opts);
+
+        // (a) per-workload at the configured epoch (default 1 us).
+        const std::vector<std::string> names = opts.workloadNames();
+        const std::vector<double> all = runner.map<double>(
+            names.size(), [&](std::size_t i) {
+                return variabilityOf(names[i], opts, opts.epochLen,
+                                     40);
+            });
+        TableWriter per_workload({"workload", "avg relative change"});
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            per_workload.beginRow()
+                .cell(names[i])
+                .cell(formatPercent(all[i]));
+            per_workload.endRow();
+        }
+        per_workload.beginRow().cell("AVERAGE")
+            .cell(formatPercent(mean(all)));
         per_workload.endRow();
-    }
-    per_workload.beginRow().cell("AVERAGE")
-        .cell(formatPercent(mean(all)));
-    per_workload.endRow();
-    bench::emit(opts, per_workload);
-    std::printf("\n(paper Fig 7a: ~37%% average at 1 us)\n\n");
+        bench::emit(opts, per_workload);
+        std::printf("\n(paper Fig 7a: ~37%% average at 1 us)\n\n");
 
-    // (b) average across a few representative workloads vs epoch.
-    const std::vector<std::string> reps = {"comd", "hacc", "BwdBN",
-                                           "xsbench"};
-    TableWriter vs_epoch({"epoch", "avg relative change"});
-    for (const double us : {1.0, 5.0, 10.0, 50.0, 100.0}) {
-        const Tick epoch = static_cast<Tick>(us * tickUs);
-        std::vector<double> vals;
-        for (const std::string &name : reps)
-            vals.push_back(variabilityOf(name, opts, epoch, 12));
-        vs_epoch.beginRow()
-            .cell(formatFixed(us, 0) + "us")
-            .cell(formatPercent(mean(vals)));
-        vs_epoch.endRow();
-    }
-    bench::emit(opts, vs_epoch);
-    std::printf("\n(paper Fig 7b: 37%% at 1us falling to 12%% at "
-                "100us)\n");
-    return 0;
+        // (b) average across a few representative workloads vs epoch.
+        const std::vector<std::string> reps = {"comd", "hacc", "BwdBN",
+                                               "xsbench"};
+        const std::vector<double> epochs_us = {1.0, 5.0, 10.0, 50.0,
+                                               100.0};
+        const std::vector<double> grid = runner.map<double>(
+            epochs_us.size() * reps.size(), [&](std::size_t i) {
+                const double us = epochs_us[i / reps.size()];
+                return variabilityOf(
+                    reps[i % reps.size()], opts,
+                    static_cast<Tick>(us * tickUs), 12);
+            });
+        TableWriter vs_epoch({"epoch", "avg relative change"});
+        for (std::size_t e = 0; e < epochs_us.size(); ++e) {
+            std::vector<double> vals(
+                grid.begin() +
+                    static_cast<std::ptrdiff_t>(e * reps.size()),
+                grid.begin() +
+                    static_cast<std::ptrdiff_t>((e + 1) * reps.size()));
+            vs_epoch.beginRow()
+                .cell(formatFixed(epochs_us[e], 0) + "us")
+                .cell(formatPercent(mean(vals)));
+            vs_epoch.endRow();
+        }
+        bench::emit(opts, vs_epoch);
+        std::printf("\n(paper Fig 7b: 37%% at 1us falling to 12%% at "
+                    "100us)\n");
+        return 0;
+    });
 }

@@ -19,8 +19,11 @@
 
 using namespace pcstall;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runHarness(int argc, char **argv)
 {
     auto opts = bench::BenchOptions::parse(argc, argv);
     bench::banner("FIGURE 8",
@@ -77,4 +80,12 @@ main(int argc, char **argv)
                 "sensitivities; waves move through phases at "
                 "different times (paper Fig 8).\n");
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::guardedMain([&] { return runHarness(argc, argv); });
 }

@@ -22,6 +22,7 @@
 #include "gpu/gpu_chip.hh"
 #include "harness.hh"
 #include "models/wave_estimator.hh"
+#include "sweep_runner.hh"
 
 using namespace pcstall;
 
@@ -60,81 +61,112 @@ class ChangeTracker
     std::size_t n = 0;
 };
 
+struct Row
+{
+    bool ok = false;
+    double wf = 0.0;
+    double cu = 0.0;
+    double gpu = 0.0;
+    double epoch = 0.0;
+};
+
+Row
+stabilityOf(const std::string &name, const bench::BenchOptions &opts)
+{
+    Row row;
+    const auto app = bench::makeApp(name, opts);
+    if (!app)
+        return row;
+    gpu::GpuConfig gcfg = opts.runConfig().gpu;
+    gpu::GpuChip chip(gcfg, app);
+
+    models::WaveEstimatorConfig est_cfg;
+    est_cfg.waveSlots = gcfg.waveSlotsPerCu;
+
+    ChangeTracker<std::tuple<std::uint32_t, std::uint32_t,
+                             std::uint64_t>> wf;
+    ChangeTracker<std::pair<std::uint32_t, std::uint64_t>> cu;
+    ChangeTracker<std::uint64_t> gpu_t;
+    // Baseline: the same metric keyed by (cu, slot) only - this is
+    // the consecutive-epoch change a reactive design faces.
+    ChangeTracker<std::pair<std::uint32_t, std::uint32_t>> epoch;
+
+    double sens_sum = 0.0;
+    std::size_t sens_n = 0;
+    Tick t = 0;
+    for (int e = 0; e < 120 && !chip.runUntil(t + opts.epochLen);
+         ++e) {
+        const gpu::EpochRecord rec = chip.harvestEpoch(t);
+        t += opts.epochLen;
+        for (const auto &w : rec.waves) {
+            if (!w.active || w.committed == 0)
+                continue;
+            const double s = models::waveSensitivity(
+                w, est_cfg, opts.epochLen, rec.cus[w.cu].freq);
+            sens_sum += s;
+            ++sens_n;
+            wf.add({w.cu, w.slot, w.startPcAddr}, s);
+            cu.add({w.cu, w.startPcAddr}, s);
+            gpu_t.add(w.startPcAddr, s);
+            epoch.add({w.cu, w.slot}, s);
+        }
+    }
+    const double scale =
+        sens_n > 0 ? sens_sum / static_cast<double>(sens_n) : 0.0;
+    row.wf = wf.result(scale);
+    row.cu = cu.result(scale);
+    row.gpu = gpu_t.result(scale);
+    row.epoch = epoch.result(scale);
+    row.ok = true;
+    return row;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::BenchOptions::parse(argc, argv);
-    bench::banner("FIGURE 10",
-                  "Sensitivity stability across same-PC iterations",
-                  opts);
+    return bench::guardedMain([&] {
+        auto opts = bench::BenchOptions::parse(argc, argv);
+        bench::banner(
+            "FIGURE 10",
+            "Sensitivity stability across same-PC iterations", opts);
 
-    TableWriter table({"workload", "WF", "CU", "GPU-wide",
-                       "epoch-to-epoch"});
-    std::vector<double> wf_all, cu_all, gpu_all, epoch_all;
+        const std::vector<std::string> names = opts.workloadNames();
+        bench::SweepRunner runner(opts);
+        const std::vector<Row> rows = runner.map<Row>(
+            names.size(), [&](std::size_t i) {
+                return stabilityOf(names[i], opts);
+            });
 
-    for (const std::string &name : opts.workloadNames()) {
-        const auto app = bench::makeApp(name, opts);
-        if (!app)
-            continue;
-        gpu::GpuConfig gcfg = opts.runConfig().gpu;
-        gpu::GpuChip chip(gcfg, app);
-
-        models::WaveEstimatorConfig est_cfg;
-        est_cfg.waveSlots = gcfg.waveSlotsPerCu;
-
-        ChangeTracker<std::tuple<std::uint32_t, std::uint32_t,
-                                 std::uint64_t>> wf;
-        ChangeTracker<std::pair<std::uint32_t, std::uint64_t>> cu;
-        ChangeTracker<std::uint64_t> gpu_t;
-        // Baseline: the same metric keyed by (cu, slot) only - this
-        // is the consecutive-epoch change a reactive design faces.
-        ChangeTracker<std::pair<std::uint32_t, std::uint32_t>> epoch;
-
-        double sens_sum = 0.0;
-        std::size_t sens_n = 0;
-        Tick t = 0;
-        for (int e = 0; e < 120 && !chip.runUntil(t + opts.epochLen);
-             ++e) {
-            const gpu::EpochRecord rec = chip.harvestEpoch(t);
-            t += opts.epochLen;
-            for (const auto &w : rec.waves) {
-                if (!w.active || w.committed == 0)
-                    continue;
-                const double s = models::waveSensitivity(
-                    w, est_cfg, opts.epochLen, rec.cus[w.cu].freq);
-                sens_sum += s;
-                ++sens_n;
-                wf.add({w.cu, w.slot, w.startPcAddr}, s);
-                cu.add({w.cu, w.startPcAddr}, s);
-                gpu_t.add(w.startPcAddr, s);
-                epoch.add({w.cu, w.slot}, s);
-            }
+        TableWriter table({"workload", "WF", "CU", "GPU-wide",
+                           "epoch-to-epoch"});
+        std::vector<double> wf_all, cu_all, gpu_all, epoch_all;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (!rows[i].ok)
+                continue;
+            wf_all.push_back(rows[i].wf);
+            cu_all.push_back(rows[i].cu);
+            gpu_all.push_back(rows[i].gpu);
+            epoch_all.push_back(rows[i].epoch);
+            table.beginRow()
+                .cell(names[i])
+                .cell(formatPercent(rows[i].wf))
+                .cell(formatPercent(rows[i].cu))
+                .cell(formatPercent(rows[i].gpu))
+                .cell(formatPercent(rows[i].epoch));
+            table.endRow();
         }
-        const double scale =
-            sens_n > 0 ? sens_sum / static_cast<double>(sens_n) : 0.0;
-        wf_all.push_back(wf.result(scale));
-        cu_all.push_back(cu.result(scale));
-        gpu_all.push_back(gpu_t.result(scale));
-        epoch_all.push_back(epoch.result(scale));
-        table.beginRow()
-            .cell(name)
-            .cell(formatPercent(wf.result(scale)))
-            .cell(formatPercent(cu.result(scale)))
-            .cell(formatPercent(gpu_t.result(scale)))
-            .cell(formatPercent(epoch.result(scale)));
+        table.beginRow().cell("AVERAGE")
+            .cell(formatPercent(mean(wf_all)))
+            .cell(formatPercent(mean(cu_all)))
+            .cell(formatPercent(mean(gpu_all)))
+            .cell(formatPercent(mean(epoch_all)));
         table.endRow();
-    }
-    table.beginRow().cell("AVERAGE")
-        .cell(formatPercent(mean(wf_all)))
-        .cell(formatPercent(mean(cu_all)))
-        .cell(formatPercent(mean(gpu_all)))
-        .cell(formatPercent(mean(epoch_all)));
-    table.endRow();
-    bench::emit(opts, table);
-    std::printf("\n(paper Fig 10: ~10%% average for same-PC "
-                "iterations vs ~37%% epoch-to-epoch; sharing the "
-                "table CU- or GPU-wide costs little)\n");
-    return 0;
+        bench::emit(opts, table);
+        std::printf("\n(paper Fig 10: ~10%% average for same-PC "
+                    "iterations vs ~37%% epoch-to-epoch; sharing the "
+                    "table CU- or GPU-wide costs little)\n");
+        return 0;
+    });
 }

@@ -22,6 +22,7 @@
 #include "harness.hh"
 #include "core/pcstall_controller.hh"
 #include "models/wave_estimator.hh"
+#include "sweep_runner.hh"
 
 using namespace pcstall;
 
@@ -72,14 +73,13 @@ collect(const std::string &name, const bench::BenchOptions &opts,
     return out;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runHarness(int argc, char **argv)
 {
     auto opts = bench::BenchOptions::parse(argc, argv);
     bench::banner("FIGURE 11",
                   "Wavefront contention and PC-offset tuning", opts);
+    bench::SweepRunner runner(opts);
 
     // ----------------------------------------------------------------
     // (a) throughput share and sensitivity change by age rank, quickS.
@@ -155,9 +155,11 @@ main(int argc, char **argv)
         std::printf("--- (b) change vs PC-table offset bits ---\n");
         const std::vector<std::string> names = {"comd", "hacc",
                                                 "BwdBN", "lulesh"};
-        std::vector<std::vector<WaveObs>> all;
-        for (const std::string &name : names)
-            all.push_back(collect(name, opts, 60));
+        const std::vector<std::vector<WaveObs>> all =
+            runner.map<std::vector<WaveObs>>(
+                names.size(), [&](std::size_t i) {
+                    return collect(names[i], opts, 60);
+                });
 
         TableWriter table({"offset bits", "instr/entry",
                            "avg relative change"});
@@ -211,21 +213,30 @@ main(int argc, char **argv)
         std::printf("--- (c) PC-table hit ratio vs entries ---\n");
         TableWriter table({"entries", "hit ratio"});
         const auto cfg = opts.runConfig();
-        for (const std::uint32_t entries : {8u, 32u, 128u, 512u}) {
-            core::PcstallConfig pcfg = core::PcstallConfig::forEpoch(
-                cfg.epochLen, cfg.gpu.waveSlotsPerCu);
-            pcfg.table.entries = entries;
-            pcfg.lookupOnRegionChange = false; // count every lookup
-            core::PcstallController c(pcfg, cfg.gpu.numCus);
-            sim::ExperimentDriver driver(cfg);
-            const auto app = bench::makeApp(
-                opts.firstWorkload("comd"), opts);
-            if (!app)
+        const std::vector<std::uint32_t> entry_counts = {8u, 32u,
+                                                         128u, 512u};
+        const std::vector<double> ratios = runner.map<double>(
+            entry_counts.size(), [&](std::size_t i) {
+                core::PcstallConfig pcfg =
+                    core::PcstallConfig::forEpoch(
+                        cfg.epochLen, cfg.gpu.waveSlotsPerCu);
+                pcfg.table.entries = entry_counts[i];
+                pcfg.lookupOnRegionChange = false; // every lookup
+                core::PcstallController c(pcfg, cfg.gpu.numCus);
+                sim::ExperimentDriver driver(cfg);
+                const auto app = bench::makeApp(
+                    opts.firstWorkload("comd"), opts);
+                if (!app)
+                    return -1.0;
+                driver.run(app, c);
+                return c.tableHitRatio();
+            });
+        for (std::size_t i = 0; i < entry_counts.size(); ++i) {
+            if (ratios[i] < 0.0)
                 continue;
-            driver.run(app, c);
             table.beginRow()
-                .cell(static_cast<long long>(entries))
-                .cell(formatPercent(c.tableHitRatio()));
+                .cell(static_cast<long long>(entry_counts[i]))
+                .cell(formatPercent(ratios[i]));
             table.endRow();
         }
         bench::emit(opts, table);
@@ -233,4 +244,12 @@ main(int argc, char **argv)
                     "95%%+ hit ratio)\n");
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::guardedMain([&] { return runHarness(argc, argv); });
 }

@@ -12,47 +12,61 @@
 
 #include "common/stats_util.hh"
 #include "harness.hh"
+#include "sweep_runner.hh"
 
 using namespace pcstall;
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::BenchOptions::parse(argc, argv);
-    bench::banner("FIGURE 14", "Prediction accuracy at 1 us epochs",
-                  opts);
+    return bench::guardedMain([&] {
+        auto opts = bench::BenchOptions::parse(argc, argv);
+        bench::banner("FIGURE 14",
+                      "Prediction accuracy at 1 us epochs", opts);
 
-    const auto cfg = opts.runConfig();
-    sim::ExperimentDriver driver(cfg);
+        bench::SweepRunner runner(opts);
+        const std::vector<std::string> names = opts.workloadNames();
+        const std::vector<std::string> &designs = bench::designNames();
+        std::vector<bench::SweepCell> cells;
+        for (const std::string &name : names)
+            for (const std::string &design : designs)
+                cells.push_back(runner.cell(name, design));
+        const std::vector<bench::CellOutcome> outcomes =
+            runner.run(std::move(cells));
 
-    std::vector<std::string> headers = {"workload"};
-    for (const std::string &d : bench::designNames())
-        headers.push_back(d);
-    TableWriter table(headers);
+        std::vector<std::string> headers = {"workload"};
+        for (const std::string &d : designs)
+            headers.push_back(d);
+        TableWriter table(headers);
 
-    std::map<std::string, std::vector<double>> acc;
-    for (const std::string &name : opts.workloadNames()) {
-        const auto app = bench::makeApp(name, opts);
-        if (!app)
-            continue;
-        table.beginRow().cell(name);
-        for (const std::string &design : bench::designNames()) {
-            const auto controller = bench::makeController(design, cfg);
-            const sim::RunResult r =
-                bench::runTraced(driver, app, *controller, opts, name);
-            acc[design].push_back(r.predictionAccuracy);
-            table.cell(formatPercent(r.predictionAccuracy));
+        std::map<std::string, std::vector<double>> acc;
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const std::size_t row = w * designs.size();
+            if (!outcomes[row].run.ok)
+                continue;
+            table.beginRow().cell(names[w]);
+            for (std::size_t d = 0; d < designs.size(); ++d) {
+                const bench::RunOutcome &run = outcomes[row + d].run;
+                if (!run.ok) {
+                    table.cell("-");
+                    continue;
+                }
+                acc[designs[d]].push_back(
+                    run.result.predictionAccuracy);
+                table.cell(
+                    formatPercent(run.result.predictionAccuracy));
+            }
+            table.endRow();
         }
+        table.beginRow().cell("AVERAGE");
+        for (const std::string &design : designs)
+            table.cell(formatPercent(mean(acc[design])));
         table.endRow();
-    }
-    table.beginRow().cell("AVERAGE");
-    for (const std::string &design : bench::designNames())
-        table.cell(formatPercent(mean(acc[design])));
-    table.endRow();
-    bench::emit(opts, table);
+        bench::emit(opts, table);
 
-    std::printf("\n(paper Fig 14: STALL/LEAD lowest, CRIT/CRISP ~60%%, "
-                "ACCREAC 63%%, PCSTALL up to 81%%, ACCPC ~90%%, "
-                "ORACLE 100%%)\n");
-    return 0;
+        std::printf("\n(paper Fig 14: STALL/LEAD lowest, CRIT/CRISP "
+                    "~60%%, ACCREAC 63%%, PCSTALL up to 81%%, ACCPC "
+                    "~90%%, ORACLE 100%%)\n");
+        return 0;
+    });
 }

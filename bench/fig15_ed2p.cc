@@ -11,62 +11,74 @@
 
 #include "common/stats_util.hh"
 #include "harness.hh"
+#include "sweep_runner.hh"
 
 using namespace pcstall;
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::BenchOptions::parse(argc, argv);
-    bench::banner("FIGURE 15",
-                  "ED2P normalized to static 1.7 GHz", opts);
+    return bench::guardedMain([&] {
+        auto opts = bench::BenchOptions::parse(argc, argv);
+        bench::banner("FIGURE 15",
+                      "ED2P normalized to static 1.7 GHz", opts);
 
-    const auto cfg = opts.runConfig();
-    sim::ExperimentDriver driver(cfg);
+        std::vector<std::string> designs = {"ST1.3", "ST2.2"};
+        for (const std::string &d : bench::designNames())
+            designs.push_back(d);
 
-    std::vector<std::string> designs = {"ST1.3", "ST2.2"};
-    for (const std::string &d : bench::designNames())
-        designs.push_back(d);
-
-    std::vector<std::string> headers = {"workload"};
-    for (const auto &d : designs)
-        headers.push_back(d);
-    TableWriter table(headers);
-
-    std::map<std::string, std::vector<double>> norm;
-    for (const std::string &name : opts.workloadNames()) {
-        const auto app = bench::makeApp(name, opts);
-        if (!app)
-            continue;
-        dvfs::StaticController nominal(driver.nominalState());
-        const sim::RunResult base =
-            bench::runTraced(driver, app, nominal, opts, name);
-
-        table.beginRow().cell(name);
-        for (const std::string &design : designs) {
-            std::unique_ptr<dvfs::DvfsController> controller;
-            if (design == "ST1.3")
-                controller = std::make_unique<dvfs::StaticController>(0);
-            else if (design == "ST2.2")
-                controller = std::make_unique<dvfs::StaticController>(9);
-            else
-                controller = bench::makeController(design, cfg);
-            const sim::RunResult r =
-                bench::runTraced(driver, app, *controller, opts, name);
-            const double v = r.ed2p() / base.ed2p();
-            norm[design].push_back(v);
-            table.cell(v, 3);
+        bench::SweepRunner runner(opts);
+        const std::vector<std::string> names = opts.workloadNames();
+        std::vector<bench::SweepCell> cells;
+        for (const std::string &name : names) {
+            for (const std::string &design : designs) {
+                bench::SweepCell c = runner.cell(name, design, true);
+                if (design == "ST1.3" || design == "ST2.2") {
+                    const std::size_t state = design == "ST1.3" ? 0 : 9;
+                    c.factory = [state](const sim::RunConfig &) {
+                        return std::make_unique<dvfs::StaticController>(
+                            state);
+                    };
+                }
+                cells.push_back(std::move(c));
+            }
         }
-        table.endRow();
-    }
-    table.beginRow().cell("GEOMEAN");
-    for (const std::string &design : designs)
-        table.cell(geomean(norm[design]), 3);
-    table.endRow();
-    bench::emit(opts, table);
+        const std::vector<bench::CellOutcome> outcomes =
+            runner.run(std::move(cells));
 
-    std::printf("\n(values < 1 improve on static 1.7 GHz; paper: "
-                "ORACLE up to 0.46, ACCPC 0.49, PCSTALL 0.52, "
-                "CRISP 0.77)\n");
-    return 0;
+        std::vector<std::string> headers = {"workload"};
+        for (const auto &d : designs)
+            headers.push_back(d);
+        TableWriter table(headers);
+
+        std::map<std::string, std::vector<double>> norm;
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const std::size_t row = w * designs.size();
+            if (!outcomes[row].baseline.ok)
+                continue;
+            const double base = outcomes[row].baseline.result.ed2p();
+            table.beginRow().cell(names[w]);
+            for (std::size_t d = 0; d < designs.size(); ++d) {
+                const bench::RunOutcome &run = outcomes[row + d].run;
+                if (!run.ok) {
+                    table.cell("-");
+                    continue;
+                }
+                const double v = run.result.ed2p() / base;
+                norm[designs[d]].push_back(v);
+                table.cell(v, 3);
+            }
+            table.endRow();
+        }
+        table.beginRow().cell("GEOMEAN");
+        for (const std::string &design : designs)
+            table.cell(geomean(norm[design]), 3);
+        table.endRow();
+        bench::emit(opts, table);
+
+        std::printf("\n(values < 1 improve on static 1.7 GHz; paper: "
+                    "ORACLE up to 0.46, ACCPC 0.49, PCSTALL 0.52, "
+                    "CRISP 0.77)\n");
+        return 0;
+    });
 }

@@ -11,47 +11,54 @@
 
 #include "core/pcstall_controller.hh"
 #include "harness.hh"
+#include "sweep_runner.hh"
 
 using namespace pcstall;
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::BenchOptions::parse(argc, argv);
-    bench::banner("FIGURE 16",
-                  "Frequency residency under PCSTALL (ED2P)", opts);
+    return bench::guardedMain([&] {
+        auto opts = bench::BenchOptions::parse(argc, argv);
+        bench::banner("FIGURE 16",
+                      "Frequency residency under PCSTALL (ED2P)", opts);
 
-    const auto cfg = opts.runConfig();
-    sim::ExperimentDriver driver(cfg);
+        // One driver only for the V/f table the headers print.
+        sim::ExperimentDriver meta(opts.runConfig());
 
-    std::vector<std::string> headers = {"workload"};
-    for (std::size_t s = 0; s < driver.table().numStates(); ++s) {
-        headers.push_back(formatFixed(
-            freqGHzD(driver.table().state(s).freq), 1));
-    }
-    headers.push_back("mean GHz");
-    TableWriter table(headers);
+        bench::SweepRunner runner(opts);
+        const std::vector<std::string> names = opts.workloadNames();
+        std::vector<bench::SweepCell> cells;
+        for (const std::string &name : names)
+            cells.push_back(runner.cell(name, "PCSTALL"));
+        const std::vector<bench::CellOutcome> outcomes =
+            runner.run(std::move(cells));
 
-    for (const std::string &name : opts.workloadNames()) {
-        const auto app = bench::makeApp(name, opts);
-        if (!app)
-            continue;
-        const auto controller = bench::makeController("PCSTALL", cfg);
-        const sim::RunResult r =
-            bench::runTraced(driver, app, *controller, opts, name);
-
-        table.beginRow().cell(name);
-        double mean_ghz = 0.0;
-        for (std::size_t s = 0; s < r.freqTimeShare.size(); ++s) {
-            table.cell(formatPercent(r.freqTimeShare[s], 0));
-            mean_ghz += r.freqTimeShare[s] *
-                freqGHzD(driver.table().state(s).freq);
+        std::vector<std::string> headers = {"workload"};
+        for (std::size_t s = 0; s < meta.table().numStates(); ++s) {
+            headers.push_back(formatFixed(
+                freqGHzD(meta.table().state(s).freq), 1));
         }
-        table.cell(mean_ghz, 2);
-        table.endRow();
-    }
-    bench::emit(opts, table);
-    std::printf("\n(paper Fig 16: dgemm/hacc high, hpgmg/xsbench low, "
-                "BwdPool single state)\n");
-    return 0;
+        headers.push_back("mean GHz");
+        TableWriter table(headers);
+
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            if (!outcomes[w].run.ok)
+                continue;
+            const sim::RunResult &r = outcomes[w].run.result;
+            table.beginRow().cell(names[w]);
+            double mean_ghz = 0.0;
+            for (std::size_t s = 0; s < r.freqTimeShare.size(); ++s) {
+                table.cell(formatPercent(r.freqTimeShare[s], 0));
+                mean_ghz += r.freqTimeShare[s] *
+                    freqGHzD(meta.table().state(s).freq);
+            }
+            table.cell(mean_ghz, 2);
+            table.endRow();
+        }
+        bench::emit(opts, table);
+        std::printf("\n(paper Fig 16: dgemm/hacc high, hpgmg/xsbench "
+                    "low, BwdPool single state)\n");
+        return 0;
+    });
 }

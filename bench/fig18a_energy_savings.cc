@@ -11,52 +11,72 @@
 
 #include "common/stats_util.hh"
 #include "harness.hh"
+#include "sweep_runner.hh"
 
 using namespace pcstall;
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::BenchOptions::parse(argc, argv);
-    bench::banner("FIGURE 18(a)",
-                  "Energy savings under performance bounds", opts);
+    return bench::guardedMain([&] {
+        auto opts = bench::BenchOptions::parse(argc, argv);
+        bench::banner("FIGURE 18(a)",
+                      "Energy savings under performance bounds", opts);
 
-    const std::vector<std::string> designs = {"CRISP", "PCSTALL",
-                                              "ORACLE"};
-    TableWriter table({"perf limit", "design", "energy savings",
-                       "slowdown vs nominal"});
+        const std::vector<double> limits = {0.05, 0.10};
+        const std::vector<std::string> designs = {"CRISP", "PCSTALL",
+                                                  "ORACLE"};
+        const std::vector<std::string> names =
+            opts.sweepWorkloadNames();
 
-    for (const double limit : {0.05, 0.10}) {
-        auto cfg = opts.runConfig();
-        cfg.objective = dvfs::Objective::EnergyUnderPerfBound;
-        cfg.perfDegradationLimit = limit;
-        sim::ExperimentDriver driver(cfg);
-
-        for (const std::string &design : designs) {
-            std::vector<double> savings;
-            std::vector<double> slowdowns;
-            for (const std::string &name : opts.sweepWorkloadNames()) {
-                const auto app = bench::makeApp(name, opts);
-                if (!app)
-                    continue;
-                dvfs::StaticController nominal(driver.nominalState());
-                const sim::RunResult base = driver.run(app, nominal);
-                const auto controller =
-                    bench::makeController(design, cfg);
-                const sim::RunResult r = driver.run(app, *controller);
-                savings.push_back(1.0 - r.energy / base.energy);
-                slowdowns.push_back(r.seconds() / base.seconds() - 1.0);
+        bench::SweepRunner runner(opts);
+        std::vector<bench::SweepCell> cells;
+        for (const double limit : limits) {
+            auto limit_opts = opts;
+            limit_opts.objective =
+                dvfs::Objective::EnergyUnderPerfBound;
+            limit_opts.perfDegradationLimit = limit;
+            for (const std::string &design : designs) {
+                for (const std::string &name : names) {
+                    bench::SweepCell c =
+                        runner.cell(name, design, true);
+                    c.opts = limit_opts;
+                    cells.push_back(std::move(c));
+                }
             }
-            table.beginRow()
-                .cell(formatPercent(limit, 0))
-                .cell(design)
-                .cell(formatPercent(mean(savings)))
-                .cell(formatPercent(mean(slowdowns)));
-            table.endRow();
         }
-    }
-    bench::emit(opts, table);
-    std::printf("\n(paper Fig 18a: PCSTALL 9.6%% @5%% and 19.9%% "
-                "@10%%; CRISP 2.1%% / 4.7%%)\n");
-    return 0;
+        const std::vector<bench::CellOutcome> outcomes =
+            runner.run(std::move(cells));
+
+        TableWriter table({"perf limit", "design", "energy savings",
+                           "slowdown vs nominal"});
+        std::size_t at = 0;
+        for (const double limit : limits) {
+            for (const std::string &design : designs) {
+                std::vector<double> savings;
+                std::vector<double> slowdowns;
+                for (std::size_t w = 0; w < names.size(); ++w, ++at) {
+                    const bench::CellOutcome &cell = outcomes[at];
+                    if (!cell.run.ok || !cell.baseline.ok)
+                        continue;
+                    const sim::RunResult &r = cell.run.result;
+                    const sim::RunResult &base =
+                        cell.baseline.result;
+                    savings.push_back(1.0 - r.energy / base.energy);
+                    slowdowns.push_back(
+                        r.seconds() / base.seconds() - 1.0);
+                }
+                table.beginRow()
+                    .cell(formatPercent(limit, 0))
+                    .cell(design)
+                    .cell(formatPercent(mean(savings)))
+                    .cell(formatPercent(mean(slowdowns)));
+                table.endRow();
+            }
+        }
+        bench::emit(opts, table);
+        std::printf("\n(paper Fig 18a: PCSTALL 9.6%% @5%% and 19.9%% "
+                    "@10%%; CRISP 2.1%% / 4.7%%)\n");
+        return 0;
+    });
 }

@@ -11,55 +11,80 @@
 
 #include "common/stats_util.hh"
 #include "harness.hh"
+#include "sweep_runner.hh"
 
 using namespace pcstall;
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::BenchOptions::parse(argc, argv);
-    bench::banner("FIGURE 18(b)", "ED2P vs V/f domain granularity",
-                  opts);
+    return bench::guardedMain([&] {
+        auto opts = bench::BenchOptions::parse(argc, argv);
+        bench::banner("FIGURE 18(b)",
+                      "ED2P vs V/f domain granularity", opts);
 
-    const std::vector<std::string> designs = {"CRISP", "PCSTALL",
-                                              "ORACLE"};
-    std::vector<std::string> headers = {"CUs/domain"};
-    for (const auto &d : designs)
-        headers.push_back(d);
-    TableWriter table(headers);
+        const std::vector<std::string> designs = {"CRISP", "PCSTALL",
+                                                  "ORACLE"};
+        const std::vector<std::string> names =
+            opts.sweepWorkloadNames();
 
-    for (std::uint32_t gran = 1; gran <= opts.cus; gran *= 2) {
-        if (opts.cus % gran != 0)
-            continue;
-        auto gran_opts = opts;
-        gran_opts.cusPerDomain = gran;
-        const auto cfg = gran_opts.runConfig();
-        sim::ExperimentDriver driver(cfg);
+        std::vector<std::uint32_t> grans;
+        for (std::uint32_t gran = 1; gran <= opts.cus; gran *= 2) {
+            if (opts.cus % gran == 0)
+                grans.push_back(gran);
+        }
 
-        std::map<std::string, std::vector<double>> norm;
-        for (const std::string &name :
-             gran_opts.sweepWorkloadNames()) {
-            const auto app = bench::makeApp(name, gran_opts);
-            if (!app)
-                continue;
-            dvfs::StaticController nominal(driver.nominalState());
-            const sim::RunResult base = driver.run(app, nominal);
-            for (const std::string &design : designs) {
-                const auto controller =
-                    bench::makeController(design, cfg);
-                const sim::RunResult r = driver.run(app, *controller);
-                norm[design].push_back(r.ed2p() / base.ed2p());
+        bench::SweepRunner runner(opts);
+        std::vector<bench::SweepCell> cells;
+        for (const std::uint32_t gran : grans) {
+            auto gran_opts = opts;
+            gran_opts.cusPerDomain = gran;
+            for (const std::string &name : names) {
+                for (const std::string &design : designs) {
+                    bench::SweepCell c =
+                        runner.cell(name, design, true);
+                    c.opts = gran_opts;
+                    cells.push_back(std::move(c));
+                }
             }
         }
-        table.beginRow().cell(static_cast<long long>(gran));
-        for (const std::string &design : designs)
-            table.cell(geomean(norm[design]), 3);
-        table.endRow();
-    }
-    bench::emit(opts, table);
-    std::printf("\n(normalized geomean ED2P vs static 1.7 GHz; paper "
-                "Fig 18b: the DVFS benefit shrinks with domain size "
-                "but PCSTALL keeps most of ORACLE's win while CRISP "
-                "loses it)\n");
-    return 0;
+        const std::vector<bench::CellOutcome> outcomes =
+            runner.run(std::move(cells));
+
+        std::vector<std::string> headers = {"CUs/domain"};
+        for (const auto &d : designs)
+            headers.push_back(d);
+        TableWriter table(headers);
+
+        for (std::size_t g = 0; g < grans.size(); ++g) {
+            std::map<std::string, std::vector<double>> norm;
+            for (std::size_t w = 0; w < names.size(); ++w) {
+                const std::size_t row =
+                    (g * names.size() + w) * designs.size();
+                if (!outcomes[row].baseline.ok)
+                    continue;
+                const double base =
+                    outcomes[row].baseline.result.ed2p();
+                for (std::size_t d = 0; d < designs.size(); ++d) {
+                    const bench::RunOutcome &run =
+                        outcomes[row + d].run;
+                    if (run.ok) {
+                        norm[designs[d]].push_back(
+                            run.result.ed2p() / base);
+                    }
+                }
+            }
+            table.beginRow().cell(
+                static_cast<long long>(grans[g]));
+            for (const std::string &design : designs)
+                table.cell(geomean(norm[design]), 3);
+            table.endRow();
+        }
+        bench::emit(opts, table);
+        std::printf("\n(normalized geomean ED2P vs static 1.7 GHz; "
+                    "paper Fig 18b: the DVFS benefit shrinks with "
+                    "domain size but PCSTALL keeps most of ORACLE's "
+                    "win while CRISP loses it)\n");
+        return 0;
+    });
 }

@@ -1,8 +1,11 @@
 #include "harness.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -18,6 +21,23 @@
 namespace pcstall::bench
 {
 
+namespace
+{
+std::atomic<std::uint64_t> sweepFailures{0};
+} // namespace
+
+void
+noteSweepFailure()
+{
+    sweepFailures.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+sweepFailureCount()
+{
+    return sweepFailures.load(std::memory_order_relaxed);
+}
+
 BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
@@ -31,6 +51,13 @@ BenchOptions::parse(int argc, char **argv)
         static_cast<std::uint32_t>(cli.getInt("domain-cus", 1));
     opts.seed = static_cast<std::uint64_t>(cli.getInt("seed", 42));
     opts.csv = cli.has("csv");
+    const std::int64_t threads = cli.getInt("threads", 0);
+    if (threads < 0) {
+        warn("--threads must be >= 0 (using hardware concurrency)");
+        opts.threads = 0;
+    } else {
+        opts.threads = static_cast<unsigned>(threads);
+    }
 
     // Fault-injection flags: any nonzero magnitude enables its class.
     opts.faults.seed = static_cast<std::uint64_t>(
@@ -103,6 +130,9 @@ BenchOptions::runConfig() const
     cfg.faults = faults;
     cfg.watchdogFallback = watchdog;
     cfg.eccProtectTables = ecc;
+    cfg.objective = objective;
+    cfg.perfDegradationLimit = perfDegradationLimit;
+    cfg.collectTrace = collectTrace;
     cfg.scaled();
     return cfg;
 }
@@ -186,6 +216,15 @@ makeController(const std::string &name, const sim::RunConfig &cfg)
         return std::make_unique<core::PcstallController>(
             pc, cfg.gpu.numCus);
     }
+    if (name.rfind("STATIC[", 0) == 0 && name.back() == ']') {
+        char *end = nullptr;
+        const unsigned long state =
+            std::strtoul(name.c_str() + 7, &end, 10);
+        fatalIf(end == name.c_str() + 7 || *end != ']',
+                "malformed static design '" + name + "'");
+        return std::make_unique<dvfs::StaticController>(
+            static_cast<std::size_t>(state));
+    }
     fatal("unknown design '" + name + "'");
 }
 
@@ -214,15 +253,31 @@ pathLabel(const std::string &name)
     return out;
 }
 
+/** Insert @p suffix before @p path's extension (or append). */
+std::string
+insertBeforeExtension(const std::string &path,
+                      const std::string &suffix)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return path + suffix;
+    }
+    return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
 /**
  * Expand a --trace-out / --pc-snapshot-out template: "{w}"/"{c}"
  * placeholders, or a "-workload-controller" suffix before the
  * extension when no placeholder is present (so sweep captures do not
- * overwrite each other).
+ * overwrite each other). A run index > 0 - the Nth repeat of the same
+ * (workload, controller) pair within one sweep - adds a further "-rN"
+ * suffix so repeats never collide.
  */
 std::string
 expandRunPath(const std::string &pattern, const std::string &workload,
-              const std::string &controller)
+              const std::string &controller, std::size_t run_index = 0)
 {
     std::string path = pattern;
     bool substituted = false;
@@ -235,17 +290,45 @@ expandRunPath(const std::string &pattern, const std::string &workload,
             substituted = true;
         }
     }
-    if (substituted)
-        return path;
-    const std::string suffix =
-        "-" + pathLabel(workload) + "-" + pathLabel(controller);
-    const std::size_t slash = path.find_last_of('/');
-    const std::size_t dot = path.find_last_of('.');
-    if (dot == std::string::npos ||
-        (slash != std::string::npos && dot < slash)) {
-        return path + suffix;
+    if (!substituted) {
+        path = insertBeforeExtension(
+            path,
+            "-" + pathLabel(workload) + "-" + pathLabel(controller));
     }
-    return path.substr(0, dot) + suffix + path.substr(dot);
+    if (run_index > 0) {
+        path = insertBeforeExtension(
+            path, "-r" + std::to_string(run_index));
+    }
+    return path;
+}
+
+/**
+ * Claim an output path in the process-wide registry. The first claim
+ * returns @p path unchanged; later claims of the same path (a repeat
+ * the caller did not label with a run index) return a "-rN" variant
+ * after a warn, so captures never silently overwrite each other.
+ * Claims from concurrent sweep cells are serialized by a mutex; cells
+ * with pre-assigned run indices never collide here, keeping sweep
+ * output names deterministic for any thread count.
+ */
+std::string
+claimOutputPath(const std::string &path)
+{
+    static std::mutex m;
+    static std::map<std::string, std::size_t> claims;
+    const std::lock_guard<std::mutex> lock(m);
+    std::size_t &count = claims[path];
+    ++count;
+    if (count == 1)
+        return path;
+    const std::string unique = insertBeforeExtension(
+        path, "-r" + std::to_string(count - 1));
+    warn("output path '" + path + "' already written this run; " +
+         "using '" + unique + "'");
+    // The variant itself could clash with an explicit later claim;
+    // registering it keeps even that case collision-free.
+    ++claims[unique];
+    return unique;
 }
 
 /** The PCSTALL controller behind @p controller, if any (possibly
@@ -276,11 +359,19 @@ hierarchicalMetaOf(const dvfs::DvfsController &controller)
     return meta;
 }
 
-/** Decoded --replay traces, loaded once per file. */
+/**
+ * Decoded --replay traces, loaded once per file. Thread-safe: sweep
+ * cells replaying the same capture share one decode. The mutex spans
+ * the file read so concurrent first loads of one path cannot race;
+ * map values are stable addresses, and entries are only ever added,
+ * so returned pointers stay valid for the life of the process.
+ */
 const trace::TraceData *
 loadReplayTrace(const std::string &path)
 {
+    static std::mutex m;
     static std::map<std::string, trace::TraceData> cache;
+    const std::lock_guard<std::mutex> lock(m);
     const auto it = cache.find(path);
     if (it != cache.end())
         return &it->second;
@@ -298,7 +389,7 @@ sim::RunResult
 runTraced(sim::ExperimentDriver &driver,
           std::shared_ptr<const isa::Application> app,
           dvfs::DvfsController &controller, const BenchOptions &opts,
-          const std::string &workload)
+          const std::string &workload, std::size_t run_index)
 {
     core::PcstallController *pcstall = pcstallBehind(controller);
     if (!opts.pcSnapshotIn.empty() && pcstall != nullptr) {
@@ -317,9 +408,10 @@ runTraced(sim::ExperimentDriver &driver,
     sim::RunResult result;
     bool ran = false;
     if (!opts.replayTrace.empty()) {
+        // Symmetric with capture: repeat N replays the -rN capture.
         const trace::TraceData *data = loadReplayTrace(
             expandRunPath(opts.replayTrace, workload,
-                          controller.name()));
+                          controller.name(), run_index));
         if (data != nullptr) {
             if (data->meta.workload != workload) {
                 warn("--replay: trace was captured on '" +
@@ -352,8 +444,8 @@ runTraced(sim::ExperimentDriver &driver,
         const trace::TraceMeta meta = trace::makeTraceMeta(
             driver.config(), driver.table(), workload, controller,
             hierarchicalMetaOf(controller));
-        const std::string path =
-            expandRunPath(opts.traceOut, workload, controller.name());
+        const std::string path = claimOutputPath(expandRunPath(
+            opts.traceOut, workload, controller.name(), run_index));
         trace::TraceWriter writer(path, meta);
         if (writer.ok()) {
             trace::TraceCapture capture(writer);
@@ -376,8 +468,9 @@ runTraced(sim::ExperimentDriver &driver,
         result = driver.run(app, controller);
 
     if (!opts.pcSnapshotOut.empty() && pcstall != nullptr) {
-        const std::string snap_path = expandRunPath(
-            opts.pcSnapshotOut, workload, controller.name());
+        const std::string snap_path = claimOutputPath(expandRunPath(
+            opts.pcSnapshotOut, workload, controller.name(),
+            run_index));
         if (!trace::writePcSnapshotFile(
                 snap_path,
                 trace::snapshotPcTables(pcstall->pcTables()))) {

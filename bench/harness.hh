@@ -1,24 +1,32 @@
 /**
  * @file
  * Shared plumbing for the figure/table harnesses: a common option
- * vocabulary (--cus, --epoch-us, --scale, --workloads, --csv), the
- * standard experiment configuration, and cached static-baseline runs.
+ * vocabulary (--cus, --epoch-us, --scale, --workloads, --threads,
+ * --csv), the standard experiment configuration, and cached
+ * static-baseline runs.
  *
- * Defaults (8 CUs, scale 1.0) are sized so every harness finishes in minutes
- * while preserving the paper's trends; pass --cus 64 --scale 1 for
- * the paper-scale configuration (see EXPERIMENTS.md).
+ * Defaults (8 CUs, scale 1.0) are sized so every harness finishes in
+ * minutes while preserving the paper's trends; pass --cus 64 --scale 1
+ * for the paper-scale configuration (see EXPERIMENTS.md).
+ *
+ * Sweeps run through bench::SweepRunner (sweep_runner.hh), which
+ * executes independent (workload, controller, config) cells on a
+ * fixed-size thread pool. Everything here is safe to call from
+ * concurrent sweep cells.
  */
 
 #ifndef PCSTALL_BENCH_HARNESS_HH
 #define PCSTALL_BENCH_HARNESS_HH
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/cli.hh"
+#include "common/logging.hh"
 #include "common/table_writer.hh"
 #include "dvfs/controller.hh"
 #include "faults/fault_config.hh"
@@ -33,12 +41,19 @@ namespace pcstall::bench
 /** Parsed common options. */
 struct BenchOptions
 {
-    std::uint32_t cus = 16;
+    std::uint32_t cus = 8;
     double scale = 1.0;
     Tick epochLen = tickUs;
     std::uint32_t cusPerDomain = 1;
     std::uint64_t seed = 42;
     bool csv = false;
+    /**
+     * Worker threads for sweep execution (--threads; 0 = one per
+     * hardware thread). Results are bit-identical for every thread
+     * count: each sweep cell derives its RNG stream from
+     * (seed, workload, controller) alone.
+     */
+    unsigned threads = 0;
     /** Subset of workloads to run (all when empty). Entries may be
      *  Table II names or kernel-script paths. */
     std::vector<std::string> workloads;
@@ -48,12 +63,20 @@ struct BenchOptions
     bool watchdog = false;
     /** Parity-protect PC tables (scrub corrupted entries). */
     bool ecc = false;
+    /** Optimization objective for the runs (harness-set, no flag). */
+    dvfs::Objective objective = dvfs::Objective::Ed2p;
+    /** For the EnergyUnderPerfBound objective. */
+    double perfDegradationLimit = 0.05;
+    /** Collect the per-epoch trace in RunResult (harness-set). */
+    bool collectTrace = false;
     /**
      * Capture every run routed through runTraced() to a binary epoch
      * trace (--trace-out). "{w}"/"{c}" expand to the workload and
      * controller name; without placeholders a "-workload-controller"
      * suffix is inserted before the extension so a sweep's captures
-     * do not overwrite each other.
+     * do not overwrite each other. When the same (workload,
+     * controller) pair runs more than once in a sweep, repeats gain a
+     * "-rN" run-index suffix, so captures never silently overwrite.
      */
     std::string traceOut;
     /**
@@ -70,7 +93,7 @@ struct BenchOptions
     std::string pcSnapshotIn;
 
     /** Parse from argv; honours --cus --scale --epoch-us --domain-cus
-     *  --seed --csv --workloads a,b,c plus the fault flags
+     *  --seed --threads --csv --workloads a,b,c plus the fault flags
      *  --fault-seed --noise-sigma --noise-dropout --trans-fail
      *  --trans-extra-ns --freq-quant-mhz --bitflips --ecc --watchdog
      *  and the trace flags --trace-out --replay --pc-snapshot-out
@@ -125,7 +148,10 @@ struct BenchOptions
 std::shared_ptr<const isa::Application>
 makeApp(const std::string &name, const BenchOptions &opts);
 
-/** Factory for every Table III controller by name. */
+/**
+ * Factory for every Table III controller by name, plus "STATIC[n]"
+ * for a fixed-state baseline. Unknown names are fatal (FatalError).
+ */
 std::unique_ptr<dvfs::DvfsController>
 makeController(const std::string &name, const sim::RunConfig &cfg);
 
@@ -140,12 +166,19 @@ const std::vector<std::string> &designNames();
  * given; PC-table warm start / snapshot export when the snapshot
  * flags are given. Falls back to an untraced live run (with a warn)
  * when a trace file cannot be written or read.
+ *
+ * @p run_index disambiguates repeated (workload, controller) runs in
+ * one sweep: repeats > 0 gain a "-rN" suffix on every auto-expanded
+ * output path. Independent of that, output paths are claimed in a
+ * process-wide registry and re-claims are suffixed too, so no two
+ * runs of one process ever overwrite each other's captures.
  */
 sim::RunResult runTraced(sim::ExperimentDriver &driver,
                          std::shared_ptr<const isa::Application> app,
                          dvfs::DvfsController &controller,
                          const BenchOptions &opts,
-                         const std::string &workload);
+                         const std::string &workload,
+                         std::size_t run_index = 0);
 
 /** Print @p table as text or CSV per @p opts. */
 void emit(const BenchOptions &opts, const TableWriter &table);
@@ -153,6 +186,49 @@ void emit(const BenchOptions &opts, const TableWriter &table);
 /** Print a harness banner naming the figure being regenerated. */
 void banner(const std::string &figure, const std::string &what,
             const BenchOptions &opts);
+
+/**
+ * Record one failed sweep cell/baseline/task in the process-wide
+ * tally. SweepRunner calls this wherever it contains a FatalError so
+ * the sweep can keep going; guardedMain reads the tally to decide the
+ * exit code. Thread-safe.
+ */
+void noteSweepFailure();
+
+/** Sweep failures recorded so far in this process. */
+std::uint64_t sweepFailureCount();
+
+/**
+ * Run a harness/tool main body under the library error contract:
+ * FatalError (already logged by fatal()) becomes exit code 1, any
+ * other stray exception is reported and also exits 1. A sweep whose
+ * cells failed still completes and prints every other cell, but the
+ * process exits 1 so scripts never mistake a degraded sweep for a
+ * clean one. Library code never calls std::exit, so this is the only
+ * process-exit decision point.
+ */
+template <typename Fn>
+int
+guardedMain(Fn &&body)
+{
+    try {
+        const std::uint64_t before = sweepFailureCount();
+        const int rc = body();
+        const std::uint64_t failed = sweepFailureCount() - before;
+        if (rc == 0 && failed != 0) {
+            warn(std::to_string(failed) +
+                 " sweep cell(s) failed; see diagnostics above");
+            return 1;
+        }
+        return rc;
+    } catch (const FatalError &) {
+        // fatal() printed the diagnostic when it threw.
+        return 1;
+    } catch (const std::exception &e) {
+        warn(std::string("unexpected error: ") + e.what());
+        return 1;
+    }
+}
 
 } // namespace pcstall::bench
 

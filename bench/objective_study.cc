@@ -15,62 +15,80 @@
 
 #include "common/stats_util.hh"
 #include "harness.hh"
+#include "sweep_runner.hh"
 
 using namespace pcstall;
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::BenchOptions::parse(argc, argv);
-    bench::banner("OBJECTIVE STUDY",
-                  "ratio heuristic vs marginal-cost greedy", opts);
+    return bench::guardedMain([&] {
+        auto opts = bench::BenchOptions::parse(argc, argv);
+        bench::banner("OBJECTIVE STUDY",
+                      "ratio heuristic vs marginal-cost greedy", opts);
 
-    struct Cell
-    {
-        const char *design;
-        dvfs::Objective objective;
-        const char *label;
-    };
-    const std::vector<Cell> cells = {
-        {"ORACLE", dvfs::Objective::Ed2p, "ORACLE ratio"},
-        {"ORACLE", dvfs::Objective::MarginalEd2p, "ORACLE marginal"},
-        {"PCSTALL", dvfs::Objective::Ed2p, "PCSTALL ratio"},
-        {"PCSTALL", dvfs::Objective::MarginalEd2p, "PCSTALL marginal"},
-    };
+        struct Column
+        {
+            const char *design;
+            dvfs::Objective objective;
+            const char *label;
+        };
+        const std::vector<Column> columns = {
+            {"ORACLE", dvfs::Objective::Ed2p, "ORACLE ratio"},
+            {"ORACLE", dvfs::Objective::MarginalEd2p,
+             "ORACLE marginal"},
+            {"PCSTALL", dvfs::Objective::Ed2p, "PCSTALL ratio"},
+            {"PCSTALL", dvfs::Objective::MarginalEd2p,
+             "PCSTALL marginal"},
+        };
+        const std::vector<std::string> names =
+            opts.sweepWorkloadNames();
 
-    std::vector<std::string> headers = {"workload"};
-    for (const Cell &c : cells)
-        headers.push_back(c.label);
-    TableWriter table(headers);
-
-    std::map<std::string, std::vector<double>> norm;
-    for (const std::string &name : opts.sweepWorkloadNames()) {
-        table.beginRow().cell(name);
-        for (const Cell &c : cells) {
-            auto cfg = opts.runConfig();
-            cfg.objective = c.objective;
-            sim::ExperimentDriver driver(cfg);
-            const auto app = bench::makeApp(name, opts);
-            if (!app)
-                continue;
-            dvfs::StaticController nominal(driver.nominalState());
-            const sim::RunResult base = driver.run(app, nominal);
-            const auto controller = bench::makeController(c.design, cfg);
-            const sim::RunResult r = driver.run(app, *controller);
-            const double v = r.ed2p() / base.ed2p();
-            norm[c.label].push_back(v);
-            table.cell(v, 3);
+        bench::SweepRunner runner(opts);
+        std::vector<bench::SweepCell> cells;
+        for (const std::string &name : names) {
+            for (const Column &col : columns) {
+                bench::SweepCell c =
+                    runner.cell(name, col.design, true);
+                c.opts.objective = col.objective;
+                cells.push_back(std::move(c));
+            }
         }
-        table.endRow();
-    }
-    table.beginRow().cell("GEOMEAN");
-    for (const Cell &c : cells)
-        table.cell(geomean(norm[c.label]), 3);
-    table.endRow();
-    bench::emit(opts, table);
+        const std::vector<bench::CellOutcome> outcomes =
+            runner.run(std::move(cells));
 
-    std::printf("\n(global ED2P normalized to static 1.7 GHz; the "
-                "marginal objective prices time at 2x average chip "
-                "power per instruction - see docs/architecture.md)\n");
-    return 0;
+        std::vector<std::string> headers = {"workload"};
+        for (const Column &col : columns)
+            headers.push_back(col.label);
+        TableWriter table(headers);
+
+        std::map<std::string, std::vector<double>> norm;
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            table.beginRow().cell(names[w]);
+            for (std::size_t i = 0; i < columns.size(); ++i) {
+                const bench::CellOutcome &cell =
+                    outcomes[w * columns.size() + i];
+                if (!cell.run.ok || !cell.baseline.ok) {
+                    table.cell("-");
+                    continue;
+                }
+                const double v = cell.run.result.ed2p() /
+                    cell.baseline.result.ed2p();
+                norm[columns[i].label].push_back(v);
+                table.cell(v, 3);
+            }
+            table.endRow();
+        }
+        table.beginRow().cell("GEOMEAN");
+        for (const Column &col : columns)
+            table.cell(geomean(norm[col.label]), 3);
+        table.endRow();
+        bench::emit(opts, table);
+
+        std::printf("\n(global ED2P normalized to static 1.7 GHz; the "
+                    "marginal objective prices time at 2x average "
+                    "chip power per instruction - see "
+                    "docs/architecture.md)\n");
+        return 0;
+    });
 }

@@ -1,0 +1,259 @@
+#include "sweep_runner.hh"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.hh"
+
+namespace pcstall::bench
+{
+
+namespace
+{
+
+/**
+ * Serialize every BenchOptions field that changes the simulated run
+ * (not the output paths). Cells agreeing on this key plus (workload,
+ * design) are true repeats and get distinct run indices; the same key
+ * also identifies shareable application builds and baseline runs.
+ */
+std::string
+configKey(const BenchOptions &opts)
+{
+    std::ostringstream key;
+    key << opts.cus << '|' << opts.scale << '|' << opts.epochLen << '|'
+        << opts.cusPerDomain << '|' << opts.seed << '|'
+        << static_cast<int>(opts.objective) << '|'
+        << opts.perfDegradationLimit << '|' << opts.collectTrace << '|'
+        << opts.watchdog << '|' << opts.ecc << '|' << opts.faults.seed
+        << '|' << opts.faults.telemetry.sigma << '|'
+        << opts.faults.telemetry.dropoutProb << '|'
+        << opts.faults.dvfs.transitionFailProb << '|'
+        << opts.faults.dvfs.extraSwitchLatency << '|'
+        << opts.faults.dvfs.granularity << '|'
+        << opts.faults.storage.upsetsPerEpoch;
+    return key.str();
+}
+
+/** Application builds depend on this subset of the options only. */
+std::string
+appKey(const std::string &workload, const BenchOptions &opts)
+{
+    std::ostringstream key;
+    key << workload << '|' << opts.cus << '|' << opts.scale << '|'
+        << opts.seed;
+    return key.str();
+}
+
+std::string
+cellLabel(const std::string &workload, const std::string &design)
+{
+    return workload + " x " + design;
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(const BenchOptions &opts)
+    : defaults(opts), pool(opts.threads)
+{
+    // A sweep whose *shared* configuration is invalid would fail in
+    // every cell; fail fast here instead so the user gets one
+    // "fatal: run config: ..." line (and exit 1 via guardedMain)
+    // before any simulation time is spent. Cell-local overrides are
+    // still validated - and contained - per cell.
+    const std::string err =
+        sim::validateRunConfig(defaults.runConfig());
+    fatalIf(!err.empty(), err);
+}
+
+SweepRunner::AppPtr
+SweepRunner::appFor(const std::string &workload,
+                    const BenchOptions &opts)
+{
+    const std::string key = appKey(workload, opts);
+    std::shared_future<AppPtr> fut;
+    std::shared_ptr<std::promise<AppPtr>> mine;
+    {
+        const std::lock_guard<std::mutex> lock(appMutex);
+        const auto it = apps.find(key);
+        if (it != apps.end()) {
+            fut = it->second;
+        } else {
+            mine = std::make_shared<std::promise<AppPtr>>();
+            fut = mine->get_future().share();
+            apps.emplace(key, fut);
+        }
+    }
+    if (mine != nullptr) {
+        // We won the race: build on this thread; waiters block on the
+        // future. Failures become a null app (makeApp already warned)
+        // so the future never carries an exception.
+        AppPtr app;
+        try {
+            app = makeApp(workload, opts);
+        } catch (const FatalError &e) {
+            warn("workload '" + workload + "': " +
+                 std::string(e.what()));
+        }
+        mine->set_value(std::move(app));
+    }
+    return fut.get();
+}
+
+RunOutcome
+SweepRunner::staticBaseline(const std::string &workload,
+                            const BenchOptions &opts)
+{
+    const std::string key = workload + '|' + configKey(opts);
+    std::shared_future<RunOutcome> fut;
+    std::shared_ptr<std::promise<RunOutcome>> mine;
+    {
+        const std::lock_guard<std::mutex> lock(baselineMutex);
+        const auto it = baselines.find(key);
+        if (it != baselines.end()) {
+            fut = it->second;
+        } else {
+            mine = std::make_shared<std::promise<RunOutcome>>();
+            fut = mine->get_future().share();
+            baselines.emplace(key, fut);
+        }
+    }
+    if (mine != nullptr) {
+        RunOutcome out;
+        try {
+            sim::RunConfig cfg = opts.runConfig();
+            const std::string err = sim::validateRunConfig(cfg);
+            if (!err.empty()) {
+                out.error = err;
+            } else if (AppPtr app = appFor(workload, opts)) {
+                // The baseline's stream derives from the same pure
+                // key scheme as cells, with the design slot pinned,
+                // so it is identical however many cells share it.
+                cfg.gpu.seed =
+                    Rng::split(opts.seed, workload, "STATIC").next();
+                sim::ExperimentDriver driver(cfg);
+                dvfs::StaticController nominal(driver.nominalState());
+                out.result = driver.run(app, nominal);
+                out.result.workload = workload;
+                out.ok = true;
+            } else {
+                out.error =
+                    "workload '" + workload + "' failed to build";
+            }
+        } catch (const FatalError &e) {
+            out.error = e.what();
+        } catch (const std::exception &e) {
+            out.error = e.what();
+        }
+        if (!out.ok) {
+            noteSweepFailure();
+            warn("static baseline for " + workload +
+                 " failed: " + out.error);
+        }
+        mine->set_value(std::move(out));
+    }
+    return fut.get();
+}
+
+CellOutcome
+SweepRunner::runCell(const SweepCell &cell)
+{
+    CellOutcome out;
+    if (cell.wantBaseline)
+        out.baseline = staticBaseline(cell.workload, cell.opts);
+
+    RunOutcome &run = out.run;
+    try {
+        sim::RunConfig cfg = cell.opts.runConfig();
+        const std::string err = sim::validateRunConfig(cfg);
+        if (err.empty()) {
+            if (AppPtr app = appFor(cell.workload, cell.opts)) {
+                // The determinism keystone: the cell's RNG stream is
+                // a pure function of its identity, never of which
+                // thread runs it or in what order.
+                cfg.gpu.seed = Rng::split(cell.opts.seed,
+                                          cell.workload, cell.design,
+                                          cell.runIndex).next();
+                sim::ExperimentDriver driver(cfg);
+                std::unique_ptr<dvfs::DvfsController> controller =
+                    cell.factory != nullptr
+                        ? cell.factory(cfg)
+                        : makeController(cell.design, cfg);
+                fatalIf(controller == nullptr,
+                        "cell factory returned no controller");
+                run.result =
+                    runTraced(driver, app, *controller, cell.opts,
+                              cell.workload, cell.runIndex);
+                run.result.workload = cell.workload;
+                if (cell.inspect != nullptr)
+                    cell.inspect(*controller);
+                run.ok = true;
+            } else {
+                run.error =
+                    "workload '" + cell.workload + "' failed to build";
+            }
+        } else {
+            run.error = err;
+        }
+    } catch (const FatalError &e) {
+        run.error = e.what();
+    } catch (const std::exception &e) {
+        run.error = e.what();
+    }
+    if (!run.ok) {
+        // The one-line diagnostic; the rest of the sweep completes
+        // and guardedMain turns the tally into a non-zero exit.
+        noteSweepFailure();
+        warn("sweep cell " + cellLabel(cell.workload, cell.design) +
+             " failed: " + run.error);
+    }
+    return out;
+}
+
+std::vector<CellOutcome>
+SweepRunner::run(std::vector<SweepCell> cells)
+{
+    // Repeat indices are assigned here, in submission order, before
+    // anything executes - the only place cell identity is decided.
+    std::map<std::string, std::size_t> repeats;
+    for (SweepCell &cell : cells) {
+        const std::string key = cell.workload + '\x1f' + cell.design +
+            '\x1f' + configKey(cell.opts);
+        cell.runIndex = repeats[key]++;
+    }
+
+    // Warm the shared inputs with their own parallel prepasses so the
+    // cell phase never serializes behind a popular app or baseline.
+    std::set<std::string> seen;
+    std::vector<const SweepCell *> appWork;
+    for (const SweepCell &cell : cells) {
+        if (seen.insert(appKey(cell.workload, cell.opts)).second)
+            appWork.push_back(&cell);
+    }
+    pool.forEach(appWork.size(), [&](std::size_t i) {
+        appFor(appWork[i]->workload, appWork[i]->opts);
+    });
+
+    seen.clear();
+    std::vector<const SweepCell *> baselineWork;
+    for (const SweepCell &cell : cells) {
+        if (cell.wantBaseline &&
+            seen.insert(cell.workload + '|' + configKey(cell.opts))
+                .second) {
+            baselineWork.push_back(&cell);
+        }
+    }
+    pool.forEach(baselineWork.size(), [&](std::size_t i) {
+        staticBaseline(baselineWork[i]->workload,
+                       baselineWork[i]->opts);
+    });
+
+    std::vector<CellOutcome> out(cells.size());
+    pool.forEach(cells.size(), [&](std::size_t i) {
+        out[i] = runCell(cells[i]);
+    });
+    return out;
+}
+
+} // namespace pcstall::bench

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * SweepRunner: the parallel execution layer every figure harness
+ * routes its workload x controller x configuration sweep through.
+ *
+ * A sweep is a list of independent cells. Each cell names a workload,
+ * a controller design (or a custom controller factory) and carries
+ * its own BenchOptions, so epoch-length / objective / fault-config
+ * variants are just different cells of one grid. Cells execute on a
+ * fixed-size thread pool (sim::ParallelExecutor) and their outcomes
+ * are returned in submission order, so table aggregation code stays
+ * strictly serial and deterministic.
+ *
+ * Determinism contract: `--threads N` is bit-identical to
+ * `--threads 1` for every N. This holds because
+ *  - each cell's GPU seed derives from (seed, workload, design,
+ *    run index) via Rng::split - a pure function of the cell key,
+ *    never of execution order;
+ *  - shared inputs (applications, static-baseline runs) are memoized
+ *    compute-once caches keyed on their full configuration, and the
+ *    cached computation is itself a pure function of the key;
+ *  - outcomes are aggregated by submission index, not completion
+ *    order.
+ *
+ * Error contract: fatal() throws FatalError instead of exiting, and
+ * the runner catches it per cell. One invalid run configuration or
+ * broken workload yields a one-line diagnostic on that cell's outcome
+ * while every other cell completes. Contained failures are tallied
+ * via noteSweepFailure() so guardedMain still exits 1 for a degraded
+ * sweep; a shared configuration that is invalid for every cell fails
+ * fast at construction with a single fatal diagnostic.
+ */
+
+#ifndef PCSTALL_BENCH_SWEEP_RUNNER_HH
+#define PCSTALL_BENCH_SWEEP_RUNNER_HH
+
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness.hh"
+#include "sim/parallel_executor.hh"
+
+namespace pcstall::bench
+{
+
+/** Builds the controller a cell runs (given the cell's RunConfig). */
+using ControllerFactory =
+    std::function<std::unique_ptr<dvfs::DvfsController>(
+        const sim::RunConfig &)>;
+
+/** One independent unit of sweep work. */
+struct SweepCell
+{
+    std::string workload;
+    /** Display label; also the default makeController() design name
+     *  and part of the cell's RNG derivation key. */
+    std::string design;
+    /** Cell-local options (epoch/objective/fault variants). */
+    BenchOptions opts;
+    /** Custom controller builder; empty = makeController(design). */
+    ControllerFactory factory;
+    /**
+     * Optional post-run peek at the controller (hit ratios, ceiling
+     * states) before the cell destroys it. Runs on the cell's worker
+     * thread; write only to this cell's own aggregation slot.
+     */
+    std::function<void(const dvfs::DvfsController &)> inspect;
+    /** Also produce the static-nominal baseline run for
+     *  (workload, opts) - shared across cells via the memo cache. */
+    bool wantBaseline = false;
+    /**
+     * Repeat index among cells with the same (workload, design,
+     * config) key; assigned by run() in submission order and used to
+     * keep repeated runs' RNG streams and capture paths distinct.
+     */
+    std::size_t runIndex = 0;
+};
+
+/** Result of one run (a cell's own run, or its baseline). */
+struct RunOutcome
+{
+    sim::RunResult result;
+    bool ok = false;
+    /** One-line diagnostic when !ok. */
+    std::string error;
+};
+
+/** Everything a cell produced. */
+struct CellOutcome
+{
+    RunOutcome run;
+    /** Valid when the cell asked for a baseline (see wantBaseline). */
+    RunOutcome baseline;
+};
+
+class SweepRunner
+{
+  public:
+    /** @p opts supplies the thread count and the defaults cell()
+     *  copies into new cells. */
+    explicit SweepRunner(const BenchOptions &opts);
+
+    /** Convenience cell builder using the runner's default options. */
+    SweepCell
+    cell(const std::string &workload, const std::string &design,
+         bool want_baseline = false) const
+    {
+        SweepCell c;
+        c.workload = workload;
+        c.design = design;
+        c.opts = defaults;
+        c.wantBaseline = want_baseline;
+        return c;
+    }
+
+    /**
+     * Execute every cell (in parallel, per --threads) and return the
+     * outcomes in submission order. Repeat indices are assigned
+     * before execution; shared apps and baselines are warmed first so
+     * the cell phase parallelizes cleanly.
+     */
+    std::vector<CellOutcome> run(std::vector<SweepCell> cells);
+
+    /**
+     * Generic parallel map for harnesses whose per-workload work is
+     * not an ExperimentDriver run (profiler studies, chip-level
+     * measurements). fn(i) runs on the pool with FatalError contained
+     * per index (failed slots keep their default-constructed value
+     * after a warn); results are in index order.
+     */
+    template <typename T, typename Fn>
+    std::vector<T>
+    map(std::size_t n, Fn &&fn)
+    {
+        std::vector<T> out(n);
+        pool.forEach(n, [&](std::size_t i) {
+            try {
+                out[i] = fn(i);
+            } catch (const FatalError &e) {
+                noteSweepFailure();
+                warn("parallel task " + std::to_string(i) +
+                     " failed: " + std::string(e.what()));
+            }
+        });
+        return out;
+    }
+
+    /**
+     * The memoized static-nominal baseline run for (workload, opts):
+     * computed at most once per distinct (workload, cus, scale,
+     * epoch, domain, seed, ...) key per process and shared across
+     * cells and sweeps. Thread-safe; concurrent requesters of one key
+     * block on the single computation.
+     */
+    RunOutcome staticBaseline(const std::string &workload,
+                              const BenchOptions &opts);
+
+    /** Threads the pool executes on. */
+    unsigned threads() const { return pool.threadCount(); }
+
+    /** The defaults cell() hands out. */
+    const BenchOptions &options() const { return defaults; }
+
+  private:
+    using AppPtr = std::shared_ptr<const isa::Application>;
+
+    /** Memoized application build (thread-safe, compute-once). */
+    AppPtr appFor(const std::string &workload,
+                  const BenchOptions &opts);
+
+    CellOutcome runCell(const SweepCell &cell);
+
+    BenchOptions defaults;
+    sim::ParallelExecutor pool;
+
+    std::mutex appMutex;
+    std::map<std::string, std::shared_future<AppPtr>> apps;
+
+    std::mutex baselineMutex;
+    std::map<std::string, std::shared_future<RunOutcome>> baselines;
+};
+
+} // namespace pcstall::bench
+
+#endif // PCSTALL_BENCH_SWEEP_RUNNER_HH

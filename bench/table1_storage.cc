@@ -15,8 +15,11 @@
 
 using namespace pcstall;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runHarness(int argc, char **argv)
 {
     auto opts = bench::BenchOptions::parse(argc, argv);
     bench::banner("TABLE I", "Hardware storage overhead per instance",
@@ -53,4 +56,12 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     predict::designTotal(rows, "CRISP")));
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::guardedMain([&] { return runHarness(argc, argv); });
 }

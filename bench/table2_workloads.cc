@@ -8,39 +8,61 @@
 #include <iostream>
 
 #include "harness.hh"
+#include "sweep_runner.hh"
 
 using namespace pcstall;
 
 int
 main(int argc, char **argv)
 {
-    const auto opts = bench::BenchOptions::parse(argc, argv);
-    bench::banner("TABLE II", "HPC and MI workloads used for evaluation",
-                  opts);
+    return bench::guardedMain([&] {
+        const auto opts = bench::BenchOptions::parse(argc, argv);
+        bench::banner("TABLE II",
+                      "HPC and MI workloads used for evaluation",
+                      opts);
 
-    TableWriter table({"workload", "suite", "description",
-                       "unique kernels", "launches", "instructions/wave",
-                       "total waves"});
-    for (const auto &info : workloads::workloadTable()) {
-        const auto app = bench::makeApp(info.name, opts);
-        if (!app)
-            continue;
-        std::uint64_t code = 0;
-        std::uint64_t waves = 0;
-        for (const auto &k : app->launches) {
-            code += k.code.size();
-            waves += k.totalWaves();
+        struct Row
+        {
+            bool ok = false;
+            std::uint64_t launches = 0;
+            std::uint64_t code = 0;
+            std::uint64_t waves = 0;
+        };
+
+        const auto &infos = workloads::workloadTable();
+        bench::SweepRunner runner(opts);
+        const std::vector<Row> rows = runner.map<Row>(
+            infos.size(), [&](std::size_t i) {
+                Row row;
+                const auto app = bench::makeApp(infos[i].name, opts);
+                if (!app)
+                    return row;
+                for (const auto &k : app->launches) {
+                    row.code += k.code.size();
+                    row.waves += k.totalWaves();
+                }
+                row.launches = app->launches.size();
+                row.ok = true;
+                return row;
+            });
+
+        TableWriter table({"workload", "suite", "description",
+                           "unique kernels", "launches",
+                           "instructions/wave", "total waves"});
+        for (std::size_t i = 0; i < infos.size(); ++i) {
+            if (!rows[i].ok)
+                continue;
+            table.beginRow()
+                .cell(infos[i].name)
+                .cell(infos[i].suite)
+                .cell(infos[i].description)
+                .cell(static_cast<long long>(infos[i].uniqueKernels))
+                .cell(static_cast<long long>(rows[i].launches))
+                .cell(static_cast<long long>(rows[i].code))
+                .cell(static_cast<long long>(rows[i].waves));
+            table.endRow();
         }
-        table.beginRow()
-            .cell(info.name)
-            .cell(info.suite)
-            .cell(info.description)
-            .cell(static_cast<long long>(info.uniqueKernels))
-            .cell(static_cast<long long>(app->launches.size()))
-            .cell(static_cast<long long>(code))
-            .cell(static_cast<long long>(waves));
-        table.endRow();
-    }
-    bench::emit(opts, table);
-    return 0;
+        bench::emit(opts, table);
+        return 0;
+    });
 }

@@ -35,10 +35,8 @@ mechanismOf(const std::string &name)
     return "Reactive";
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runHarness(int argc, char **argv)
 {
     const auto opts = bench::BenchOptions::parse(argc, argv);
     bench::banner("TABLE III", "DVFS prediction designs evaluated", opts);
@@ -61,4 +59,12 @@ main(int argc, char **argv)
     }
     bench::emit(opts, table);
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::guardedMain([&] { return runHarness(argc, argv); });
 }

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/logging.hh"
 #include "common/cli.hh"
 #include "core/pcstall_controller.hh"
 #include "sim/experiment.hh"
@@ -115,7 +116,7 @@ class TransitionCounter : public dvfs::DvfsController
 
 int
 main(int argc, char **argv)
-{
+try {
     CliOptions cli(argc, argv);
     const auto cus = static_cast<std::uint32_t>(cli.getInt("cus", 8));
     const std::string workload = cli.get("workload", "BwdBN");
@@ -160,4 +161,13 @@ main(int argc, char **argv)
                                  counted.transitions(), 1))),
                 (hr.ed2p() / base.ed2p() - 1.0) * 100.0);
     return 0;
+}
+catch (const FatalError &)
+{
+    return 1; // fatal() already printed the diagnostic
+}
+catch (const std::exception &e)
+{
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

@@ -15,6 +15,7 @@
 #include <memory>
 #include <sstream>
 
+#include "common/logging.hh"
 #include "common/cli.hh"
 #include "core/pcstall_controller.hh"
 #include "sim/experiment.hh"
@@ -59,7 +60,7 @@ app demo = stencil stencil stencil stencil
 
 int
 main(int argc, char **argv)
-{
+try {
     CliOptions cli(argc, argv);
 
     const std::string export_name = cli.get("export", "");
@@ -135,4 +136,13 @@ main(int argc, char **argv)
             std::printf("  %s\n", line.c_str());
     }
     return 0;
+}
+catch (const FatalError &)
+{
+    return 1; // fatal() already printed the diagnostic
+}
+catch (const std::exception &e)
+{
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/logging.hh"
 #include "common/cli.hh"
 #include "core/pcstall_controller.hh"
 #include "models/reactive_controller.hh"
@@ -49,7 +50,7 @@ measure(sim::ExperimentDriver &driver,
 
 int
 main(int argc, char **argv)
-{
+try {
     CliOptions cli(argc, argv);
     const auto cus = static_cast<std::uint32_t>(cli.getInt("cus", 8));
 
@@ -96,4 +97,13 @@ main(int argc, char **argv)
                 "into energy savings; the reactive baseline wastes "
                 "part of it on mispredicted epochs (paper Fig 18a).\n");
     return 0;
+}
+catch (const FatalError &)
+{
+    return 1; // fatal() already printed the diagnostic
+}
+catch (const std::exception &e)
+{
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

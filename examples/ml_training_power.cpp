@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/logging.hh"
 #include "common/cli.hh"
 #include "core/pcstall_controller.hh"
 #include "models/reactive_controller.hh"
@@ -26,7 +27,7 @@ using namespace pcstall;
 
 int
 main(int argc, char **argv)
-{
+try {
     CliOptions cli(argc, argv);
     const auto cus = static_cast<std::uint32_t>(cli.getInt("cus", 8));
 
@@ -85,4 +86,13 @@ main(int argc, char **argv)
                 "states while normalization/pooling layers drop to "
                 "the bottom of the V/f range.\n");
     return 0;
+}
+catch (const FatalError &)
+{
+    return 1; // fatal() already printed the diagnostic
+}
+catch (const std::exception &e)
+{
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/logging.hh"
 #include "common/cli.hh"
 #include "core/pcstall_controller.hh"
 #include "dvfs/controller.hh"
@@ -20,7 +21,7 @@ using namespace pcstall;
 
 int
 main(int argc, char **argv)
-{
+try {
     CliOptions cli(argc, argv);
 
     // 1. Configure the experiment: GPU size, DVFS epoch, objective.
@@ -75,4 +76,13 @@ main(int argc, char **argv)
                 dvfs_run.predictionAccuracy * 100.0,
                 pcstall.tableHitRatio() * 100.0);
     return 0;
+}
+catch (const FatalError &)
+{
+    return 1; // fatal() already printed the diagnostic
+}
+catch (const std::exception &e)
+{
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

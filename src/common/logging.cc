@@ -1,9 +1,22 @@
 #include "logging.hh"
 
 #include <cstdio>
+#include <mutex>
 
 namespace pcstall
 {
+
+namespace
+{
+/** Serializes log lines so parallel sweep cells cannot interleave
+ *  fragments of two messages on one terminal line. */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+} // namespace
 
 namespace detail
 {
@@ -28,6 +41,7 @@ logLine(LogLevel level, const std::string &msg)
         prefix = "panic: ";
         break;
     }
+    const std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stream, "%s%s\n", prefix, msg.c_str());
     std::fflush(stream);
 }
@@ -45,7 +59,7 @@ void
 fatal(const std::string &msg)
 {
     detail::logLine(LogLevel::Fatal, msg);
-    std::exit(1);
+    throw FatalError(msg);
 }
 
 void

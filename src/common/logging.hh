@@ -3,9 +3,16 @@
  * Minimal gem5-style status/error reporting.
  *
  * panic()  - an internal invariant was violated (simulator bug); aborts.
- * fatal()  - the user asked for something impossible (bad config); exits.
+ * fatal()  - the user asked for something impossible (bad config);
+ *            throws FatalError so embedding code (sweep executors,
+ *            servers, tests) can contain the failure to one run.
  * warn()   - something is questionable but simulation can continue.
  * inform() - neutral status output.
+ *
+ * Library code must never terminate the process on a user error: a
+ * parallel sweep survives one bad cell only if the error travels as an
+ * exception. Harness and tool main()s catch FatalError at top level
+ * and turn it into exit code 1 (see bench::guardedMain).
  */
 
 #ifndef PCSTALL_COMMON_LOGGING_HH
@@ -13,6 +20,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace pcstall
@@ -27,10 +35,26 @@ namespace detail
 void logLine(LogLevel level, const std::string &msg);
 } // namespace detail
 
+/**
+ * Thrown by fatal(): an unrecoverable user/configuration error. The
+ * message has already been logged when the exception is in flight, so
+ * catch sites only decide *scope* (skip one sweep cell, or exit 1 from
+ * main) and need not re-print what().
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
+};
+
 /** Report an unrecoverable internal error and abort. */
 [[noreturn]] void panic(const std::string &msg);
 
-/** Report an unrecoverable user/configuration error and exit(1). */
+/** Report an unrecoverable user/configuration error and throw
+ *  FatalError. Never returns; never calls std::exit. */
 [[noreturn]] void fatal(const std::string &msg);
 
 /** Report a suspicious-but-survivable condition. */
@@ -50,7 +74,7 @@ panicIf(bool cond, const std::string &msg)
         panic(msg);
 }
 
-/** Exit with a message when @p cond is true (see panicIf). */
+/** Throw FatalError with a message when @p cond is true (see panicIf). */
 inline void
 fatalIf(bool cond, const std::string &msg)
 {

@@ -14,6 +14,7 @@
 #define PCSTALL_COMMON_RNG_HH
 
 #include <cstdint>
+#include <string_view>
 
 namespace pcstall
 {
@@ -76,6 +77,18 @@ class Rng
         return Rng(next() ^ 0xd1b54a32d192ed03ULL);
     }
 
+    /**
+     * Derive an independent generator from a root seed and a string
+     * key (plus an optional second key and integer salt). Unlike
+     * fork(), split() is a pure function of its arguments - it does
+     * not advance any shared state - so a sweep cell keyed on
+     * (seed, workload, controller) draws the same stream no matter
+     * which thread runs it or in what order cells execute.
+     */
+    static Rng
+    split(std::uint64_t seed, std::string_view key,
+          std::string_view key2 = {}, std::uint64_t salt = 0);
+
     bool operator==(const Rng &other) const = default;
 
   private:
@@ -102,6 +115,30 @@ constexpr std::uint64_t
 hashCombine(std::uint64_t a, std::uint64_t b)
 {
     return mixHash(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/** FNV-1a over a string, for keying derived random streams. */
+constexpr std::uint64_t
+hashString(std::string_view s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+inline Rng
+Rng::split(std::uint64_t seed, std::string_view key,
+           std::string_view key2, std::uint64_t salt)
+{
+    std::uint64_t h = hashCombine(seed, hashString(key));
+    h = hashCombine(h, hashString(key2));
+    h = hashCombine(h, salt);
+    // Guard the degenerate all-zero state (SplitMix64 tolerates it,
+    // but a nonzero floor keeps the first outputs well mixed).
+    return Rng(h | 1ULL);
 }
 
 } // namespace pcstall

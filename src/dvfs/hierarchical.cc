@@ -7,9 +7,32 @@
 namespace pcstall::dvfs
 {
 
+namespace
+{
+
+DvfsController &
+requireInner(std::unique_ptr<DvfsController> &owned)
+{
+    fatalIf(owned == nullptr,
+            "hierarchical manager needs an inner controller");
+    return *owned;
+}
+
+} // namespace
+
 HierarchicalPowerManager::HierarchicalPowerManager(
     DvfsController &inner, const HierarchicalConfig &config)
     : inner(inner), cfg(config)
+{
+    fatalIf(cfg.powerCap <= 0.0, "power cap must be positive");
+    fatalIf(cfg.reviewEpochs == 0, "review window must be >= 1 epoch");
+}
+
+HierarchicalPowerManager::HierarchicalPowerManager(
+    std::unique_ptr<DvfsController> inner_owned,
+    const HierarchicalConfig &config)
+    : owned(std::move(inner_owned)), inner(requireInner(owned)),
+      cfg(config)
 {
     fatalIf(cfg.powerCap <= 0.0, "power cap must be positive");
     fatalIf(cfg.reviewEpochs == 0, "review window must be >= 1 epoch");

@@ -14,6 +14,7 @@
 #define PCSTALL_DVFS_HIERARCHICAL_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "dvfs/controller.hh"
 
@@ -39,6 +40,15 @@ class HierarchicalPowerManager : public DvfsController
 {
   public:
     HierarchicalPowerManager(DvfsController &inner,
+                             const HierarchicalConfig &config);
+
+    /**
+     * Owning variant: the manager keeps the fine-grain controller
+     * alive itself. This lets controller factories (sweep cells,
+     * replay tools) hand back one self-contained DvfsController for
+     * "NAME+CAP" designs.
+     */
+    HierarchicalPowerManager(std::unique_ptr<DvfsController> inner,
                              const HierarchicalConfig &config);
 
     std::string name() const override
@@ -93,6 +103,8 @@ class HierarchicalPowerManager : public DvfsController
     /** Estimate the chip power of the elapsed epoch from its record. */
     Watts epochPower(const EpochContext &ctx) const;
 
+    /** Set only by the owning constructor; `inner` refers into it then. */
+    std::unique_ptr<DvfsController> owned;
     DvfsController &inner;
     HierarchicalConfig cfg;
     std::size_t ceiling = 0;

@@ -1,0 +1,116 @@
+#include "sim/parallel_executor.hh"
+
+#include <algorithm>
+
+namespace pcstall::sim
+{
+
+unsigned
+ParallelExecutor::defaultThreadCount()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ParallelExecutor::ParallelExecutor(unsigned threads)
+    : numThreads(threads == 0 ? defaultThreadCount() : threads)
+{
+    // One thread = strictly inline execution; no pool machinery at
+    // all, so `--threads 1` is the plain serial code path.
+    if (numThreads < 2)
+        return;
+    workers.reserve(numThreads);
+    for (unsigned t = 0; t < numThreads; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ParallelExecutor::~ParallelExecutor()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        shuttingDown = true;
+    }
+    wake.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ParallelExecutor::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    std::uint64_t seen = 0;
+    while (true) {
+        wake.wait(lock, [&] {
+            return shuttingDown ||
+                   (batchFn != nullptr && batchGeneration != seen &&
+                    batchNext < batchSize);
+        });
+        if (shuttingDown)
+            return;
+        const std::uint64_t generation = batchGeneration;
+        while (batchFn != nullptr && batchGeneration == generation &&
+               batchNext < batchSize) {
+            const std::size_t index = batchNext++;
+            ++batchRunning;
+            lock.unlock();
+            std::exception_ptr error;
+            try {
+                (*batchFn)(index);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            lock.lock();
+            if (error)
+                batchErrors.emplace_back(index, error);
+            --batchRunning;
+            if (batchNext >= batchSize && batchRunning == 0)
+                idle.notify_all();
+        }
+        seen = generation;
+    }
+}
+
+void
+ParallelExecutor::forEach(std::size_t n,
+                          const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+    if (numThreads < 2 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                errors.emplace_back(i, std::current_exception());
+            }
+        }
+    } else {
+        std::unique_lock<std::mutex> lock(mutex);
+        batchFn = &fn;
+        batchNext = 0;
+        batchSize = n;
+        batchErrors.clear();
+        ++batchGeneration;
+        lock.unlock();
+        wake.notify_all();
+        lock.lock();
+        idle.wait(lock, [&] {
+            return batchNext >= batchSize && batchRunning == 0;
+        });
+        batchFn = nullptr;
+        errors = std::move(batchErrors);
+        batchErrors.clear();
+    }
+    if (errors.empty())
+        return;
+    // Deterministic error reporting: rethrow the lowest submission
+    // index regardless of completion order.
+    std::sort(errors.begin(), errors.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    std::rethrow_exception(errors.front().second);
+}
+
+} // namespace pcstall::sim

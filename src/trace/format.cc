@@ -380,8 +380,13 @@ decodeFrame(Cursor &cur, const TraceMeta &meta, Tick prev_end,
             for (double &v : row)
                 v = cur.getDouble();
         }
+        // Sweep sensitivities are keyed on (cu, slot, startPcAddr) -
+        // wave turnover means one slot can contribute several entries
+        // per epoch, so slot capacity is NOT an upper bound here.
+        // Guard the allocation with the bytes actually present
+        // instead: each entry encodes >= 4 varint bytes + 2 doubles.
         const std::uint64_t num_sens = cur.varint();
-        if (cur.failed() || num_sens > max_waves)
+        if (cur.failed() || num_sens > cur.remaining() / 20)
             return "corrupt frame (sweep wave count)";
         frame.sweep.waves.resize(num_sens);
         for (dvfs::AccurateEstimates::WaveSens &w : frame.sweep.waves) {

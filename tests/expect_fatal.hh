@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Test helper for the FatalError contract: fatal() throws a typed
+ * exception (it no longer calls std::exit), so invalid-configuration
+ * checks are ordinary EXPECT_THROW-style assertions instead of death
+ * tests. EXPECT_FATAL additionally checks the diagnostic substring.
+ */
+
+#ifndef PCSTALL_TESTS_EXPECT_FATAL_HH
+#define PCSTALL_TESTS_EXPECT_FATAL_HH
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#define EXPECT_FATAL(statement, substr)                               \
+    do {                                                              \
+        bool thrown_ = false;                                         \
+        try {                                                         \
+            statement;                                                \
+        } catch (const ::pcstall::FatalError &e_) {                   \
+            thrown_ = true;                                           \
+            EXPECT_NE(std::string(e_.what()).find(substr),            \
+                      std::string::npos)                              \
+                << "FatalError message \"" << e_.what()               \
+                << "\" lacks \"" << substr << "\"";                   \
+        }                                                             \
+        EXPECT_TRUE(thrown_)                                          \
+            << #statement " did not throw FatalError";                \
+    } while (0)
+
+#endif // PCSTALL_TESTS_EXPECT_FATAL_HH

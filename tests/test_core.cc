@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_fatal.hh"
+
 #include <memory>
 
 #include "core/pcstall_controller.hh"
@@ -170,8 +172,7 @@ TEST(PcstallDeath, RejectsUnevenTableSharing)
 {
     PcstallConfig cfg;
     cfg.cusPerTable = 3;
-    EXPECT_EXIT(PcstallController(cfg, 4), ::testing::ExitedWithCode(1),
-                "divide evenly");
+    EXPECT_FATAL(PcstallController(cfg, 4), "divide evenly");
 }
 
 TEST(PcstallController, AdaptiveContentionLearnsSkew)

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_fatal.hh"
+
 #include "dvfs/controller.hh"
 #include "dvfs/domain_map.hh"
 #include "dvfs/hierarchical.hh"
@@ -30,8 +32,7 @@ TEST(DomainMap, GroupedDomains)
 
 TEST(DomainMapDeath, RejectsUnevenSplit)
 {
-    EXPECT_EXIT(DomainMap(64, 7), ::testing::ExitedWithCode(1),
-                "divide evenly");
+    EXPECT_FATAL(DomainMap(64, 7), "divide evenly");
 }
 
 namespace
@@ -238,8 +239,7 @@ TEST(Hierarchical, ConfigValidation)
     StaticController inner(4);
     HierarchicalConfig bad;
     bad.powerCap = 0.0;
-    EXPECT_EXIT(HierarchicalPowerManager(inner, bad),
-                ::testing::ExitedWithCode(1), "power cap");
+    EXPECT_FATAL(HierarchicalPowerManager(inner, bad), "power cap");
 }
 
 TEST(Hierarchical, ClampsDecisionsToCeiling)

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_fatal.hh"
+
 #include <memory>
 
 #include "gpu/gpu_chip.hh"
@@ -470,8 +472,7 @@ TEST(GpuDeath, RejectsEmptyApplication)
 {
     auto app = std::make_shared<isa::Application>();
     app->name = "empty";
-    EXPECT_EXIT(GpuChip(smallGpu(), app), ::testing::ExitedWithCode(1),
-                "no kernel launches");
+    EXPECT_FATAL(GpuChip(smallGpu(), app), "no kernel launches");
 }
 
 TEST(GpuDeath, RejectsOversizedWorkgroup)
@@ -482,6 +483,5 @@ TEST(GpuDeath, RejectsOversizedWorkgroup)
     auto app = std::make_shared<isa::Application>();
     app->name = "big";
     app->launches.push_back(b.build());
-    EXPECT_EXIT(GpuChip(smallGpu(), app), ::testing::ExitedWithCode(1),
-                "does not fit");
+    EXPECT_FATAL(GpuChip(smallGpu(), app), "does not fit");
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_fatal.hh"
+
 #include "isa/kernel.hh"
 #include "isa/kernel_builder.hh"
 
@@ -148,21 +150,21 @@ TEST(KernelDeath, BuildWithOpenLoopDies)
     KernelBuilder b("bad");
     b.loop(3);
     b.valu(1, 1);
-    EXPECT_EXIT(b.build(), ::testing::ExitedWithCode(1), "unclosed");
+    EXPECT_FATAL(b.build(), "unclosed");
 }
 
 TEST(KernelDeath, EndLoopWithoutLoopDies)
 {
     KernelBuilder b("bad");
     b.valu(1, 1);
-    EXPECT_EXIT(b.endLoop(), ::testing::ExitedWithCode(1), "endLoop");
+    EXPECT_FATAL(b.endLoop(), "endLoop");
 }
 
 TEST(KernelDeath, EmptyLoopDies)
 {
     KernelBuilder b("bad");
     b.loop(3);
-    EXPECT_EXIT(b.endLoop(), ::testing::ExitedWithCode(1), "empty loop");
+    EXPECT_FATAL(b.endLoop(), "empty loop");
 }
 
 TEST(KernelDeath, ValidateRejectsMissingEndpgm)
@@ -172,7 +174,7 @@ TEST(KernelDeath, ValidateRejectsMissingEndpgm)
     Instruction i;
     i.op = OpType::VAlu;
     k.code.push_back(i);
-    EXPECT_EXIT(k.validate(), ::testing::ExitedWithCode(1), "s_endpgm");
+    EXPECT_FATAL(k.validate(), "s_endpgm");
 }
 
 TEST(KernelDeath, ValidateRejectsBadRegion)
@@ -186,8 +188,7 @@ TEST(KernelDeath, ValidateRejectsBadRegion)
     Instruction end;
     end.op = OpType::EndPgm;
     k.code.push_back(end);
-    EXPECT_EXIT(k.validate(), ::testing::ExitedWithCode(1),
-                "unknown region");
+    EXPECT_FATAL(k.validate(), "unknown region");
 }
 
 TEST(OpTypes, Names)
@@ -205,8 +206,7 @@ TEST(KernelDeath, BarrierInsideDivergentLoopDies)
     KernelBuilder b("bad");
     b.loop(10, 5); // divergent trips
     b.valu(4, 1);
-    EXPECT_EXIT(b.barrier(), ::testing::ExitedWithCode(1),
-                "divergent loop");
+    EXPECT_FATAL(b.barrier(), "divergent loop");
 }
 
 TEST(KernelBuilder, BarrierInsideUniformLoopIsFine)

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_fatal.hh"
+
 #include "memory/cache_model.hh"
 #include "memory/memory_system.hh"
 
@@ -262,21 +264,17 @@ using MemoryDeath = ::testing::Test;
 
 TEST(MemoryDeath, RejectsBadGeometry)
 {
-    EXPECT_EXIT(CacheModel(1000, 48, 4), ::testing::ExitedWithCode(1),
-                "power of two");
-    EXPECT_EXIT(CacheModel(1000, 64, 4), ::testing::ExitedWithCode(1),
-                "multiple");
+    EXPECT_FATAL(CacheModel(1000, 48, 4), "power of two");
+    EXPECT_FATAL(CacheModel(1000, 64, 4), "multiple");
     MemConfig cfg = smallConfig();
     cfg.l2SizeBytes = 100 * 1024; // not divisible by 4 banks evenly?
     cfg.l2Banks = 3;
-    EXPECT_EXIT(MemorySystem{cfg}, ::testing::ExitedWithCode(1),
-                "divide evenly");
+    EXPECT_FATAL(MemorySystem{cfg}, "divide evenly");
 }
 
 TEST(MemoryDeath, RejectsZeroResources)
 {
     MemConfig cfg = smallConfig();
     cfg.dramChannels = 0;
-    EXPECT_EXIT(MemorySystem{cfg}, ::testing::ExitedWithCode(1),
-                "DRAM channel");
+    EXPECT_FATAL(MemorySystem{cfg}, "DRAM channel");
 }

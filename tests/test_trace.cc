@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -57,8 +59,11 @@ app(const std::string &name, std::uint32_t cus = 2, double scale = 0.2)
 std::string
 tempTracePath(const std::string &stem)
 {
+    // The pid keeps concurrent test processes (ctest -j) from
+    // colliding on the same temp file names.
     static int counter = 0;
     return ::testing::TempDir() + "pcstall_" + stem + "_" +
+           std::to_string(static_cast<long>(::getpid())) + "_" +
            std::to_string(counter++) + ".pctrace";
 }
 
@@ -136,11 +141,58 @@ TEST(TraceFormat, CaptureRoundTripsThroughFile)
     for (const trace::EpochFrame &f : data.frames) {
         EXPECT_LE(prev_end, f.end);
         prev_end = f.end;
-        if (!f.done)
+        if (!f.done) {
             EXPECT_EQ(f.decisions.size(), data.meta.numDomains());
+        }
         EXPECT_EQ(f.record.cus.size(), cfg.gpu.numCus);
     }
     std::remove(cap.path.c_str());
+}
+
+TEST(TraceFormat, SweepWaveListMayExceedSlotCapacity)
+{
+    // Sweep sensitivities are keyed on (cu, slot, startPcAddr), so
+    // wave turnover inside one epoch can legitimately produce more
+    // entries than there are wave slots; the decoder must not reject
+    // such frames as corrupt (it used to cap at cus x slots).
+    const auto cfg = testConfig();
+    models::ReactiveController stall(models::EstimationKind::Stall);
+    const std::string path = tempTracePath("sweepwaves");
+    const trace::TraceMeta meta = trace::makeTraceMeta(
+        cfg, power::VfTable::paperTable(), "comd", stall);
+    trace::TraceWriter writer(path, meta);
+    ASSERT_TRUE(writer.ok());
+
+    trace::EpochFrame f;
+    f.start = 0;
+    f.end = cfg.epochLen;
+    f.accountedEnd = cfg.epochLen;
+    f.record.cus.resize(meta.numCus);
+    f.decisions.resize(meta.numDomains());
+    f.hasSweep = true;
+    f.sweep.domainInstr.assign(
+        meta.numDomains(),
+        std::vector<double>(meta.vfStates.size(), 1.0));
+    const std::size_t capacity =
+        std::size_t{meta.numCus} * meta.waveSlotsPerCu;
+    for (std::size_t i = 0; i < capacity + 7; ++i) {
+        dvfs::AccurateEstimates::WaveSens w;
+        w.cu = static_cast<std::uint32_t>(i % meta.numCus);
+        w.slot = 0;
+        w.startPcAddr = 16 * i;
+        f.sweep.waves.push_back(w);
+    }
+    writer.writeFrame(f);
+    trace::TraceTrailer trailer;
+    trailer.frameCount = 1;
+    trailer.completed = true;
+    writer.finish(trailer);
+
+    const trace::TraceReadResult read = trace::readTraceFile(path);
+    ASSERT_TRUE(read.ok()) << read.error;
+    ASSERT_EQ(read.trace->frames.size(), 1u);
+    EXPECT_EQ(read.trace->frames[0].sweep.waves.size(), capacity + 7);
+    std::remove(path.c_str());
 }
 
 TEST(TraceFormat, RunConfigImageSurvivesRoundTrip)

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_fatal.hh"
+
 #include "gpu/gpu_chip.hh"
 #include "workloads/kernel_parser.hh"
 #include "workloads/kernel_writer.hh"
@@ -147,8 +149,7 @@ TEST(Workloads, UnknownNameRejected)
 {
     EXPECT_FALSE(isWorkload("nonexistent"));
     EXPECT_TRUE(isWorkload("comd"));
-    EXPECT_EXIT(makeWorkload("nonexistent", smallParams()),
-                ::testing::ExitedWithCode(1), "unknown workload");
+    EXPECT_FATAL(makeWorkload("nonexistent", smallParams()), "unknown workload");
 }
 
 TEST(Workloads, DeterministicForSameSeed)

@@ -16,8 +16,12 @@
  * rebuilds the captured controller from the trace meta (or any other
  * design via --controller), verifies its decisions against the
  * recorded ones when the names match, and reports the wall-clock
- * speedup over the captured live run. Exit status: 0 on success /
- * traces equal / replay deterministic, 1 otherwise.
+ * speedup over the captured live run. With --threads N (N > 1) the
+ * replay is additionally re-driven N times concurrently on fresh
+ * controllers and every outcome is checked for bit-identity - a
+ * thread-safety/determinism self-test of the replay path. Exit
+ * status: 0 on success / traces equal / replay deterministic, 1
+ * otherwise.
  */
 
 #include <cinttypes>
@@ -33,6 +37,7 @@
 #include "dvfs/hierarchical.hh"
 #include "dvfs/objective.hh"
 #include "harness.hh"
+#include "sim/parallel_executor.hh"
 #include "sim/trace_export.hh"
 #include "trace/format.hh"
 #include "trace/replay.hh"
@@ -55,7 +60,9 @@ usage()
         "  diff    <a> <b>                     compare two traces\n"
         "  capture --workload W --controller C --out T [bench opts]\n"
         "  replay  <trace> [--controller C] [--csv-out F]\n"
-        "          [--pc-snapshot-out F] [--no-verify] [--quiet]\n");
+        "          [--pc-snapshot-out F] [--no-verify] [--quiet]\n"
+        "          [--threads N]   N concurrent re-drives, all\n"
+        "                          verified bit-identical\n");
     return 2;
 }
 
@@ -104,13 +111,8 @@ makeReplayController(const trace::TraceMeta &meta, std::string name)
         capped = false; // explicit uncapped override
 
     const sim::RunConfig cfg = trace::runConfigFromMeta(meta);
-    if (name.rfind("STATIC[", 0) == 0 && name.back() == ']') {
-        const std::size_t state = static_cast<std::size_t>(
-            std::strtoul(name.c_str() + 7, nullptr, 10));
-        out.inner = std::make_unique<dvfs::StaticController>(state);
-    } else {
-        out.inner = bench::makeController(name, cfg);
-    }
+    // makeController understands STATIC[n] too.
+    out.inner = bench::makeController(name, cfg);
     out.use = out.inner.get();
     if (capped) {
         dvfs::HierarchicalConfig hier;
@@ -376,13 +378,8 @@ cmdCapture(int argc, char **argv)
         return 1;
     const sim::RunConfig cfg = opts.runConfig();
     sim::ExperimentDriver driver(cfg);
-    std::unique_ptr<dvfs::DvfsController> controller;
-    if (design.rfind("STATIC[", 0) == 0)
-        controller = std::make_unique<dvfs::StaticController>(
-            static_cast<std::size_t>(
-                std::strtoul(design.c_str() + 7, nullptr, 10)));
-    else
-        controller = bench::makeController(design, cfg);
+    std::unique_ptr<dvfs::DvfsController> controller =
+        bench::makeController(design, cfg);
     // Single run: the --out path is used verbatim (unlike the bench
     // harness's sweep captures, which suffix per run).
     const trace::TraceMeta meta = trace::makeTraceMeta(
@@ -482,6 +479,45 @@ cmdReplay(const std::string &path, int argc, char **argv)
             return 1;
         }
     }
+
+    // --threads N: re-drive the trace N times concurrently on fresh
+    // controllers and require every outcome to be bit-identical to
+    // the serial replay above - a thread-safety/determinism self-test
+    // of the replay path.
+    const unsigned threads = static_cast<unsigned>(
+        std::strtoul(cli.get("threads", "1").c_str(), nullptr, 10));
+    if (threads > 1) {
+        sim::ParallelExecutor pool(threads);
+        std::vector<trace::ReplayOutcome> outs(threads);
+        pool.forEach(threads, [&](std::size_t i) {
+            ReplayController c = makeReplayController(data.meta, design);
+            trace::ReplayDriver rd(data);
+            outs[i] = rd.run(*c.use, ropts);
+        });
+        unsigned diverged = 0;
+        for (const trace::ReplayOutcome &o : outs) {
+            const sim::RunResult &s = o.result;
+            if (!o.ok() || s.epochs != r.epochs ||
+                s.execTime != r.execTime || s.energy != r.energy ||
+                s.instructions != r.instructions ||
+                s.predictionAccuracy != r.predictionAccuracy ||
+                s.transitions != r.transitions ||
+                o.decisionMismatches != outcome.decisionMismatches)
+                ++diverged;
+        }
+        if (diverged != 0) {
+            std::printf("parallel replay NOT deterministic: %u of %u "
+                        "concurrent replays diverged from the serial "
+                        "outcome\n",
+                        diverged, threads);
+            return 1;
+        }
+        if (!quiet) {
+            std::printf("parallel replay deterministic: %u concurrent "
+                        "replays bit-identical to the serial run\n",
+                        threads);
+        }
+    }
     return 0;
 }
 
@@ -490,20 +526,22 @@ cmdReplay(const std::string &path, int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
+    return bench::guardedMain([&]() -> int {
+        if (argc < 2)
+            return usage();
+        const std::string cmd = argv[1];
+        if (cmd == "header" && argc >= 3)
+            return cmdHeader(argv[2]);
+        if (cmd == "stats" && argc >= 3)
+            return cmdStats(argv[2]);
+        if (cmd == "csv" && argc >= 3)
+            return cmdCsv(argv[2], std::cout);
+        if (cmd == "diff" && argc >= 4)
+            return cmdDiff(argv[2], argv[3]);
+        if (cmd == "capture")
+            return cmdCapture(argc - 1, argv + 1);
+        if (cmd == "replay" && argc >= 3)
+            return cmdReplay(argv[2], argc - 2, argv + 2);
         return usage();
-    const std::string cmd = argv[1];
-    if (cmd == "header" && argc >= 3)
-        return cmdHeader(argv[2]);
-    if (cmd == "stats" && argc >= 3)
-        return cmdStats(argv[2]);
-    if (cmd == "csv" && argc >= 3)
-        return cmdCsv(argv[2], std::cout);
-    if (cmd == "diff" && argc >= 4)
-        return cmdDiff(argv[2], argv[3]);
-    if (cmd == "capture")
-        return cmdCapture(argc - 1, argv + 1);
-    if (cmd == "replay" && argc >= 3)
-        return cmdReplay(argv[2], argc - 2, argv + 2);
-    return usage();
+    });
 }
