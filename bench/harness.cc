@@ -3,9 +3,11 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -13,7 +15,10 @@
 #include "core/pcstall_controller.hh"
 #include "dvfs/hierarchical.hh"
 #include "models/reactive_controller.hh"
+#include "obs/context.hh"
+#include "obs/export.hh"
 #include "oracle/oracle_controllers.hh"
+#include "sim/timeline_recorder.hh"
 #include "trace/format.hh"
 #include "trace/replay.hh"
 #include "trace/snapshot.hh"
@@ -24,18 +29,141 @@ namespace pcstall::bench
 namespace
 {
 std::atomic<std::uint64_t> sweepFailures{0};
+
+/** Observability output configuration (configureObservability). */
+struct ObsConfig
+{
+    std::mutex mutex;
+    std::string metricsOut;
+    std::string timelineOut;
+    bool verbose = false;
+    bool written = false;
+};
+
+ObsConfig &
+obsConfig()
+{
+    static ObsConfig cfg;
+    return cfg;
+}
 } // namespace
 
 void
 noteSweepFailure()
 {
     sweepFailures.fetch_add(1, std::memory_order_relaxed);
+    obs::reg().counter("sweep.failures").add(1);
 }
 
 std::uint64_t
 sweepFailureCount()
 {
     return sweepFailures.load(std::memory_order_relaxed);
+}
+
+void
+configureObservability(const BenchOptions &opts)
+{
+    {
+        ObsConfig &cfg = obsConfig();
+        const std::lock_guard<std::mutex> lock(cfg.mutex);
+        cfg.metricsOut = opts.metricsOut;
+        cfg.timelineOut = opts.timelineOut;
+        cfg.verbose = opts.verbose;
+        cfg.written = false;
+    }
+    // --verbose implies metrics: the self-profile is computed from the
+    // Timing-kind profile.* counters.
+    obs::setMetricsEnabled(!opts.metricsOut.empty() ||
+                           !opts.timelineOut.empty() || opts.verbose);
+    obs::setTimelineEnabled(!opts.timelineOut.empty());
+}
+
+namespace
+{
+
+void
+printSelfProfile(const obs::MetricsSnapshot &snap)
+{
+    static const std::pair<const char *, const char *> phases[] = {
+        {"profile.simulate_ns", "simulate"},
+        {"profile.predict_ns", "predict"},
+        {"profile.oracle_ns", "oracle"},
+        {"profile.encode_ns", "encode"},
+    };
+    double total = 0.0;
+    for (const auto &[name, label] : phases) {
+        const auto it = snap.counters.find(name);
+        if (it != snap.counters.end())
+            total += static_cast<double>(it->second);
+    }
+    if (total <= 0.0) {
+        inform("self-profile: no instrumented phases ran");
+        return;
+    }
+    std::string line = "self-profile:";
+    for (const auto &[name, label] : phases) {
+        const auto it = snap.counters.find(name);
+        const double ns = it != snap.counters.end()
+            ? static_cast<double>(it->second) : 0.0;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " %s %.1f%% (%.1f ms)",
+                      label, 100.0 * ns / total, ns / 1e6);
+        line += buf;
+    }
+    inform(line);
+}
+
+} // namespace
+
+void
+writeObservabilityOutputs()
+{
+    std::string metrics_out;
+    std::string timeline_out;
+    bool verbose = false;
+    {
+        ObsConfig &cfg = obsConfig();
+        const std::lock_guard<std::mutex> lock(cfg.mutex);
+        if (cfg.written)
+            return;
+        cfg.written = true;
+        metrics_out = cfg.metricsOut;
+        timeline_out = cfg.timelineOut;
+        verbose = cfg.verbose;
+    }
+    if (metrics_out.empty() && timeline_out.empty() && !verbose)
+        return;
+
+    const obs::MetricsSnapshot snap = obs::collectedSnapshot();
+    if (!metrics_out.empty()) {
+        std::ofstream os(metrics_out);
+        if (!os) {
+            warn("--metrics-out: cannot write '" + metrics_out + "'");
+        } else {
+            const std::size_t dot = metrics_out.find_last_of('.');
+            const std::string ext = dot == std::string::npos
+                ? "" : metrics_out.substr(dot);
+            if (ext == ".prom" || ext == ".txt")
+                obs::writeMetricsPrometheus(os, snap);
+            else
+                obs::writeMetricsJson(os, snap);
+            inform("wrote metrics snapshot to " + metrics_out);
+        }
+    }
+    if (!timeline_out.empty()) {
+        std::ofstream os(timeline_out);
+        if (!os) {
+            warn("--timeline-out: cannot write '" + timeline_out +
+                 "'");
+        } else {
+            obs::writeChromeTrace(os, obs::collectedTimelines());
+            inform("wrote timeline to " + timeline_out +
+                   " (open in https://ui.perfetto.dev)");
+        }
+    }
+    if (verbose)
+        printSelfProfile(snap);
 }
 
 BenchOptions
@@ -88,6 +216,16 @@ BenchOptions::parse(int argc, char **argv)
     opts.replayTrace = cli.get("replay", "");
     opts.pcSnapshotOut = cli.get("pc-snapshot-out", "");
     opts.pcSnapshotIn = cli.get("pc-snapshot-in", "");
+
+    opts.metricsOut = cli.get("metrics-out", "");
+    opts.timelineOut = cli.get("timeline-out", "");
+    opts.verbose = cli.has("verbose");
+    const std::string log_level = cli.get("log-level", "");
+    if (!log_level.empty() && !setLogLevelByName(log_level)) {
+        warn("--log-level must be one of debug|info|warn|error "
+             "(got '" + log_level + "')");
+    }
+    configureObservability(opts);
 
     const std::string list = cli.get("workloads", "");
     if (!list.empty()) {
@@ -323,8 +461,9 @@ claimOutputPath(const std::string &path)
         return path;
     const std::string unique = insertBeforeExtension(
         path, "-r" + std::to_string(count - 1));
-    warn("output path '" + path + "' already written this run; " +
-         "using '" + unique + "'");
+    warnLimited("output-path-collision",
+                "output path '" + path + "' already written this "
+                "run; using '" + unique + "'");
     // The variant itself could clash with an explicit later claim;
     // registering it keeps even that case collision-free.
     ++claims[unique];
@@ -383,7 +522,53 @@ loadReplayTrace(const std::string &path)
     return &cache.emplace(path, std::move(*read.trace)).first->second;
 }
 
+/**
+ * Run the driver live, attaching the timeline recorder (when enabled)
+ * alongside an optional extra observer such as trace capture.
+ */
+sim::RunResult
+runWithObservers(sim::ExperimentDriver &driver,
+                 std::shared_ptr<const isa::Application> app,
+                 dvfs::DvfsController &controller,
+                 sim::EpochObserver *extra)
+{
+    sim::MultiObserver multi;
+    multi.add(extra);
+    std::optional<sim::TimelineRecorder> recorder;
+    if (obs::timelineEnabled()) {
+        recorder.emplace(driver.config(),
+                         obs::currentContext().timeline);
+        multi.add(&*recorder);
+    }
+    return driver.run(app, controller,
+                      multi.empty() ? nullptr : &multi);
+}
+
 } // namespace
+
+void
+publishPcTableMetrics(const core::PcstallController &pcstall)
+{
+    predict::PcSensitivityTable::Telemetry total;
+    for (const predict::PcSensitivityTable &table :
+         pcstall.pcTables()) {
+        const predict::PcSensitivityTable::Telemetry t =
+            table.telemetry();
+        total.lookups += t.lookups;
+        total.hits += t.hits;
+        total.updates += t.updates;
+        total.evictions += t.evictions;
+        total.aliasHits += t.aliasHits;
+        total.scrubs += t.scrubs;
+    }
+    obs::Registry &registry = obs::reg();
+    registry.counter("pc_table.lookups").add(total.lookups);
+    registry.counter("pc_table.hits").add(total.hits);
+    registry.counter("pc_table.updates").add(total.updates);
+    registry.counter("pc_table.evictions").add(total.evictions);
+    registry.counter("pc_table.alias_hits").add(total.aliasHits);
+    registry.counter("pc_table.scrubs").add(total.scrubs);
+}
 
 sim::RunResult
 runTraced(sim::ExperimentDriver &driver,
@@ -391,6 +576,9 @@ runTraced(sim::ExperimentDriver &driver,
           dvfs::DvfsController &controller, const BenchOptions &opts,
           const std::string &workload, std::size_t run_index)
 {
+    debug("runTraced: " + workload + " under " + controller.name() +
+          (run_index > 0 ? " (run " + std::to_string(run_index) + ")"
+                         : ""));
     core::PcstallController *pcstall = pcstallBehind(controller);
     if (!opts.pcSnapshotIn.empty() && pcstall != nullptr) {
         trace::PcSnapshotReadResult snap =
@@ -455,7 +643,8 @@ runTraced(sim::ExperimentDriver &driver,
                         pcstall->pcTables());
                 });
             }
-            result = driver.run(app, controller, &capture);
+            result = runWithObservers(driver, app, controller,
+                                      &capture);
             ran = true;
             if (!writer.ok())
                 warn("--trace-out: I/O error writing '" + path + "'");
@@ -465,7 +654,10 @@ runTraced(sim::ExperimentDriver &driver,
         }
     }
     if (!ran)
-        result = driver.run(app, controller);
+        result = runWithObservers(driver, app, controller, nullptr);
+
+    if (pcstall != nullptr && obs::metricsEnabled())
+        publishPcTableMetrics(*pcstall);
 
     if (!opts.pcSnapshotOut.empty() && pcstall != nullptr) {
         const std::string snap_path = claimOutputPath(expandRunPath(

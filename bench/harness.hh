@@ -35,6 +35,11 @@
 #include "sim/profiler.hh"
 #include "workloads/workloads.hh"
 
+namespace pcstall::core
+{
+class PcstallController;
+}
+
 namespace pcstall::bench
 {
 
@@ -91,14 +96,29 @@ struct BenchOptions
     std::string pcSnapshotOut;
     /** Warm-start PCSTALL tables from a snapshot (--pc-snapshot-in). */
     std::string pcSnapshotIn;
+    /**
+     * Write a merged metrics snapshot at process end (--metrics-out).
+     * ".prom"/".txt" extensions select Prometheus text exposition,
+     * anything else the pcstall-metrics-v1 JSON document
+     * (docs/observability.md). Enables metric recording.
+     */
+    std::string metricsOut;
+    /** Write a Chrome trace-event / Perfetto timeline of every run at
+     *  process end (--timeline-out). Enables timeline recording. */
+    std::string timelineOut;
+    /** Print the self-profile report (time in simulate / predict /
+     *  oracle / encode) at process end (--verbose). */
+    bool verbose = false;
 
     /** Parse from argv; honours --cus --scale --epoch-us --domain-cus
      *  --seed --threads --csv --workloads a,b,c plus the fault flags
      *  --fault-seed --noise-sigma --noise-dropout --trans-fail
-     *  --trans-extra-ns --freq-quant-mhz --bitflips --ecc --watchdog
-     *  and the trace flags --trace-out --replay --pc-snapshot-out
-     *  --pc-snapshot-in. Malformed options and unknown workloads are
-     *  warned about and dropped, never fatal. */
+     *  --trans-extra-ns --freq-quant-mhz --bitflips --ecc --watchdog,
+     *  the trace flags --trace-out --replay --pc-snapshot-out
+     *  --pc-snapshot-in, and the observability flags --metrics-out
+     *  --timeline-out --verbose --log-level (also env PCSTALL_LOG).
+     *  Malformed options and unknown workloads are warned about and
+     *  dropped, never fatal. Calls configureObservability(). */
     static BenchOptions parse(int argc, char **argv);
 
     workloads::WorkloadParams workloadParams() const;
@@ -188,6 +208,35 @@ void banner(const std::string &figure, const std::string &what,
             const BenchOptions &opts);
 
 /**
+ * Arm the observability subsystem from parsed options: enables metric
+ * and/or timeline recording and remembers the output paths and the
+ * verbose flag for writeObservabilityOutputs(). BenchOptions::parse()
+ * calls this; tools that build options programmatically call it
+ * directly.
+ */
+void configureObservability(const BenchOptions &opts);
+
+/**
+ * Flush the configured observability outputs: the merged metrics
+ * snapshot (--metrics-out), the Chrome-trace timeline
+ * (--timeline-out) and the --verbose self-profile report. Merging
+ * walks the collected run contexts in submission order, so the files
+ * are byte-identical for every --threads value (wall-clock metrics
+ * live in the segregated "timing" section). guardedMain() calls this
+ * once on every exit path; extra calls are no-ops.
+ */
+void writeObservabilityOutputs();
+
+/**
+ * Flush the PC tables' plain-member telemetry (lookups, hits,
+ * updates, evictions, alias hits, scrubs) into the current run
+ * context's registry as pc_table.* counters. runTraced() calls this
+ * after every live or replayed run of a PCSTALL controller; tools
+ * that drive a controller directly call it themselves.
+ */
+void publishPcTableMetrics(const core::PcstallController &pcstall);
+
+/**
  * Record one failed sweep cell/baseline/task in the process-wide
  * tally. SweepRunner calls this wherever it contains a FatalError so
  * the sweep can keep going; guardedMain reads the tally to decide the
@@ -214,6 +263,9 @@ guardedMain(Fn &&body)
     try {
         const std::uint64_t before = sweepFailureCount();
         const int rc = body();
+        // Flush even when rc != 0: partial metrics from a degraded
+        // sweep are exactly what one debugs the degradation with.
+        writeObservabilityOutputs();
         const std::uint64_t failed = sweepFailureCount() - before;
         if (rc == 0 && failed != 0) {
             warn(std::to_string(failed) +
@@ -223,9 +275,11 @@ guardedMain(Fn &&body)
         return rc;
     } catch (const FatalError &) {
         // fatal() printed the diagnostic when it threw.
+        writeObservabilityOutputs();
         return 1;
     } catch (const std::exception &e) {
         warn(std::string("unexpected error: ") + e.what());
+        writeObservabilityOutputs();
         return 1;
     }
 }

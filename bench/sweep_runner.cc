@@ -1,10 +1,12 @@
 #include "sweep_runner.hh"
 
+#include <memory>
 #include <set>
 #include <sstream>
 #include <utility>
 
 #include "common/rng.hh"
+#include "obs/context.hh"
 
 namespace pcstall::bench
 {
@@ -223,6 +225,9 @@ SweepRunner::run(std::vector<SweepCell> cells)
         cell.runIndex = repeats[key]++;
     }
 
+    const bool observing =
+        obs::metricsEnabled() || obs::timelineEnabled();
+
     // Warm the shared inputs with their own parallel prepasses so the
     // cell phase never serializes behind a popular app or baseline.
     std::set<std::string> seen;
@@ -244,15 +249,57 @@ SweepRunner::run(std::vector<SweepCell> cells)
             baselineWork.push_back(&cell);
         }
     }
+    // Metric sharding (see src/obs/context.hh): every baseline and
+    // every cell records into a private run context; the shards are
+    // collected below in submission order - baselines first, then
+    // cells - so the merged snapshot and timeline are byte-identical
+    // for every --threads value. The baseline prepass is a barrier:
+    // by the cell phase every shared baseline is memoized, so no
+    // baseline work can leak into (and nondeterministically inflate)
+    // a cell's shard.
+    std::vector<std::unique_ptr<obs::RunContext>> baselineCtx;
+    for (const SweepCell *cell : baselineWork) {
+        baselineCtx.push_back(std::make_unique<obs::RunContext>(
+            "baseline: " + cell->workload));
+    }
     pool.forEach(baselineWork.size(), [&](std::size_t i) {
+        const obs::ScopedContext scope(*baselineCtx[i]);
         staticBaseline(baselineWork[i]->workload,
                        baselineWork[i]->opts);
     });
 
+    std::vector<std::unique_ptr<obs::RunContext>> cellCtx;
+    for (const SweepCell &cell : cells) {
+        std::string label = cellLabel(cell.workload, cell.design);
+        if (cell.runIndex > 0)
+            label += " r" + std::to_string(cell.runIndex);
+        cellCtx.push_back(
+            std::make_unique<obs::RunContext>(std::move(label)));
+    }
+
+    const std::int64_t queued_ns = obs::nowNsIfEnabled();
     std::vector<CellOutcome> out(cells.size());
     pool.forEach(cells.size(), [&](std::size_t i) {
+        const obs::ScopedContext scope(*cellCtx[i]);
+        obs::Registry &registry = cellCtx[i]->registry;
+        obs::recordSinceNs(
+            registry.histogram("sweep.queue_wait_ns",
+                               obs::MetricKind::Timing),
+            queued_ns);
+        const obs::ScopedTimer wall(&registry.histogram(
+            "sweep.cell_wall_ns", obs::MetricKind::Timing));
         out[i] = runCell(cells[i]);
     });
+
+    if (observing) {
+        for (const auto &ctx : baselineCtx)
+            obs::collectContext(*ctx);
+        for (const auto &ctx : cellCtx)
+            obs::collectContext(*ctx);
+        obs::reg()
+            .gauge("sweep.threads", obs::MetricKind::Timing)
+            .set(static_cast<double>(pool.threadCount()));
+    }
     return out;
 }
 

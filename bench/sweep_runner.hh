@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "harness.hh"
+#include "obs/context.hh"
 #include "sim/parallel_executor.hh"
 
 namespace pcstall::bench
@@ -137,8 +138,17 @@ class SweepRunner
     std::vector<T>
     map(std::size_t n, Fn &&fn)
     {
+        // Same metric sharding as run(): one context per index,
+        // collected in index order (see src/obs/context.hh).
+        std::vector<std::unique_ptr<obs::RunContext>> ctx;
+        ctx.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            ctx.push_back(std::make_unique<obs::RunContext>(
+                "task " + std::to_string(i)));
+        }
         std::vector<T> out(n);
         pool.forEach(n, [&](std::size_t i) {
+            const obs::ScopedContext scope(*ctx[i]);
             try {
                 out[i] = fn(i);
             } catch (const FatalError &e) {
@@ -147,6 +157,10 @@ class SweepRunner
                      " failed: " + std::string(e.what()));
             }
         });
+        if (obs::metricsEnabled() || obs::timelineEnabled()) {
+            for (const auto &c : ctx)
+                obs::collectContext(*c);
+        }
         return out;
     }
 

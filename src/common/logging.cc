@@ -1,7 +1,10 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <map>
 #include <mutex>
+#include <utility>
 
 namespace pcstall
 {
@@ -16,7 +19,84 @@ logMutex()
     static std::mutex m;
     return m;
 }
+
+int
+levelFromName(const std::string &name)
+{
+    if (name == "debug")
+        return static_cast<int>(LogLevel::Debug);
+    if (name == "info")
+        return static_cast<int>(LogLevel::Info);
+    if (name == "warn")
+        return static_cast<int>(LogLevel::Warn);
+    if (name == "error")
+        return static_cast<int>(LogLevel::Fatal);
+    return -1;
+}
+
+/** Printed-severity threshold; -1 = not yet read from PCSTALL_LOG. */
+std::atomic<int> g_level{-1};
+
+int
+currentLevel()
+{
+    int level = g_level.load(std::memory_order_relaxed);
+    if (level >= 0)
+        return level;
+    level = static_cast<int>(LogLevel::Info);
+    if (const char *env = std::getenv("PCSTALL_LOG")) {
+        const int from_env = levelFromName(env);
+        if (from_env >= 0) {
+            level = from_env;
+        } else {
+            const std::lock_guard<std::mutex> lock(logMutex());
+            std::fprintf(stderr,
+                         "warn: PCSTALL_LOG=%s is not one of "
+                         "debug|info|warn|error; using info\n",
+                         env);
+        }
+    }
+    g_level.store(level, std::memory_order_relaxed);
+    return level;
+}
+
+struct WarnLimits
+{
+    std::mutex mutex;
+    /** key -> (calls seen, limit from the first call). */
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+        counts;
+};
+
+WarnLimits &
+warnLimits()
+{
+    static WarnLimits w;
+    return w;
+}
 } // namespace
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(currentLevel());
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool
+setLogLevelByName(const std::string &name)
+{
+    const int level = levelFromName(name);
+    if (level < 0)
+        return false;
+    g_level.store(level, std::memory_order_relaxed);
+    return true;
+}
 
 namespace detail
 {
@@ -24,9 +104,17 @@ namespace detail
 void
 logLine(LogLevel level, const std::string &msg)
 {
+    // Fatal/Panic always print; lower severities honour the level.
+    if (level < LogLevel::Fatal &&
+        static_cast<int>(level) < currentLevel())
+        return;
     const char *prefix = "";
     FILE *stream = stderr;
     switch (level) {
+      case LogLevel::Debug:
+        prefix = "debug: ";
+        stream = stdout;
+        break;
       case LogLevel::Info:
         prefix = "info: ";
         stream = stdout;
@@ -69,9 +157,56 @@ warn(const std::string &msg)
 }
 
 void
+warnLimited(const std::string &key, const std::string &msg,
+            std::uint64_t limit)
+{
+    std::uint64_t seen = 0;
+    {
+        WarnLimits &w = warnLimits();
+        const std::lock_guard<std::mutex> lock(w.mutex);
+        const auto it =
+            w.counts.emplace(key, std::make_pair(0, limit)).first;
+        seen = it->second.first++;
+    }
+    if (seen < limit) {
+        warn(msg);
+        if (seen + 1 == limit)
+            warn("suppressing further \"" + key +
+                 "\" warnings (limit " + std::to_string(limit) +
+                 " reached)");
+    }
+}
+
+std::uint64_t
+suppressedWarnCount(const std::string &key)
+{
+    WarnLimits &w = warnLimits();
+    const std::lock_guard<std::mutex> lock(w.mutex);
+    const auto it = w.counts.find(key);
+    if (it == w.counts.end())
+        return 0;
+    const auto [seen, limit] = it->second;
+    return seen > limit ? seen - limit : 0;
+}
+
+void
+resetWarnLimits()
+{
+    WarnLimits &w = warnLimits();
+    const std::lock_guard<std::mutex> lock(w.mutex);
+    w.counts.clear();
+}
+
+void
 inform(const std::string &msg)
 {
     detail::logLine(LogLevel::Info, msg);
+}
+
+void
+debug(const std::string &msg)
+{
+    detail::logLine(LogLevel::Debug, msg);
 }
 
 } // namespace pcstall

@@ -18,6 +18,7 @@
 #ifndef PCSTALL_COMMON_LOGGING_HH
 #define PCSTALL_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -27,13 +28,32 @@ namespace pcstall
 {
 
 /** Severity classes used by the logging helpers. */
-enum class LogLevel { Info, Warn, Fatal, Panic };
+enum class LogLevel { Debug, Info, Warn, Fatal, Panic };
 
 namespace detail
 {
-/** Emit one formatted log line to stderr (stdout for Info). */
+/** Emit one formatted log line to stderr (stdout for Debug/Info). */
 void logLine(LogLevel level, const std::string &msg);
 } // namespace detail
+
+/**
+ * Minimum severity that gets printed (default Info, so debug() is
+ * silent unless requested). Fatal and Panic are never suppressed:
+ * filtering applies to the *output* only - fatal() still throws and
+ * panic() still aborts at any level. Initialized lazily from the
+ * PCSTALL_LOG environment variable; --log-level overrides it.
+ */
+LogLevel logLevel();
+
+/** Set the minimum printed severity. */
+void setLogLevel(LogLevel level);
+
+/**
+ * Set the level from its CLI/env spelling ("debug", "info", "warn",
+ * "error"; "error" shows only fatal/panic). Returns false and leaves
+ * the level unchanged when @p name is not one of those.
+ */
+bool setLogLevelByName(const std::string &name);
 
 /**
  * Thrown by fatal(): an unrecoverable user/configuration error. The
@@ -60,8 +80,27 @@ class FatalError : public std::runtime_error
 /** Report a suspicious-but-survivable condition. */
 void warn(const std::string &msg);
 
+/**
+ * Rate-limited warn: at most @p limit lines per @p key (use a fixed
+ * string literal per call site), then one "suppressing further ..."
+ * notice. Fault-injection sweeps emit the same transition-failure
+ * warning thousands of times; this keeps the first occurrences and
+ * the count without drowning the terminal.
+ */
+void warnLimited(const std::string &key, const std::string &msg,
+                 std::uint64_t limit = 10);
+
+/** Number of warnLimited() calls suppressed for @p key so far. */
+std::uint64_t suppressedWarnCount(const std::string &key);
+
+/** Test hook: clear all warnLimited() per-key tallies. */
+void resetWarnLimits();
+
 /** Report neutral status information. */
 void inform(const std::string &msg);
+
+/** Verbose diagnostic output; silent unless logLevel() is Debug. */
+void debug(const std::string &msg);
 
 /**
  * Abort with a message when @p cond is true - i.e. @p cond asserts

@@ -1,0 +1,151 @@
+#include "obs/context.hh"
+
+#include "common/logging.hh"
+
+#include <memory>
+#include <mutex>
+
+namespace pcstall::obs
+{
+
+namespace
+{
+
+std::atomic<bool> g_timeline_enabled{false};
+
+thread_local RunContext *t_current = nullptr;
+
+std::mutex &
+defaultMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::unique_ptr<RunContext> &
+defaultSlot()
+{
+    static std::unique_ptr<RunContext> ctx;
+    return ctx;
+}
+
+RunContext &
+defaultContext()
+{
+    const std::lock_guard<std::mutex> lock(defaultMutex());
+    auto &slot = defaultSlot();
+    if (slot == nullptr)
+        slot = std::make_unique<RunContext>("main");
+    return *slot;
+}
+
+struct Collected
+{
+    std::mutex mutex;
+    std::vector<MetricsSnapshot> snapshots;
+    std::vector<RunTimeline> timelines;
+};
+
+Collected &
+collected()
+{
+    static Collected c;
+    return c;
+}
+
+} // namespace
+
+void
+setTimelineEnabled(bool enabled)
+{
+    g_timeline_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+timelineEnabled()
+{
+    return g_timeline_enabled.load(std::memory_order_relaxed);
+}
+
+RunContext &
+currentContext()
+{
+    if (t_current != nullptr)
+        return *t_current;
+    return defaultContext();
+}
+
+Registry &
+reg()
+{
+    return currentContext().registry;
+}
+
+ScopedContext::ScopedContext(RunContext &ctx) : prev_(t_current)
+{
+    t_current = &ctx;
+}
+
+ScopedContext::~ScopedContext()
+{
+    t_current = prev_;
+}
+
+void
+collectContext(const RunContext &ctx)
+{
+    Collected &c = collected();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    c.snapshots.push_back(ctx.registry.snapshot());
+    if (!ctx.timeline.empty())
+        c.timelines.push_back(RunTimeline{ctx.label, ctx.timeline});
+}
+
+MetricsSnapshot
+collectedSnapshot()
+{
+    MetricsSnapshot out;
+    {
+        Collected &c = collected();
+        const std::lock_guard<std::mutex> lock(c.mutex);
+        for (const MetricsSnapshot &shard : c.snapshots)
+            out.merge(shard);
+    }
+    out.merge(defaultContext().registry.snapshot());
+    return out;
+}
+
+std::vector<RunTimeline>
+collectedTimelines()
+{
+    std::vector<RunTimeline> out;
+    {
+        Collected &c = collected();
+        const std::lock_guard<std::mutex> lock(c.mutex);
+        out = c.timelines;
+    }
+    RunContext &def = defaultContext();
+    if (!def.timeline.empty())
+        out.push_back(RunTimeline{def.label, def.timeline});
+    return out;
+}
+
+void
+resetAll()
+{
+    {
+        Collected &c = collected();
+        const std::lock_guard<std::mutex> lock(c.mutex);
+        c.snapshots.clear();
+        c.timelines.clear();
+    }
+    {
+        const std::lock_guard<std::mutex> lock(defaultMutex());
+        defaultSlot().reset();
+    }
+    setMetricsEnabled(false);
+    setTimelineEnabled(false);
+    resetWarnLimits();
+}
+
+} // namespace pcstall::obs

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Run contexts: the sharding mechanism that keeps merged metrics and
+ * timelines byte-identical across --threads values.
+ *
+ * A RunContext bundles one Registry and one timeline event buffer.
+ * bench::SweepRunner gives every sweep cell (and every prepass
+ * baseline) its own context, installs it thread-locally for the span
+ * of that cell via ScopedContext, and collects the shards in
+ * *submission* order once the parallel phase ends. Merging in that
+ * fixed order - never in completion order - is what makes the output
+ * independent of scheduling.
+ *
+ * Code that records metrics only ever asks for the current context
+ * (reg() / currentContext()); it does not know or care whether it is
+ * running in the process-wide default context (single harness runs)
+ * or a per-cell shard.
+ */
+
+#ifndef PCSTALL_OBS_CONTEXT_HH
+#define PCSTALL_OBS_CONTEXT_HH
+
+#include "obs/metrics.hh"
+#include "obs/timeline.hh"
+
+#include <string>
+#include <vector>
+
+namespace pcstall::obs
+{
+
+/** Globally enable/disable timeline event recording (default: off). */
+void setTimelineEnabled(bool enabled);
+
+/** True when timeline recording is enabled. */
+bool timelineEnabled();
+
+/** One run's metric registry plus its timeline event buffer. */
+struct RunContext
+{
+    explicit RunContext(std::string label_ = "") : label(std::move(label_))
+    {
+    }
+
+    std::string label;
+    Registry registry;
+    /** Timeline events; a single run records single-threaded, so no
+     *  lock is needed (SweepRunner scopes one context per cell). */
+    std::vector<TimelineEvent> timeline;
+};
+
+/**
+ * The context metrics currently record into: the innermost
+ * ScopedContext on this thread, else the process-wide default.
+ */
+RunContext &currentContext();
+
+/** Shorthand for currentContext().registry. */
+Registry &reg();
+
+/** Installs @p ctx as this thread's current context for the scope. */
+class ScopedContext
+{
+  public:
+    explicit ScopedContext(RunContext &ctx);
+    ~ScopedContext();
+
+    ScopedContext(const ScopedContext &) = delete;
+    ScopedContext &operator=(const ScopedContext &) = delete;
+
+  private:
+    RunContext *prev_;
+};
+
+/**
+ * Append @p ctx's snapshot and timeline to the process-wide collection.
+ * Call in submission order (SweepRunner does) so that
+ * collectedSnapshot() / collectedTimelines() are deterministic.
+ */
+void collectContext(const RunContext &ctx);
+
+/**
+ * Merge of every collected shard (in collection order) plus the
+ * process default context last.
+ */
+MetricsSnapshot collectedSnapshot();
+
+/** Collected timelines plus the default context's (labelled "main")
+ *  when non-empty, in collection order. */
+std::vector<RunTimeline> collectedTimelines();
+
+/** Test hook: drop all collected shards and reset the default
+ *  context, the enabled flags, and logging rate limits. */
+void resetAll();
+
+} // namespace pcstall::obs
+
+#endif // PCSTALL_OBS_CONTEXT_HH

@@ -1,0 +1,131 @@
+#include "obs/export.hh"
+
+#include "obs/timeline.hh" // jsonNumber / jsonString
+
+#include <cctype>
+
+namespace pcstall::obs
+{
+
+namespace
+{
+
+void
+writeHistogramJson(std::ostream &os, const HistogramSnapshot &h)
+{
+    os << "{\"count\":" << h.count << ",\"sum\":" << jsonNumber(h.sum)
+       << ",\"min\":" << jsonNumber(h.min)
+       << ",\"max\":" << jsonNumber(h.max)
+       << ",\"p50\":" << jsonNumber(h.percentile(0.50))
+       << ",\"p95\":" << jsonNumber(h.percentile(0.95))
+       << ",\"p99\":" << jsonNumber(h.percentile(0.99))
+       << ",\"buckets\":[";
+    bool first = true;
+    for (const auto &[idx, n] : h.buckets) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "[" << jsonNumber(Histogram::upperEdge(idx)) << ','
+           << n << ']';
+    }
+    os << "],\"overflow\":" << h.overflow << '}';
+}
+
+/** Writes the three metric maps of one section, filtered by kind. */
+void
+writeSectionJson(std::ostream &os, const MetricsSnapshot &snap,
+                 MetricKind kind, const char *indent)
+{
+    os << indent << "\"counters\":{";
+    bool first = true;
+    for (const auto &[name, v] : snap.counters) {
+        if (snap.kindOf(name) != kind)
+            continue;
+        if (!first)
+            os << ',';
+        first = false;
+        os << '\n' << indent << "  " << jsonString(name) << ':' << v;
+    }
+    os << (first ? "" : "\n") << (first ? "" : indent) << "},\n";
+    os << indent << "\"gauges\":{";
+    first = true;
+    for (const auto &[name, v] : snap.gauges) {
+        if (snap.kindOf(name) != kind)
+            continue;
+        if (!first)
+            os << ',';
+        first = false;
+        os << '\n' << indent << "  " << jsonString(name) << ':'
+           << jsonNumber(v);
+    }
+    os << (first ? "" : "\n") << (first ? "" : indent) << "},\n";
+    os << indent << "\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : snap.histograms) {
+        if (snap.kindOf(name) != kind)
+            continue;
+        if (!first)
+            os << ',';
+        first = false;
+        os << '\n' << indent << "  " << jsonString(name) << ':';
+        writeHistogramJson(os, h);
+    }
+    os << (first ? "" : "\n") << (first ? "" : indent) << "}";
+}
+
+std::string
+promName(const std::string &name)
+{
+    std::string out = "pcstall_";
+    for (const char c : name)
+        out.push_back(std::isalnum(static_cast<unsigned char>(c))
+                          ? c
+                          : '_');
+    return out;
+}
+
+} // namespace
+
+void
+writeMetricsJson(std::ostream &os, const MetricsSnapshot &snap,
+                 bool include_timing)
+{
+    os << "{\n\"schema\":\"pcstall-metrics-v1\",\n";
+    writeSectionJson(os, snap, MetricKind::Deterministic, "");
+    if (include_timing) {
+        os << ",\n\"timing\":{\n";
+        writeSectionJson(os, snap, MetricKind::Timing, "  ");
+        os << "\n}";
+    }
+    os << "\n}\n";
+}
+
+void
+writeMetricsPrometheus(std::ostream &os, const MetricsSnapshot &snap)
+{
+    for (const auto &[name, v] : snap.counters) {
+        const std::string p = promName(name);
+        os << "# TYPE " << p << " counter\n" << p << ' ' << v << '\n';
+    }
+    for (const auto &[name, v] : snap.gauges) {
+        const std::string p = promName(name);
+        os << "# TYPE " << p << " gauge\n"
+           << p << ' ' << jsonNumber(v) << '\n';
+    }
+    for (const auto &[name, h] : snap.histograms) {
+        const std::string p = promName(name);
+        os << "# TYPE " << p << " histogram\n";
+        std::uint64_t cum = 0;
+        for (const auto &[idx, n] : h.buckets) {
+            cum += n;
+            os << p << "_bucket{le=\""
+               << jsonNumber(Histogram::upperEdge(idx)) << "\"} "
+               << cum << '\n';
+        }
+        os << p << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+        os << p << "_sum " << jsonNumber(h.sum) << '\n';
+        os << p << "_count " << h.count << '\n';
+    }
+}
+
+} // namespace pcstall::obs

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Metrics snapshot exporters: the pcstall-metrics-v1 JSON document and
+ * Prometheus text exposition. Both sort by metric name; the JSON
+ * writer segregates Timing-kind metrics into a "timing" section so
+ * determinism checks can compare only the deterministic part
+ * (tools/check_obs_schema.py --canonical strips it).
+ */
+
+#ifndef PCSTALL_OBS_EXPORT_HH
+#define PCSTALL_OBS_EXPORT_HH
+
+#include "obs/metrics.hh"
+
+#include <ostream>
+
+namespace pcstall::obs
+{
+
+/**
+ * Write @p snap as pcstall-metrics-v1 JSON. Deterministic metrics go
+ * in top-level "counters"/"gauges"/"histograms" maps; Timing-kind
+ * metrics in the mirrored "timing" object. Pass @p include_timing =
+ * false to drop the wall-clock section entirely.
+ */
+void writeMetricsJson(std::ostream &os, const MetricsSnapshot &snap,
+                      bool include_timing = true);
+
+/**
+ * Write @p snap in Prometheus text exposition format (one family per
+ * metric; histograms become cumulative _bucket{le=...}/_sum/_count
+ * series). Metric names are sanitized to [a-zA-Z0-9_].
+ */
+void writeMetricsPrometheus(std::ostream &os,
+                            const MetricsSnapshot &snap);
+
+} // namespace pcstall::obs
+
+#endif // PCSTALL_OBS_EXPORT_HH

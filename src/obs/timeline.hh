@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Timeline event model and Chrome trace-event / Perfetto JSON writer.
+ *
+ * Events are stamped with *simulated* time (microseconds), never wall
+ * clock, so a run's timeline is a pure function of the simulation and
+ * byte-identical across --threads values. Each run becomes one Chrome
+ * "process" (pid = collection order, assigned at write time); track 0
+ * is the run-level track (oracle forks, injected faults) and tracks
+ * 1..D are the V/f domains. Open the output in https://ui.perfetto.dev
+ * or chrome://tracing (docs/observability.md has the schema).
+ */
+
+#ifndef PCSTALL_OBS_TIMELINE_HH
+#define PCSTALL_OBS_TIMELINE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pcstall::obs
+{
+
+/** One timeline event; maps 1:1 onto a Chrome trace-event object. */
+struct TimelineEvent
+{
+    /** Chrome phase: 'X' span, 'i' instant, 'M' metadata. */
+    char phase = 'X';
+    std::string name;
+    /** Track within the run (Chrome tid). 0 = run-level track. */
+    std::uint32_t track = 0;
+    /** Event start in simulated microseconds. */
+    double tsUs = 0.0;
+    /** Span duration in simulated microseconds ('X' only). */
+    double durUs = 0.0;
+    /** (key, raw JSON value) argument pairs, emitted in order. */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/** Event helpers (value strings must be valid raw JSON fragments). */
+TimelineEvent spanEvent(std::string name, std::uint32_t track,
+                        double ts_us, double dur_us);
+TimelineEvent instantEvent(std::string name, std::uint32_t track,
+                           double ts_us);
+/** Chrome "thread_name" metadata naming @p track. */
+TimelineEvent trackNameEvent(std::uint32_t track, std::string name);
+
+/** JSON-number fragment of @p v ("%.9g"). */
+std::string jsonNumber(double v);
+
+/** JSON-string fragment of @p s (quoted, escaped). */
+std::string jsonString(const std::string &s);
+
+/** One collected run's timeline, labelled for the process name. */
+struct RunTimeline
+{
+    std::string label;
+    std::vector<TimelineEvent> events;
+};
+
+/**
+ * Write @p runs as one Chrome trace-event JSON document. Process ids
+ * are the indices of @p runs, so a submission-ordered collection
+ * yields byte-identical output for every thread count.
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<RunTimeline> &runs);
+
+} // namespace pcstall::obs
+
+#endif // PCSTALL_OBS_TIMELINE_HH

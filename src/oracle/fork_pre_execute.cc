@@ -1,10 +1,12 @@
 #include "oracle/fork_pre_execute.hh"
 
+#include <cstdio>
 #include <map>
 #include <tuple>
 
 #include "common/logging.hh"
 #include "common/stats_util.hh"
+#include "obs/context.hh"
 
 namespace pcstall::oracle
 {
@@ -18,6 +20,12 @@ forkPreExecuteSweep(const gpu::GpuChip &chip,
     const std::size_t num_states = table.numStates();
     const std::uint32_t num_domains = domains.numDomains();
     const Tick start = chip.now();
+
+    obs::Registry &registry = obs::reg();
+    registry.counter("oracle.sweeps").add(1);
+    registry.counter("oracle.forks").add(num_states);
+    obs::Histogram &fork_wall = registry.histogram(
+        "oracle.fork_wall_ns", obs::MetricKind::Timing);
 
     dvfs::AccurateEstimates est;
     est.domainInstr.assign(num_domains,
@@ -35,6 +43,7 @@ forkPreExecuteSweep(const gpu::GpuChip &chip,
     std::map<WaveKey, WavePoints> wave_points;
 
     for (std::size_t k = 0; k < num_states; ++k) {
+        const std::int64_t fork_t0 = obs::nowNsIfEnabled();
         gpu::GpuChip sample = chip;
         // Sampling processes transition instantaneously: the paper's
         // methodology measures the work segment itself, not the
@@ -78,6 +87,18 @@ forkPreExecuteSweep(const gpu::GpuChip &chip,
                 pts.instr.push_back(static_cast<double>(w.committed));
                 pts.ageRank = w.ageRank;
             }
+        }
+
+        if (fork_t0 >= 0) {
+            // Keyed by the sample's base state (domain 0's state; with
+            // shuffle, domain d runs state (k + d) mod S this sample).
+            char name[40];
+            std::snprintf(name, sizeof(name),
+                          "oracle.fork_wall_ns.s%02zu", k);
+            obs::recordSinceNs(fork_wall, fork_t0);
+            obs::recordSinceNs(
+                registry.histogram(name, obs::MetricKind::Timing),
+                fork_t0);
         }
     }
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/stats_util.hh"
+#include "obs/context.hh"
 
 namespace pcstall::predict
 {
@@ -54,6 +55,8 @@ PcSensitivityTable::PcSensitivityTable(const PcTableConfig &config)
     levels.assign(cfg.entries, 0.0);
     valid.assign(cfg.entries, false);
     parity.assign(cfg.entries, 0);
+    ownerKey.assign(cfg.entries, 0);
+    quantErrMetric = &obs::reg().histogram("pc_table.quant_error");
 }
 
 std::uint8_t
@@ -83,6 +86,10 @@ PcSensitivityTable::update(std::uint64_t pc_addr, double sensitivity,
                            double level)
 {
     const std::size_t idx = indexOf(pc_addr);
+    const std::uint64_t key = pc_addr >> cfg.offsetBits;
+    ++updates;
+    if (valid[idx] && ownerKey[idx] != key)
+        ++evictions;
     double s = std::max(sensitivity, 0.0);
     double l = cfg.storeLevel ? std::max(level, 0.0) : 0.0;
     if (valid[idx] && cfg.updateBlend < 1.0) {
@@ -90,12 +97,15 @@ PcSensitivityTable::update(std::uint64_t pc_addr, double sensitivity,
         l = (1.0 - cfg.updateBlend) * levels[idx] + cfg.updateBlend * l;
     }
     if (cfg.quantize) {
+        const double exact = s;
         s = quantizeTo(s, cfg.maxSensitivity);
         l = quantizeTo(l, cfg.maxLevel);
+        quantErrMetric->record(std::abs(s - exact));
     }
     values[idx] = s;
     levels[idx] = l;
     valid[idx] = true;
+    ownerKey[idx] = key;
     parity[idx] = parityOf(idx);
 }
 
@@ -114,7 +124,25 @@ PcSensitivityTable::lookup(std::uint64_t pc_addr)
         return std::nullopt;
     }
     ++lookupHits;
+    // Entries restored from a snapshot have no known writer (owner key
+    // 0 with valid never set by update()); don't call those aliases.
+    if (ownerKey[idx] != 0 &&
+        ownerKey[idx] != (pc_addr >> cfg.offsetBits))
+        ++aliasHits;
     return PcEntry{values[idx], levels[idx]};
+}
+
+PcSensitivityTable::Telemetry
+PcSensitivityTable::telemetry() const
+{
+    Telemetry t;
+    t.lookups = lookups;
+    t.hits = lookupHits;
+    t.updates = updates;
+    t.evictions = evictions;
+    t.aliasHits = aliasHits;
+    t.scrubs = scrubs;
+    return t;
 }
 
 bool
@@ -182,6 +210,7 @@ PcSensitivityTable::importEntries(
     if (entries.size() != cfg.entries)
         return false;
     for (std::size_t i = 0; i < cfg.entries; ++i) {
+        ownerKey[i] = 0; // writer unknown after a warm start
         if (!entries[i].valid) {
             valid[i] = false;
             values[i] = 0.0;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/metrics.hh"
 
 namespace pcstall::predict
 {
@@ -110,6 +111,32 @@ class PcSensitivityTable
     std::uint64_t lookupCount() const { return lookups; }
     std::uint64_t lookupHitCount() const { return lookupHits; }
 
+    /**
+     * Introspection counters kept as plain members (lookup/update are
+     * the predictor's hot path; the harness flushes these into the run
+     * context's registry once per run). Eviction and alias tracking
+     * use a shadow "owner key" per entry - the (pc_addr >> offsetBits)
+     * of the last writer - which the modelled hardware does not store
+     * (the table is untagged by design), so it adds no storage charge;
+     * it exists purely to make aliasing observable.
+     */
+    struct Telemetry
+    {
+        std::uint64_t lookups = 0;
+        /** Lookups that returned a valid entry. */
+        std::uint64_t hits = 0;
+        std::uint64_t updates = 0;
+        /** Updates that overwrote a live entry written by another PC. */
+        std::uint64_t evictions = 0;
+        /** Hits whose entry was last written by a *different* PC - the
+         *  prediction served is another phase's model. */
+        std::uint64_t aliasHits = 0;
+        /** Entries invalidated by parity-mismatch scrubs. */
+        std::uint64_t scrubs = 0;
+    };
+
+    Telemetry telemetry() const;
+
     /** Storage cost of the entry array in bytes (Table I). */
     std::uint64_t storageBytes() const;
 
@@ -163,9 +190,18 @@ class PcSensitivityTable
     std::vector<double> levels;
     std::vector<bool> valid;
     std::vector<std::uint8_t> parity;
+    /** Shadow tag: (pc_addr >> offsetBits) of each entry's last
+     *  writer. Observability only - never affects predictions. */
+    std::vector<std::uint64_t> ownerKey;
     std::uint64_t lookups = 0;
     std::uint64_t lookupHits = 0;
     std::uint64_t scrubs = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t aliasHits = 0;
+    /** Absolute sensitivity quantization error per update (resolved
+     *  from the run context's registry at construction). */
+    obs::Histogram *quantErrMetric;
 };
 
 } // namespace pcstall::predict

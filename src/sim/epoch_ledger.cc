@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/stats_util.hh"
 
@@ -20,6 +21,18 @@ EpochLedger::EpochLedger(const RunConfig &config,
     prevPred.assign(domainMap.numDomains(), -1.0);
     avgInstr.assign(domainMap.numDomains(), 0.0);
     freqShare.assign(table.numStates(), 0.0);
+
+    obs::Registry &registry = obs::reg();
+    epochsMetric = &registry.counter("sim.epochs");
+    transitionsMetric = &registry.counter("dvfs.transitions");
+    clampedMetric = &registry.counter("dvfs.clamped_decisions");
+    errorPctMetric = &registry.histogram("predict.error_pct");
+    residencyMetric.reserve(table.numStates());
+    for (std::size_t s = 0; s < table.numStates(); ++s) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "dvfs.residency.s%02zu", s);
+        residencyMetric.push_back(&registry.counter(name));
+    }
 }
 
 void
@@ -37,8 +50,12 @@ EpochLedger::observeEpoch(const gpu::EpochRecord &record,
             const double err = std::abs(prevPred[d] - actual) / actual;
             accuracySum += clampTo(1.0 - err, 0.0, 1.0);
             ++accuracyN;
+            // Relative error as a percentage, capped so one pathological
+            // epoch cannot dominate the histogram's overflow tail.
+            errorPctMetric->record(std::min(err * 100.0, 1000.0));
         }
     }
+    epochsMetric->add(1);
 
     // --- energy accounting (prorate the final partial epoch) ---
     const Tick eff_len =
@@ -73,8 +90,10 @@ EpochLedger::observeEpoch(const gpu::EpochRecord &record,
     }
 
     // --- frequency residency ---
-    for (std::uint32_t d = 0; d < domainMap.numDomains(); ++d)
+    for (std::uint32_t d = 0; d < domainMap.numDomains(); ++d) {
         freqShare[domainState[d]] += 1.0;
+        residencyMetric[domainState[d]]->add(1);
+    }
     domainEpochs += domainMap.numDomains();
 
     if (cfg.collectTrace) {
@@ -115,6 +134,7 @@ EpochLedger::applyDecisions(std::vector<dvfs::DomainDecision> &decisions,
     lastClamped_ = dvfs::sanitizeDecisions(
         decisions, table, domainMap.numDomains(), nominalIdx);
     clampedDecisions += lastClamped_;
+    clampedMetric->add(lastClamped_);
 
     std::vector<AppliedTransition> out(domainMap.numDomains());
     for (std::uint32_t d = 0; d < domainMap.numDomains(); ++d) {
@@ -129,6 +149,7 @@ EpochLedger::applyDecisions(std::vector<dvfs::DomainDecision> &decisions,
         out[d] = AppliedTransition{applied.state, applied.extraLatency};
         if (old_state != applied.state) {
             transitions += domainMap.cusPerDomain();
+            transitionsMetric->add(domainMap.cusPerDomain());
             const Joules te = power.transitionEnergy(
                 table.state(old_state).voltage,
                 table.state(applied.state).voltage) *
@@ -145,10 +166,8 @@ EpochLedger::traceEpochFaults(const faults::FaultInjector::Totals &base,
                               const faults::FaultInjector &injector,
                               bool fallback_active)
 {
-    if (!cfg.collectTrace || traceEntries.empty())
-        return;
     const faults::FaultInjector::Totals &now = injector.totals();
-    gpu::FaultEpochCounters &fc = traceEntries.back().faults;
+    gpu::FaultEpochCounters &fc = lastFaults_;
     fc.telemetryPerturbations =
         now.telemetryPerturbations - base.telemetryPerturbations;
     fc.telemetryDropouts =
@@ -160,6 +179,8 @@ EpochLedger::traceEpochFaults(const faults::FaultInjector::Totals &base,
     fc.tableBitFlips = now.tableBitFlips - base.tableBitFlips;
     fc.clampedDecisions = lastClamped_;
     fc.fallbackActive = fallback_active;
+    if (cfg.collectTrace && !traceEntries.empty())
+        traceEntries.back().faults = lastFaults_;
 }
 
 void
@@ -194,6 +215,32 @@ EpochLedger::finalize(RunResult &result, bool completed,
     result.faults.watchdogTrips = controller.watchdogTrips();
     result.faults.fallbackEpochs = controller.fallbackEpochs();
     result.faults.clampedDecisions = clampedDecisions;
+
+    if (obs::metricsEnabled()) {
+        obs::Registry &registry = obs::reg();
+        registry.counter("run.count").add(1);
+        if (!completed)
+            registry.counter("run.incomplete").add(1);
+        registry.histogram("run.energy_j").record(result.energy);
+        registry.histogram("run.exec_us")
+            .record(static_cast<double>(result.execTime) / tickUs);
+        registry.histogram("run.accuracy")
+            .record(result.predictionAccuracy);
+        const FaultSummary &fs = result.faults;
+        registry.counter("faults.telemetry_perturbations")
+            .add(fs.telemetryPerturbations);
+        registry.counter("faults.telemetry_dropouts")
+            .add(fs.telemetryDropouts);
+        registry.counter("faults.transition_failures")
+            .add(fs.transitionFailures);
+        registry.counter("faults.table_bit_flips")
+            .add(fs.tableBitFlips);
+        registry.counter("faults.table_scrubs").add(fs.tableScrubs);
+        registry.counter("faults.watchdog_trips")
+            .add(fs.watchdogTrips);
+        registry.counter("faults.fallback_epochs")
+            .add(fs.fallbackEpochs);
+    }
 }
 
 std::vector<dvfs::DomainDecision>

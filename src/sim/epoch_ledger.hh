@@ -21,6 +21,7 @@
 
 #include "dvfs/controller.hh"
 #include "faults/fault_injector.hh"
+#include "obs/context.hh"
 #include "sim/experiment.hh"
 
 namespace pcstall::sim
@@ -74,14 +75,21 @@ class EpochLedger
                    faults::FaultInjector &injector);
 
     /**
-     * Fill the newest trace entry's fault counters from the injector
-     * deltas of this epoch (no-op unless collecting a trace). Call
-     * after applyDecisions() with the totals snapshot taken before the
-     * epoch's first injector use.
+     * Compute this epoch's fault counters from the injector deltas
+     * (exposed via lastEpochFaults(); also copied into the newest
+     * trace entry when collecting one). Call after applyDecisions()
+     * with the totals snapshot taken before the epoch's first
+     * injector use.
      */
     void traceEpochFaults(const faults::FaultInjector::Totals &base,
                           const faults::FaultInjector &injector,
                           bool fallback_active);
+
+    /** Fault deltas computed by the last traceEpochFaults() call. */
+    const gpu::FaultEpochCounters &lastEpochFaults() const
+    {
+        return lastFaults_;
+    }
 
     /** Final accumulation of everything this ledger tracked. */
     void finalize(RunResult &result, bool completed, Tick last_commit,
@@ -128,6 +136,15 @@ class EpochLedger
     std::uint64_t domainEpochs = 0;
 
     std::vector<EpochTraceEntry> traceEntries;
+    gpu::FaultEpochCounters lastFaults_;
+
+    // Observability handles, resolved once against the run context's
+    // registry at construction (stable for the registry's lifetime).
+    obs::Counter *epochsMetric;
+    obs::Counter *transitionsMetric;
+    obs::Counter *clampedMetric;
+    obs::Histogram *errorPctMetric;
+    std::vector<obs::Counter *> residencyMetric;
 };
 
 /**

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/stats_util.hh"
 #include "faults/fault_injector.hh"
+#include "obs/context.hh"
 #include "oracle/fork_pre_execute.hh"
 #include "sim/epoch_ledger.hh"
 
@@ -98,6 +99,24 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
     result.controller = controller.name();
     result.workload = app->name;
 
+    // Self-profile counters: where a run's wall time goes (simulate =
+    // timing model, predict = controller decisions, oracle = forked
+    // pre-execution, encode = observers/trace capture). All
+    // Timing-kind: real but non-deterministic, exported separately.
+    obs::Registry &registry = obs::reg();
+    obs::Counter &simulate_ns =
+        registry.counter("profile.simulate_ns", obs::MetricKind::Timing);
+    obs::Counter &predict_ns =
+        registry.counter("profile.predict_ns", obs::MetricKind::Timing);
+    obs::Counter &oracle_ns =
+        registry.counter("profile.oracle_ns", obs::MetricKind::Timing);
+    obs::Counter &encode_ns =
+        registry.counter("profile.encode_ns", obs::MetricKind::Timing);
+    obs::Histogram &epoch_wall = registry.histogram(
+        "sim.epoch_wall_ns", obs::MetricKind::Timing);
+    obs::Histogram &decide_wall = registry.histogram(
+        "predict.decide_wall_ns", obs::MetricKind::Timing);
+
     dvfs::AccurateEstimates prev_sweep;
     static const std::vector<gpu::WaveSnapshot> no_snapshots;
     static const std::vector<dvfs::DomainDecision> no_decisions;
@@ -106,9 +125,14 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
     Tick epoch_start = 0;
     bool done = false;
     while (!done && epoch_start < cfg.maxSimTime) {
+        const std::int64_t epoch_t0 = obs::nowNsIfEnabled();
         const Tick epoch_end = epoch_start + cfg.epochLen;
-        done = chip.runUntil(epoch_end);
-        gpu::EpochRecord record = chip.harvestEpoch(epoch_start);
+        gpu::EpochRecord record;
+        {
+            const obs::ScopedTimer timer(nullptr, &simulate_ns);
+            done = chip.runUntil(epoch_end);
+            record = chip.harvestEpoch(epoch_start);
+        }
         ++result.epochs;
 
         // Controllers see the *observed* record; energy accounting,
@@ -132,17 +156,20 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
 
         if (done) {
             if (observer) {
+                const obs::ScopedTimer timer(nullptr, &encode_ns);
                 observer->onEpoch(EpochCapture{
                     epoch_start, epoch_end, accounted_end, true,
                     record, no_snapshots, nullptr, no_decisions,
                     no_applied});
             }
+            obs::recordSinceNs(epoch_wall, epoch_t0);
             break;
         }
 
         // --- sweeps for accurate-estimate controllers ---
         dvfs::AccurateEstimates cur_sweep;
         if (need != dvfs::SweepNeed::None) {
+            const obs::ScopedTimer timer(nullptr, &oracle_ns);
             cur_sweep = oracle::forkPreExecuteSweep(
                 chip, domains, vfTable, cfg.epochLen, sweep_opts);
         }
@@ -159,9 +186,13 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
         // reads its tables (no-op unless storage faults are enabled).
         controller.applyStorageFaults(injector);
 
-        std::vector<dvfs::DomainDecision> decisions = decideEpoch(
-            controller, ctx, need, !prev_sweep.empty(),
-            domains.numDomains(), nominalIdx);
+        std::vector<dvfs::DomainDecision> decisions;
+        {
+            const obs::ScopedTimer timer(&decide_wall, &predict_ns);
+            decisions = decideEpoch(
+                controller, ctx, need, !prev_sweep.empty(),
+                domains.numDomains(), nominalIdx);
+        }
 
         const std::vector<EpochLedger::AppliedTransition> applied =
             ledger.applyDecisions(decisions, injector);
@@ -180,6 +211,7 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
             controller.fallbackEpochs() > fallback_base);
 
         if (observer) {
+            const obs::ScopedTimer timer(nullptr, &encode_ns);
             std::vector<std::size_t> applied_states(
                 domains.numDomains());
             for (std::uint32_t d = 0; d < domains.numDomains(); ++d)
@@ -187,17 +219,20 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
             observer->onEpoch(EpochCapture{
                 epoch_start, epoch_end, accounted_end, false, record,
                 snaps, cur_sweep.empty() ? nullptr : &cur_sweep,
-                decisions, applied_states});
+                decisions, applied_states, &ledger.lastEpochFaults()});
         }
 
+        obs::recordSinceNs(epoch_wall, epoch_t0);
         prev_sweep = std::move(cur_sweep);
         epoch_start = epoch_end;
     }
 
     if (!done) {
-        warn("run of '" + app->name + "' under " + controller.name() +
-             " hit the simulation wall at " +
-             std::to_string(cfg.maxSimTime / tickUs) + " us");
+        warnLimited(
+            "sim-wall",
+            "run of '" + app->name + "' under " + controller.name() +
+                " hit the simulation wall at " +
+                std::to_string(cfg.maxSimTime / tickUs) + " us");
     }
     ledger.finalize(result, done, chip.lastCommitTick(),
                     chip.totalCommitted(), injector, controller);

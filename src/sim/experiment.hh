@@ -187,6 +187,9 @@ struct EpochCapture
     const std::vector<dvfs::DomainDecision> &decisions;
     /** V/f state each domain will really run at (injector outcome). */
     const std::vector<std::size_t> &appliedStates;
+    /** Faults injected/repaired this epoch; null on the final epoch
+     *  (no decisions are applied, so the deltas are not computed). */
+    const gpu::FaultEpochCounters *faults = nullptr;
 };
 
 /** Observer of a live run, called once per epoch boundary. */
@@ -199,6 +202,41 @@ class EpochObserver
 
     /** Called once after the run loop with the final result. */
     virtual void onRunEnd(const RunResult &result) { (void)result; }
+};
+
+/**
+ * Fans one run out to several observers (e.g. trace capture plus the
+ * timeline recorder), called in add() order.
+ */
+class MultiObserver : public EpochObserver
+{
+  public:
+    /** Null observers are ignored. */
+    void
+    add(EpochObserver *observer)
+    {
+        if (observer != nullptr)
+            observers.push_back(observer);
+    }
+
+    bool empty() const { return observers.empty(); }
+
+    void
+    onEpoch(const EpochCapture &epoch) override
+    {
+        for (EpochObserver *observer : observers)
+            observer->onEpoch(epoch);
+    }
+
+    void
+    onRunEnd(const RunResult &result) override
+    {
+        for (EpochObserver *observer : observers)
+            observer->onRunEnd(result);
+    }
+
+  private:
+    std::vector<EpochObserver *> observers;
 };
 
 /**

@@ -1,0 +1,109 @@
+#include "sim/timeline_recorder.hh"
+
+#include <cstdio>
+
+namespace pcstall::sim
+{
+
+namespace
+{
+
+double
+usOf(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickUs);
+}
+
+std::string
+ghzLabel(Freq freq)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%.2f GHz",
+                  static_cast<double>(freq) /
+                      static_cast<double>(1000 * freqMHz));
+    return buf;
+}
+
+} // namespace
+
+TimelineRecorder::TimelineRecorder(
+    const RunConfig &config, std::vector<obs::TimelineEvent> &events_)
+    : events(events_), cusPerDomain(config.cusPerDomain),
+      numDomains(config.gpu.numCus / config.cusPerDomain)
+{
+    prevFreq.assign(numDomains, 0);
+    events.push_back(obs::trackNameEvent(0, "run"));
+    for (std::uint32_t d = 0; d < numDomains; ++d) {
+        events.push_back(
+            obs::trackNameEvent(d + 1, "domain " + std::to_string(d)));
+    }
+}
+
+void
+TimelineRecorder::onEpoch(const EpochCapture &epoch)
+{
+    const double start_us = usOf(epoch.start);
+    const double dur_us = usOf(epoch.accountedEnd - epoch.start);
+
+    for (std::uint32_t d = 0; d < numDomains; ++d) {
+        // The record's per-CU frequency is ground truth: it already
+        // reflects failed/re-quantized transitions, unlike decisions.
+        const gpu::CuEpochRecord &cu =
+            epoch.record.cus[d * cusPerDomain];
+        obs::TimelineEvent span =
+            obs::spanEvent(ghzLabel(cu.freq), d + 1, start_us, dur_us);
+        std::uint64_t committed = 0;
+        for (std::uint32_t c = 0; c < cusPerDomain; ++c)
+            committed += epoch.record.cus[d * cusPerDomain + c].committed;
+        span.args.emplace_back("committed",
+                               std::to_string(committed));
+        events.push_back(std::move(span));
+
+        if (prevFreq[d] != 0 && prevFreq[d] != cu.freq) {
+            obs::TimelineEvent ev = obs::instantEvent(
+                "V/f transition", d + 1, start_us);
+            ev.args.emplace_back("to", obs::jsonString(
+                                           ghzLabel(cu.freq)));
+            events.push_back(std::move(ev));
+        }
+        prevFreq[d] = cu.freq;
+    }
+
+    if (epoch.sweep != nullptr) {
+        obs::TimelineEvent ev = obs::instantEvent(
+            "fork-pre-execute", 0, usOf(epoch.accountedEnd));
+        const std::size_t forks = epoch.sweep->domainInstr.empty()
+            ? 0 : epoch.sweep->domainInstr.front().size();
+        ev.args.emplace_back("forks", std::to_string(forks));
+        events.push_back(std::move(ev));
+    }
+
+    if (epoch.faults != nullptr) {
+        const gpu::FaultEpochCounters &f = *epoch.faults;
+        const std::uint64_t injected = f.telemetryPerturbations +
+            f.telemetryDropouts + f.transitionFailures +
+            f.tableBitFlips + f.clampedDecisions;
+        if (injected > 0 || f.fallbackActive) {
+            obs::TimelineEvent ev = obs::instantEvent(
+                "faults", 0, usOf(epoch.accountedEnd));
+            ev.args.emplace_back("injected", std::to_string(injected));
+            ev.args.emplace_back("fallback",
+                                 f.fallbackActive ? "true" : "false");
+            events.push_back(std::move(ev));
+        }
+    }
+}
+
+void
+TimelineRecorder::onRunEnd(const RunResult &result)
+{
+    obs::TimelineEvent ev =
+        obs::instantEvent(result.completed ? "run end" : "sim wall",
+                          0, usOf(result.execTime));
+    ev.args.emplace_back("epochs", std::to_string(result.epochs));
+    ev.args.emplace_back(
+        "energy_j", obs::jsonNumber(result.energy));
+    events.push_back(std::move(ev));
+}
+
+} // namespace pcstall::sim

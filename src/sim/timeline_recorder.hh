@@ -1,0 +1,47 @@
+/**
+ * @file
+ * An EpochObserver that turns a run into Chrome trace-event timeline
+ * tracks: per-domain epoch spans labelled with the operating
+ * frequency, V/f transition markers, oracle fork-pre-execute markers
+ * and injected-fault markers. Events are stamped in simulated
+ * microseconds, so the recorded timeline is deterministic and
+ * byte-identical across --threads values.
+ */
+
+#ifndef PCSTALL_SIM_TIMELINE_RECORDER_HH
+#define PCSTALL_SIM_TIMELINE_RECORDER_HH
+
+#include "obs/timeline.hh"
+#include "sim/experiment.hh"
+
+#include <vector>
+
+namespace pcstall::sim
+{
+
+/**
+ * Records @p config's run into @p events (usually the current
+ * obs::RunContext's timeline buffer). Emits track-name metadata in
+ * the constructor; attach one recorder per run.
+ */
+class TimelineRecorder : public EpochObserver
+{
+  public:
+    TimelineRecorder(const RunConfig &config,
+                     std::vector<obs::TimelineEvent> &events);
+
+    void onEpoch(const EpochCapture &epoch) override;
+    void onRunEnd(const RunResult &result) override;
+
+  private:
+    std::vector<obs::TimelineEvent> &events;
+    std::uint32_t cusPerDomain;
+    std::uint32_t numDomains;
+    /** Frequency each domain ran at in the previous epoch (MHz);
+     *  0 = no previous epoch yet. */
+    std::vector<Freq> prevFreq;
+};
+
+} // namespace pcstall::sim
+
+#endif // PCSTALL_SIM_TIMELINE_RECORDER_HH

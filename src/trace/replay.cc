@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "faults/fault_injector.hh"
+#include "obs/context.hh"
 #include "sim/epoch_ledger.hh"
 
 namespace pcstall::trace
@@ -149,6 +150,17 @@ ReplayDriver::run(dvfs::DvfsController &controller,
                     data.trailer.totalCommitted, injector, controller);
 
     outcome.replayWallMs = static_cast<double>(nowNs() - t0) / 1e6;
+    if (obs::metricsEnabled()) {
+        obs::Registry &registry = obs::reg();
+        registry.counter("trace.replays").add(1);
+        registry.counter("trace.replay_frames")
+            .add(data.frames.size());
+        registry.counter("trace.replay_mismatches")
+            .add(outcome.decisionMismatches);
+        registry.histogram("trace.replay_wall_ns",
+                           obs::MetricKind::Timing)
+            .record(outcome.replayWallMs * 1e6);
+    }
     return outcome;
 }
 

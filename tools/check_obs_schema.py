@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Validate observability JSON documents against their schemas.
+
+Stdlib-only checker for the two documents the harnesses emit
+(docs/observability.md):
+
+  check_obs_schema.py metrics   <file>   pcstall-metrics-v1 snapshot
+  check_obs_schema.py timeline  <file>   pcstall-timeline-v1 Chrome trace
+  check_obs_schema.py canonical <file>   print the deterministic part of
+                                         a metrics snapshot in canonical
+                                         form (for --threads N vs 1
+                                         byte-comparison; the "timing"
+                                         section carries wall-clock
+                                         values and is stripped)
+
+Exit status: 0 when the document validates, 1 with a diagnostic per
+violation otherwise. `--require NAME` (repeatable, metrics mode)
+additionally asserts a metric of that name is present; `--require-event
+NAME` (timeline mode) asserts at least one trace event of that name.
+"""
+
+import argparse
+import json
+import sys
+
+METRICS_SCHEMA = "pcstall-metrics-v1"
+TIMELINE_SCHEMA = "pcstall-timeline-v1"
+
+HIST_KEYS = {
+    "count",
+    "sum",
+    "min",
+    "max",
+    "p50",
+    "p95",
+    "p99",
+    "buckets",
+    "overflow",
+}
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+class Checker:
+    def __init__(self):
+        self.errors = []
+
+    def error(self, msg):
+        self.errors.append(msg)
+
+    def require(self, cond, msg):
+        if not cond:
+            self.error(msg)
+        return cond
+
+
+def check_histogram(ck, name, h):
+    if not ck.require(isinstance(h, dict), f"{name}: not an object"):
+        return
+    missing = sorted(HIST_KEYS - set(h))
+    if not ck.require(not missing, f"{name}: missing {missing}"):
+        return
+    if not ck.require(
+        isinstance(h["count"], int) and h["count"] >= 0,
+        f"{name}: count must be a non-negative integer",
+    ):
+        return
+    for k in ("sum", "min", "max", "p50", "p95", "p99"):
+        ck.require(is_num(h[k]), f"{name}: {k} must be a number")
+    ck.require(
+        isinstance(h["overflow"], int) and h["overflow"] >= 0,
+        f"{name}: overflow must be a non-negative integer",
+    )
+    if not ck.require(
+        isinstance(h["buckets"], list), f"{name}: buckets must be a list"
+    ):
+        return
+    in_buckets = 0
+    prev_le = None
+    for i, b in enumerate(h["buckets"]):
+        if not ck.require(
+            isinstance(b, list) and len(b) == 2 and is_num(b[0])
+            and isinstance(b[1], int) and b[1] >= 0,
+            f"{name}: bucket[{i}] must be [upper_edge, count]",
+        ):
+            return
+        if prev_le is not None:
+            ck.require(
+                b[0] > prev_le,
+                f"{name}: bucket edges must be strictly ascending",
+            )
+        prev_le = b[0]
+        in_buckets += b[1]
+    ck.require(
+        in_buckets + h["overflow"] == h["count"],
+        f"{name}: bucket counts + overflow ({in_buckets} + "
+        f"{h['overflow']}) != count ({h['count']})",
+    )
+    if h["count"] > 0 and all(is_num(h[k]) for k in ("min", "p50", "p95", "p99", "max")):
+        ck.require(
+            h["min"] <= h["p50"] <= h["p95"] <= h["p99"] <= h["max"],
+            f"{name}: percentiles not ordered "
+            f"(min<=p50<=p95<=p99<=max)",
+        )
+
+
+def check_metric_section(ck, sec, where):
+    if not ck.require(isinstance(sec, dict), f"{where}: not an object"):
+        return
+    for key in ("counters", "gauges", "histograms"):
+        if not ck.require(
+            key in sec and isinstance(sec[key], dict),
+            f"{where}: missing object '{key}'",
+        ):
+            continue
+        for name, v in sec[key].items():
+            label = f"{where}.{key}[{name!r}]"
+            if key == "counters":
+                ck.require(
+                    isinstance(v, int) and v >= 0,
+                    f"{label}: counter must be a non-negative integer",
+                )
+            elif key == "gauges":
+                ck.require(is_num(v), f"{label}: gauge must be a number")
+            else:
+                check_histogram(ck, label, v)
+
+
+def metric_names(doc):
+    names = set()
+    sections = [doc] + ([doc["timing"]] if isinstance(doc.get("timing"), dict) else [])
+    for sec in sections:
+        for key in ("counters", "gauges", "histograms"):
+            if isinstance(sec.get(key), dict):
+                names.update(sec[key])
+    return names
+
+
+def check_metrics(doc, required):
+    ck = Checker()
+    if not ck.require(isinstance(doc, dict), "top level: not an object"):
+        return ck.errors
+    ck.require(
+        doc.get("schema") == METRICS_SCHEMA,
+        f"schema must be '{METRICS_SCHEMA}' (got {doc.get('schema')!r})",
+    )
+    check_metric_section(ck, doc, "top level")
+    if "timing" in doc:
+        check_metric_section(ck, doc["timing"], "timing")
+    present = metric_names(doc)
+    for name in required:
+        ck.require(name in present, f"required metric '{name}' absent")
+    return ck.errors
+
+
+def check_timeline(doc, required_events):
+    ck = Checker()
+    if not ck.require(isinstance(doc, dict), "top level: not an object"):
+        return ck.errors
+    other = doc.get("otherData")
+    ck.require(
+        isinstance(other, dict) and other.get("schema") == TIMELINE_SCHEMA,
+        f"otherData.schema must be '{TIMELINE_SCHEMA}'",
+    )
+    events = doc.get("traceEvents")
+    if not ck.require(isinstance(events, list), "traceEvents must be a list"):
+        return ck.errors
+    seen = set()
+    for i, ev in enumerate(events):
+        label = f"traceEvents[{i}]"
+        if not ck.require(isinstance(ev, dict), f"{label}: not an object"):
+            continue
+        if not ck.require(
+            isinstance(ev.get("name"), str), f"{label}: missing name"
+        ):
+            continue
+        seen.add(ev["name"])
+        ph = ev.get("ph")
+        if not ck.require(
+            ph in ("X", "i", "M"), f"{label}: ph must be X, i or M"
+        ):
+            continue
+        for k in ("pid", "tid"):
+            ck.require(
+                isinstance(ev.get(k), int), f"{label}: {k} must be an integer"
+            )
+        if ph == "X":
+            ck.require(
+                is_num(ev.get("ts")) and is_num(ev.get("dur"))
+                and ev["dur"] >= 0,
+                f"{label}: X event needs numeric ts and dur >= 0",
+            )
+        elif ph == "i":
+            ck.require(is_num(ev.get("ts")), f"{label}: i event needs ts")
+            ck.require(
+                ev.get("s") in ("t", "p", "g"),
+                f"{label}: i event needs scope s",
+            )
+        else:
+            ck.require(
+                isinstance(ev.get("args"), dict),
+                f"{label}: M event needs args",
+            )
+    for name in required_events:
+        ck.require(name in seen, f"required event '{name}' absent")
+    return ck.errors
+
+
+def canonical(doc):
+    """The deterministic part of a metrics snapshot, canonically
+    serialized: identical bytes for identical simulated work, however
+    many threads produced it."""
+    kept = {
+        k: doc[k]
+        for k in ("schema", "counters", "gauges", "histograms")
+        if k in doc
+    }
+    return json.dumps(kept, sort_keys=True, indent=1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("mode", choices=("metrics", "timeline", "canonical"))
+    parser.add_argument("file")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="metrics mode: assert this metric is present",
+    )
+    parser.add_argument(
+        "--require-event",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="timeline mode: assert an event of this name exists",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.file) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: {args.file}: {e}")
+
+    if args.mode == "canonical":
+        errors = check_metrics(doc, args.require)
+        if errors:
+            for e in errors:
+                print(f"error: {args.file}: {e}", file=sys.stderr)
+            return 1
+        print(canonical(doc))
+        return 0
+
+    if args.mode == "metrics":
+        errors = check_metrics(doc, args.require)
+    else:
+        errors = check_timeline(doc, args.require_event)
+    if errors:
+        for e in errors:
+            print(f"error: {args.file}: {e}")
+        return 1
+    kind = "metrics snapshot" if args.mode == "metrics" else "timeline"
+    detail = (
+        f"{len(doc.get('traceEvents', []))} events"
+        if args.mode == "timeline"
+        else f"{len(metric_names(doc))} metrics"
+    )
+    print(f"{args.file}: valid {kind} ({detail})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,9 @@
  *                                            run live and record
  *   trace_inspect replay  <trace> [--controller C] [--csv-out F]
  *                                            re-drive a controller
+ *   trace_inspect metrics <trace> [--controller C] [--out F]
+ *                                            replay under the metrics
+ *                                            registry and report
  *
  * `capture` accepts every bench-harness option (--cus, --scale,
  * --epoch-us, --domain-cus, --seed, fault flags, ...). `replay`
@@ -34,6 +37,8 @@
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "core/pcstall_controller.hh"
+#include "obs/context.hh"
+#include "obs/metrics.hh"
 #include "dvfs/hierarchical.hh"
 #include "dvfs/objective.hh"
 #include "harness.hh"
@@ -62,7 +67,11 @@ usage()
         "  replay  <trace> [--controller C] [--csv-out F]\n"
         "          [--pc-snapshot-out F] [--no-verify] [--quiet]\n"
         "          [--threads N]   N concurrent re-drives, all\n"
-        "                          verified bit-identical\n");
+        "                          verified bit-identical\n"
+        "  metrics <trace> [--controller C] [--out F]\n"
+        "          replay with the metrics registry armed and print\n"
+        "          the merged snapshot; --out writes it as JSON (or\n"
+        "          Prometheus text with a .prom/.txt extension)\n");
     return 2;
 }
 
@@ -521,6 +530,80 @@ cmdReplay(const std::string &path, int argc, char **argv)
     return 0;
 }
 
+/**
+ * Replay a trace with the metrics registry armed and print the merged
+ * snapshot - the quickest way to read a captured run's PC-table hit
+ * rate, replay statistics and quantization-error distribution without
+ * re-simulating. --out additionally writes the snapshot through the
+ * standard exporters (JSON, or Prometheus text for .prom/.txt).
+ */
+int
+cmdMetrics(const std::string &path, int argc, char **argv)
+{
+    CliOptions cli(argc, argv);
+    const trace::TraceData data = loadOrDie(path);
+    const std::string design =
+        cli.get("controller", data.meta.controller);
+
+    // Arm the registry; the --out file (when given) is flushed by
+    // guardedMain through writeObservabilityOutputs.
+    bench::BenchOptions obs_opts;
+    obs_opts.metricsOut = cli.get("out", "");
+    bench::configureObservability(obs_opts);
+    obs::setMetricsEnabled(true);
+
+    ReplayController rc = makeReplayController(data.meta, design);
+    trace::ReplayDriver replayer(data);
+    trace::ReplayOptions ropts;
+    ropts.verifyDecisions = design == data.meta.controller;
+    const trace::ReplayOutcome outcome = replayer.run(*rc.use, ropts);
+    if (!outcome.ok())
+        fatal(outcome.error);
+    if (auto *pcstall = dynamic_cast<core::PcstallController *>(
+            rc.inner.get())) {
+        bench::publishPcTableMetrics(*pcstall);
+    }
+
+    const obs::MetricsSnapshot snap = obs::collectedSnapshot();
+    std::printf("replayed %zu epochs of %s under %s\n",
+                outcome.result.epochs, data.meta.workload.c_str(),
+                outcome.result.controller.c_str());
+
+    std::printf("\ncounters:\n");
+    for (const auto &[name, value] : snap.counters)
+        std::printf("  %-28s %" PRIu64 "\n", name.c_str(), value);
+    if (!snap.gauges.empty()) {
+        std::printf("\ngauges:\n");
+        for (const auto &[name, value] : snap.gauges)
+            std::printf("  %-28s %g\n", name.c_str(), value);
+    }
+    if (!snap.histograms.empty()) {
+        std::printf("\nhistograms:\n");
+        for (const auto &[name, hist] : snap.histograms) {
+            std::printf("  %-28s n=%" PRIu64
+                        " p50=%.4g p95=%.4g p99=%.4g max=%.4g\n",
+                        name.c_str(), hist.count,
+                        hist.percentile(0.50), hist.percentile(0.95),
+                        hist.percentile(0.99), hist.max);
+        }
+    }
+
+    const auto counter = [&](const char *name) -> std::uint64_t {
+        const auto it = snap.counters.find(name);
+        return it == snap.counters.end() ? 0 : it->second;
+    };
+    const std::uint64_t lookups = counter("pc_table.lookups");
+    if (lookups > 0) {
+        std::printf("\npc-table hit rate: %.2f%% (%" PRIu64 " of %"
+                    PRIu64 " lookups)\n",
+                    100.0 * static_cast<double>(
+                                counter("pc_table.hits")) /
+                        static_cast<double>(lookups),
+                    counter("pc_table.hits"), lookups);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -542,6 +625,8 @@ main(int argc, char **argv)
             return cmdCapture(argc - 1, argv + 1);
         if (cmd == "replay" && argc >= 3)
             return cmdReplay(argv[2], argc - 2, argv + 2);
+        if (cmd == "metrics" && argc >= 3)
+            return cmdMetrics(argv[2], argc - 2, argv + 2);
         return usage();
     });
 }
