@@ -212,6 +212,23 @@ BenchOptions::parse(int argc, char **argv)
     opts.watchdog = cli.has("watchdog");
     opts.ecc = cli.has("ecc");
 
+    const std::string oracle_mode = cli.get("oracle-mode", "pool");
+    if (oracle_mode == "copy") {
+        opts.oracleMode = sim::OracleMode::Copy;
+    } else if (oracle_mode == "pool") {
+        opts.oracleMode = sim::OracleMode::Pool;
+    } else {
+        warn("--oracle-mode must be copy|pool (got '" + oracle_mode +
+             "'); using pool");
+    }
+    const std::int64_t oracle_threads = cli.getInt("oracle-threads", 1);
+    if (oracle_threads < 1) {
+        warn("--oracle-threads must be >= 1 (using 1)");
+        opts.oracleThreads = 1;
+    } else {
+        opts.oracleThreads = static_cast<unsigned>(oracle_threads);
+    }
+
     opts.traceOut = cli.get("trace-out", "");
     opts.replayTrace = cli.get("replay", "");
     opts.pcSnapshotOut = cli.get("pc-snapshot-out", "");
@@ -271,6 +288,8 @@ BenchOptions::runConfig() const
     cfg.objective = objective;
     cfg.perfDegradationLimit = perfDegradationLimit;
     cfg.collectTrace = collectTrace;
+    cfg.oracleMode = oracleMode;
+    cfg.oracleThreads = oracleThreads;
     cfg.scaled();
     return cfg;
 }
@@ -283,6 +302,8 @@ BenchOptions::profileConfig() const
     cfg.gpu.seed = seed;
     cfg.epochLen = epochLen;
     cfg.cusPerDomain = cusPerDomain;
+    cfg.poolSnapshots = oracleMode == sim::OracleMode::Pool;
+    cfg.oracleThreads = oracleThreads;
     power::PowerParams ignored;
     sim::scaleToCus(cfg.gpu, ignored, cus);
     return cfg;

@@ -68,6 +68,13 @@ struct BenchOptions
     bool watchdog = false;
     /** Parity-protect PC tables (scrub corrupted entries). */
     bool ecc = false;
+    /** Oracle chip-snapshot strategy (--oracle-mode copy|pool).
+     *  Pool reuses scratch chips across epochs; results are
+     *  byte-identical either way (docs/performance.md). */
+    sim::OracleMode oracleMode = sim::OracleMode::Pool;
+    /** Threads for in-cell oracle sample parallelism
+     *  (--oracle-threads; 1 = serial, thread-count independent). */
+    unsigned oracleThreads = 1;
     /** Optimization objective for the runs (harness-set, no flag). */
     dvfs::Objective objective = dvfs::Objective::Ed2p;
     /** For the EnergyUnderPerfBound objective. */
@@ -114,6 +121,7 @@ struct BenchOptions
      *  --seed --threads --csv --workloads a,b,c plus the fault flags
      *  --fault-seed --noise-sigma --noise-dropout --trans-fail
      *  --trans-extra-ns --freq-quant-mhz --bitflips --ecc --watchdog,
+     *  the performance flags --oracle-mode --oracle-threads,
      *  the trace flags --trace-out --replay --pc-snapshot-out
      *  --pc-snapshot-in, and the observability flags --metrics-out
      *  --timeline-out --verbose --log-level (also env PCSTALL_LOG).

@@ -16,6 +16,8 @@
 #include "gpu/gpu_chip.hh"
 #include "harness.hh"
 #include "oracle/fork_pre_execute.hh"
+#include "oracle/snapshot_pool.hh"
+#include "sim/parallel_executor.hh"
 #include "sweep_runner.hh"
 
 using namespace pcstall;
@@ -49,12 +51,24 @@ validateWorkload(const std::string &name,
     // the thread) they are computed on.
     Rng rng(Rng::split(opts.seed, name, "oracle-validation").next());
 
+    oracle::SnapshotPool pool;
+    std::unique_ptr<sim::ParallelExecutor> exec;
+    oracle::SweepOptions sweep_opts;
+    if (opts.oracleMode == sim::OracleMode::Pool) {
+        sweep_opts.pool = &pool;
+        if (opts.oracleThreads > 1)
+            exec = std::make_unique<sim::ParallelExecutor>(
+                opts.oracleThreads);
+        sweep_opts.executor = exec.get();
+    }
+
     double acc_sum = 0.0;
     std::size_t n = 0;
     Tick t = 0;
+    gpu::EpochRecord harvest_scratch;
     while (row.epochs < 12) {
         const bool done = chip.runUntil(t + opts.epochLen);
-        chip.harvestEpoch(t);
+        chip.harvestEpoch(t, harvest_scratch);
         t += opts.epochLen;
         if (done)
             break;
@@ -63,7 +77,7 @@ validateWorkload(const std::string &name,
         // Sample the upcoming epoch, then re-execute it at a random
         // mixed frequency assignment and compare.
         const auto est = oracle::forkPreExecuteSweep(
-            chip, domains, table, opts.epochLen);
+            chip, domains, table, opts.epochLen, sweep_opts);
         gpu::GpuChip real = chip;
         std::vector<std::size_t> chosen(domains.numDomains());
         for (std::uint32_t d = 0; d < domains.numDomains(); ++d) {

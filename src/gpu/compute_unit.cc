@@ -16,6 +16,8 @@ ComputeUnit::init(std::uint32_t id, std::uint32_t slot_count, Freq freq)
     slots.assign(slot_count, Wavefront{});
     wgs.clear();
     freeSlots = slot_count;
+    numReady = 0;
+    wakeScanAt = 0;
     freq_ = freq;
     period_ = clockPeriod(freq);
     nextEventAt = 0;
@@ -74,17 +76,33 @@ ComputeUnit::drainLoadCompletions(Tick now)
 void
 ComputeUnit::wakeWaves(Tick now)
 {
+    // wakeScanAt is a lower bound on the earliest pending wake, so
+    // nothing can be due yet and the slot scan would be a no-op.
+    if (now < wakeScanAt)
+        return;
+    Tick next_wake = tickInf;
     for (Wavefront &w : slots) {
-        if (w.state == WaveState::Busy && w.readyAt <= now) {
-            w.state = WaveState::Ready;
-        } else if (w.state == WaveState::WaitMem && w.readyAt <= now) {
-            // The stall semantically ended at the wake tick, even if
-            // this CU only got around to processing it now.
-            w.epMemStall += w.readyAt - w.stallEnter;
-            w.retireCompleted(w.readyAt);
-            w.state = WaveState::Ready;
+        if (w.state == WaveState::Busy) {
+            if (w.readyAt <= now) {
+                w.state = WaveState::Ready;
+                ++numReady;
+            } else if (w.readyAt < next_wake) {
+                next_wake = w.readyAt;
+            }
+        } else if (w.state == WaveState::WaitMem) {
+            if (w.readyAt <= now) {
+                // The stall semantically ended at the wake tick, even
+                // if this CU only got around to processing it now.
+                w.epMemStall += w.readyAt - w.stallEnter;
+                w.retireCompleted(w.readyAt);
+                w.state = WaveState::Ready;
+                ++numReady;
+            } else if (w.readyAt < next_wake) {
+                next_wake = w.readyAt;
+            }
         }
     }
+    wakeScanAt = next_wake;
 }
 
 void
@@ -179,13 +197,19 @@ bool
 ComputeUnit::tryDispatch(CuContext &ctx, Tick now)
 {
     bool dispatched = false;
+    // Scratch reused across calls: dispatch runs once per CU
+    // activation on the hottest loop of the simulator, and the oracle
+    // runs many chips per epoch, so a fresh vector here would be a
+    // per-event allocation. thread_local keeps in-cell parallel
+    // sweeps race-free.
+    static thread_local std::vector<std::uint32_t> free_slots;
     while (ctx.dispatch.curLaunch < ctx.app.launches.size() &&
            ctx.dispatch.wgUndispatched > 0) {
         const isa::Kernel &kernel =
             ctx.app.launches[ctx.dispatch.curLaunch];
 
         // Count free slots.
-        std::vector<std::uint32_t> free_slots;
+        free_slots.clear();
         for (std::uint32_t i = 0; i < slots.size(); ++i)
             if (slots[i].state == WaveState::Idle)
                 free_slots.push_back(i);
@@ -207,9 +231,10 @@ ComputeUnit::tryDispatch(CuContext &ctx, Tick now)
         wg.done = 0;
 
         freeSlots -= kernel.wavesPerWorkgroup;
+        numReady += kernel.wavesPerWorkgroup;
         for (std::uint32_t i = 0; i < kernel.wavesPerWorkgroup; ++i) {
             Wavefront &w = slots[free_slots[i]];
-            w = Wavefront{};
+            w.resetKeepCapacity();
             w.state = WaveState::Ready;
             w.pc = 0;
             w.globalId = ctx.dispatch.nextGlobalWaveId++;
@@ -251,6 +276,7 @@ ComputeUnit::releaseBarrier(std::uint32_t wg_index, Tick now)
         if (w.state == WaveState::WaitBarrier && w.wgIndex == wg_index) {
             w.epBarrierStall += now - w.barrierEnter;
             w.state = WaveState::Ready;
+            ++numReady;
             ++w.pc;
             ++w.epCommitted;
             ++epCommitted;
@@ -267,6 +293,10 @@ ComputeUnit::issue(CuContext &ctx, Wavefront &wave, Tick now)
     const isa::Kernel &kernel = ctx.app.launches[wave.launchIndex];
     const isa::Instruction &ins = kernel.code[wave.pc];
 
+    // Every branch below moves the wave out of Ready (possibly back in
+    // via releaseBarrier, which re-counts it).
+    --numReady;
+
     auto commit = [&]() {
         ++wave.epCommitted;
         ++epCommitted;
@@ -276,6 +306,7 @@ ComputeUnit::issue(CuContext &ctx, Wavefront &wave, Tick now)
     auto busy_for = [&](Cycles cycles) {
         wave.state = WaveState::Busy;
         wave.readyAt = now + cycles * period_;
+        wakeScanAt = std::min(wakeScanAt, wave.readyAt);
     };
 
     switch (ins.op) {
@@ -304,6 +335,7 @@ ComputeUnit::issue(CuContext &ctx, Wavefront &wave, Tick now)
             }
             wave.state = WaveState::WaitMem;
             wave.readyAt = wake;
+            wakeScanAt = std::min(wakeScanAt, wake);
             wave.stallEnter = now;
             wave.stallGateStore = is_store;
             break;
@@ -355,6 +387,7 @@ ComputeUnit::issue(CuContext &ctx, Wavefront &wave, Tick now)
                 wave.pending.size() - ins.maxOutstanding - 1;
             wave.state = WaveState::WaitMem;
             wave.readyAt = wave.pending[gate_idx].completion;
+            wakeScanAt = std::min(wakeScanAt, wave.readyAt);
             wave.stallEnter = now;
             wave.stallGateStore = wave.pending[gate_idx].isStore;
         }
@@ -424,14 +457,17 @@ ComputeUnit::step(CuContext &ctx, Tick now)
         tryDispatch(ctx, now);
 
     // Each SIMD issues at most one instruction this cycle,
-    // oldest-ready-first among its resident waves.
+    // oldest-ready-first among its resident waves. The cached ready
+    // count skips the per-SIMD scans entirely on wake-only steps.
     bool issued_any = false;
-    for (std::uint32_t simd = 0; simd < num_simds; ++simd) {
-        const int ready = pickReadyWave(simd, num_simds);
-        if (ready >= 0) {
-            issue(ctx, slots[static_cast<std::size_t>(ready)], now);
-            issued_any = true;
-            epBusy += period_;
+    if (numReady > 0) {
+        for (std::uint32_t simd = 0; simd < num_simds; ++simd) {
+            const int ready = pickReadyWave(simd, num_simds);
+            if (ready >= 0) {
+                issue(ctx, slots[static_cast<std::size_t>(ready)], now);
+                issued_any = true;
+                epBusy += period_;
+            }
         }
     }
 
@@ -583,6 +619,88 @@ ComputeUnit::harvest(CuContext &ctx, Tick boundary, CuEpochRecord &cu_out,
     epStoreStall = 0;
     epLeadLoad = 0;
     epMemInterval = 0;
+}
+
+void
+ComputeUnit::fingerprint(std::uint64_t &h) const
+{
+    auto mix = [&h](std::uint64_t v) { h = hashCombine(h, v); };
+    mix(cuId);
+    mix(freq_);
+    mix(static_cast<std::uint64_t>(period_));
+    mix(static_cast<std::uint64_t>(freqStallUntil));
+    mix(static_cast<std::uint64_t>(nextEventAt));
+    mix(freeSlots);
+    mix(seqCounter);
+    mix(lifeCommitted_);
+    mix(static_cast<std::uint64_t>(lastCommit_));
+
+    for (const Wavefront &w : slots) {
+        mix(static_cast<std::uint64_t>(w.state));
+        mix(w.pc);
+        mix(static_cast<std::uint64_t>(w.readyAt));
+        mix(w.pending.size());
+        for (const PendingMem &p : w.pending) {
+            mix(static_cast<std::uint64_t>(p.completion));
+            mix(p.isStore ? 1 : 0);
+        }
+        mix(w.loopTrips.size());
+        for (std::uint32_t t : w.loopTrips)
+            mix(t);
+        for (std::uint32_t t : w.loopTripsInit)
+            mix(t);
+        mix(w.globalId);
+        mix(w.dispatchSeq);
+        mix(w.wgIndex);
+        mix(w.launchIndex);
+        mix(w.memSeq);
+        mix(w.epCommitted);
+        mix(static_cast<std::uint64_t>(w.epMemStall));
+        mix(static_cast<std::uint64_t>(w.epBarrierStall));
+        mix(w.epStartPc);
+        mix(w.epActive ? 1 : 0);
+        mix(static_cast<std::uint64_t>(w.stallEnter));
+        mix(static_cast<std::uint64_t>(w.barrierEnter));
+        mix(w.stallGateStore ? 1 : 0);
+    }
+
+    mix(wgs.size());
+    for (const ResidentWg &wg : wgs) {
+        mix(wg.valid ? 1 : 0);
+        mix(wg.launchIndex);
+        mix(wg.waveCount);
+        mix(wg.arrived);
+        mix(wg.done);
+    }
+
+    mix(loadCompletions.size());
+    for (Tick t : loadCompletions)
+        mix(static_cast<std::uint64_t>(t));
+    mix(storeCompletions.size());
+    for (Tick t : storeCompletions)
+        mix(static_cast<std::uint64_t>(t));
+    mix(outstandingLoads);
+    mix(outstandingTotal);
+
+    mix(sleeping ? 1 : 0);
+    mix(static_cast<std::uint64_t>(sleepStart));
+    mix(static_cast<std::uint64_t>(sleepUntil));
+    mix(static_cast<std::uint64_t>(sleepGate));
+    mix(memActive ? 1 : 0);
+    mix(static_cast<std::uint64_t>(memStart));
+    mix(leadActive ? 1 : 0);
+    mix(static_cast<std::uint64_t>(leadStart));
+    mix(static_cast<std::uint64_t>(leadUntil));
+
+    mix(epCommitted);
+    mix(epLoads);
+    mix(epStores);
+    mix(static_cast<std::uint64_t>(epBusy));
+    mix(static_cast<std::uint64_t>(epOverlap));
+    mix(static_cast<std::uint64_t>(epLoadStall));
+    mix(static_cast<std::uint64_t>(epStoreStall));
+    mix(static_cast<std::uint64_t>(epLeadLoad));
+    mix(static_cast<std::uint64_t>(epMemInterval));
 }
 
 void

@@ -114,6 +114,14 @@ class ComputeUnit
 
     std::uint32_t id() const { return cuId; }
 
+    /**
+     * Mix this CU's complete simulation state (scheduling, accrual
+     * markers, per-epoch counters and every resident wavefront) into
+     * the FNV-style digest @p h. Used by GpuChip::stateFingerprint()
+     * to verify snapshot restores and sweep const-ness.
+     */
+    void fingerprint(std::uint64_t &h) const;
+
   private:
     /** Retire CU-level load completions up to @p now. */
     void drainLoadCompletions(Tick now);
@@ -146,6 +154,13 @@ class ComputeUnit
     std::vector<ResidentWg> wgs;
     /** Cached count of Idle slots (dispatch gating). */
     std::uint32_t freeSlots = 0;
+    /** Cached count of Ready slots (skips the per-SIMD issue scans
+     *  when nothing can issue). Derived state: maintained at every
+     *  wave-state transition, excluded from fingerprint(). */
+    std::uint32_t numReady = 0;
+    /** Lower bound on the earliest Busy/WaitMem wake time; wakeWaves()
+     *  skips its slot scan while now is below it. Derived state. */
+    Tick wakeScanAt = 0;
     std::uint64_t seqCounter = 0;
     std::uint64_t lifeCommitted_ = 0;
     Tick lastCommit_ = 0;

@@ -1,9 +1,9 @@
 #include "gpu/gpu_chip.hh"
 
 #include <algorithm>
-#include <queue>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 
 namespace pcstall::gpu
 {
@@ -66,15 +66,26 @@ GpuChip::runUntil(Tick until)
     panicIf(until < curTick, "runUntil into the past");
     CuContext ctx = makeContext();
 
+    // Min-heap of (nextEventAt, cuId), kept in a thread_local scratch
+    // vector so the hottest loop of the simulator performs no heap
+    // allocation per epoch: the oracle calls runUntil once per V/f
+    // sample per epoch boundary. std::priority_queue uses the same
+    // push_heap/pop_heap algorithms, so event ordering is unchanged.
     using Entry = std::pair<Tick, std::uint32_t>;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-    for (std::uint32_t i = 0; i < cus.size(); ++i)
-        if (cus[i].nextEventAt < until)
-            heap.emplace(cus[i].nextEventAt, i);
+    static thread_local std::vector<Entry> heap;
+    heap.clear();
+    const std::greater<> later{};
+    for (std::uint32_t i = 0; i < cus.size(); ++i) {
+        if (cus[i].nextEventAt < until) {
+            heap.emplace_back(cus[i].nextEventAt, i);
+            std::push_heap(heap.begin(), heap.end(), later);
+        }
+    }
 
     while (!heap.empty()) {
-        auto [t, id] = heap.top();
-        heap.pop();
+        const auto [t, id] = heap.front();
+        std::pop_heap(heap.begin(), heap.end(), later);
+        heap.pop_back();
         // Stale entry: the CU was rescheduled (e.g. woken by a kernel
         // transition) since this entry was pushed.
         if (cus[id].nextEventAt != t)
@@ -84,8 +95,10 @@ GpuChip::runUntil(Tick until)
 
         const StepResult res = cus[id].step(ctx, t);
         cus[id].nextEventAt = res.next;
-        if (res.next < until)
-            heap.emplace(res.next, id);
+        if (res.next < until) {
+            heap.emplace_back(res.next, id);
+            std::push_heap(heap.begin(), heap.end(), later);
+        }
 
         if (res.launchFinished) {
             // A new kernel launch became available: wake every CU so
@@ -95,7 +108,8 @@ GpuChip::runUntil(Tick until)
                     continue;
                 if (cus[i].nextEventAt > t) {
                     cus[i].nextEventAt = t;
-                    heap.emplace(t, i);
+                    heap.emplace_back(t, i);
+                    std::push_heap(heap.begin(), heap.end(), later);
                 }
             }
         }
@@ -108,15 +122,22 @@ GpuChip::runUntil(Tick until)
 EpochRecord
 GpuChip::harvestEpoch(Tick epoch_start)
 {
-    CuContext ctx = makeContext();
     EpochRecord record;
-    record.start = epoch_start;
-    record.end = curTick;
-    record.cus.resize(cus.size());
-    for (std::uint32_t i = 0; i < cus.size(); ++i)
-        cus[i].harvest(ctx, curTick, record.cus[i], record.waves);
-    mem.resetActivity();
+    harvestEpoch(epoch_start, record);
     return record;
+}
+
+void
+GpuChip::harvestEpoch(Tick epoch_start, EpochRecord &out)
+{
+    CuContext ctx = makeContext();
+    out.start = epoch_start;
+    out.end = curTick;
+    out.cus.resize(cus.size());
+    out.waves.clear();
+    for (std::uint32_t i = 0; i < cus.size(); ++i)
+        cus[i].harvest(ctx, curTick, out.cus[i], out.waves);
+    mem.resetActivity();
 }
 
 void
@@ -138,9 +159,25 @@ std::vector<WaveSnapshot>
 GpuChip::waveSnapshots() const
 {
     std::vector<WaveSnapshot> out;
+    out.reserve(cus.size() * cfg.waveSlotsPerCu);
     for (const ComputeUnit &cu : cus)
         cu.appendSnapshots(*app, out);
     return out;
+}
+
+std::uint64_t
+GpuChip::stateFingerprint() const
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    h = hashCombine(h, static_cast<std::uint64_t>(curTick));
+    h = hashCombine(h, dispatch.curLaunch);
+    h = hashCombine(h, dispatch.wgUndispatched);
+    h = hashCombine(h, dispatch.wgCompleted);
+    h = hashCombine(h, dispatch.nextGlobalWaveId);
+    for (const ComputeUnit &cu : cus)
+        cu.fingerprint(h);
+    mem.fingerprint(h);
+    return h;
 }
 
 std::uint64_t

@@ -56,6 +56,14 @@ class GpuChip
     EpochRecord harvestEpoch(Tick epoch_start);
 
     /**
+     * Harvest into @p out, reusing its buffers. The hot-path variant:
+     * the oracle harvests one record per V/f sample per epoch, and
+     * reusing the record's vectors keeps that loop allocation-free in
+     * steady state. @p out is fully overwritten.
+     */
+    void harvestEpoch(Tick epoch_start, EpochRecord &out);
+
+    /**
      * Set CU @p cu_id's frequency. A change stalls the CU's issue for
      * @p transition_latency (IVR/FLL settle time).
      */
@@ -73,6 +81,17 @@ class GpuChip
 
     /** Tick of the most recent commit anywhere on the chip. */
     Tick lastCommitTick() const;
+
+    /**
+     * Order-sensitive digest of the chip's complete simulation state
+     * (time, dispatcher, every CU and wavefront, and the memory
+     * hierarchy including cache tags). Two chips with equal
+     * fingerprints are, for all practical purposes, the same
+     * simulation state; the oracle uses this to verify that pooled
+     * snapshot restores are exact and that `forkPreExecuteSweep`
+     * leaves its input chip untouched.
+     */
+    std::uint64_t stateFingerprint() const;
 
     const GpuConfig &config() const { return cfg; }
     const memory::MemorySystem &memory() const { return mem; }

@@ -91,6 +91,37 @@ struct Wavefront
     /** True when the op gating the current WaitMem stall is a store. */
     bool stallGateStore = false;
 
+    /**
+     * Reset to the default-constructed state while keeping the
+     * vectors' allocated capacity. Dispatch recycles slots many times
+     * per run (and the oracle's snapshot pool restores chips by
+     * assignment), so the hot path must not reallocate per dispatch
+     * the way `*this = Wavefront{}` would.
+     */
+    void
+    resetKeepCapacity()
+    {
+        state = WaveState::Idle;
+        pc = 0;
+        readyAt = 0;
+        pending.clear();
+        loopTrips.clear();
+        loopTripsInit.clear();
+        globalId = 0;
+        dispatchSeq = 0;
+        wgIndex = 0;
+        launchIndex = 0;
+        memSeq = 0;
+        epCommitted = 0;
+        epMemStall = 0;
+        epBarrierStall = 0;
+        epStartPc = 0;
+        epActive = false;
+        stallEnter = 0;
+        barrierEnter = 0;
+        stallGateStore = false;
+    }
+
     /** Number of outstanding ops, ignoring ones completed by @p now. */
     std::uint32_t
     outstandingAt(Tick now) const

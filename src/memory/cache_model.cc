@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 
 namespace pcstall::memory
 {
@@ -85,6 +86,22 @@ CacheModel::flush()
 {
     for (Line &line : lines)
         line.valid = false;
+}
+
+void
+CacheModel::fingerprint(std::uint64_t &h) const
+{
+    auto mix = [&h](std::uint64_t v) { h = hashCombine(h, v); };
+    mix(useCounter);
+    mix(hits);
+    mix(accesses);
+    for (const Line &line : lines) {
+        mix(line.valid ? 1 : 0);
+        if (line.valid) {
+            mix(line.tag);
+            mix(line.lastUse);
+        }
+    }
 }
 
 } // namespace pcstall::memory

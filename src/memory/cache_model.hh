@@ -49,6 +49,10 @@ class CacheModel
     std::uint64_t hitCount() const { return hits; }
     std::uint64_t accessCount() const { return accesses; }
 
+    /** Mix every tag, LRU stamp and counter into the digest @p h
+     *  (oracle snapshot-restore verification). */
+    void fingerprint(std::uint64_t &h) const;
+
   private:
     struct Line
     {

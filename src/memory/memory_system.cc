@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 
 namespace pcstall::memory
 {
@@ -154,6 +155,30 @@ void
 MemorySystem::resetActivity()
 {
     std::fill(cuActivity.begin(), cuActivity.end(), MemActivity{});
+}
+
+void
+MemorySystem::fingerprint(std::uint64_t &h) const
+{
+    auto mix = [&h](std::uint64_t v) { h = hashCombine(h, v); };
+    for (const CacheModel &l1 : l1s)
+        l1.fingerprint(h);
+    for (const CacheModel &slice : l2Slices)
+        slice.fingerprint(h);
+    for (Tick t : bankFree)
+        mix(static_cast<std::uint64_t>(t));
+    for (Tick t : channelFree)
+        mix(static_cast<std::uint64_t>(t));
+    for (const MemActivity &act : cuActivity) {
+        mix(act.l1Hits);
+        mix(act.l1Misses);
+        mix(act.l2Hits);
+        mix(act.l2Misses);
+        mix(act.stores);
+        mix(act.storesCombined);
+    }
+    for (std::uint64_t line : lastStoreLine)
+        mix(line);
 }
 
 } // namespace pcstall::memory

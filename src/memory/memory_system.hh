@@ -141,6 +141,10 @@ class MemorySystem
         return l2Slices[bank];
     }
 
+    /** Mix the hierarchy's complete state (cache tags, queue heads,
+     *  activity counters) into the digest @p h. */
+    void fingerprint(std::uint64_t &h) const;
+
   private:
     std::uint32_t bankOf(std::uint64_t addr) const;
     std::uint32_t channelOf(std::uint64_t addr) const;

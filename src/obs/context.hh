@@ -29,10 +29,14 @@
 namespace pcstall::obs
 {
 
-/** Globally enable/disable timeline event recording (default: off). */
+/**
+ * Globally enable/disable timeline event recording (default: off).
+ *
+ * @param enabled  True to record timeline events from now on.
+ */
 void setTimelineEnabled(bool enabled);
 
-/** True when timeline recording is enabled. */
+/** @return True when timeline recording is enabled. */
 bool timelineEnabled();
 
 /** One run's metric registry plus its timeline event buffer. */
@@ -50,12 +54,12 @@ struct RunContext
 };
 
 /**
- * The context metrics currently record into: the innermost
- * ScopedContext on this thread, else the process-wide default.
+ * @return The context metrics currently record into: the innermost
+ *         ScopedContext on this thread, else the process-wide default.
  */
 RunContext &currentContext();
 
-/** Shorthand for currentContext().registry. */
+/** @return Shorthand for currentContext().registry. */
 Registry &reg();
 
 /** Installs @p ctx as this thread's current context for the scope. */
@@ -73,20 +77,22 @@ class ScopedContext
 };
 
 /**
- * Append @p ctx's snapshot and timeline to the process-wide collection.
- * Call in submission order (SweepRunner does) so that
+ * Append a context's snapshot and timeline to the process-wide
+ * collection. Call in submission order (SweepRunner does) so that
  * collectedSnapshot() / collectedTimelines() are deterministic.
+ *
+ * @param ctx  The finished run context to collect.
  */
 void collectContext(const RunContext &ctx);
 
 /**
- * Merge of every collected shard (in collection order) plus the
- * process default context last.
+ * @return Merge of every collected shard (in collection order) plus
+ *         the process default context last.
  */
 MetricsSnapshot collectedSnapshot();
 
-/** Collected timelines plus the default context's (labelled "main")
- *  when non-empty, in collection order. */
+/** @return Collected timelines plus the default context's (labelled
+ *          "main") when non-empty, in collection order. */
 std::vector<RunTimeline> collectedTimelines();
 
 /** Test hook: drop all collected shards and reset the default

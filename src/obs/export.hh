@@ -18,18 +18,24 @@ namespace pcstall::obs
 {
 
 /**
- * Write @p snap as pcstall-metrics-v1 JSON. Deterministic metrics go
- * in top-level "counters"/"gauges"/"histograms" maps; Timing-kind
- * metrics in the mirrored "timing" object. Pass @p include_timing =
- * false to drop the wall-clock section entirely.
+ * Write a snapshot as pcstall-metrics-v1 JSON. Deterministic metrics
+ * go in top-level "counters"/"gauges"/"histograms" maps; Timing-kind
+ * metrics in the mirrored "timing" object.
+ *
+ * @param os              Destination stream.
+ * @param snap            The snapshot to serialize.
+ * @param include_timing  False drops the wall-clock section entirely.
  */
 void writeMetricsJson(std::ostream &os, const MetricsSnapshot &snap,
                       bool include_timing = true);
 
 /**
- * Write @p snap in Prometheus text exposition format (one family per
- * metric; histograms become cumulative _bucket{le=...}/_sum/_count
+ * Write a snapshot in Prometheus text exposition format (one family
+ * per metric; histograms become cumulative _bucket{le=...}/_sum/_count
  * series). Metric names are sanitized to [a-zA-Z0-9_].
+ *
+ * @param os    Destination stream.
+ * @param snap  The snapshot to serialize.
  */
 void writeMetricsPrometheus(std::ostream &os,
                             const MetricsSnapshot &snap);

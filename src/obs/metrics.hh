@@ -47,10 +47,15 @@
 namespace pcstall::obs
 {
 
-/** Globally enable/disable metric recording (default: disabled). */
+/**
+ * Globally enable/disable metric recording (default: disabled).
+ *
+ * @param enabled  True to record metrics from now on.
+ */
 void setMetricsEnabled(bool enabled);
 
-/** True when metric recording is enabled (one relaxed atomic load). */
+/** @return True when metric recording is enabled (one relaxed atomic
+ *          load). */
 bool metricsEnabled();
 
 /**
@@ -114,12 +119,22 @@ struct HistogramSnapshot
     /** Values >= the largest bucket edge. */
     std::uint64_t overflow = 0;
 
-    /** Estimated quantile in [0, 1] (log-linear interpolation,
-     *  clamped to the observed [min, max]). */
+    /**
+     * Estimated quantile (log-linear interpolation, clamped to the
+     * observed [min, max]).
+     *
+     * @param p  Quantile in [0, 1] (0.5 = median).
+     * @return The estimated value at quantile @p p.
+     */
     double percentile(double p) const;
 
-    /** Merge @p other into this (bucket-wise; order-independent for
-     *  integer fields, caller fixes the order for the double sum). */
+    /**
+     * Merge another snapshot into this one (bucket-wise;
+     * order-independent for integer fields, caller fixes the order
+     * for the double sum).
+     *
+     * @param other  Snapshot to fold in; left unchanged.
+     */
     void merge(const HistogramSnapshot &other);
 };
 
@@ -144,7 +159,10 @@ class Histogram
 
     HistogramSnapshot snapshot() const;
 
-    /** Upper edge of bucket @p idx (idx 0 = underflow bucket). */
+    /**
+     * @param idx  Bucket index (0 = underflow bucket).
+     * @return Upper edge of bucket @p idx.
+     */
     static double upperEdge(int idx);
 
   private:
@@ -168,11 +186,13 @@ struct MetricsSnapshot
     std::map<std::string, MetricKind> kinds;
 
     /**
-     * Merge @p other into this. Counters and histogram buckets add;
-     * gauges take @p other's value. Double-valued sums accumulate in
-     * call order, so merging shards in a fixed (submission) order
-     * yields byte-identical results regardless of which threads
-     * produced them.
+     * Merge another snapshot into this one. Counters and histogram
+     * buckets add; gauges take the other snapshot's value.
+     * Double-valued sums accumulate in call order, so merging shards
+     * in a fixed (submission) order yields byte-identical results
+     * regardless of which threads produced them.
+     *
+     * @param other  Snapshot to fold in; left unchanged.
      */
     void merge(const MetricsSnapshot &other);
 
@@ -207,10 +227,16 @@ class Registry
 
 // --- wall-clock helpers (timing-kind metrics) -----------------------
 
-/** steady_clock now in ns, or -1 when metrics are disabled. */
+/** @return steady_clock now in ns, or -1 when metrics are disabled. */
 std::int64_t nowNsIfEnabled();
 
-/** Record (now - @p t0_ns) into @p hist; no-op when @p t0_ns < 0. */
+/**
+ * Record an elapsed wall time into a histogram.
+ *
+ * @param hist   Destination (Timing-kind) histogram.
+ * @param t0_ns  Start stamp from nowNsIfEnabled(); values < 0 (metrics
+ *               were disabled at the start) make this a no-op.
+ */
 void recordSinceNs(Histogram &hist, std::int64_t t0_ns);
 
 /**

@@ -39,18 +39,48 @@ struct TimelineEvent
     std::vector<std::pair<std::string, std::string>> args;
 };
 
-/** Event helpers (value strings must be valid raw JSON fragments). */
+/**
+ * Build a span ('X') event.
+ *
+ * @param name    Event name shown on the track.
+ * @param track   Track within the run (0 = run-level).
+ * @param ts_us   Span start in simulated microseconds.
+ * @param dur_us  Span duration in simulated microseconds.
+ * @return The populated event (args empty; append as needed).
+ */
 TimelineEvent spanEvent(std::string name, std::uint32_t track,
                         double ts_us, double dur_us);
+
+/**
+ * Build an instant ('i') event.
+ *
+ * @param name   Event name shown on the track.
+ * @param track  Track within the run (0 = run-level).
+ * @param ts_us  Instant in simulated microseconds.
+ * @return The populated event (args empty; append as needed).
+ */
 TimelineEvent instantEvent(std::string name, std::uint32_t track,
                            double ts_us);
-/** Chrome "thread_name" metadata naming @p track. */
+
+/**
+ * Build the Chrome "thread_name" metadata event naming a track.
+ *
+ * @param track  Track to name.
+ * @param name   Human-readable track name.
+ * @return The metadata ('M') event.
+ */
 TimelineEvent trackNameEvent(std::uint32_t track, std::string name);
 
-/** JSON-number fragment of @p v ("%.9g"). */
+/**
+ * @param v  Value to format.
+ * @return JSON-number fragment of @p v ("%.9g").
+ */
 std::string jsonNumber(double v);
 
-/** JSON-string fragment of @p s (quoted, escaped). */
+/**
+ * @param s  Text to quote.
+ * @return JSON-string fragment of @p s (quoted, escaped).
+ */
 std::string jsonString(const std::string &s);
 
 /** One collected run's timeline, labelled for the process name. */
@@ -61,9 +91,12 @@ struct RunTimeline
 };
 
 /**
- * Write @p runs as one Chrome trace-event JSON document. Process ids
- * are the indices of @p runs, so a submission-ordered collection
- * yields byte-identical output for every thread count.
+ * Write collected timelines as one Chrome trace-event JSON document.
+ * Process ids are the indices of @p runs, so a submission-ordered
+ * collection yields byte-identical output for every thread count.
+ *
+ * @param os    Destination stream.
+ * @param runs  One entry per run, in collection order.
  */
 void writeChromeTrace(std::ostream &os,
                       const std::vector<RunTimeline> &runs);

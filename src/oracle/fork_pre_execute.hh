@@ -23,8 +23,15 @@
 #include "gpu/gpu_chip.hh"
 #include "power/vf_table.hh"
 
+namespace pcstall::sim
+{
+class ParallelExecutor;
+} // namespace pcstall::sim
+
 namespace pcstall::oracle
 {
+
+class SnapshotPool;
 
 /** Options for the sweep. */
 struct SweepOptions
@@ -35,12 +42,37 @@ struct SweepOptions
     /** Also regress per-wavefront sensitivities (needed by ACCPC and
      *  the characterization studies; costs some bookkeeping). */
     bool waveLevel = true;
+    /** Snapshot-restore into this pool's scratch chips instead of
+     *  deep-copying the chip per sample. Decisions, metrics and wave
+     *  fits are byte-identical to the copy path; null keeps the
+     *  legacy per-sample copies. */
+    SnapshotPool *pool = nullptr;
+    /** Run the S independent samples on this executor (ignored unless
+     *  @ref pool is set). The reduction runs on the calling thread in
+     *  submission order, so results stay byte-identical to the serial
+     *  path regardless of the thread count. Null = serial. */
+    sim::ParallelExecutor *executor = nullptr;
+    /** Fingerprint-verify that the sweep leaves @p chip untouched
+     *  even in NDEBUG builds (always verified in debug builds). */
+    bool verifyRestore = false;
 };
 
 /**
  * Run the fork-pre-execute sweep for the epoch
  * [chip.now(), chip.now() + epoch_len) and return the accurate
- * estimates. @p chip is copied per sample and left untouched.
+ * estimates.
+ *
+ * @param chip       Simulator state at the epoch boundary. Left
+ *                   untouched: each sample runs on either a
+ *                   per-sample copy or a pooled scratch chip restored
+ *                   from @p chip (see SweepOptions::pool); debug
+ *                   builds verify this with state fingerprints.
+ * @param domains    CU-to-clock-domain mapping for the sweep.
+ * @param table      V/f operating points; one sample per state.
+ * @param epoch_len  Length of the pre-executed epoch in ticks.
+ * @param options    Sweep behavior (shuffle, wave fits, pooling,
+ *                   in-cell parallelism, restore verification).
+ * @return Per-domain I(f) curves and optional per-wave sensitivities.
  */
 dvfs::AccurateEstimates
 forkPreExecuteSweep(const gpu::GpuChip &chip,
@@ -50,8 +82,8 @@ forkPreExecuteSweep(const gpu::GpuChip &chip,
 
 /**
  * Per-domain linear sensitivity (d instructions / d f_GHz) fitted
- * over the accurate I(f) points of @p estimates for one domain,
- * with the fit's R^2 (Figure 5's metric).
+ * over the accurate I(f) points of one domain, with the fit's R^2
+ * (Figure 5's metric).
  */
 struct DomainSensitivity
 {
@@ -60,6 +92,14 @@ struct DomainSensitivity
     double r2 = 0.0;
 };
 
+/**
+ * Fit a DomainSensitivity from a sweep's accurate estimates.
+ *
+ * @param est     Estimates returned by forkPreExecuteSweep().
+ * @param table   V/f table the sweep sampled (supplies the f axis).
+ * @param domain  Domain index to fit; must be < est.domainInstr.size().
+ * @return Linear fit of instructions versus frequency for @p domain.
+ */
 DomainSensitivity domainSensitivity(const dvfs::AccurateEstimates &est,
                                     const power::VfTable &table,
                                     std::uint32_t domain);

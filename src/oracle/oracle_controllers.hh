@@ -16,7 +16,13 @@
 namespace pcstall::oracle
 {
 
-/** Shared frequency-selection step from accurate I(f) curves. */
+/**
+ * Shared frequency-selection step from accurate I(f) curves.
+ *
+ * @param ctx  The epoch context (power model, V/f table, objective).
+ * @param est  Accurate per-domain I(f) estimates from a sweep.
+ * @return One chosen V/f state per domain (chooseState per domain).
+ */
 std::vector<dvfs::DomainDecision>
 decideFromAccurate(const dvfs::EpochContext &ctx,
                    const dvfs::AccurateEstimates &est);

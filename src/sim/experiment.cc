@@ -8,7 +8,9 @@
 #include "faults/fault_injector.hh"
 #include "obs/context.hh"
 #include "oracle/fork_pre_execute.hh"
+#include "oracle/snapshot_pool.hh"
 #include "sim/epoch_ledger.hh"
+#include "sim/parallel_executor.hh"
 
 namespace pcstall::sim
 {
@@ -87,8 +89,25 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
     const Tick trans = cfg.transitionLatency >= 0
         ? cfg.transitionLatency : gpu::transitionLatencyFor(cfg.epochLen);
     const dvfs::SweepNeed need = controller.sweepNeed();
-    const oracle::SweepOptions sweep_opts{
-        true, controller.needsWaveLevel()};
+
+    // One snapshot pool per run: after the first epoch its scratch
+    // chips hit their capacity high-water mark and every later sweep
+    // is allocation-free. The in-cell executor (if requested) spreads
+    // the S independent samples across threads; the reduction stays on
+    // this thread in sample order, so results are byte-identical to
+    // the serial copy path either way.
+    oracle::SnapshotPool sweep_pool;
+    std::unique_ptr<ParallelExecutor> sweep_exec;
+    oracle::SweepOptions sweep_opts;
+    sweep_opts.shuffle = true;
+    sweep_opts.waveLevel = controller.needsWaveLevel();
+    if (cfg.oracleMode == OracleMode::Pool) {
+        sweep_opts.pool = &sweep_pool;
+        if (cfg.oracleThreads > 1 && need != dvfs::SweepNeed::None)
+            sweep_exec =
+                std::make_unique<ParallelExecutor>(cfg.oracleThreads);
+        sweep_opts.executor = sweep_exec.get();
+    }
 
     faults::FaultInjector injector(cfg.faults);
     // All metric arithmetic lives in the ledger, shared with the trace
@@ -124,14 +143,18 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
 
     Tick epoch_start = 0;
     bool done = false;
+    // Harvest buffers live outside the loop: harvestEpoch() and
+    // perturbRecord() fully overwrite them each epoch, so hoisting
+    // them trades one allocation per epoch for vector-capacity reuse.
+    gpu::EpochRecord record;
+    gpu::EpochRecord observed_storage;
     while (!done && epoch_start < cfg.maxSimTime) {
         const std::int64_t epoch_t0 = obs::nowNsIfEnabled();
         const Tick epoch_end = epoch_start + cfg.epochLen;
-        gpu::EpochRecord record;
         {
             const obs::ScopedTimer timer(nullptr, &simulate_ns);
             done = chip.runUntil(epoch_end);
-            record = chip.harvestEpoch(epoch_start);
+            chip.harvestEpoch(epoch_start, record);
         }
         ++result.epochs;
 
@@ -141,7 +164,6 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
         const faults::FaultInjector::Totals epoch_base =
             injector.totals();
         const std::uint64_t fallback_base = controller.fallbackEpochs();
-        gpu::EpochRecord observed_storage;
         const gpu::EpochRecord *observed = &record;
         if (cfg.faults.telemetry.enabled) {
             observed_storage = record;

@@ -36,6 +36,17 @@ namespace pcstall::sim
 void scaleToCus(gpu::GpuConfig &gpu_cfg, power::PowerParams &power_cfg,
                 std::uint32_t num_cus);
 
+/** Chip-snapshot strategy for the fork-pre-execute oracle sweeps. */
+enum class OracleMode
+{
+    /** Deep-copy the chip once per V/f sample (legacy reference
+     *  path; allocation-heavy but trivially correct). */
+    Copy,
+    /** Restore pooled scratch chips by assignment - no steady-state
+     *  allocations, byte-identical results (docs/performance.md). */
+    Pool,
+};
+
 /** Configuration of one experiment run. */
 struct RunConfig
 {
@@ -65,6 +76,11 @@ struct RunConfig
     bool watchdogFallback = false;
     /** Parity-protect PC tables (scrub corrupted entries on lookup). */
     bool eccProtectTables = false;
+    /** Snapshot strategy for oracle sweeps. */
+    OracleMode oracleMode = OracleMode::Pool;
+    /** Worker threads for in-cell oracle sample parallelism (<= 1 =
+     *  serial; results are independent of the thread count). */
+    unsigned oracleThreads = 1;
 
     /** Apply scaleToCus() for the configured CU count. */
     RunConfig &scaled()

@@ -17,6 +17,14 @@
  *    still runs - and the first (lowest-index) exception is rethrown
  *    after the batch completes. Callers that want per-task error
  *    containment (the bench sweep runner) catch inside the task.
+ *
+ * The executor is used at two levels: bench::SweepRunner spreads
+ * whole sweep cells across it, and oracle::forkPreExecuteSweep can
+ * run the S independent V/f samples of one epoch boundary on it
+ * (in-cell parallelism, for when the outer sweep leaves cores idle).
+ * To keep the latter free of a sim -> oracle -> sim dependency cycle
+ * the translation unit is compiled into pcstall_common; the namespace
+ * stays pcstall::sim for source compatibility.
  */
 
 #ifndef PCSTALL_SIM_PARALLEL_EXECUTOR_HH

@@ -1,7 +1,11 @@
 #include "sim/profiler.hh"
 
+#include <memory>
+
 #include "common/logging.hh"
 #include "gpu/gpu_chip.hh"
+#include "oracle/snapshot_pool.hh"
+#include "sim/parallel_executor.hh"
 
 namespace pcstall::sim
 {
@@ -39,10 +43,21 @@ SensitivityProfiler::profile(
     ProfileResult result;
     result.table = cfg.wideTable ? power::VfTable::wideTable()
                                  : power::VfTable::paperTable();
-    const oracle::SweepOptions opts{cfg.shuffle, cfg.waveLevel};
+    oracle::SnapshotPool pool;
+    std::unique_ptr<ParallelExecutor> exec;
+    oracle::SweepOptions opts;
+    opts.shuffle = cfg.shuffle;
+    opts.waveLevel = cfg.waveLevel;
+    if (cfg.poolSnapshots) {
+        opts.pool = &pool;
+        if (cfg.oracleThreads > 1)
+            exec = std::make_unique<ParallelExecutor>(cfg.oracleThreads);
+        opts.executor = exec.get();
+    }
 
     Tick epoch_start = 0;
     std::size_t epoch_index = 0;
+    gpu::EpochRecord harvest_scratch;
     while (epoch_start < cfg.maxSimTime) {
         if (cfg.maxEpochs > 0 && result.epochs.size() >= cfg.maxEpochs)
             break;
@@ -64,7 +79,7 @@ SensitivityProfiler::profile(
         }
 
         const bool done = chip.runUntil(epoch_start + cfg.epochLen);
-        chip.harvestEpoch(epoch_start);
+        chip.harvestEpoch(epoch_start, harvest_scratch);
         epoch_start += cfg.epochLen;
         ++epoch_index;
         if (done)

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validate relative links in the repo's Markdown files.
+
+Scans every tracked *.md file (or the files given on the command
+line), extracts inline Markdown links and images, and checks that
+each relative target exists. External schemes (http, https, mailto)
+and pure in-page anchors are skipped; a `path#anchor` target is
+checked for the file part only. Exits non-zero listing every broken
+link, so CI catches documentation rot.
+
+Standard library only - runs on any python3.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Inline link/image: [text](target) - stops at the first unescaped
+# closing paren, which is fine for the plain paths this repo uses.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root):
+    """All .md files under *root*, skipping VCS and build dirs."""
+    skip_dirs = {".git", "build", "node_modules", ".cache"}
+    out = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in skip_dirs]
+        for name in filenames:
+            if name.endswith(".md"):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def check_file(md_path, root):
+    """Return a list of (line_number, target) broken links."""
+    broken = []
+    base = os.path.dirname(md_path)
+    with open(md_path, encoding="utf-8", errors="replace") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_SCHEMES):
+                    continue
+                if target.startswith("#"):
+                    continue  # in-page anchor
+                path_part = target.split("#", 1)[0]
+                if not path_part:
+                    continue
+                # Leading "/" means repo-root-relative in this repo's
+                # docs; everything else is relative to the file.
+                if path_part.startswith("/"):
+                    resolved = os.path.join(root, path_part.lstrip("/"))
+                else:
+                    resolved = os.path.join(base, path_part)
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target))
+    return broken
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="markdown files to check (default: every .md in --root)",
+    )
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root for absolute links and the default scan",
+    )
+    args = parser.parse_args()
+
+    files = args.files or markdown_files(args.root)
+    total_broken = 0
+    for md_path in files:
+        for lineno, target in check_file(md_path, args.root):
+            rel = os.path.relpath(md_path, args.root)
+            print(f"{rel}:{lineno}: broken link -> {target}")
+            total_broken += 1
+
+    if total_broken:
+        print(f"{total_broken} broken link(s) in {len(files)} file(s)")
+        return 1
+    print(f"OK: {len(files)} markdown file(s), no broken relative links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
