@@ -13,6 +13,7 @@
 
 #include "common/logging.hh"
 #include "core/pcstall_controller.hh"
+#include "store/atomic_file.hh"
 #include "dvfs/hierarchical.hh"
 #include "models/reactive_controller.hh"
 #include "obs/context.hh"
@@ -39,6 +40,23 @@ struct ObsConfig
     bool verbose = false;
     bool written = false;
 };
+
+/** Buffered --csv-out artifact: emit() appends here, and the buffer
+ *  is published with one atomic rename at process exit. */
+struct CsvArtifact
+{
+    std::mutex mutex;
+    std::string path;
+    std::string body;
+    bool written = false;
+};
+
+CsvArtifact &
+csvArtifact()
+{
+    static CsvArtifact csv;
+    return csv;
+}
 
 ObsConfig &
 obsConfig()
@@ -71,6 +89,13 @@ configureObservability(const BenchOptions &opts)
         cfg.timelineOut = opts.timelineOut;
         cfg.verbose = opts.verbose;
         cfg.written = false;
+    }
+    {
+        CsvArtifact &csv = csvArtifact();
+        const std::lock_guard<std::mutex> lock(csv.mutex);
+        csv.path = opts.csvOut;
+        csv.body.clear();
+        csv.written = false;
     }
     // --verbose implies metrics: the self-profile is computed from the
     // Timing-kind profile.* counters.
@@ -135,35 +160,70 @@ writeObservabilityOutputs()
     if (metrics_out.empty() && timeline_out.empty() && !verbose)
         return;
 
+    // Both exports render into memory and publish with one atomic
+    // rename (store/atomic_file.hh): a crash mid-flush leaves either
+    // the previous complete file or none, never a truncated document.
     const obs::MetricsSnapshot snap = obs::collectedSnapshot();
     if (!metrics_out.empty()) {
-        std::ofstream os(metrics_out);
-        if (!os) {
-            warn("--metrics-out: cannot write '" + metrics_out + "'");
-        } else {
-            const std::size_t dot = metrics_out.find_last_of('.');
-            const std::string ext = dot == std::string::npos
-                ? "" : metrics_out.substr(dot);
-            if (ext == ".prom" || ext == ".txt")
-                obs::writeMetricsPrometheus(os, snap);
-            else
-                obs::writeMetricsJson(os, snap);
+        std::ostringstream os;
+        const std::size_t dot = metrics_out.find_last_of('.');
+        const std::string ext =
+            dot == std::string::npos ? "" : metrics_out.substr(dot);
+        if (ext == ".prom" || ext == ".txt")
+            obs::writeMetricsPrometheus(os, snap);
+        else
+            obs::writeMetricsJson(os, snap);
+        const std::string err =
+            store::writeFileAtomic(metrics_out, os.str());
+        if (!err.empty())
+            warn("--metrics-out: " + err);
+        else
             inform("wrote metrics snapshot to " + metrics_out);
-        }
     }
     if (!timeline_out.empty()) {
-        std::ofstream os(timeline_out);
-        if (!os) {
-            warn("--timeline-out: cannot write '" + timeline_out +
-                 "'");
+        std::ostringstream os;
+        obs::writeChromeTrace(os, obs::collectedTimelines());
+        const std::string err =
+            store::writeFileAtomic(timeline_out, os.str());
+        if (!err.empty()) {
+            warn("--timeline-out: " + err);
         } else {
-            obs::writeChromeTrace(os, obs::collectedTimelines());
             inform("wrote timeline to " + timeline_out +
                    " (open in https://ui.perfetto.dev)");
         }
     }
     if (verbose)
         printSelfProfile(snap);
+}
+
+void
+flushHarnessArtifacts()
+{
+    writeObservabilityOutputs();
+    std::string path;
+    std::string body;
+    bool flush = false;
+    {
+        CsvArtifact &csv = csvArtifact();
+        const std::lock_guard<std::mutex> lock(csv.mutex);
+        if (!csv.path.empty() && !csv.written) {
+            csv.written = true;
+            path = csv.path;
+            body = csv.body;
+            flush = true;
+        }
+    }
+    if (flush) {
+        const std::string err = store::writeFileAtomic(path, body);
+        if (!err.empty())
+            warn("--csv-out: " + err);
+        else
+            inform("wrote CSV tables to " + path);
+    }
+    // A FatalError that unwound through a streaming writer can leave
+    // its staged temp file registered; drop the leftovers here so
+    // repeated degraded runs never accumulate .tmp litter.
+    store::cleanupTempFiles();
 }
 
 BenchOptions
@@ -234,8 +294,66 @@ BenchOptions::parse(int argc, char **argv)
     opts.pcSnapshotOut = cli.get("pc-snapshot-out", "");
     opts.pcSnapshotIn = cli.get("pc-snapshot-in", "");
 
+    if (argc > 0 && argv != nullptr && argv[0] != nullptr) {
+        const std::string argv0 = argv[0];
+        const std::size_t slash = argv0.find_last_of('/');
+        const std::string base = slash == std::string::npos
+            ? argv0 : argv0.substr(slash + 1);
+        if (!base.empty())
+            opts.harnessId = base;
+    }
+
+    // Farm flags (docs/sweep_farm.md). All validation is recoverable:
+    // a malformed value is reported through cli.errors() and the flag
+    // reverts to its default, never aborting the run.
+    opts.storeDir = cli.get("store", "");
+    opts.resume = cli.has("resume");
+    if (opts.resume && opts.storeDir.empty()) {
+        cli.noteError("--resume: requires --store DIR "
+                      "(nothing to resume from)");
+        opts.resume = false;
+    }
+    const std::string shard = cli.get("shard", "");
+    if (!shard.empty()) {
+        unsigned index = 0;
+        unsigned count = 0;
+        char extra = '\0';
+        const int got = std::sscanf(shard.c_str(), "%u/%u%c",
+                                    &index, &count, &extra);
+        if (got != 2) {
+            cli.noteError("--shard " + shard +
+                          ": expected INDEX/COUNT (e.g. 0/4)");
+        } else if (count == 0) {
+            cli.noteError("--shard " + shard +
+                          ": count must be >= 1");
+        } else if (index >= count) {
+            cli.noteError("--shard " + shard +
+                          ": index must be < count");
+        } else {
+            opts.shardIndex = index;
+            opts.shardCount = count;
+        }
+    }
+    const double cell_timeout = cli.getDouble("cell-timeout", 0.0);
+    if (cell_timeout < 0.0) {
+        cli.noteError("--cell-timeout " +
+                      std::to_string(cell_timeout) +
+                      ": must be >= 0 seconds");
+    } else {
+        opts.cellTimeoutSec = cell_timeout;
+    }
+    const std::int64_t cell_retries = cli.getInt("cell-retries", 2);
+    if (cell_retries < 0) {
+        cli.noteError("--cell-retries " +
+                      std::to_string(cell_retries) +
+                      ": must be >= 0");
+    } else {
+        opts.cellRetries = static_cast<unsigned>(cell_retries);
+    }
+
     opts.metricsOut = cli.get("metrics-out", "");
     opts.timelineOut = cli.get("timeline-out", "");
+    opts.csvOut = cli.get("csv-out", "");
     opts.verbose = cli.has("verbose");
     const std::string log_level = cli.get("log-level", "");
     if (!log_level.empty() && !setLogLevelByName(log_level)) {
@@ -700,6 +818,13 @@ emit(const BenchOptions &opts, const TableWriter &table)
         table.printCsv(std::cout);
     else
         table.print(std::cout);
+    CsvArtifact &csv = csvArtifact();
+    const std::lock_guard<std::mutex> lock(csv.mutex);
+    if (!csv.path.empty()) {
+        std::ostringstream os;
+        table.printCsv(os);
+        csv.body += os.str();
+    }
 }
 
 void

@@ -116,6 +116,39 @@ struct BenchOptions
     /** Print the self-profile report (time in simulate / predict /
      *  oracle / encode) at process end (--verbose). */
     bool verbose = false;
+    /**
+     * Results-store directory (--store DIR): completed sweep cells are
+     * checkpointed there (crash-safe, content-addressed; see
+     * docs/sweep_farm.md) and looked up before computing, so a killed
+     * sweep restarted with the same flags recomputes only the missing
+     * cells. Empty = no checkpointing.
+     */
+    std::string storeDir;
+    /** --resume: assert store-backed resume semantics (requires
+     *  --store; informs how many cells were reused). */
+    bool resume = false;
+    /** Shard this worker owns (--shard i/N): only cells with
+     *  index % shardCount == shardIndex run; the rest are marked
+     *  skipped. shardCount <= 1 = unsharded. */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 0;
+    /** Per-cell wall-clock budget in seconds (--cell-timeout; 0 = no
+     *  watchdog). Overrunning cells are cancelled at the next epoch
+     *  boundary and marked failed-with-timeout. */
+    double cellTimeoutSec = 0.0;
+    /** Max extra attempts for transient cell failures (--cell-retries;
+     *  deterministic FatalErrors and timeouts are never retried). */
+    unsigned cellRetries = 2;
+    /**
+     * Also write every emitted table, in CSV form, to this file at
+     * process end (--csv-out). Buffered in memory and published with
+     * one atomic rename, so a crashed run never leaves a truncated
+     * CSV for a plotting script to half-parse.
+     */
+    std::string csvOut;
+    /** Harness identity for store keys (argv[0] basename; tools that
+     *  build options programmatically may override). */
+    std::string harnessId = "harness";
 
     /** Parse from argv; honours --cus --scale --epoch-us --domain-cus
      *  --seed --threads --csv --workloads a,b,c plus the fault flags
@@ -123,10 +156,12 @@ struct BenchOptions
      *  --trans-extra-ns --freq-quant-mhz --bitflips --ecc --watchdog,
      *  the performance flags --oracle-mode --oracle-threads,
      *  the trace flags --trace-out --replay --pc-snapshot-out
-     *  --pc-snapshot-in, and the observability flags --metrics-out
-     *  --timeline-out --verbose --log-level (also env PCSTALL_LOG).
-     *  Malformed options and unknown workloads are warned about and
-     *  dropped, never fatal. Calls configureObservability(). */
+     *  --pc-snapshot-in, the farm flags --store --resume --shard i/N
+     *  --cell-timeout --cell-retries (docs/sweep_farm.md), and the
+     *  observability flags --metrics-out --timeline-out --csv-out
+     *  --verbose --log-level (also env PCSTALL_LOG). Malformed
+     *  options and unknown workloads are warned about and dropped,
+     *  never fatal. Calls configureObservability(). */
     static BenchOptions parse(int argc, char **argv);
 
     workloads::WorkloadParams workloadParams() const;
@@ -236,6 +271,15 @@ void configureObservability(const BenchOptions &opts);
 void writeObservabilityOutputs();
 
 /**
+ * Flush every durable artifact on process exit: the observability
+ * outputs above, the buffered --csv-out table, and any in-flight
+ * `.tmp` staging files left by an unwinding FatalError (unlinked so
+ * retries never accumulate stale partial files). guardedMain() calls
+ * this once on every exit path; extra calls are no-ops.
+ */
+void flushHarnessArtifacts();
+
+/**
  * Flush the PC tables' plain-member telemetry (lookups, hits,
  * updates, evictions, alias hits, scrubs) into the current run
  * context's registry as pc_table.* counters. runTraced() calls this
@@ -273,7 +317,7 @@ guardedMain(Fn &&body)
         const int rc = body();
         // Flush even when rc != 0: partial metrics from a degraded
         // sweep are exactly what one debugs the degradation with.
-        writeObservabilityOutputs();
+        flushHarnessArtifacts();
         const std::uint64_t failed = sweepFailureCount() - before;
         if (rc == 0 && failed != 0) {
             warn(std::to_string(failed) +
@@ -283,11 +327,11 @@ guardedMain(Fn &&body)
         return rc;
     } catch (const FatalError &) {
         // fatal() printed the diagnostic when it threw.
-        writeObservabilityOutputs();
+        flushHarnessArtifacts();
         return 1;
     } catch (const std::exception &e) {
         warn(std::string("unexpected error: ") + e.what());
-        writeObservabilityOutputs();
+        flushHarnessArtifacts();
         return 1;
     }
 }

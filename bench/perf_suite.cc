@@ -44,6 +44,7 @@
 #include "oracle/snapshot_pool.hh"
 #include "predict/pc_table.hh"
 #include "sim/parallel_executor.hh"
+#include "store/atomic_file.hh"
 #include "trace/format.hh"
 
 using namespace pcstall;
@@ -252,11 +253,7 @@ writeJson(const std::string &path, const bench::BenchOptions &opts,
           unsigned oracle_threads,
           const std::vector<BenchTiming> &timings)
 {
-    std::ofstream os(path);
-    if (!os) {
-        warn("cannot write " + path);
-        return;
-    }
+    std::ostringstream os;
     char buf[160];
     os << "{\n  \"schema\": \"pcstall-perf-v1\",\n  \"config\": {\n";
     std::snprintf(buf, sizeof(buf),
@@ -286,6 +283,13 @@ writeJson(const std::string &path, const bench::BenchOptions &opts,
         os << buf;
     }
     os << "  ]\n}\n";
+    // Atomic publish so a kill mid-write cannot leave a truncated
+    // baseline that a later --check-regression run would half-parse.
+    const std::string err = store::writeFileAtomic(path, os.str());
+    if (!err.empty()) {
+        warn("cannot write " + path + ": " + err);
+        return;
+    }
     inform("wrote " + path);
 }
 

@@ -1,12 +1,17 @@
 #include "sweep_runner.hh"
 
+#include <chrono>
+#include <filesystem>
 #include <memory>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/rng.hh"
 #include "obs/context.hh"
+#include "store/cell_codec.hh"
+#include "store/result_store.hh"
 
 namespace pcstall::bench
 {
@@ -54,7 +59,73 @@ cellLabel(const std::string &workload, const std::string &design)
     return workload + " x " + design;
 }
 
+/** Pseudo-design the shared static-nominal baselines are stored as. */
+constexpr const char *baselineDesign = "__static_baseline__";
+
+/** Steady-clock now in ns (the watchdog's clock; independent of the
+ *  metrics-enabled gating of obs::nowNsIfEnabled). */
+std::int64_t
+steadyNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * The store identity of one run. The fingerprint extends configKey()
+ * with the inputs it deliberately leaves out of repeat-keying but
+ * which do change results or stored content: a PC-table warm-start
+ * file and whether metrics were recorded (entries written without
+ * metrics carry an empty shard and must not satisfy a metrics run).
+ */
+store::CellKey
+storeKeyFor(const std::string &harness, const std::string &workload,
+            const std::string &design, const BenchOptions &opts,
+            std::size_t run_index)
+{
+    store::CellKey key;
+    key.harness = harness;
+    key.workload = workload;
+    key.design = design;
+    key.fingerprint = configKey(opts);
+    key.fingerprint += '\x1f';
+    key.fingerprint += obs::metricsEnabled() ? "m1" : "m0";
+    key.fingerprint += '\x1f';
+    key.fingerprint += opts.pcSnapshotIn;
+    key.runIndex = run_index;
+    return key;
+}
+
+/** True when a cell's run cannot be satisfied from the store: it has
+ *  side effects (inspect callbacks, trace/snapshot captures) or an
+ *  input (replay) the checkpoint does not model. */
+bool
+storeBypassed(const SweepCell &cell)
+{
+    return cell.inspect != nullptr || !cell.opts.traceOut.empty() ||
+           !cell.opts.pcSnapshotOut.empty() ||
+           !cell.opts.replayTrace.empty();
+}
+
+std::string
+baselineMemoKey(const std::string &workload, const BenchOptions &opts)
+{
+    return workload + '|' + configKey(opts);
+}
+
 } // namespace
+
+/** One cell's watchdog slot. Workers publish a deadline at attempt
+ *  start and clear it at attempt end; the monitor thread flips
+ *  `cancel` when the deadline passes, and the experiment loop notices
+ *  at its next epoch boundary. */
+struct SweepRunner::CellWatch
+{
+    std::atomic<bool> cancel{false};
+    /** Absolute steady-clock deadline in ns; 0 = no attempt active. */
+    std::atomic<std::int64_t> deadline{0};
+};
 
 SweepRunner::SweepRunner(const BenchOptions &opts)
     : defaults(opts), pool(opts.threads)
@@ -67,7 +138,24 @@ SweepRunner::SweepRunner(const BenchOptions &opts)
     const std::string err =
         sim::validateRunConfig(defaults.runConfig());
     fatalIf(!err.empty(), err);
+
+    if (!defaults.storeDir.empty()) {
+        auto rs = std::make_unique<store::ResultStore>(
+            defaults.storeDir);
+        if (rs->ok()) {
+            resultStore = std::move(rs);
+            debug("results store at '" + defaults.storeDir + "' (" +
+                  std::to_string(resultStore->entryCount()) +
+                  " entries)");
+        } else {
+            // Recoverable by design: a bad store means recomputing
+            // everything, not losing the sweep.
+            warn(rs->error() + " (continuing without checkpointing)");
+        }
+    }
 }
+
+SweepRunner::~SweepRunner() = default;
 
 SweepRunner::AppPtr
 SweepRunner::appFor(const std::string &workload,
@@ -103,26 +191,76 @@ SweepRunner::appFor(const std::string &workload,
     return fut.get();
 }
 
-RunOutcome
-SweepRunner::staticBaseline(const std::string &workload,
-                            const BenchOptions &opts)
+bool
+SweepRunner::storeProbablyHas(const SweepCell &cell) const
 {
-    const std::string key = workload + '|' + configKey(opts);
-    std::shared_future<RunOutcome> fut;
-    std::shared_ptr<std::promise<RunOutcome>> mine;
-    {
-        const std::lock_guard<std::mutex> lock(baselineMutex);
-        const auto it = baselines.find(key);
-        if (it != baselines.end()) {
-            fut = it->second;
-        } else {
-            mine = std::make_shared<std::promise<RunOutcome>>();
-            fut = mine->get_future().share();
-            baselines.emplace(key, fut);
+    if (resultStore == nullptr || storeBypassed(cell))
+        return false;
+    std::error_code ec;
+    const bool cell_present = std::filesystem::exists(
+        resultStore->entryPath(storeKeyFor(
+            defaults.harnessId, cell.workload, cell.design, cell.opts,
+            cell.runIndex)),
+        ec);
+    if (!cell_present)
+        return false;
+    if (!cell.wantBaseline)
+        return true;
+    return std::filesystem::exists(
+        resultStore->entryPath(storeKeyFor(
+            defaults.harnessId, cell.workload, baselineDesign,
+            cell.opts, 0)),
+        ec);
+}
+
+RunOutcome
+SweepRunner::computeBaseline(const std::string &workload,
+                             const BenchOptions &opts,
+                             ShardArtifact &art)
+{
+    RunOutcome out;
+    store::ResultStore *rs = resultStore.get();
+    store::CellKey key;
+    if (rs != nullptr) {
+        key = storeKeyFor(defaults.harnessId, workload, baselineDesign,
+                          opts, 0);
+        store::ResultStore::GetResult got = rs->get(key);
+        if (got.status == store::ResultStore::GetStatus::Corrupt) {
+            obs::reg()
+                .counter("farm.cells.quarantined",
+                         obs::MetricKind::Timing)
+                .add(1);
+            warn(got.error + " (quarantined; recomputing)");
         }
+        if (got.status == store::ResultStore::GetStatus::Hit) {
+            store::StoredCell stored;
+            std::string derr;
+            if (store::decodeStoredCell(got.payload, stored, derr)) {
+                obs::reg()
+                    .counter("farm.cells.hit", obs::MetricKind::Timing)
+                    .add(1);
+                debug("store hit: baseline " + workload);
+                out.result = std::move(stored.run.result);
+                out.ok = stored.run.ok;
+                out.error = std::move(stored.run.error);
+                art.snap = std::move(stored.metrics);
+                art.valid = true;
+                return out;
+            }
+            warn("store entry for baseline " + workload + ": " + derr +
+                 " (recomputing)");
+        }
+        obs::reg()
+            .counter("farm.cells.miss", obs::MetricKind::Timing)
+            .add(1);
     }
-    if (mine != nullptr) {
-        RunOutcome out;
+
+    // Live compute in a private context so the baseline's metrics
+    // shard is exactly this run's recording - cleanly snapshottable
+    // for the store and for submission-order collection.
+    obs::RunContext attempt_ctx("baseline: " + workload);
+    {
+        const obs::ScopedContext scope(attempt_ctx);
         try {
             sim::RunConfig cfg = opts.runConfig();
             const std::string err = sim::validateRunConfig(cfg);
@@ -148,67 +286,218 @@ SweepRunner::staticBaseline(const std::string &workload,
         } catch (const std::exception &e) {
             out.error = e.what();
         }
-        if (!out.ok) {
-            noteSweepFailure();
-            warn("static baseline for " + workload +
-                 " failed: " + out.error);
+    }
+    art.snap = attempt_ctx.registry.snapshot();
+    art.timeline = std::move(attempt_ctx.timeline);
+    art.valid = true;
+
+    if (!out.ok) {
+        noteSweepFailure();
+        warn("static baseline for " + workload +
+             " failed: " + out.error);
+    } else if (rs != nullptr) {
+        store::StoredCell stored;
+        stored.run.result = out.result;
+        stored.run.ok = true;
+        stored.metrics = art.snap;
+        const std::string perr =
+            rs->put(key, store::encodeStoredCell(stored));
+        if (!perr.empty())
+            debug("store put (baseline " + workload + "): " + perr);
+    }
+    return out;
+}
+
+RunOutcome
+SweepRunner::staticBaseline(const std::string &workload,
+                            const BenchOptions &opts)
+{
+    const std::string key = baselineMemoKey(workload, opts);
+    std::shared_future<RunOutcome> fut;
+    std::shared_ptr<std::promise<RunOutcome>> mine;
+    {
+        const std::lock_guard<std::mutex> lock(baselineMutex);
+        const auto it = baselines.find(key);
+        if (it != baselines.end()) {
+            fut = it->second;
+        } else {
+            mine = std::make_shared<std::promise<RunOutcome>>();
+            fut = mine->get_future().share();
+            baselines.emplace(key, fut);
+        }
+    }
+    if (mine != nullptr) {
+        ShardArtifact art;
+        RunOutcome out = computeBaseline(workload, opts, art);
+        {
+            const std::lock_guard<std::mutex> lock(artifactMutex);
+            baselineArtifacts[key] = std::move(art);
         }
         mine->set_value(std::move(out));
     }
     return fut.get();
 }
 
+SweepRunner::FailureKind
+SweepRunner::attemptCell(const SweepCell &cell,
+                         const std::atomic<bool> *cancel,
+                         RunOutcome &run)
+{
+    try {
+        sim::RunConfig cfg = cell.opts.runConfig();
+        const std::string err = sim::validateRunConfig(cfg);
+        if (!err.empty()) {
+            run.error = err;
+            return FailureKind::Config;
+        }
+        AppPtr app = appFor(cell.workload, cell.opts);
+        if (app == nullptr) {
+            run.error =
+                "workload '" + cell.workload + "' failed to build";
+            return FailureKind::Config;
+        }
+        // The determinism keystone: the cell's RNG stream is a pure
+        // function of its identity, never of which thread runs it or
+        // in what order.
+        cfg.gpu.seed = Rng::split(cell.opts.seed, cell.workload,
+                                  cell.design, cell.runIndex).next();
+        cfg.cancel = cancel;
+        sim::ExperimentDriver driver(cfg);
+        std::unique_ptr<dvfs::DvfsController> controller =
+            cell.factory != nullptr ? cell.factory(cfg)
+                                    : makeController(cell.design, cfg);
+        fatalIf(controller == nullptr,
+                "cell factory returned no controller");
+        run.result = runTraced(driver, app, *controller, cell.opts,
+                               cell.workload, cell.runIndex);
+        run.result.workload = cell.workload;
+        if (cell.inspect != nullptr)
+            cell.inspect(*controller);
+        run.ok = true;
+        return FailureKind::None;
+    } catch (const FatalError &e) {
+        run.error = e.what();
+        // A FatalError after the watchdog flipped the flag is the
+        // cancellation surfacing, not an independent defect.
+        if (cancel != nullptr &&
+            cancel->load(std::memory_order_relaxed)) {
+            return FailureKind::Timeout;
+        }
+        return FailureKind::Fatal;
+    } catch (const std::exception &e) {
+        run.error = e.what();
+        return FailureKind::Transient;
+    }
+}
+
 CellOutcome
-SweepRunner::runCell(const SweepCell &cell)
+SweepRunner::executeCell(const SweepCell &cell, CellWatch *watch,
+                         obs::Registry &farm, ShardArtifact &art)
 {
     CellOutcome out;
     if (cell.wantBaseline)
         out.baseline = staticBaseline(cell.workload, cell.opts);
 
-    RunOutcome &run = out.run;
-    try {
-        sim::RunConfig cfg = cell.opts.runConfig();
-        const std::string err = sim::validateRunConfig(cfg);
-        if (err.empty()) {
-            if (AppPtr app = appFor(cell.workload, cell.opts)) {
-                // The determinism keystone: the cell's RNG stream is
-                // a pure function of its identity, never of which
-                // thread runs it or in what order.
-                cfg.gpu.seed = Rng::split(cell.opts.seed,
-                                          cell.workload, cell.design,
-                                          cell.runIndex).next();
-                sim::ExperimentDriver driver(cfg);
-                std::unique_ptr<dvfs::DvfsController> controller =
-                    cell.factory != nullptr
-                        ? cell.factory(cfg)
-                        : makeController(cell.design, cfg);
-                fatalIf(controller == nullptr,
-                        "cell factory returned no controller");
-                run.result =
-                    runTraced(driver, app, *controller, cell.opts,
-                              cell.workload, cell.runIndex);
-                run.result.workload = cell.workload;
-                if (cell.inspect != nullptr)
-                    cell.inspect(*controller);
-                run.ok = true;
-            } else {
-                run.error =
-                    "workload '" + cell.workload + "' failed to build";
-            }
-        } else {
-            run.error = err;
+    const std::string label = cellLabel(cell.workload, cell.design);
+    store::ResultStore *rs =
+        storeBypassed(cell) ? nullptr : resultStore.get();
+    store::CellKey key;
+    if (rs != nullptr) {
+        key = storeKeyFor(defaults.harnessId, cell.workload,
+                          cell.design, cell.opts, cell.runIndex);
+        store::ResultStore::GetResult got = rs->get(key);
+        if (got.status == store::ResultStore::GetStatus::Corrupt) {
+            farm.counter("farm.cells.quarantined",
+                         obs::MetricKind::Timing)
+                .add(1);
+            warn(got.error + " (quarantined; recomputing)");
         }
-    } catch (const FatalError &e) {
-        run.error = e.what();
-    } catch (const std::exception &e) {
-        run.error = e.what();
+        if (got.status == store::ResultStore::GetStatus::Hit) {
+            store::StoredCell stored;
+            std::string derr;
+            if (store::decodeStoredCell(got.payload, stored, derr)) {
+                farm.counter("farm.cells.hit", obs::MetricKind::Timing)
+                    .add(1);
+                debug("store hit: " + label);
+                out.run.result = std::move(stored.run.result);
+                out.run.ok = stored.run.ok;
+                out.run.error = std::move(stored.run.error);
+                art.snap = std::move(stored.metrics);
+                art.valid = true;
+                return out;
+            }
+            warn("store entry for " + label + ": " + derr +
+                 " (recomputing)");
+        }
+        farm.counter("farm.cells.miss", obs::MetricKind::Timing)
+            .add(1);
     }
-    if (!run.ok) {
+
+    const std::int64_t budget_ns = static_cast<std::int64_t>(
+        defaults.cellTimeoutSec * 1e9);
+    const unsigned max_attempts = 1 + defaults.cellRetries;
+    std::string ctx_label = label;
+    if (cell.runIndex > 0)
+        ctx_label += " r" + std::to_string(cell.runIndex);
+    for (unsigned attempt = 0;; ++attempt) {
+        if (watch != nullptr && budget_ns > 0) {
+            watch->cancel.store(false, std::memory_order_relaxed);
+            watch->deadline.store(steadyNowNs() + budget_ns,
+                                  std::memory_order_release);
+        }
+        obs::RunContext attempt_ctx(ctx_label);
+        FailureKind kind;
+        {
+            const obs::ScopedContext scope(attempt_ctx);
+            out.run = RunOutcome{};
+            kind = attemptCell(
+                cell, watch != nullptr ? &watch->cancel : nullptr,
+                out.run);
+        }
+        if (watch != nullptr)
+            watch->deadline.store(0, std::memory_order_release);
+        // Per-attempt contexts keep abandoned attempts' metrics out of
+        // the merge: only the final attempt's shard is collected.
+        art.snap = attempt_ctx.registry.snapshot();
+        art.timeline = std::move(attempt_ctx.timeline);
+        art.valid = true;
+        if (out.run.ok)
+            break;
+        if (kind == FailureKind::Timeout) {
+            farm.counter("farm.cells.timeout", obs::MetricKind::Timing)
+                .add(1);
+            break;
+        }
+        if (kind == FailureKind::Transient &&
+            attempt + 1 < max_attempts) {
+            farm.counter("farm.cells.retried", obs::MetricKind::Timing)
+                .add(1);
+            warn("sweep cell " + label + " attempt " +
+                 std::to_string(attempt + 1) + " failed: " +
+                 out.run.error + " (retrying)");
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20 * (attempt + 1)));
+            continue;
+        }
+        break;
+    }
+
+    if (out.run.ok) {
+        if (rs != nullptr) {
+            store::StoredCell stored;
+            stored.run.result = out.run.result;
+            stored.run.ok = true;
+            stored.metrics = art.snap;
+            const std::string perr =
+                rs->put(key, store::encodeStoredCell(stored));
+            if (!perr.empty())
+                debug("store put (" + label + "): " + perr);
+        }
+    } else {
         // The one-line diagnostic; the rest of the sweep completes
         // and guardedMain turns the tally into a non-zero exit.
         noteSweepFailure();
-        warn("sweep cell " + cellLabel(cell.workload, cell.design) +
-             " failed: " + run.error);
+        warn("sweep cell " + label + " failed: " + out.run.error);
     }
     return out;
 }
@@ -216,8 +505,11 @@ SweepRunner::runCell(const SweepCell &cell)
 std::vector<CellOutcome>
 SweepRunner::run(std::vector<SweepCell> cells)
 {
-    // Repeat indices are assigned here, in submission order, before
-    // anything executes - the only place cell identity is decided.
+    // Repeat indices are assigned here, in submission order, on the
+    // FULL list before any shard filtering - the only place cell
+    // identity is decided, and deliberately independent of the shard
+    // layout so every worker and the merge pass agree on RNG streams
+    // and store keys.
     std::map<std::string, std::size_t> repeats;
     for (SweepCell &cell : cells) {
         const std::string key = cell.workload + '\x1f' + cell.design +
@@ -225,16 +517,31 @@ SweepRunner::run(std::vector<SweepCell> cells)
         cell.runIndex = repeats[key]++;
     }
 
+    const unsigned shard_n =
+        defaults.shardCount > 1 ? defaults.shardCount : 1;
+    const unsigned shard_i =
+        shard_n > 1 ? defaults.shardIndex % shard_n : 0;
+    const auto owned = [&](std::size_t i) {
+        return shard_n <= 1 || i % shard_n == shard_i;
+    };
+
     const bool observing =
         obs::metricsEnabled() || obs::timelineEnabled();
 
     // Warm the shared inputs with their own parallel prepasses so the
     // cell phase never serializes behind a popular app or baseline.
+    // Cells another shard owns - or whose results (and baselines) are
+    // already checkpointed - need no inputs here; a racing corrupt
+    // entry just falls back to the memoized appFor() in the cell.
     std::set<std::string> seen;
     std::vector<const SweepCell *> appWork;
-    for (const SweepCell &cell : cells) {
-        if (seen.insert(appKey(cell.workload, cell.opts)).second)
-            appWork.push_back(&cell);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (!owned(i) || storeProbablyHas(cells[i]))
+            continue;
+        if (seen.insert(appKey(cells[i].workload, cells[i].opts))
+                .second) {
+            appWork.push_back(&cells[i]);
+        }
     }
     pool.forEach(appWork.size(), [&](std::size_t i) {
         appFor(appWork[i]->workload, appWork[i]->opts);
@@ -242,9 +549,10 @@ SweepRunner::run(std::vector<SweepCell> cells)
 
     seen.clear();
     std::vector<const SweepCell *> baselineWork;
-    for (const SweepCell &cell : cells) {
-        if (cell.wantBaseline &&
-            seen.insert(cell.workload + '|' + configKey(cell.opts))
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const SweepCell &cell = cells[i];
+        if (owned(i) && cell.wantBaseline &&
+            seen.insert(baselineMemoKey(cell.workload, cell.opts))
                 .second) {
             baselineWork.push_back(&cell);
         }
@@ -276,10 +584,49 @@ SweepRunner::run(std::vector<SweepCell> cells)
         cellCtx.push_back(
             std::make_unique<obs::RunContext>(std::move(label)));
     }
+    std::vector<ShardArtifact> cellArt(cells.size());
+
+    // The cell watchdog: workers publish per-attempt deadlines; the
+    // monitor flips the cancel flag when one passes, and the run stops
+    // cooperatively at its next epoch boundary. The monitor never
+    // touches threads or results - enforcement is entirely in-band.
+    const bool watchdog_on = defaults.cellTimeoutSec > 0.0;
+    std::vector<std::unique_ptr<CellWatch>> watches;
+    std::atomic<bool> monitor_stop{false};
+    std::thread monitor;
+    if (watchdog_on) {
+        watches.resize(cells.size());
+        for (auto &watch : watches)
+            watch = std::make_unique<CellWatch>();
+        monitor = std::thread([&] {
+            while (!monitor_stop.load(std::memory_order_acquire)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+                const std::int64_t now = steadyNowNs();
+                for (auto &watch : watches) {
+                    const std::int64_t deadline =
+                        watch->deadline.load(std::memory_order_acquire);
+                    if (deadline != 0 && now > deadline) {
+                        watch->cancel.store(
+                            true, std::memory_order_relaxed);
+                    }
+                }
+            }
+        });
+    }
 
     const std::int64_t queued_ns = obs::nowNsIfEnabled();
     std::vector<CellOutcome> out(cells.size());
     pool.forEach(cells.size(), [&](std::size_t i) {
+        if (!owned(i)) {
+            out[i].run.skipped = true;
+            out[i].run.error = "skipped: shard " +
+                std::to_string(shard_i) + "/" +
+                std::to_string(shard_n) + " does not own cell " +
+                std::to_string(i);
+            out[i].baseline.skipped = cells[i].wantBaseline;
+            return;
+        }
         const obs::ScopedContext scope(*cellCtx[i]);
         obs::Registry &registry = cellCtx[i]->registry;
         obs::recordSinceNs(
@@ -288,14 +635,48 @@ SweepRunner::run(std::vector<SweepCell> cells)
             queued_ns);
         const obs::ScopedTimer wall(&registry.histogram(
             "sweep.cell_wall_ns", obs::MetricKind::Timing));
-        out[i] = runCell(cells[i]);
+        out[i] = executeCell(
+            cells[i], watchdog_on ? watches[i].get() : nullptr,
+            registry, cellArt[i]);
     });
 
+    if (watchdog_on) {
+        monitor_stop.store(true, std::memory_order_release);
+        monitor.join();
+    }
+
     if (observing) {
-        for (const auto &ctx : baselineCtx)
-            obs::collectContext(*ctx);
-        for (const auto &ctx : cellCtx)
-            obs::collectContext(*ctx);
+        // Submission-order collection. Each run slot contributes its
+        // run shard (live snapshot, or the shard replayed from the
+        // store) followed by its farm-level context; the sources have
+        // disjoint deterministic names, so resumed and uninterrupted
+        // sweeps merge byte-identically.
+        for (std::size_t i = 0; i < baselineWork.size(); ++i) {
+            ShardArtifact art;
+            {
+                const std::lock_guard<std::mutex> lock(artifactMutex);
+                const auto it = baselineArtifacts.find(baselineMemoKey(
+                    baselineWork[i]->workload, baselineWork[i]->opts));
+                if (it != baselineArtifacts.end()) {
+                    art = std::move(it->second);
+                    baselineArtifacts.erase(it);
+                }
+            }
+            if (art.valid) {
+                obs::collectShard(
+                    "baseline: " + baselineWork[i]->workload,
+                    std::move(art.snap), std::move(art.timeline));
+            }
+            obs::collectContext(*baselineCtx[i]);
+        }
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (cellArt[i].valid) {
+                obs::collectShard(cellCtx[i]->label,
+                                  std::move(cellArt[i].snap),
+                                  std::move(cellArt[i].timeline));
+            }
+            obs::collectContext(*cellCtx[i]);
+        }
         obs::reg()
             .gauge("sweep.threads", obs::MetricKind::Timing)
             .set(static_cast<double>(pool.threadCount()));

@@ -29,11 +29,26 @@
  * via noteSweepFailure() so guardedMain still exits 1 for a degraded
  * sweep; a shared configuration that is invalid for every cell fails
  * fast at construction with a single fatal diagnostic.
+ *
+ * Robustness layer (docs/sweep_farm.md): with --store DIR every
+ * completed cell (and shared baseline) is checkpointed to a
+ * content-addressed results store, consulted before computing - so a
+ * killed sweep restarted with the same flags recomputes only the
+ * missing cells and still merges byte-identical output (stored
+ * entries carry the cell's deterministic metrics shard, replayed at
+ * the same submission-order position). --shard i/N restricts a worker
+ * to its deterministic slice of the grid (run indices are assigned on
+ * the full list first, so cell identity is shard-layout independent);
+ * --cell-timeout arms a watchdog thread that cancels overrunning
+ * cells cooperatively at the next epoch boundary; transient failures
+ * are retried with bounded backoff, deterministic FatalErrors and
+ * timeouts never are.
  */
 
 #ifndef PCSTALL_BENCH_SWEEP_RUNNER_HH
 #define PCSTALL_BENCH_SWEEP_RUNNER_HH
 
+#include <atomic>
 #include <functional>
 #include <future>
 #include <map>
@@ -45,6 +60,11 @@
 #include "harness.hh"
 #include "obs/context.hh"
 #include "sim/parallel_executor.hh"
+
+namespace pcstall::store
+{
+class ResultStore;
+}
 
 namespace pcstall::bench
 {
@@ -89,6 +109,10 @@ struct RunOutcome
     bool ok = false;
     /** One-line diagnostic when !ok. */
     std::string error;
+    /** True when a --shard worker left this cell to a sibling shard.
+     *  Skipped cells are not failures: they are not tallied and carry
+     *  no result. */
+    bool skipped = false;
 };
 
 /** Everything a cell produced. */
@@ -102,9 +126,18 @@ struct CellOutcome
 class SweepRunner
 {
   public:
-    /** @p opts supplies the thread count and the defaults cell()
-     *  copies into new cells. */
+    /**
+     * @p opts supplies the thread count and the defaults cell()
+     * copies into new cells, plus the farm configuration: a results
+     * store (--store) for crash-resumable checkpointing, a shard
+     * assignment (--shard i/N) restricting which cells this worker
+     * computes, and the per-cell watchdog budget (--cell-timeout).
+     * An unusable store directory is a recoverable warn: the sweep
+     * proceeds without checkpointing.
+     */
     explicit SweepRunner(const BenchOptions &opts);
+
+    ~SweepRunner();
 
     /** Convenience cell builder using the runner's default options. */
     SweepCell
@@ -180,23 +213,81 @@ class SweepRunner
     /** The defaults cell() hands out. */
     const BenchOptions &options() const { return defaults; }
 
+    /** The active results store, or null (no --store, or the
+     *  directory was unusable and checkpointing is off). */
+    const store::ResultStore *store() const { return resultStore.get(); }
+
   private:
     using AppPtr = std::shared_ptr<const isa::Application>;
+
+    /** One cell's watchdog slot (defined in sweep_runner.cc). */
+    struct CellWatch;
+
+    /** Why one attempt of a cell failed - drives the retry policy. */
+    enum class FailureKind
+    {
+        None,
+        /** Invalid configuration / unbuildable workload: deterministic,
+         *  never retried. */
+        Config,
+        /** FatalError from library code: deterministic, never retried. */
+        Fatal,
+        /** Non-FatalError exception (e.g. an I/O race): retried with
+         *  backoff up to --cell-retries times. */
+        Transient,
+        /** Cancelled by the watchdog: budget spent, never retried. */
+        Timeout,
+    };
+
+    /** A metrics/timeline shard pending submission-order collection
+     *  (live-run snapshot, or a shard replayed from the store). */
+    struct ShardArtifact
+    {
+        obs::MetricsSnapshot snap;
+        std::vector<obs::TimelineEvent> timeline;
+        bool valid = false;
+    };
 
     /** Memoized application build (thread-safe, compute-once). */
     AppPtr appFor(const std::string &workload,
                   const BenchOptions &opts);
 
-    CellOutcome runCell(const SweepCell &cell);
+    /** Store-checked, watchdog-guarded, retry-bounded cell execution
+     *  (the per-cell body of run()'s parallel phase). */
+    CellOutcome executeCell(const SweepCell &cell, CellWatch *watch,
+                            obs::Registry &farm, ShardArtifact &art);
+
+    /** One live attempt of a cell (no store, no retries). */
+    FailureKind attemptCell(const SweepCell &cell,
+                            const std::atomic<bool> *cancel,
+                            RunOutcome &run);
+
+    /** The store-checked baseline computation staticBaseline()'s
+     *  winner runs; fills @p art for submission-order collection. */
+    RunOutcome computeBaseline(const std::string &workload,
+                               const BenchOptions &opts,
+                               ShardArtifact &art);
+
+    /** True when a (probably valid) store entry exists for the cell
+     *  and its baseline, so prepasses can skip warming its inputs. */
+    bool storeProbablyHas(const SweepCell &cell) const;
 
     BenchOptions defaults;
     sim::ParallelExecutor pool;
+
+    /** Active results store (null = checkpointing off). */
+    std::unique_ptr<store::ResultStore> resultStore;
 
     std::mutex appMutex;
     std::map<std::string, std::shared_future<AppPtr>> apps;
 
     std::mutex baselineMutex;
     std::map<std::string, std::shared_future<RunOutcome>> baselines;
+
+    /** Baseline shards stashed by compute winners, popped (once) by
+     *  run()'s submission-order collection loop. */
+    std::mutex artifactMutex;
+    std::map<std::string, ShardArtifact> baselineArtifacts;
 };
 
 } // namespace pcstall::bench

@@ -48,6 +48,16 @@ class CliOptions
     /** Diagnostics for values a typed accessor could not parse. */
     const std::vector<std::string> &errors() const { return parseErrors; }
 
+    /**
+     * Record a caller-side validation diagnostic (e.g. "--shard 3/2:
+     * index must be < count") so it is reported through the same
+     * recoverable errors() channel as malformed values.
+     */
+    void noteError(const std::string &message) const
+    {
+        parseErrors.push_back(message);
+    }
+
   private:
     std::map<std::string, std::string> values;
     std::vector<std::string> extras;

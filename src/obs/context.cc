@@ -94,11 +94,20 @@ ScopedContext::~ScopedContext()
 void
 collectContext(const RunContext &ctx)
 {
+    collectShard(ctx.label, ctx.registry.snapshot(), ctx.timeline);
+}
+
+void
+collectShard(std::string label, MetricsSnapshot snapshot,
+             std::vector<TimelineEvent> timeline)
+{
     Collected &c = collected();
     const std::lock_guard<std::mutex> lock(c.mutex);
-    c.snapshots.push_back(ctx.registry.snapshot());
-    if (!ctx.timeline.empty())
-        c.timelines.push_back(RunTimeline{ctx.label, ctx.timeline});
+    c.snapshots.push_back(std::move(snapshot));
+    if (!timeline.empty()) {
+        c.timelines.push_back(
+            RunTimeline{std::move(label), std::move(timeline)});
+    }
 }
 
 MetricsSnapshot

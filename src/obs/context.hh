@@ -86,6 +86,19 @@ class ScopedContext
 void collectContext(const RunContext &ctx);
 
 /**
+ * Append a pre-built snapshot (and optional timeline) at the current
+ * collection position - the seam the results store replays a
+ * checkpointed cell's deterministic metrics shard through, so a
+ * resumed sweep merges byte-identically to an uninterrupted one.
+ *
+ * @param label     Timeline label (unused when @p timeline is empty).
+ * @param snapshot  The metrics shard to collect.
+ * @param timeline  Timeline events to collect (may be empty).
+ */
+void collectShard(std::string label, MetricsSnapshot snapshot,
+                  std::vector<TimelineEvent> timeline = {});
+
+/**
  * @return Merge of every collected shard (in collection order) plus
  *         the process default context last.
  */

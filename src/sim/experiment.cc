@@ -149,6 +149,13 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
     gpu::EpochRecord record;
     gpu::EpochRecord observed_storage;
     while (!done && epoch_start < cfg.maxSimTime) {
+        if (cfg.cancel != nullptr &&
+            cfg.cancel->load(std::memory_order_relaxed)) {
+            fatal("run cancelled after " +
+                  std::to_string(result.epochs) +
+                  " epoch(s): cell wall-time budget exceeded "
+                  "(--cell-timeout)");
+        }
         const std::int64_t epoch_t0 = obs::nowNsIfEnabled();
         const Tick epoch_end = epoch_start + cfg.epochLen;
         {

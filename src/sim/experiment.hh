@@ -9,6 +9,7 @@
 #ifndef PCSTALL_SIM_EXPERIMENT_HH
 #define PCSTALL_SIM_EXPERIMENT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -81,6 +82,13 @@ struct RunConfig
     /** Worker threads for in-cell oracle sample parallelism (<= 1 =
      *  serial; results are independent of the thread count). */
     unsigned oracleThreads = 1;
+    /**
+     * Cooperative cancellation flag (not owned). When non-null and
+     * set, the run stops at the next epoch boundary by throwing
+     * FatalError - the sweep watchdog's --cell-timeout enforcement
+     * seam. Null (the default) means the run can never be cancelled.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 
     /** Apply scaleToCus() for the configured CU count. */
     RunConfig &scaled()

@@ -1,0 +1,203 @@
+#include "atomic_file.hh"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace pcstall::store
+{
+
+namespace
+{
+
+/**
+ * Fixed-capacity temp-path registry. Slots hold NUL-terminated paths
+ * in plain char arrays so the signal handler can unlink() them
+ * without touching the heap or any lock: a slot's `state` goes
+ * 0 (free) -> 1 (claimed) -> 2 (active, path fully written) with
+ * release ordering, and the handler only acts on state 2. Registering
+ * threads serialize on a mutex (never taken in the handler).
+ */
+constexpr std::size_t maxSlots = 64;
+constexpr std::size_t maxPathLen = 512;
+
+struct Slot
+{
+    std::atomic<int> state{0};
+    char path[maxPathLen];
+};
+
+Slot g_slots[maxSlots];
+std::mutex g_registerMutex;
+std::atomic<bool> g_handlersInstalled{false};
+
+extern "C" void
+cleanupSignalHandler(int signum)
+{
+    for (Slot &slot : g_slots) {
+        if (slot.state.load(std::memory_order_acquire) == 2)
+            ::unlink(slot.path);
+    }
+    ::signal(signum, SIG_DFL);
+    ::raise(signum);
+}
+
+void
+installHandlersOnce()
+{
+    bool expected = false;
+    if (!g_handlersInstalled.compare_exchange_strong(expected, true))
+        return;
+    for (const int signum : {SIGINT, SIGTERM, SIGHUP}) {
+        struct sigaction sa = {};
+        sa.sa_handler = cleanupSignalHandler;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = SA_RESETHAND;
+        ::sigaction(signum, &sa, nullptr);
+    }
+}
+
+/** Write all of @p bytes to @p fd, retrying short writes. */
+bool
+writeAll(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+tempPathFor(const std::string &path)
+{
+    return path + ".tmp." + std::to_string(::getpid());
+}
+
+void
+registerTempFile(const std::string &path)
+{
+    if (path.size() + 1 > maxPathLen)
+        return; // too long to track; the write itself still works
+    installHandlersOnce();
+    const std::lock_guard<std::mutex> lock(g_registerMutex);
+    for (Slot &slot : g_slots) {
+        int expected = 0;
+        if (slot.state.compare_exchange_strong(expected, 1)) {
+            std::memcpy(slot.path, path.c_str(), path.size() + 1);
+            slot.state.store(2, std::memory_order_release);
+            return;
+        }
+    }
+    // Registry full: the write proceeds untracked (cleanup best-effort).
+}
+
+void
+unregisterTempFile(const std::string &path)
+{
+    const std::lock_guard<std::mutex> lock(g_registerMutex);
+    for (Slot &slot : g_slots) {
+        if (slot.state.load(std::memory_order_acquire) == 2 &&
+            path == slot.path) {
+            slot.state.store(0, std::memory_order_release);
+            return;
+        }
+    }
+}
+
+std::size_t
+cleanupTempFiles()
+{
+    const std::lock_guard<std::mutex> lock(g_registerMutex);
+    std::size_t removed = 0;
+    for (Slot &slot : g_slots) {
+        if (slot.state.load(std::memory_order_acquire) == 2) {
+            if (::unlink(slot.path) == 0)
+                ++removed;
+            slot.state.store(0, std::memory_order_release);
+        }
+    }
+    return removed;
+}
+
+std::size_t
+registeredTempFileCount()
+{
+    const std::lock_guard<std::mutex> lock(g_registerMutex);
+    std::size_t count = 0;
+    for (Slot &slot : g_slots) {
+        if (slot.state.load(std::memory_order_acquire) == 2)
+            ++count;
+    }
+    return count;
+}
+
+std::string
+commitTempFile(const std::string &temp_path, const std::string &path)
+{
+    // fsync the staged bytes so the rename never publishes a file
+    // whose contents are still only in the page cache.
+    const int fd = ::open(temp_path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        unregisterTempFile(temp_path);
+        return "cannot reopen '" + temp_path +
+               "' to sync: " + std::strerror(errno);
+    }
+    const bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    if (!synced || ::rename(temp_path.c_str(), path.c_str()) != 0) {
+        const std::string err = std::strerror(errno);
+        ::unlink(temp_path.c_str());
+        unregisterTempFile(temp_path);
+        return "cannot publish '" + path + "': " + err;
+    }
+    unregisterTempFile(temp_path);
+    return "";
+}
+
+std::string
+writeFileAtomic(const std::string &path, const std::string &bytes)
+{
+    const std::string temp = tempPathFor(path);
+    registerTempFile(temp);
+    const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0) {
+        unregisterTempFile(temp);
+        return "cannot write '" + temp + "': " + std::strerror(errno);
+    }
+    const bool written = writeAll(fd, bytes);
+    const bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    if (!written || !synced) {
+        const std::string err = std::strerror(errno);
+        ::unlink(temp.c_str());
+        unregisterTempFile(temp);
+        return "I/O error writing '" + temp + "': " + err;
+    }
+    if (::rename(temp.c_str(), path.c_str()) != 0) {
+        const std::string err = std::strerror(errno);
+        ::unlink(temp.c_str());
+        unregisterTempFile(temp);
+        return "cannot publish '" + path + "': " + err;
+    }
+    unregisterTempFile(temp);
+    return "";
+}
+
+} // namespace pcstall::store

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Crash-safe file writes: write-to-temp + fsync + atomic-rename, plus
+ * a process-wide registry of in-flight temp paths so abnormal exits
+ * (FatalError unwinding through bench::guardedMain, or a SIGINT /
+ * SIGTERM / SIGHUP) unlink half-written `.tmp` files instead of
+ * leaving them to accumulate across retries.
+ *
+ * Every durable artifact the harnesses produce - results-store
+ * entries, --metrics-out / --timeline-out exports, --csv-out tables,
+ * epoch-trace captures, PC snapshots, the perf-suite baseline - goes
+ * through these helpers, so a killed run never leaves a truncated
+ * file a downstream tool could half-parse: readers only ever see the
+ * complete renamed file or no file at all.
+ */
+
+#ifndef PCSTALL_STORE_ATOMIC_FILE_HH
+#define PCSTALL_STORE_ATOMIC_FILE_HH
+
+#include <string>
+
+namespace pcstall::store
+{
+
+/**
+ * The temp path writeFileAtomic() (and the streaming writers) stage
+ * @p path under: the final path plus a ".tmp.<pid>" suffix. Keeping
+ * the temp in the destination directory guarantees rename() never
+ * crosses filesystems.
+ *
+ * @param path  The final destination path.
+ * @return The staging path for @p path in this process.
+ */
+std::string tempPathFor(const std::string &path);
+
+/**
+ * Write @p bytes to @p path crash-safely: stage into tempPathFor(),
+ * fsync, then atomically rename over @p path. The temp path is
+ * registered for the duration, so a signal or FatalError exit unlinks
+ * it rather than leaving a stale partial file.
+ *
+ * @param path   Final destination path.
+ * @param bytes  Full file contents.
+ * @return Empty string on success, else a one-line diagnostic (the
+ *         destination is untouched and the temp file removed).
+ */
+std::string writeFileAtomic(const std::string &path,
+                            const std::string &bytes);
+
+/**
+ * Register an in-flight temp path for crash cleanup. Streaming
+ * writers (trace capture) that hold a temp open across a whole run
+ * call this at open; writeFileAtomic() does it internally. The first
+ * registration installs SIGINT/SIGTERM/SIGHUP handlers that unlink
+ * every registered temp before re-raising the signal.
+ *
+ * @param path  The temp path now being written.
+ */
+void registerTempFile(const std::string &path);
+
+/**
+ * Drop @p path from the crash-cleanup registry (it was renamed into
+ * place, or already unlinked by its owner).
+ *
+ * @param path  The previously registered temp path.
+ */
+void unregisterTempFile(const std::string &path);
+
+/**
+ * fsync @p temp_path and atomically rename it to @p path, then
+ * unregister it. The commit half of a streaming atomic write.
+ *
+ * @param temp_path  The staged file (from tempPathFor()).
+ * @param path       Final destination path.
+ * @return Empty string on success, else a one-line diagnostic (the
+ *         temp file is unlinked on failure).
+ */
+std::string commitTempFile(const std::string &temp_path,
+                           const std::string &path);
+
+/**
+ * Unlink and unregister every still-registered temp path. Called by
+ * bench::guardedMain on its FatalError/unexpected-exception exit
+ * paths; safe (and a no-op) when nothing is registered.
+ *
+ * @return Number of temp files removed.
+ */
+std::size_t cleanupTempFiles();
+
+/** @return Number of temp paths currently registered (test hook). */
+std::size_t registeredTempFileCount();
+
+} // namespace pcstall::store
+
+#endif // PCSTALL_STORE_ATOMIC_FILE_HH

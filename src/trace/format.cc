@@ -2,8 +2,11 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 
+#include "common/logging.hh"
 #include "dvfs/objective.hh"
+#include "store/atomic_file.hh"
 #include "trace/wire.hh"
 
 namespace pcstall::trace
@@ -495,10 +498,12 @@ vfTableFromMeta(const TraceMeta &meta)
 // --- TraceWriter ----------------------------------------------------
 
 TraceWriter::TraceWriter(const std::string &path, const TraceMeta &meta)
-    : path_(path), os(path, std::ios::binary), hash(fnvSeed)
+    : path_(path), temp_(store::tempPathFor(path)),
+      os(temp_, std::ios::binary), hash(fnvSeed)
 {
     if (!os)
         return;
+    store::registerTempFile(temp_);
     std::string head(fileMagic, sizeof(fileMagic));
     head.push_back(static_cast<char>(traceFormatVersion & 0xFF));
     head.push_back(static_cast<char>(traceFormatVersion >> 8));
@@ -560,6 +565,25 @@ TraceWriter::finish(const TraceTrailer &trailer)
     os.close();
     ok_ = static_cast<bool>(os);
     finished = true;
+    if (!ok_)
+        return;
+    // Publish atomically: a reader (or a resumed sweep) either sees
+    // the complete checksummed trace at path_ or nothing at all.
+    const std::string err = store::commitTempFile(temp_, path_);
+    if (!err.empty()) {
+        warn("trace '" + path_ + "': " + err);
+        ok_ = false;
+    }
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (finished || temp_.empty())
+        return;
+    // finish() never ran (a contained cell failure, or the run threw
+    // mid-capture): drop the partial temporary rather than leaking it.
+    std::remove(temp_.c_str());
+    store::unregisterTempFile(temp_);
 }
 
 // --- readTraceFile --------------------------------------------------

@@ -173,11 +173,22 @@ power::VfTable vfTableFromMeta(const TraceMeta &meta);
  * construction, one FRAME section per writeFrame(), and the END
  * trailer (with the whole-file checksum) on finish(). Any I/O failure
  * is sticky: ok() turns false and later calls are no-ops.
+ *
+ * Crash-safe: the stream goes to a temporary sibling of @p path that
+ * is committed (fsync + atomic rename) only by finish(), so a crashed
+ * or killed run never leaves a truncated file at the trace path. The
+ * temporary is registered with the signal-exit cleanup list and
+ * unlinked by the destructor if finish() was never reached.
  */
 class TraceWriter
 {
   public:
     TraceWriter(const std::string &path, const TraceMeta &meta);
+
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
 
     bool ok() const { return ok_; }
     const std::string &path() const { return path_; }
@@ -195,6 +206,8 @@ class TraceWriter
     void writeSection(std::uint8_t tag, const std::string &payload);
 
     std::string path_;
+    /** Temporary the stream actually writes; renamed by finish(). */
+    std::string temp_;
     std::ofstream os;
     std::uint64_t hash;
     std::uint64_t frames_ = 0;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <fstream>
 
+#include "store/atomic_file.hh"
 #include "trace/wire.hh"
 
 namespace pcstall::trace
@@ -147,9 +148,6 @@ decodePcSnapshot(const std::string &payload, PcTableSnapshot &snap)
 bool
 writePcSnapshotFile(const std::string &path, const PcTableSnapshot &snap)
 {
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        return false;
     const std::string payload = encodePcSnapshot(snap);
     std::string out;
     putFixed64(out, (static_cast<std::uint64_t>(snapVersion) << 32) |
@@ -157,8 +155,9 @@ writePcSnapshotFile(const std::string &path, const PcTableSnapshot &snap)
     putVarint(out, payload.size());
     out += payload;
     putFixed64(out, fnv1a(fnvSeed, payload.data(), payload.size()));
-    os.write(out.data(), static_cast<std::streamsize>(out.size()));
-    return static_cast<bool>(os);
+    // Atomic publish: a killed run leaves either the previous snapshot
+    // or none, never a truncated file a warm-start would reject.
+    return store::writeFileAtomic(path, out).empty();
 }
 
 PcSnapshotReadResult

@@ -16,7 +16,10 @@ Stdlib-only checker for the two documents the harnesses emit
 Exit status: 0 when the document validates, 1 with a diagnostic per
 violation otherwise. `--require NAME` (repeatable, metrics mode)
 additionally asserts a metric of that name is present; `--require-event
-NAME` (timeline mode) asserts at least one trace event of that name.
+NAME` (timeline mode) asserts at least one trace event of that name;
+`--require-prefix PREFIX` (repeatable, metrics mode) asserts at least
+one metric whose name starts with the prefix exists in either section
+(e.g. `--require-prefix farm.cells.` for sweep-farm store telemetry).
 """
 
 import argparse
@@ -138,7 +141,7 @@ def metric_names(doc):
     return names
 
 
-def check_metrics(doc, required):
+def check_metrics(doc, required, required_prefixes=()):
     ck = Checker()
     if not ck.require(isinstance(doc, dict), "top level: not an object"):
         return ck.errors
@@ -152,6 +155,11 @@ def check_metrics(doc, required):
     present = metric_names(doc)
     for name in required:
         ck.require(name in present, f"required metric '{name}' absent")
+    for prefix in required_prefixes:
+        ck.require(
+            any(name.startswith(prefix) for name in present),
+            f"no metric with required prefix '{prefix}'",
+        )
     return ck.errors
 
 
@@ -238,6 +246,13 @@ def main():
         metavar="NAME",
         help="timeline mode: assert an event of this name exists",
     )
+    parser.add_argument(
+        "--require-prefix",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="metrics mode: assert a metric with this name prefix exists",
+    )
     args = parser.parse_args()
 
     try:
@@ -247,7 +262,7 @@ def main():
         sys.exit(f"error: {args.file}: {e}")
 
     if args.mode == "canonical":
-        errors = check_metrics(doc, args.require)
+        errors = check_metrics(doc, args.require, args.require_prefix)
         if errors:
             for e in errors:
                 print(f"error: {args.file}: {e}", file=sys.stderr)
@@ -256,7 +271,7 @@ def main():
         return 0
 
     if args.mode == "metrics":
-        errors = check_metrics(doc, args.require)
+        errors = check_metrics(doc, args.require, args.require_prefix)
     else:
         errors = check_timeline(doc, args.require_event)
     if errors:

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * sweep_farm: multi-process farm driver for the crash-resumable sweep
+ * layer (docs/sweep_farm.md).
+ *
+ *   sweep_farm --workers N --store DIR [--max-restarts K]
+ *              [--log-dir DIR] -- <harness> [harness flags...]
+ *
+ * Spawns N copies of the given figure harness, worker i running with
+ * `--store DIR --shard i/N` appended to its command line so each
+ * computes a disjoint slice of the sweep grid and checkpoints every
+ * finished cell into the shared content-addressed store. Workers that
+ * die - crash, OOM kill, or a non-zero exit - are restarted (at most
+ * --max-restarts times each); a restarted worker recomputes only the
+ * cells its predecessor had not yet stored. Worker output goes to
+ * <log-dir>/worker-<i>.log.
+ *
+ * When every shard has finished, the harness runs once more with
+ * --store DIR and no --shard, inheriting the farm's stdout: it reads
+ * every cell back from the store (computing any a worker never
+ * reached) and emits the merged tables/CSV through the normal
+ * submission-order aggregation path - byte-identical to a
+ * single-process run of the same command.
+ */
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "harness.hh"
+
+using namespace pcstall;
+
+namespace
+{
+
+struct FarmOptions
+{
+    unsigned workers = 2;
+    unsigned maxRestarts = 2;
+    std::string storeDir;
+    std::string logDir;
+    /** The harness command (argv after "--"). */
+    std::vector<std::string> command;
+};
+
+/** One worker slot: a shard index plus its process bookkeeping. */
+struct Worker
+{
+    unsigned shard = 0;
+    pid_t pid = -1;
+    unsigned restarts = 0;
+    bool done = false;
+    int exitCode = 0;
+};
+
+std::string
+usage()
+{
+    return "usage: sweep_farm --workers N --store DIR "
+           "[--max-restarts K] [--log-dir DIR] -- <harness> [args...]";
+}
+
+/**
+ * Spawn one process running @p argv_strings, stdout+stderr appended
+ * to @p log_path (empty = inherit the farm's). Returns the pid, or -1
+ * with a warn() on failure.
+ */
+pid_t
+spawn(const std::vector<std::string> &argv_strings,
+      const std::string &log_path)
+{
+    std::vector<char *> argv;
+    argv.reserve(argv_strings.size() + 1);
+    for (const std::string &arg : argv_strings)
+        argv.push_back(const_cast<char *>(arg.c_str()));
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        warn(std::string("fork: ") + std::strerror(errno));
+        return -1;
+    }
+    if (pid > 0)
+        return pid;
+
+    // Child. Only async-signal-safe calls until execvp.
+    if (!log_path.empty()) {
+        const int fd = ::open(log_path.c_str(),
+                              O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (fd >= 0) {
+            ::dup2(fd, STDOUT_FILENO);
+            ::dup2(fd, STDERR_FILENO);
+            if (fd > STDERR_FILENO)
+                ::close(fd);
+        }
+    }
+    ::execvp(argv[0], argv.data());
+    // execvp only returns on failure; 127 is the conventional
+    // command-not-found code the parent will report.
+    const char msg[] = "sweep_farm: cannot exec harness\n";
+    ::write(STDERR_FILENO, msg, sizeof(msg) - 1);
+    ::_exit(127);
+}
+
+std::vector<std::string>
+workerCommand(const FarmOptions &opts, unsigned shard)
+{
+    std::vector<std::string> cmd = opts.command;
+    cmd.push_back("--store");
+    cmd.push_back(opts.storeDir);
+    cmd.push_back("--shard");
+    cmd.push_back(std::to_string(shard) + "/" +
+                  std::to_string(opts.workers));
+    return cmd;
+}
+
+std::string
+describeExit(int status)
+{
+    if (WIFSIGNALED(status)) {
+        return std::string("killed by signal ") +
+               std::to_string(WTERMSIG(status));
+    }
+    return "exit code " + std::to_string(WEXITSTATUS(status));
+}
+
+int
+farmMain(const FarmOptions &opts)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(opts.logDir, ec);
+
+    std::vector<Worker> workers(opts.workers);
+    for (unsigned i = 0; i < opts.workers; ++i)
+        workers[i].shard = i;
+
+    const auto logPath = [&](const Worker &w) {
+        return opts.logDir + "/worker-" + std::to_string(w.shard) +
+               ".log";
+    };
+    const auto launch = [&](Worker &w) {
+        w.pid = spawn(workerCommand(opts, w.shard), logPath(w));
+        if (w.pid < 0) {
+            w.done = true;
+            w.exitCode = 1;
+            return;
+        }
+        inform("worker " + std::to_string(w.shard) + "/" +
+               std::to_string(opts.workers) + " started (pid " +
+               std::to_string(w.pid) + ", log " + logPath(w) + ")");
+    };
+
+    for (Worker &w : workers)
+        launch(w);
+
+    // Reap until every shard is done, restarting dead workers up to
+    // the bound. Restarts are cheap by construction: the successor
+    // resumes from the store, recomputing only unfinished cells.
+    unsigned running = 0;
+    for (const Worker &w : workers)
+        running += !w.done;
+    while (running > 0) {
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, 0);
+        if (pid < 0) {
+            if (errno == EINTR)
+                continue;
+            warn(std::string("waitpid: ") + std::strerror(errno));
+            break;
+        }
+        for (Worker &w : workers) {
+            if (w.done || w.pid != pid)
+                continue;
+            if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+                inform("worker " + std::to_string(w.shard) +
+                       " finished");
+                w.done = true;
+                --running;
+            } else if (w.restarts < opts.maxRestarts) {
+                ++w.restarts;
+                warn("worker " + std::to_string(w.shard) + " died (" +
+                     describeExit(status) + "); restart " +
+                     std::to_string(w.restarts) + "/" +
+                     std::to_string(opts.maxRestarts));
+                launch(w);
+                if (w.done)
+                    --running;
+            } else {
+                warn("worker " + std::to_string(w.shard) +
+                     " gave up (" + describeExit(status) +
+                     " after " + std::to_string(w.restarts) +
+                     " restart(s))");
+                w.done = true;
+                w.exitCode = 1;
+                --running;
+            }
+            break;
+        }
+    }
+
+    // Merge pass: the same harness, unsharded, stdout inherited. It
+    // replays every stored cell in submission order (and computes any
+    // stragglers a failed shard left behind), so its output is
+    // byte-identical to an uninterrupted single-process run.
+    std::vector<std::string> merge = opts.command;
+    merge.push_back("--store");
+    merge.push_back(opts.storeDir);
+    inform("merge pass");
+    const pid_t merge_pid = spawn(merge, "");
+    if (merge_pid < 0)
+        return 1;
+    int status = 0;
+    while (::waitpid(merge_pid, &status, 0) < 0) {
+        if (errno != EINTR) {
+            warn(std::string("waitpid: ") + std::strerror(errno));
+            return 1;
+        }
+    }
+    int rc = WIFEXITED(status) ? WEXITSTATUS(status) : 1;
+    for (const Worker &w : workers) {
+        if (w.exitCode != 0 && rc == 0) {
+            // The merge recomputed the lost shard's cells itself, but
+            // a permanently failing worker still signals trouble.
+            warn("a worker shard failed permanently; merge output is "
+                 "complete but see worker logs");
+        }
+    }
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::guardedMain([&]() -> int {
+        FarmOptions opts;
+        int i = 1;
+        for (; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--") {
+                ++i;
+                break;
+            }
+            const auto value = [&]() -> std::string {
+                fatalIf(i + 1 >= argc, arg + " needs a value\n" +
+                        usage());
+                return argv[++i];
+            };
+            if (arg == "--workers") {
+                opts.workers = static_cast<unsigned>(
+                    std::strtoul(value().c_str(), nullptr, 10));
+            } else if (arg == "--max-restarts") {
+                opts.maxRestarts = static_cast<unsigned>(
+                    std::strtoul(value().c_str(), nullptr, 10));
+            } else if (arg == "--store") {
+                opts.storeDir = value();
+            } else if (arg == "--log-dir") {
+                opts.logDir = value();
+            } else if (arg == "--help" || arg == "-h") {
+                inform(usage());
+                return 0;
+            } else {
+                fatal("unknown option " + arg + "\n" + usage());
+            }
+        }
+        for (; i < argc; ++i)
+            opts.command.push_back(argv[i]);
+
+        fatalIf(opts.command.empty(),
+                "no harness command after --\n" + usage());
+        fatalIf(opts.storeDir.empty(),
+                "--store DIR is required (workers share results "
+                "through it)\n" + usage());
+        fatalIf(opts.workers < 1, "--workers must be >= 1");
+        if (opts.logDir.empty())
+            opts.logDir = opts.storeDir;
+        return farmMain(opts);
+    });
+}
