@@ -24,8 +24,8 @@ main(int argc, char **argv)
                       "ED2P opportunity vs DVFS epoch duration", opts);
 
         const std::vector<double> epochs = {1.0, 10.0, 100.0};
-        const std::vector<std::string> designs = {"CRISP", "PCSTALL",
-                                                  "ORACLE"};
+        const std::vector<std::string> designs =
+            opts.designList({"CRISP", "PCSTALL", "ORACLE"});
         const std::vector<std::string> names =
             opts.sweepWorkloadNames();
 

@@ -26,7 +26,8 @@ main(int argc, char **argv)
 
         bench::SweepRunner runner(opts);
         const std::vector<std::string> names = opts.workloadNames();
-        const std::vector<std::string> &designs = bench::designNames();
+        const std::vector<std::string> designs =
+            opts.designList(bench::designNames());
         std::vector<bench::SweepCell> cells;
         for (const std::string &name : names)
             for (const std::string &design : designs)

@@ -26,6 +26,7 @@ main(int argc, char **argv)
         std::vector<std::string> designs = {"ST1.3", "ST2.2"};
         for (const std::string &d : bench::designNames())
             designs.push_back(d);
+        designs = opts.designList(std::move(designs));
 
         bench::SweepRunner runner(opts);
         const std::vector<std::string> names = opts.workloadNames();

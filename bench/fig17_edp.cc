@@ -24,8 +24,8 @@ main(int argc, char **argv)
                       opts);
 
         const std::vector<double> epochs = {1.0, 10.0, 50.0};
-        const std::vector<std::string> designs = {"CRISP", "ACCREAC",
-                                                  "PCSTALL", "ORACLE"};
+        const std::vector<std::string> designs = opts.designList(
+            {"CRISP", "ACCREAC", "PCSTALL", "ORACLE"});
         const std::vector<std::string> names =
             opts.sweepWorkloadNames();
 

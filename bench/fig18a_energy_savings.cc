@@ -24,8 +24,8 @@ main(int argc, char **argv)
                       "Energy savings under performance bounds", opts);
 
         const std::vector<double> limits = {0.05, 0.10};
-        const std::vector<std::string> designs = {"CRISP", "PCSTALL",
-                                                  "ORACLE"};
+        const std::vector<std::string> designs =
+            opts.designList({"CRISP", "PCSTALL", "ORACLE"});
         const std::vector<std::string> names =
             opts.sweepWorkloadNames();
 

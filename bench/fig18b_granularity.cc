@@ -23,8 +23,8 @@ main(int argc, char **argv)
         bench::banner("FIGURE 18(b)",
                       "ED2P vs V/f domain granularity", opts);
 
-        const std::vector<std::string> designs = {"CRISP", "PCSTALL",
-                                                  "ORACLE"};
+        const std::vector<std::string> designs =
+            opts.designList({"CRISP", "PCSTALL", "ORACLE"});
         const std::vector<std::string> names =
             opts.sweepWorkloadNames();
 

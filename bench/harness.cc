@@ -23,6 +23,7 @@
 #include "trace/format.hh"
 #include "trace/replay.hh"
 #include "trace/snapshot.hh"
+#include "zoo/registry.hh"
 
 namespace pcstall::bench
 {
@@ -226,6 +227,36 @@ flushHarnessArtifacts()
     store::cleanupTempFiles();
 }
 
+namespace
+{
+
+/** --list-controllers: print the registry as an aligned table. */
+void
+printControllerList()
+{
+    const std::vector<dvfs::ControllerInfo> entries =
+        dvfs::ControllerRegistry::instance().entries();
+    std::size_t name_w = 4;
+    for (const dvfs::ControllerInfo &e : entries)
+        name_w = std::max(name_w, e.name.size());
+    std::ostringstream out;
+    out << "registered controllers (--controllers a,b; design strings "
+           "accept a :k=v,k=v config suffix):\n";
+    for (const dvfs::ControllerInfo &e : entries) {
+        out << "  " << e.name
+            << std::string(name_w - e.name.size() + 2, ' ')
+            << (e.paperDesign ? "[paper] " : "        ") << e.summary;
+        if (!e.configHelp.empty())
+            out << " (config: " << e.configHelp << ")";
+        if (e.needsConfig)
+            out << " [config required]";
+        out << '\n';
+    }
+    std::fputs(out.str().c_str(), stdout);
+}
+
+} // namespace
+
 BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
@@ -377,6 +408,35 @@ BenchOptions::parse(int argc, char **argv)
             opts.workloads.push_back(item);
         }
     }
+
+    if (cli.has("list-controllers")) {
+        printControllerList();
+        throw CleanExit{};
+    }
+    const std::string controller_list = cli.get("controllers", "");
+    if (!controller_list.empty()) {
+        const dvfs::ControllerRegistry &registry =
+            dvfs::ControllerRegistry::instance();
+        std::stringstream ss(controller_list);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+            if (item.empty())
+                continue;
+            const dvfs::ParsedDesign parsed = dvfs::splitDesign(item);
+            if (!registry.has(parsed.base)) {
+                warn("--controllers: unknown controller '" + item +
+                     "'; registered: " + registry.knownNames() +
+                     " (try --list-controllers)");
+                continue;
+            }
+            opts.controllers.push_back(item);
+        }
+        // A typo'd single name must not silently fall back to the
+        // harness's full default controller grid.
+        fatalIf(opts.controllers.empty(),
+                "--controllers: no known controller selected");
+    }
+
     for (const std::string &err : cli.errors())
         warn("bad option " + err + " (using the default)");
     return opts;
@@ -461,48 +521,13 @@ makeApp(const std::string &name, const BenchOptions &opts)
 }
 
 std::unique_ptr<dvfs::DvfsController>
-makeController(const std::string &name, const sim::RunConfig &cfg)
+makeController(const std::string &name, const sim::RunConfig &cfg,
+               const isa::Application *app)
 {
-    using models::EstimationKind;
-    if (name == "STALL") {
-        return std::make_unique<models::ReactiveController>(
-            EstimationKind::Stall);
-    }
-    if (name == "LEAD") {
-        return std::make_unique<models::ReactiveController>(
-            EstimationKind::Lead);
-    }
-    if (name == "CRIT") {
-        return std::make_unique<models::ReactiveController>(
-            EstimationKind::Crit);
-    }
-    if (name == "CRISP") {
-        return std::make_unique<models::ReactiveController>(
-            EstimationKind::Crisp);
-    }
-    if (name == "ACCREAC")
-        return std::make_unique<oracle::AccurateReactiveController>();
-    if (name == "ORACLE")
-        return std::make_unique<oracle::OracleController>();
-    if (name == "PCSTALL" || name == "ACCPC") {
-        core::PcstallConfig pc = core::PcstallConfig::forEpoch(
-            cfg.epochLen, cfg.gpu.waveSlotsPerCu);
-        pc.accurateEstimates = name == "ACCPC";
-        pc.watchdog.enabled = cfg.watchdogFallback;
-        pc.table.parityProtected = cfg.eccProtectTables;
-        return std::make_unique<core::PcstallController>(
-            pc, cfg.gpu.numCus);
-    }
-    if (name.rfind("STATIC[", 0) == 0 && name.back() == ']') {
-        char *end = nullptr;
-        const unsigned long state =
-            std::strtoul(name.c_str() + 7, &end, 10);
-        fatalIf(end == name.c_str() + 7 || *end != ']',
-                "malformed static design '" + name + "'");
-        return std::make_unique<dvfs::StaticController>(
-            static_cast<std::size_t>(state));
-    }
-    fatal("unknown design '" + name + "'");
+    dvfs::ControllerRegistry::MakeResult made =
+        dvfs::ControllerRegistry::instance().make(name, cfg, app);
+    fatalIf(!made.ok(), made.error);
+    return std::move(made.controller);
 }
 
 const std::vector<std::string> &
@@ -513,6 +538,12 @@ designNames()
         "ORACLE",
     };
     return names;
+}
+
+std::vector<std::string>
+BenchOptions::designList(std::vector<std::string> fallback) const
+{
+    return controllers.empty() ? std::move(fallback) : controllers;
 }
 
 namespace

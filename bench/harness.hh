@@ -62,6 +62,15 @@ struct BenchOptions
     /** Subset of workloads to run (all when empty). Entries may be
      *  Table II names or kernel-script paths. */
     std::vector<std::string> workloads;
+    /**
+     * Subset of controller designs to run (--controllers a,b; empty =
+     * the harness's default set). Entries are registry design strings
+     * ("REGR", "STATIC:7", "REGR:hist=4"); names whose base is not
+     * registered are warned about and dropped — fatal only when
+     * nothing known remains, so a typo'd list cannot silently run the
+     * full default grid. Harnesses consume this via designList().
+     */
+    std::vector<std::string> controllers;
     /** Fault injection (see src/faults; disabled by default). */
     faults::FaultConfig faults;
     /** Enable the PCSTALL divergence watchdog (STALL fallback). */
@@ -151,7 +160,9 @@ struct BenchOptions
     std::string harnessId = "harness";
 
     /** Parse from argv; honours --cus --scale --epoch-us --domain-cus
-     *  --seed --threads --csv --workloads a,b,c plus the fault flags
+     *  --seed --threads --csv --workloads a,b,c --controllers a,b
+     *  --list-controllers (prints the registry and throws CleanExit;
+     *  guardedMain exits 0) plus the fault flags
      *  --fault-seed --noise-sigma --noise-dropout --trans-fail
      *  --trans-extra-ns --freq-quant-mhz --bitflips --ecc --watchdog,
      *  the performance flags --oracle-mode --oracle-threads,
@@ -180,6 +191,14 @@ struct BenchOptions
      * --workloads overrides with any list, including the full suite.
      */
     std::vector<std::string> sweepWorkloadNames() const;
+
+    /**
+     * The harness's controller axis: the validated --controllers
+     * selection when one was given, @p fallback (the harness's
+     * default design list) otherwise.
+     */
+    std::vector<std::string>
+    designList(std::vector<std::string> fallback) const;
 
     /** First selected workload, or @p def when none was given. */
     std::string firstWorkload(const std::string &def) const
@@ -212,11 +231,29 @@ std::shared_ptr<const isa::Application>
 makeApp(const std::string &name, const BenchOptions &opts);
 
 /**
- * Factory for every Table III controller by name, plus "STATIC[n]"
- * for a fixed-state baseline. Unknown names are fatal (FatalError).
+ * Thrown by BenchOptions::parse() for informational flags
+ * (--list-controllers) that print and stop: guardedMain() turns it
+ * into a clean exit 0, so harness bodies never run half-parsed.
+ */
+struct CleanExit
+{
+};
+
+/**
+ * Factory for every registered controller design: the Table III
+ * names, "STATIC[n]"/"STATIC:n" fixed-state baselines, and the
+ * related-work zoo (REGR, DSO, WANGCHU), each accepting a
+ * ":k=v,k=v" config suffix (see --list-controllers or
+ * docs/controllers.md). Resolution goes through
+ * dvfs::ControllerRegistry, so plug-in controllers registered by the
+ * linking binary are constructible here too. @p app provides static
+ * program knowledge to controllers that analyse code ahead of time
+ * (DSO); passing null degrades them to dynamic-only. Unknown names
+ * are fatal (FatalError) listing the registered designs.
  */
 std::unique_ptr<dvfs::DvfsController>
-makeController(const std::string &name, const sim::RunConfig &cfg);
+makeController(const std::string &name, const sim::RunConfig &cfg,
+               const isa::Application *app = nullptr);
 
 /** All Table III design names in presentation order. */
 const std::vector<std::string> &designNames();
@@ -315,6 +352,8 @@ guardedMain(Fn &&body)
     try {
         const std::uint64_t before = sweepFailureCount();
         const int rc = body();
+        // (CleanExit from an informational flag lands in the handler
+        // below before any sweep work starts.)
         // Flush even when rc != 0: partial metrics from a degraded
         // sweep are exactly what one debugs the degradation with.
         flushHarnessArtifacts();
@@ -325,6 +364,10 @@ guardedMain(Fn &&body)
             return 1;
         }
         return rc;
+    } catch (const CleanExit &) {
+        // An informational flag already printed what was asked for.
+        flushHarnessArtifacts();
+        return 0;
     } catch (const FatalError &) {
         // fatal() printed the diagnostic when it threw.
         flushHarnessArtifacts();

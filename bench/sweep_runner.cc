@@ -12,6 +12,7 @@
 #include "obs/context.hh"
 #include "store/cell_codec.hh"
 #include "store/result_store.hh"
+#include "zoo/registry.hh"
 
 namespace pcstall::bench
 {
@@ -88,6 +89,10 @@ storeKeyFor(const std::string &harness, const std::string &workload,
     key.harness = harness;
     key.workload = workload;
     key.design = design;
+    // The config suffix also gets its own key slot (and with it the
+    // digest), so "REGR:hist=4" and "REGR:hist=8" cells can never
+    // collide even if a future harness normalizes design labels.
+    key.controllerConfig = dvfs::splitDesign(design).config;
     key.fingerprint = configKey(opts);
     key.fingerprint += '\x1f';
     key.fingerprint += obs::metricsEnabled() ? "m1" : "m0";
@@ -364,8 +369,9 @@ SweepRunner::attemptCell(const SweepCell &cell,
         cfg.cancel = cancel;
         sim::ExperimentDriver driver(cfg);
         std::unique_ptr<dvfs::DvfsController> controller =
-            cell.factory != nullptr ? cell.factory(cfg)
-                                    : makeController(cell.design, cfg);
+            cell.factory != nullptr
+                ? cell.factory(cfg)
+                : makeController(cell.design, cfg, app.get());
         fatalIf(controller == nullptr,
                 "cell factory returned no controller");
         run.result = runTraced(driver, app, *controller, cell.opts,

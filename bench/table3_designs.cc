@@ -44,7 +44,8 @@ runHarness(int argc, char **argv)
     const auto cfg = opts.runConfig();
     TableWriter table({"name", "estimation model", "control mechanism",
                        "implementable", "fork sweeps"});
-    for (const std::string &name : bench::designNames()) {
+    for (const std::string &name :
+         opts.designList(bench::designNames())) {
         const auto controller = bench::makeController(name, cfg);
         const auto need = controller->sweepNeed();
         table.beginRow()

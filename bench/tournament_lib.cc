@@ -1,0 +1,305 @@
+#include "tournament_lib.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/stats_util.hh"
+#include "obs/context.hh"
+
+namespace pcstall::bench
+{
+
+namespace
+{
+
+constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+
+/** Fixed-point decimal for JSON emission ("null" for NaN) so the
+ *  document is byte-stable across platforms and thread counts. */
+std::string
+jsonNumber(double value, int precision)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::vector<TournamentObjective>
+tournamentObjectives(const std::string &list)
+{
+    static const std::vector<TournamentObjective> all = {
+        {"edp", dvfs::Objective::Edp},
+        {"ed2p", dvfs::Objective::Ed2p},
+        {"energy-bound", dvfs::Objective::EnergyUnderPerfBound},
+    };
+    if (list.empty())
+        return all;
+    std::vector<TournamentObjective> out;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        const auto known = std::find_if(
+            all.begin(), all.end(),
+            [&](const TournamentObjective &o) {
+                return o.name == item;
+            });
+        if (known == all.end()) {
+            warn("--objectives: unknown objective '" + item +
+                 "' (known: edp, ed2p, energy-bound)");
+            continue;
+        }
+        const bool dup = std::any_of(
+            out.begin(), out.end(),
+            [&](const TournamentObjective &o) {
+                return o.name == item;
+            });
+        if (!dup)
+            out.push_back(*known);
+    }
+    if (out.empty()) {
+        warn("--objectives selected nothing; running all objectives");
+        return all;
+    }
+    return out;
+}
+
+double
+tournamentScore(const sim::RunResult &run, const sim::RunResult &base,
+                dvfs::Objective objective, double perf_limit)
+{
+    switch (objective) {
+    case dvfs::Objective::Edp:
+        return base.edp() > 0.0 ? run.edp() / base.edp() : nan;
+    case dvfs::Objective::Ed2p:
+        return base.ed2p() > 0.0 ? run.ed2p() / base.ed2p() : nan;
+    case dvfs::Objective::EnergyUnderPerfBound: {
+        if (base.energy <= 0.0 || base.seconds() <= 0.0)
+            return nan;
+        // Energy ratio, scaled by any overshoot of the allowed
+        // slowdown: missing the bound cannot buy a better score.
+        const double slowdown = run.seconds() / base.seconds();
+        const double allowed = 1.0 + std::max(perf_limit, 0.0);
+        const double penalty = std::max(1.0, slowdown / allowed);
+        return (run.energy / base.energy) * penalty;
+    }
+    default:
+        // The marginal/ED^3P objectives still optimize energy-delay
+        // products; score them as what they optimize most directly.
+        return base.ed2p() > 0.0 ? run.ed2p() / base.ed2p() : nan;
+    }
+}
+
+Leaderboard
+runTournament(SweepRunner &runner,
+              const std::vector<std::string> &designs,
+              const std::vector<std::string> &workloads,
+              const std::vector<TournamentObjective> &objectives)
+{
+    Leaderboard board;
+    board.objectives = objectives;
+    board.workloads = workloads;
+
+    // The grid, objective-major: cell index recovers its coordinates
+    // as ((o * workloads + w) * designs + d).
+    std::vector<SweepCell> cells;
+    cells.reserve(objectives.size() * workloads.size() *
+                  designs.size());
+    for (const TournamentObjective &obj : objectives) {
+        BenchOptions obj_opts = runner.options();
+        obj_opts.objective = obj.objective;
+        for (const std::string &workload : workloads) {
+            for (const std::string &design : designs) {
+                SweepCell cell = runner.cell(workload, design, true);
+                cell.opts = obj_opts;
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+    const std::vector<CellOutcome> outcomes =
+        runner.run(std::move(cells));
+
+    board.rows.resize(designs.size());
+    // scores[d][o] collects the per-workload ratios of one column.
+    std::vector<std::vector<std::vector<double>>> scores(
+        designs.size(),
+        std::vector<std::vector<double>>(objectives.size()));
+    for (std::size_t d = 0; d < designs.size(); ++d)
+        board.rows[d].design = designs[d];
+
+    const double perf_limit = runner.options().perfDegradationLimit;
+    for (std::size_t o = 0; o < objectives.size(); ++o) {
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            double best = nan;
+            std::size_t best_d = designs.size();
+            for (std::size_t d = 0; d < designs.size(); ++d) {
+                const std::size_t i =
+                    (o * workloads.size() + w) * designs.size() + d;
+                const CellOutcome &out = outcomes[i];
+                TournamentRow &row = board.rows[d];
+                if (!out.run.skipped)
+                    ++row.cellsTotal;
+                if (!out.run.ok || !out.baseline.ok)
+                    continue;
+                const double score = tournamentScore(
+                    out.run.result, out.baseline.result,
+                    objectives[o].objective, perf_limit);
+                if (!std::isfinite(score))
+                    continue;
+                ++row.cellsOk;
+                scores[d][o].push_back(score);
+                // Strict less keeps the first (registration-order)
+                // design on ties, independent of thread count.
+                if (!std::isfinite(best) || score < best) {
+                    best = score;
+                    best_d = d;
+                }
+            }
+            if (best_d < designs.size())
+                ++board.rows[best_d].wins;
+        }
+    }
+
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        TournamentRow &row = board.rows[d];
+        std::vector<double> finite_columns;
+        for (std::size_t o = 0; o < objectives.size(); ++o) {
+            const double column = scores[d][o].empty()
+                ? nan : geomean(scores[d][o]);
+            row.scores.push_back(column);
+            if (std::isfinite(column))
+                finite_columns.push_back(column);
+        }
+        row.overall =
+            finite_columns.empty() ? nan : geomean(finite_columns);
+    }
+
+    std::sort(board.rows.begin(), board.rows.end(),
+              [](const TournamentRow &a, const TournamentRow &b) {
+                  const bool fa = std::isfinite(a.overall);
+                  const bool fb = std::isfinite(b.overall);
+                  if (fa != fb)
+                      return fa; // scoreless rows sink to the bottom
+                  if (fa && a.overall != b.overall)
+                      return a.overall < b.overall;
+                  return a.design < b.design;
+              });
+    return board;
+}
+
+TableWriter
+leaderboardTable(const Leaderboard &board)
+{
+    std::vector<std::string> headers = {"rank", "controller"};
+    for (const TournamentObjective &obj : board.objectives)
+        headers.push_back(obj.name);
+    headers.insert(headers.end(), {"overall", "wins", "cells"});
+    TableWriter table(headers);
+    for (std::size_t r = 0; r < board.rows.size(); ++r) {
+        const TournamentRow &row = board.rows[r];
+        table.beginRow()
+            .cell(static_cast<long long>(r + 1))
+            .cell(row.design);
+        for (const double score : row.scores) {
+            if (std::isfinite(score))
+                table.cell(score, 3);
+            else
+                table.cell("-");
+        }
+        if (std::isfinite(row.overall))
+            table.cell(row.overall, 3);
+        else
+            table.cell("-");
+        table.cell(static_cast<long long>(row.wins))
+            .cell(std::to_string(row.cellsOk) + "/" +
+                  std::to_string(row.cellsTotal));
+        table.endRow();
+    }
+    return table;
+}
+
+std::string
+leaderboardJson(const Leaderboard &board)
+{
+    std::string out = "{\n  \"schema\": \"pcstall-leaderboard-v1\",\n";
+    out += "  \"objectives\": [";
+    for (std::size_t o = 0; o < board.objectives.size(); ++o) {
+        out += (o != 0 ? ", " : "") +
+            jsonString(board.objectives[o].name);
+    }
+    out += "],\n  \"workloads\": [";
+    for (std::size_t w = 0; w < board.workloads.size(); ++w)
+        out += (w != 0 ? ", " : "") + jsonString(board.workloads[w]);
+    out += "],\n  \"rows\": [\n";
+    for (std::size_t r = 0; r < board.rows.size(); ++r) {
+        const TournamentRow &row = board.rows[r];
+        out += "    {\"rank\": " + std::to_string(r + 1) +
+            ", \"design\": " + jsonString(row.design) +
+            ", \"overall\": " + jsonNumber(row.overall, 6) +
+            ", \"wins\": " + std::to_string(row.wins) +
+            ", \"cells_ok\": " + std::to_string(row.cellsOk) +
+            ", \"cells_total\": " + std::to_string(row.cellsTotal) +
+            ", \"scores\": {";
+        for (std::size_t o = 0; o < board.objectives.size(); ++o) {
+            out += (o != 0 ? ", " : "") +
+                jsonString(board.objectives[o].name) + ": " +
+                jsonNumber(row.scores[o], 6);
+        }
+        out += "}}";
+        out += r + 1 != board.rows.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+void
+publishTournamentMetrics(const Leaderboard &board)
+{
+    obs::Registry &registry = obs::reg();
+    registry.gauge("tournament.controllers")
+        .set(static_cast<double>(board.rows.size()));
+    registry.gauge("tournament.workloads")
+        .set(static_cast<double>(board.workloads.size()));
+    registry.gauge("tournament.objectives")
+        .set(static_cast<double>(board.objectives.size()));
+    std::size_t ok = 0;
+    std::size_t total = 0;
+    for (const TournamentRow &row : board.rows) {
+        ok += row.cellsOk;
+        total += row.cellsTotal;
+    }
+    registry.counter("tournament.cells.scored")
+        .add(static_cast<std::uint64_t>(ok));
+    registry.counter("tournament.cells.unscored")
+        .add(static_cast<std::uint64_t>(total - ok));
+    if (!board.rows.empty() &&
+        std::isfinite(board.rows.front().overall)) {
+        registry.gauge("tournament.winner.overall")
+            .set(board.rows.front().overall);
+        registry.gauge("tournament.winner.wins")
+            .set(static_cast<double>(board.rows.front().wins));
+    }
+}
+
+} // namespace pcstall::bench

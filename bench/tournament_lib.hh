@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The controller tournament (bench/tournament): sweep every registered
+ * controller over every workload under several objectives and rank
+ * them on a leaderboard.
+ *
+ * Scores are per-cell ratios against the shared static-nominal
+ * baseline (lower is better): EDP and ED^2P ratios directly, and for
+ * the energy-under-bound objective the energy ratio scaled by how far
+ * the run overshot the allowed slowdown, so a controller cannot win
+ * the energy column by simply missing the deadline. Per-objective
+ * columns are geomeans across workloads, the overall score is the
+ * geomean of the columns, and "wins" counts the (workload, objective)
+ * cells where a controller achieved the minimum.
+ *
+ * Everything here is deterministic in submission order: ranking is by
+ * (overall score, design name), score formatting is fixed-precision,
+ * and failed cells contribute nothing but an explicit ok/total count.
+ * The leaderboard is therefore byte-identical across --threads N,
+ * --replay re-drives and store-resumed runs - the property the CI
+ * smoke job and the golden test pin down.
+ */
+
+#ifndef PCSTALL_BENCH_TOURNAMENT_LIB_HH
+#define PCSTALL_BENCH_TOURNAMENT_LIB_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness.hh"
+#include "sweep_runner.hh"
+
+namespace pcstall::bench
+{
+
+/** One objective column of the tournament. */
+struct TournamentObjective
+{
+    /** Stable label ("edp", "ed2p", "energy-bound"). */
+    std::string name;
+    dvfs::Objective objective = dvfs::Objective::Edp;
+};
+
+/**
+ * Parse --objectives ("edp,ed2p,energy-bound" labels, any order,
+ * duplicates dropped). Unknown labels are warned about and skipped;
+ * an empty or fully-unknown list yields all three columns.
+ */
+std::vector<TournamentObjective>
+tournamentObjectives(const std::string &list);
+
+/**
+ * One run's score against its baseline under @p objective (lower is
+ * better; 1.0 = exactly the static baseline). @p perf_limit is the
+ * allowed fractional slowdown of the energy-under-bound objective.
+ */
+double tournamentScore(const sim::RunResult &run,
+                       const sim::RunResult &base,
+                       dvfs::Objective objective, double perf_limit);
+
+/** One leaderboard row (one controller design). */
+struct TournamentRow
+{
+    std::string design;
+    /** Per-objective geomean score across workloads (aligned with
+     *  Leaderboard::objectives; NaN when no cell finished). */
+    std::vector<double> scores;
+    /** Geomean of the finite per-objective scores. */
+    double overall = 0.0;
+    /** (workload, objective) cells where this design was the best. */
+    std::size_t wins = 0;
+    /** Cells that produced a scorable result / cells attempted. */
+    std::size_t cellsOk = 0;
+    std::size_t cellsTotal = 0;
+};
+
+/** The ranked tournament result. */
+struct Leaderboard
+{
+    std::vector<TournamentObjective> objectives;
+    std::vector<std::string> workloads;
+    /** Rows ranked best (lowest overall) first; ties break on name. */
+    std::vector<TournamentRow> rows;
+};
+
+/**
+ * Run the full tournament grid (designs x workloads x objectives)
+ * through @p runner and rank the outcome. Cell failures are contained
+ * per cell (noteSweepFailure() -> exit 1 via guardedMain) and visible
+ * in the row's ok/total count.
+ */
+Leaderboard runTournament(SweepRunner &runner,
+                          const std::vector<std::string> &designs,
+                          const std::vector<std::string> &workloads,
+                          const std::vector<TournamentObjective>
+                              &objectives);
+
+/** Render @p board as the stdout/CSV leaderboard table. */
+TableWriter leaderboardTable(const Leaderboard &board);
+
+/** Render @p board as a pcstall-leaderboard-v1 JSON document. */
+std::string leaderboardJson(const Leaderboard &board);
+
+/** Publish the tournament.* metrics for @p board
+ *  (docs/observability.md). */
+void publishTournamentMetrics(const Leaderboard &board);
+
+} // namespace pcstall::bench
+
+#endif // PCSTALL_BENCH_TOURNAMENT_LIB_HH

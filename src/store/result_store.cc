@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <mutex>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -39,19 +40,37 @@ hex64(std::uint64_t v)
  * right after the K-th successful checkpoint, giving the
  * kill-and-resume tests a deterministic mid-sweep crash point (a real
  * SIGKILL: no handlers, no unwinding, exactly like an OOM kill).
+ *
+ * When the hook is armed, entry publication serializes on
+ * crashHookMutex() (put() locks it around the atomic rename): without
+ * that, a concurrent worker thread could commit its rename between
+ * the K-th counter increment and the SIGKILL landing, leaving K+1
+ * entries on disk and flaking the exact-count asserts in
+ * tests/test_store.cc and the CI sweep-farm job. Unarmed runs (the
+ * only kind outside tests) never take the lock.
  */
-void
-maybeCrashAfterPut()
+std::mutex &
+crashHookMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+long
+crashAfterPuts()
 {
     // Re-read the environment every call (puts are per-cell, so this
     // is cold): a forked test child that sets the variable after the
     // parent already checkpointed must still see it armed.
     const char *env = std::getenv("PCSTALL_TEST_CRASH_AFTER_PUTS");
-    const long crash_after = env != nullptr ? std::atol(env) : 0L;
-    if (crash_after <= 0)
-        return;
+    return env != nullptr ? std::atol(env) : 0L;
+}
+
+void
+maybeCrashAfterPut()
+{
     static std::atomic<long> puts{0};
-    if (puts.fetch_add(1) + 1 >= crash_after)
+    if (puts.fetch_add(1) + 1 >= crashAfterPuts())
         ::raise(SIGKILL);
 }
 
@@ -62,12 +81,14 @@ CellKey::text() const
 {
     std::string out;
     out.reserve(harness.size() + workload.size() + design.size() +
-                fingerprint.size() + 24);
+                controllerConfig.size() + fingerprint.size() + 25);
     out += harness;
     out += keySep;
     out += workload;
     out += keySep;
     out += design;
+    out += keySep;
+    out += controllerConfig;
     out += keySep;
     out += fingerprint;
     out += keySep;
@@ -206,10 +227,14 @@ ResultStore::put(const CellKey &key, const std::string &payload) const
     trace::putString(bytes, payload);
     trace::putFixed64(
         bytes, trace::fnv1a(trace::fnvSeed, bytes.data(), bytes.size()));
-    const std::string err = writeFileAtomic(entryPath(key), bytes);
-    if (err.empty())
-        maybeCrashAfterPut();
-    return err;
+    if (crashAfterPuts() > 0) {
+        const std::lock_guard<std::mutex> lock(crashHookMutex());
+        const std::string err = writeFileAtomic(entryPath(key), bytes);
+        if (err.empty())
+            maybeCrashAfterPut();
+        return err;
+    }
+    return writeFileAtomic(entryPath(key), bytes);
 }
 
 std::size_t

@@ -36,7 +36,7 @@ namespace pcstall::store
 {
 
 /** Store entry-format version (bumped on any wire change). */
-inline constexpr std::uint16_t storeFormatVersion = 1;
+inline constexpr std::uint16_t storeFormatVersion = 2;
 
 /** The identity a stored result is addressed by. */
 struct CellKey
@@ -46,6 +46,11 @@ struct CellKey
     std::string workload;
     /** Design label (or a pseudo-design like "__static_baseline__"). */
     std::string design;
+    /** Controller configuration string (the part after ':' in a
+     *  "NAME:k=v" design). Kept as its own key slot - not folded into
+     *  the design label - so differently-configured controllers can
+     *  never collide even when a harness normalizes its labels. */
+    std::string controllerConfig;
     /** Serialized run-relevant options (bench config fingerprint). */
     std::string fingerprint;
     /** Repeat index among identical (workload, design, config) cells. */

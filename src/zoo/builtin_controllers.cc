@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Factories for every builtin design and their registration from
+ * controllers.def. registerBuiltinControllers() is called (once) by
+ * ControllerRegistry::instance(), giving this translation unit a
+ * strong reference so a static-library link never drops it - the
+ * pitfall of purely static-init registration in archive libraries.
+ */
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/logging.hh"
+#include "core/pcstall_controller.hh"
+#include "models/history_controller.hh"
+#include "models/reactive_controller.hh"
+#include "oracle/oracle_controllers.hh"
+#include "sim/experiment.hh"
+#include "zoo/dso_controller.hh"
+#include "zoo/regr_controller.hh"
+#include "zoo/registry.hh"
+#include "zoo/wangchu_controller.hh"
+
+namespace pcstall::dvfs
+{
+
+namespace
+{
+
+using Ptr = std::unique_ptr<DvfsController>;
+
+Ptr
+makeStall(const ControllerContext &)
+{
+    return std::make_unique<models::ReactiveController>(
+        models::EstimationKind::Stall);
+}
+
+Ptr
+makeLead(const ControllerContext &)
+{
+    return std::make_unique<models::ReactiveController>(
+        models::EstimationKind::Lead);
+}
+
+Ptr
+makeCrit(const ControllerContext &)
+{
+    return std::make_unique<models::ReactiveController>(
+        models::EstimationKind::Crit);
+}
+
+Ptr
+makeCrisp(const ControllerContext &)
+{
+    return std::make_unique<models::ReactiveController>(
+        models::EstimationKind::Crisp);
+}
+
+Ptr
+makeAccReac(const ControllerContext &)
+{
+    return std::make_unique<oracle::AccurateReactiveController>();
+}
+
+Ptr
+makeOracle(const ControllerContext &)
+{
+    return std::make_unique<oracle::OracleController>();
+}
+
+Ptr
+makePcstallLike(const ControllerContext &ctx, bool accurate)
+{
+    core::PcstallConfig pc = core::PcstallConfig::forEpoch(
+        ctx.cfg.epochLen, ctx.cfg.gpu.waveSlotsPerCu);
+    pc.accurateEstimates = accurate;
+    pc.watchdog.enabled = ctx.cfg.watchdogFallback;
+    pc.table.parityProtected = ctx.cfg.eccProtectTables;
+    return std::make_unique<core::PcstallController>(
+        pc, ctx.cfg.gpu.numCus);
+}
+
+Ptr
+makePcstall(const ControllerContext &ctx)
+{
+    return makePcstallLike(ctx, false);
+}
+
+Ptr
+makeAccPc(const ControllerContext &ctx)
+{
+    return makePcstallLike(ctx, true);
+}
+
+Ptr
+makeGpht(const ControllerContext &ctx)
+{
+    models::HistoryConfig hcfg;
+    hcfg.estimator.waveSlots = ctx.cfg.gpu.waveSlotsPerCu;
+    return std::make_unique<models::HistoryController>(
+        hcfg, ctx.cfg.gpu.numCus / ctx.cfg.cusPerDomain);
+}
+
+Ptr
+makeStatic(const ControllerContext &ctx)
+{
+    if (ctx.config.empty()) {
+        warnLimited("static-no-state",
+                    "STATIC needs a state index (STATIC[n] or "
+                    "STATIC:n)");
+        return nullptr;
+    }
+    char *end = nullptr;
+    const unsigned long state =
+        std::strtoul(ctx.config.c_str(), &end, 10);
+    if (end == ctx.config.c_str() || *end != '\0') {
+        warnLimited("static-bad-state",
+                    "STATIC: malformed state index '" + ctx.config +
+                        "'");
+        return nullptr;
+    }
+    return std::make_unique<StaticController>(
+        static_cast<std::size_t>(state));
+}
+
+Ptr
+makeRegr(const ControllerContext &ctx)
+{
+    const ConfigKnobs knobs(ctx.config);
+    zoo::RegrConfig cfg;
+    cfg.historyLength = static_cast<std::uint32_t>(
+        knobs.getInt("hist", cfg.historyLength));
+    cfg.forget = knobs.getDouble("forget", cfg.forget);
+    cfg.deadlineMargin = knobs.getDouble("margin", cfg.deadlineMargin);
+    cfg.probePeriod = static_cast<std::uint32_t>(
+        knobs.getInt("probe", cfg.probePeriod));
+    cfg.watchdog = ctx.cfg.watchdogFallback;
+    knobs.warnUnused("REGR");
+    return std::make_unique<zoo::RegrController>(
+        cfg, ctx.cfg.gpu.numCus / ctx.cfg.cusPerDomain);
+}
+
+Ptr
+makeDso(const ControllerContext &ctx)
+{
+    const ConfigKnobs knobs(ctx.config);
+    zoo::DsoConfig cfg;
+    cfg.beta = knobs.getDouble("beta", cfg.beta);
+    cfg.memCostCycles = knobs.getDouble("memcost", cfg.memCostCycles);
+    cfg.watchdog = ctx.cfg.watchdogFallback;
+    knobs.warnUnused("DSO");
+    return std::make_unique<zoo::DsoController>(cfg, ctx.app);
+}
+
+Ptr
+makeWangChu(const ControllerContext &ctx)
+{
+    const ConfigKnobs knobs(ctx.config);
+    knobs.warnUnused("WANGCHU");
+    return std::make_unique<zoo::WangChuController>();
+}
+
+} // namespace
+
+void
+registerBuiltinControllers(ControllerRegistry &registry)
+{
+#define PCSTALL_CONTROLLER(name, paper, needs_config, factory,         \
+                           summary, config_help)                       \
+    registry.add(ControllerInfo{#name, summary, config_help, paper,    \
+                                needs_config},                         \
+                 factory);
+#include "zoo/controllers.def"
+#undef PCSTALL_CONTROLLER
+}
+
+} // namespace pcstall::dvfs

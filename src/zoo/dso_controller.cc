@@ -1,0 +1,216 @@
+#include "zoo/dso_controller.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stats_util.hh"
+#include "isa/kernel.hh"
+#include "models/estimation.hh"
+#include "obs/context.hh"
+
+namespace pcstall::zoo
+{
+
+namespace
+{
+
+/**
+ * Loop-trip-weighted static memory-time fraction of one kernel: every
+ * instruction inside a loop body [target .. branch] is weighted by
+ * that loop's mean trip count (nested loops multiply), memory ops are
+ * charged @p mem_cost cycles, everything else its encoded latency.
+ */
+double
+staticMemFrac(const isa::Kernel &kernel, double mem_cost)
+{
+    std::vector<double> weight(kernel.code.size(), 1.0);
+    for (std::size_t i = 0; i < kernel.code.size(); ++i) {
+        const isa::Instruction &instr = kernel.code[i];
+        if (instr.op != isa::OpType::Branch || instr.target < 0 ||
+            static_cast<std::size_t>(instr.target) > i) {
+            continue;
+        }
+        double trips = 1.0;
+        if (instr.loopId < kernel.loops.size()) {
+            trips = std::max<double>(
+                1.0, kernel.loops[instr.loopId].baseTrips);
+        }
+        for (std::size_t j = instr.target; j <= i; ++j)
+            weight[j] *= trips;
+    }
+    double mem = 0.0;
+    double core = 0.0;
+    for (std::size_t i = 0; i < kernel.code.size(); ++i) {
+        const isa::Instruction &instr = kernel.code[i];
+        switch (instr.op) {
+        case isa::OpType::VMemLoad:
+        case isa::OpType::VMemStore:
+            mem += weight[i] * mem_cost;
+            break;
+        case isa::OpType::Waitcnt:
+        case isa::OpType::Barrier:
+        case isa::OpType::EndPgm:
+            break; // join points: time charged to what they wait on
+        default:
+            core += weight[i] * static_cast<double>(instr.latency);
+            break;
+        }
+    }
+    const double total = mem + core;
+    return total > 0.0 ? mem / total : 0.0;
+}
+
+} // namespace
+
+DsoController::DsoController(const DsoConfig &config,
+                             const isa::Application *app)
+    : cfg(config)
+{
+    cfg.beta = clampTo(cfg.beta, 0.0, 1.0);
+    cfg.memCostCycles = std::max(cfg.memCostCycles, 1.0);
+    watchdog.enabled = cfg.watchdog;
+    if (app == nullptr)
+        return;
+    for (const isa::Kernel &kernel : app->launches) {
+        const std::uint64_t end = kernel.codeBase +
+            kernel.code.size() * isa::instrSizeBytes;
+        const auto dup = std::find_if(
+            kernels.begin(), kernels.end(),
+            [&](const StaticKernel &k) {
+                return k.base == kernel.codeBase;
+            });
+        if (dup != kernels.end())
+            continue; // relaunch of an analysed kernel
+        kernels.push_back({kernel.codeBase, end,
+                           staticMemFrac(kernel, cfg.memCostCycles)});
+    }
+    std::sort(kernels.begin(), kernels.end(),
+              [](const StaticKernel &a, const StaticKernel &b) {
+                  return a.base < b.base;
+              });
+    obs::reg()
+        .gauge("controller.dso.static_kernels")
+        .set(static_cast<double>(kernels.size()));
+}
+
+double
+DsoController::staticFracAt(std::uint64_t pc_addr) const
+{
+    // Binary search the sorted, disjoint code ranges.
+    std::size_t lo = 0;
+    std::size_t hi = kernels.size();
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (kernels[mid].end <= pc_addr)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo < kernels.size() && kernels[lo].base <= pc_addr)
+        return kernels[lo].memFrac;
+    return -1.0;
+}
+
+std::vector<dvfs::DomainDecision>
+DsoController::decide(const dvfs::EpochContext &ctx)
+{
+    const std::size_t num_states = ctx.table.numStates();
+    const std::uint32_t num_cus = ctx.domains.numCus();
+    const std::uint32_t num_domains = ctx.domains.numDomains();
+    obs::Registry &registry = obs::reg();
+
+    if (kernels.empty() && !warnedNoApp) {
+        warnedNoApp = true;
+        warnLimited("dso-no-app",
+                    "DSO: no application for static analysis; "
+                    "running dynamic-only");
+    }
+
+    // Watchdog: score last epoch's prediction at the realized state.
+    if (!prevInstrAt.empty()) {
+        double err_sum = 0.0;
+        std::uint32_t err_n = 0;
+        for (std::uint32_t d = 0; d < num_domains; ++d) {
+            const double committed = domainCommitted(ctx, d);
+            if (committed <= 0.0)
+                continue;
+            const double predicted =
+                prevInstrAt[d][domainActualState(ctx, d)];
+            err_sum += std::abs(predicted - committed) / committed;
+            ++err_n;
+        }
+        if (err_n > 0)
+            watchdog.observe(err_sum / static_cast<double>(err_n));
+    }
+
+    // Static prior per CU: mean static fraction over the kernels the
+    // CU's resident waves are executing right now.
+    std::vector<double> static_frac(num_cus, -1.0);
+    if (!kernels.empty()) {
+        std::vector<double> sum(num_cus, 0.0);
+        std::vector<std::uint32_t> n(num_cus, 0);
+        for (const gpu::WaveSnapshot &wave : ctx.snapshots) {
+            const double frac = staticFracAt(wave.pcAddr);
+            if (frac >= 0.0) {
+                sum[wave.cu] += frac;
+                ++n[wave.cu];
+                registry.counter("controller.dso.lookup_hits").add(1);
+            } else {
+                registry.counter("controller.dso.lookup_misses").add(1);
+            }
+        }
+        for (std::uint32_t cu = 0; cu < num_cus; ++cu) {
+            if (n[cu] > 0)
+                static_frac[cu] = sum[cu] / n[cu];
+        }
+    }
+
+    // Fuse and scale per CU, aggregate per domain.
+    const double epoch = static_cast<double>(ctx.epochLen);
+    std::vector<std::vector<double>> instr_at(
+        num_domains, std::vector<double>(num_states, 0.0));
+    for (std::uint32_t d = 0; d < num_domains; ++d) {
+        for (std::size_t s = 0; s < num_states; ++s) {
+            const Freq f2 = ctx.table.state(s).freq;
+            instr_at[d][s] = dvfs::sumOverDomain(
+                ctx.domains, d, [&](std::uint32_t cu) {
+                    const gpu::CuEpochRecord &rec = ctx.record.cus[cu];
+                    if (rec.committed == 0 || rec.freq == 0)
+                        return 0.0;
+                    const double dyn = clampTo(
+                        static_cast<double>(rec.loadStall) / epoch,
+                        0.0, 1.0);
+                    const double stat = static_frac[cu];
+                    const double fused = stat >= 0.0
+                        ? cfg.beta * stat + (1.0 - cfg.beta) * dyn
+                        : dyn;
+                    const double t_async = fused * epoch;
+                    const double ratio =
+                        static_cast<double>(rec.freq) /
+                        static_cast<double>(f2);
+                    const double t2 =
+                        t_async + (epoch - t_async) * ratio;
+                    return static_cast<double>(rec.committed) * epoch /
+                        std::max(t2, 1.0);
+                });
+        }
+    }
+    for (std::uint32_t d = 0; d < num_domains; ++d) {
+        // prevInstrAt is sized lazily so the first epoch scores no
+        // prediction (there is none yet).
+        if (prevInstrAt.size() != num_domains)
+            prevInstrAt.assign(num_domains, {});
+        prevInstrAt[d] = instr_at[d];
+    }
+    registry.counter("controller.dso.decisions").add(num_domains);
+
+    if (watchdog.inFallback()) {
+        watchdog.noteFallbackEpoch();
+        registry.counter("controller.dso.fallback_epochs").add(1);
+        return stallFallback.decide(ctx);
+    }
+    return chooseFromInstrAt(ctx, instr_at);
+}
+
+} // namespace pcstall::zoo

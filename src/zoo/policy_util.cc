@@ -1,0 +1,73 @@
+#include "zoo/policy_util.hh"
+
+namespace pcstall::zoo
+{
+
+std::vector<dvfs::DomainDecision>
+chooseFromInstrAt(const dvfs::EpochContext &ctx,
+                  const std::vector<std::vector<double>> &instr_at,
+                  double perf_limit_override)
+{
+    std::vector<dvfs::DomainDecision> out(ctx.domains.numDomains());
+    for (std::uint32_t d = 0; d < ctx.domains.numDomains(); ++d) {
+        dvfs::DomainScoreInputs in;
+        in.instrAtState = instr_at[d];
+        in.baselineInstr = domainCommitted(ctx, d);
+        in.baselineActivity =
+            dvfs::domainActivity(ctx.domains, d, ctx.record);
+        in.numCus = ctx.domains.cusPerDomain();
+        in.staticShare =
+            ctx.power.params().memStatic / ctx.domains.numDomains();
+        in.epochLen = ctx.epochLen;
+        in.temperature = ctx.temperature;
+        in.perfDegradationLimit = perf_limit_override >= 0.0
+            ? perf_limit_override : ctx.perfDegradationLimit;
+        in.nominalState = ctx.nominalState;
+        in.avgChipPower = ctx.avgChipPower;
+        if (ctx.avgDomainInstr != nullptr)
+            in.avgInstr = (*ctx.avgDomainInstr)[d];
+
+        out[d].state = dvfs::chooseState(ctx.table, ctx.power, in,
+                                         ctx.objective);
+        out[d].predictedInstr = instr_at[d][out[d].state];
+    }
+    return out;
+}
+
+double
+domainCommitted(const dvfs::EpochContext &ctx, std::uint32_t d)
+{
+    return dvfs::sumOverDomain(ctx.domains, d, [&](std::uint32_t cu) {
+        return static_cast<double>(ctx.record.cus[cu].committed);
+    });
+}
+
+std::size_t
+domainActualState(const dvfs::EpochContext &ctx, std::uint32_t d)
+{
+    const Freq freq =
+        ctx.record.cus[ctx.domains.firstCu(d)].freq;
+    if (freq == 0)
+        return ctx.nominalState;
+    return ctx.table.nearestIndex(freq);
+}
+
+void
+DivergenceWatchdog::observe(double mean_rel_error)
+{
+    if (!enabled)
+        return;
+    if (mean_rel_error > errorThreshold) {
+        goodStreak = 0;
+        if (!fallback && ++badStreak >= tripAfter) {
+            fallback = true;
+            ++trips_;
+        }
+    } else {
+        badStreak = 0;
+        if (fallback && ++goodStreak >= recoverAfter)
+            fallback = false;
+    }
+}
+
+} // namespace pcstall::zoo

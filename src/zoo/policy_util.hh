@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared plumbing for the src/zoo related-work controllers: the
+ * instr-at-state -> objective -> decision step every policy ends
+ * with (the same shape ReactiveController uses), and a reusable
+ * divergence watchdog mirroring PCSTALL's trip/recover hysteresis so
+ * zoo policies degrade to the reactive STALL fallback instead of
+ * acting on a model that has stopped describing the workload.
+ */
+
+#ifndef PCSTALL_ZOO_POLICY_UTIL_HH
+#define PCSTALL_ZOO_POLICY_UTIL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dvfs/controller.hh"
+
+namespace pcstall::zoo
+{
+
+/**
+ * Score @p instr_at (one predicted-instruction vector per domain,
+ * indexed by V/f state) under the context's objective and return one
+ * decision per domain, with predictedInstr filled from the chosen
+ * state. @p perf_limit_override, when >= 0, replaces the context's
+ * EnergyUnderPerfBound degradation limit (deadline-margin support).
+ */
+std::vector<dvfs::DomainDecision>
+chooseFromInstrAt(const dvfs::EpochContext &ctx,
+                  const std::vector<std::vector<double>> &instr_at,
+                  double perf_limit_override = -1.0);
+
+/** Instructions committed by one domain in the elapsed epoch. */
+double domainCommitted(const dvfs::EpochContext &ctx, std::uint32_t d);
+
+/**
+ * The V/f state index one domain actually ran the elapsed epoch at
+ * (nearest table entry to its CUs' recorded frequency) - the state a
+ * prediction must be evaluated at when scoring the predictor, so DVFS
+ * transition faults do not count against the model.
+ */
+std::size_t domainActualState(const dvfs::EpochContext &ctx,
+                              std::uint32_t d);
+
+/**
+ * Divergence watchdog with PCSTALL's semantics: after tripAfter
+ * consecutive epochs whose mean relative prediction error exceeds
+ * errorThreshold, decisions switch to a fallback policy; recoverAfter
+ * consecutive good epochs switch back (hysteresis, no flapping).
+ */
+struct DivergenceWatchdog
+{
+    bool enabled = false;
+    /** Mean relative prediction error that counts as a bad epoch
+     *  (loose on purpose; see core/pcstall_controller.hh). */
+    double errorThreshold = 0.75;
+    std::uint32_t tripAfter = 3;
+    std::uint32_t recoverAfter = 8;
+
+    /** Advance the hysteresis with one epoch's mean relative error. */
+    void observe(double mean_rel_error);
+
+    /** True while decisions should come from the fallback policy. */
+    bool inFallback() const { return fallback; }
+    /** Count one epoch decided by the fallback. */
+    void noteFallbackEpoch() { ++fallbackEpochs_; }
+
+    std::uint64_t trips() const { return trips_; }
+    std::uint64_t fallbackEpochs() const { return fallbackEpochs_; }
+
+  private:
+    bool fallback = false;
+    std::uint32_t badStreak = 0;
+    std::uint32_t goodStreak = 0;
+    std::uint64_t trips_ = 0;
+    std::uint64_t fallbackEpochs_ = 0;
+};
+
+} // namespace pcstall::zoo
+
+#endif // PCSTALL_ZOO_POLICY_UTIL_HH

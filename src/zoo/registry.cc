@@ -1,0 +1,233 @@
+#include "zoo/registry.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace pcstall::dvfs
+{
+
+// Defined in builtin_controllers.cc (same library). Called from
+// instance(), which gives the builtin TU a strong reference so a
+// static-library link can never drop its registrations.
+void registerBuiltinControllers(ControllerRegistry &registry);
+
+ParsedDesign
+splitDesign(const std::string &design)
+{
+    ParsedDesign parsed;
+    // Legacy bracket spelling: STATIC[7] == STATIC:7.
+    if (design.rfind("STATIC[", 0) == 0 && design.back() == ']') {
+        parsed.base = "STATIC";
+        parsed.config = design.substr(7, design.size() - 8);
+        return parsed;
+    }
+    const std::size_t colon = design.find(':');
+    if (colon == std::string::npos) {
+        parsed.base = design;
+    } else {
+        parsed.base = design.substr(0, colon);
+        parsed.config = design.substr(colon + 1);
+    }
+    return parsed;
+}
+
+ConfigKnobs::ConfigKnobs(const std::string &text)
+{
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            malformed.push_back(item);
+            continue;
+        }
+        values[item.substr(0, eq)] = item.substr(eq + 1);
+    }
+    // The bare "STATIC:7" form: a single bare value parses as the
+    // anonymous knob "" so factories with one natural argument (the
+    // static state index) can accept it.
+    if (values.empty() && malformed.size() == 1 &&
+        malformed.front().find('=') == std::string::npos) {
+        values[""] = malformed.front();
+        malformed.clear();
+    }
+}
+
+bool
+ConfigKnobs::has(const std::string &key) const
+{
+    const auto it = values.find(key);
+    if (it == values.end())
+        return false;
+    consumed[key] = true;
+    return true;
+}
+
+double
+ConfigKnobs::getDouble(const std::string &key, double def) const
+{
+    const auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    consumed[key] = true;
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(it->second, &used);
+        if (used == it->second.size())
+            return v;
+    } catch (...) {
+    }
+    warnLimited("knob-parse-" + key,
+                "config knob " + key + "=" + it->second +
+                    ": not a number (using the default)");
+    return def;
+}
+
+std::int64_t
+ConfigKnobs::getInt(const std::string &key, std::int64_t def) const
+{
+    const auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    consumed[key] = true;
+    try {
+        std::size_t used = 0;
+        const long long v = std::stoll(it->second, &used);
+        if (used == it->second.size())
+            return v;
+    } catch (...) {
+    }
+    warnLimited("knob-parse-" + key,
+                "config knob " + key + "=" + it->second +
+                    ": not an integer (using the default)");
+    return def;
+}
+
+void
+ConfigKnobs::warnUnused(const std::string &controller) const
+{
+    for (const auto &[key, value] : values) {
+        if (consumed.count(key) == 0) {
+            warnLimited("knob-unknown-" + controller + "-" + key,
+                        controller + ": unknown config knob '" + key +
+                            "' ignored");
+        }
+    }
+    for (const std::string &item : malformed) {
+        warnLimited("knob-malformed-" + controller,
+                    controller + ": malformed config entry '" + item +
+                        "' ignored (expected key=value)");
+    }
+}
+
+ControllerRegistry &
+ControllerRegistry::instance()
+{
+    static ControllerRegistry registry;
+    static const bool builtins = [] {
+        registerBuiltinControllers(registry);
+        return true;
+    }();
+    (void)builtins;
+    return registry;
+}
+
+bool
+ControllerRegistry::add(ControllerInfo info, ControllerFactoryFn factory)
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (const Entry &entry : order) {
+        if (entry.info.name == info.name) {
+            warnLimited("registry-dup-" + info.name,
+                        "controller '" + info.name +
+                            "' is already registered (first "
+                            "registration wins)");
+            return false;
+        }
+    }
+    order.push_back({std::move(info), std::move(factory)});
+    return true;
+}
+
+bool
+ControllerRegistry::has(const std::string &name) const
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (const Entry &entry : order) {
+        if (entry.info.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<ControllerInfo>
+ControllerRegistry::entries() const
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    std::vector<ControllerInfo> out;
+    out.reserve(order.size());
+    for (const Entry &entry : order)
+        out.push_back(entry.info);
+    return out;
+}
+
+ControllerRegistry::MakeResult
+ControllerRegistry::make(const std::string &design,
+                         const sim::RunConfig &cfg,
+                         const isa::Application *app) const
+{
+    const ParsedDesign parsed = splitDesign(design);
+    ControllerFactoryFn factory;
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        for (const Entry &entry : order) {
+            if (entry.info.name == parsed.base) {
+                factory = entry.factory;
+                break;
+            }
+        }
+    }
+    MakeResult out;
+    if (factory == nullptr) {
+        out.error = "unknown design '" + design +
+            "'; registered: " + knownNames() +
+            " (try --list-controllers)";
+        return out;
+    }
+    ControllerContext ctx{cfg, parsed.config, app};
+    out.controller = factory(ctx);
+    if (out.controller == nullptr && out.error.empty()) {
+        out.error = "design '" + design +
+            "': factory declined the configuration";
+    }
+    return out;
+}
+
+std::string
+ControllerRegistry::knownNames() const
+{
+    std::string out;
+    for (const ControllerInfo &info : entries()) {
+        if (!out.empty())
+            out += ", ";
+        out += info.name;
+    }
+    return out;
+}
+
+std::vector<std::string>
+ControllerRegistry::tournamentNames() const
+{
+    std::vector<std::string> out;
+    for (const ControllerInfo &info : entries()) {
+        if (!info.needsConfig)
+            out.push_back(info.name);
+    }
+    return out;
+}
+
+} // namespace pcstall::dvfs

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * The controller zoo: a plug-in registry mapping design names to
+ * controller factories (docs/controllers.md).
+ *
+ * Every DVFS policy the harnesses can run - the seven Table III
+ * designs, the GPHT extension, the STATIC[n] baselines and the
+ * related-work policies under src/zoo - is a registered entry keyed
+ * by its design name. bench::makeController() and every SweepRunner
+ * cell resolve through the registry, so adding a policy means adding
+ * one registration (a controllers.def line for builtins, or a
+ * static-init ControllerRegistrar in any linked translation unit) and
+ * zero harness changes: the new name immediately works in every
+ * figure harness, in bench/tournament, in --replay re-drives and in
+ * the results store.
+ *
+ * Design strings carry an optional per-controller configuration
+ * suffix: "NAME:key=value,key=value" (e.g. "REGR:hist=16,forget=0.8").
+ * The registry splits the string, hands the config text to the
+ * factory, and the harness folds it into the cell's RNG derivation
+ * and store fingerprint, so differently-configured variants of one
+ * controller are distinct experiment identities end to end.
+ *
+ * The class lives in pcstall::dvfs (it is part of the controller
+ * vocabulary) but is built as the pcstall_zoo library, above
+ * sim/core/models/oracle, because factories see the full
+ * sim::RunConfig.
+ */
+
+#ifndef PCSTALL_ZOO_REGISTRY_HH
+#define PCSTALL_ZOO_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dvfs/controller.hh"
+
+namespace pcstall::sim
+{
+struct RunConfig;
+}
+namespace pcstall::isa
+{
+struct Application;
+}
+
+namespace pcstall::dvfs
+{
+
+/** Everything a controller factory may consult. */
+struct ControllerContext
+{
+    /** The full run configuration of the cell about to execute. */
+    const sim::RunConfig &cfg;
+    /** The design string's config suffix ("hist=16,forget=0.8" for
+     *  "REGR:hist=16,forget=0.8"; empty when none was given). */
+    std::string config;
+    /**
+     * The application about to run, when the caller knows it (sweep
+     * cells do). Null in app-less contexts (replay tooling); factories
+     * needing static program features must degrade gracefully.
+     */
+    const isa::Application *app = nullptr;
+};
+
+/** Builds one controller instance from a context. */
+using ControllerFactoryFn =
+    std::function<std::unique_ptr<DvfsController>(
+        const ControllerContext &)>;
+
+/** Registry metadata of one design (shown by --list-controllers). */
+struct ControllerInfo
+{
+    /** Design name (registry key, e.g. "PCSTALL", "REGR"). */
+    std::string name;
+    /** One-line description. */
+    std::string summary;
+    /** Config-knob vocabulary ("key=default,..."); empty = none. */
+    std::string configHelp;
+    /** One of the paper's Table III designs. */
+    bool paperDesign = false;
+    /**
+     * Unusable without an explicit configuration (e.g. STATIC needs a
+     * state index). Such designs are excluded from all-controller
+     * sweeps like bench/tournament.
+     */
+    bool needsConfig = false;
+};
+
+/** A design string split at its first ':' (or "STATIC[n]" bracket). */
+struct ParsedDesign
+{
+    /** Registry key ("REGR" for "REGR:hist=16"). */
+    std::string base;
+    /** Config suffix ("hist=16"; "7" for "STATIC[7]"). */
+    std::string config;
+};
+
+/**
+ * Split @p design into its registry key and config suffix. "NAME" and
+ * "NAME:cfg" split at the first ':'; the legacy "STATIC[n]" spelling
+ * parses as base "STATIC" with config "n".
+ */
+ParsedDesign splitDesign(const std::string &design);
+
+/**
+ * Parsed "key=value,key=value" controller configuration with typed,
+ * recoverable accessors in the CliOptions spirit: a malformed or
+ * unknown knob is a warn, never a fatal, and the value reverts to the
+ * factory's default.
+ */
+class ConfigKnobs
+{
+  public:
+    /** Parse @p text ("" = no knobs). Malformed entries (no '=') are
+     *  recorded and reported by warnUnused(). */
+    explicit ConfigKnobs(const std::string &text);
+
+    /** Floating-point knob; @p def when absent or malformed. */
+    double getDouble(const std::string &key, double def) const;
+    /** Integer knob; @p def when absent or malformed. */
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    /** True when @p key was given. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Warn (rate-limited, once per site) about knobs no accessor
+     * consumed and about malformed entries; factories call this last
+     * so a config typo is visible but never fatal.
+     */
+    void warnUnused(const std::string &controller) const;
+
+  private:
+    std::map<std::string, std::string> values;
+    mutable std::map<std::string, bool> consumed;
+    std::vector<std::string> malformed;
+};
+
+/**
+ * The process-wide design-name -> factory registry. Thread-safe; the
+ * builtin entries (controllers.def) are registered on first use, and
+ * plug-in translation units self-register at static init through
+ * ControllerRegistrar.
+ */
+class ControllerRegistry
+{
+  public:
+    /** The singleton, with builtins registered. */
+    static ControllerRegistry &instance();
+
+    /**
+     * Register a design. Duplicate names are rejected (first
+     * registration wins) with a warn and a false return, so a plug-in
+     * cannot silently shadow a builtin.
+     */
+    bool add(ControllerInfo info, ControllerFactoryFn factory);
+
+    /** True when @p name (a base name, no config suffix) is known. */
+    bool has(const std::string &name) const;
+
+    /** Every registered design, in registration order. */
+    std::vector<ControllerInfo> entries() const;
+
+    /** Result of one make(). */
+    struct MakeResult
+    {
+        std::unique_ptr<DvfsController> controller;
+        /** One-line diagnostic when no controller was built. */
+        std::string error;
+        bool ok() const { return controller != nullptr; }
+    };
+
+    /**
+     * Build the controller @p design names. The design string may
+     * carry a config suffix (splitDesign()). Unknown names yield an
+     * error listing every registered name - a recoverable diagnostic,
+     * not a fatal - as does a factory that declines (e.g. STATIC
+     * without a state index).
+     */
+    MakeResult make(const std::string &design,
+                    const sim::RunConfig &cfg,
+                    const isa::Application *app = nullptr) const;
+
+    /** Comma-joined registered names (for diagnostics). */
+    std::string knownNames() const;
+
+    /**
+     * Designs eligible for an every-controller sweep: all registered
+     * entries that are complete without an explicit config, in
+     * registration order (paper designs first).
+     */
+    std::vector<std::string> tournamentNames() const;
+
+  private:
+    ControllerRegistry() = default;
+
+    struct Entry
+    {
+        ControllerInfo info;
+        ControllerFactoryFn factory;
+    };
+
+    mutable std::mutex mutex;
+    std::vector<Entry> order;
+};
+
+/**
+ * Static-init self-registration hook for plug-in controllers:
+ *
+ *   static const dvfs::ControllerRegistrar myPolicy(
+ *       {.name = "MYPOLICY", .summary = "..."},
+ *       [](const dvfs::ControllerContext &ctx) { ... });
+ *
+ * Builtins use the same mechanism through src/zoo/controllers.def.
+ */
+struct ControllerRegistrar
+{
+    ControllerRegistrar(ControllerInfo info, ControllerFactoryFn factory)
+    {
+        ControllerRegistry::instance().add(std::move(info),
+                                           std::move(factory));
+    }
+};
+
+} // namespace pcstall::dvfs
+
+#endif // PCSTALL_ZOO_REGISTRY_HH

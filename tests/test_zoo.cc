@@ -1,0 +1,547 @@
+/**
+ * @file
+ * Tests of the controller zoo (src/zoo) and the tournament bench
+ * layer: registry registration/duplicate/unknown-name behavior,
+ * design-string splitting and config knobs, the related-work
+ * controllers' model properties, the determinism contract extended to
+ * REGR/DSO/WANGCHU (threads 1 vs 4, capture-then-replay), config
+ * distinctness in store keys, and the golden leaderboard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "expect_fatal.hh"
+#include "store/result_store.hh"
+#include "tournament_lib.hh"
+#include "trace/format.hh"
+#include "trace/replay.hh"
+#include "workloads/workloads.hh"
+#include "zoo/dso_controller.hh"
+#include "zoo/registry.hh"
+#include "zoo/wangchu_controller.hh"
+
+using namespace pcstall;
+
+namespace
+{
+
+sim::RunConfig
+testConfig(std::uint32_t cus = 2)
+{
+    sim::RunConfig cfg;
+    cfg.gpu.numCus = cus;
+    cfg.maxSimTime = 2 * tickMs;
+    cfg.scaled();
+    return cfg;
+}
+
+std::shared_ptr<const isa::Application>
+app(const std::string &name, std::uint32_t cus = 2, double scale = 0.2)
+{
+    workloads::WorkloadParams p;
+    p.numCus = cus;
+    p.scale = scale;
+    return std::make_shared<const isa::Application>(
+        workloads::makeWorkload(name, p));
+}
+
+// ---------------------------------------------------------------- //
+// Registry                                                          //
+// ---------------------------------------------------------------- //
+
+TEST(Registry, KnowsEveryBuiltinDesign)
+{
+    const auto &registry = dvfs::ControllerRegistry::instance();
+    for (const char *name :
+         {"STALL", "LEAD", "CRIT", "CRISP", "ACCREAC", "PCSTALL",
+          "ACCPC", "ORACLE", "GPHT", "STATIC", "REGR", "DSO",
+          "WANGCHU"}) {
+        EXPECT_TRUE(registry.has(name)) << name;
+    }
+    EXPECT_FALSE(registry.has("NO-SUCH-DESIGN"));
+    // Registration order: paper designs lead the table.
+    const auto entries = registry.entries();
+    ASSERT_GE(entries.size(), 13u);
+    EXPECT_EQ(entries[0].name, "STALL");
+    EXPECT_TRUE(entries[0].paperDesign);
+}
+
+TEST(Registry, TournamentNamesExcludeConfigRequiredDesigns)
+{
+    const auto names =
+        dvfs::ControllerRegistry::instance().tournamentNames();
+    // The acceptance floor: ten-plus ranked controllers.
+    EXPECT_GE(names.size(), 10u);
+    for (const std::string &name : names)
+        EXPECT_NE(name, "STATIC");
+    // Related-work zoo members are eligible.
+    EXPECT_NE(std::find(names.begin(), names.end(), "REGR"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "DSO"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "WANGCHU"),
+              names.end());
+}
+
+TEST(Registry, DuplicateRegistrationIsRejectedFirstWins)
+{
+    auto &registry = dvfs::ControllerRegistry::instance();
+    const std::size_t before = registry.entries().size();
+    dvfs::ControllerInfo dup;
+    dup.name = "PCSTALL";
+    dup.summary = "impostor";
+    EXPECT_FALSE(registry.add(
+        dup, [](const dvfs::ControllerContext &)
+            -> std::unique_ptr<dvfs::DvfsController> {
+            return nullptr;
+        }));
+    EXPECT_EQ(registry.entries().size(), before);
+    // The original factory still wins.
+    const auto made =
+        registry.make("PCSTALL", testConfig());
+    ASSERT_TRUE(made.ok()) << made.error;
+    EXPECT_EQ(made.controller->name(), "PCSTALL");
+}
+
+TEST(Registry, PluginRegistrationMakesNewDesignConstructible)
+{
+    dvfs::ControllerInfo info;
+    info.name = "TESTONLY_PLUGIN";
+    info.summary = "test plug-in";
+    // needsConfig keeps the test entry out of tournamentNames() so
+    // later tests in this process see an unchanged eligible set.
+    info.needsConfig = true;
+    const dvfs::ControllerRegistrar reg(
+        info, [](const dvfs::ControllerContext &ctx)
+            -> std::unique_ptr<dvfs::DvfsController> {
+            return std::make_unique<dvfs::StaticController>(
+                static_cast<std::size_t>(
+                    dvfs::ConfigKnobs(ctx.config).getInt("state", 0)));
+        });
+    const auto &registry = dvfs::ControllerRegistry::instance();
+    EXPECT_TRUE(registry.has("TESTONLY_PLUGIN"));
+    const auto made = registry.make("TESTONLY_PLUGIN:state=2",
+                                    testConfig());
+    ASSERT_TRUE(made.ok()) << made.error;
+}
+
+TEST(Registry, UnknownNameYieldsRecoverableDiagnostic)
+{
+    const auto made = dvfs::ControllerRegistry::instance().make(
+        "NO-SUCH-DESIGN", testConfig());
+    EXPECT_FALSE(made.ok());
+    EXPECT_NE(made.error.find("NO-SUCH-DESIGN"), std::string::npos);
+    EXPECT_NE(made.error.find("registered:"), std::string::npos);
+    EXPECT_NE(made.error.find("PCSTALL"), std::string::npos);
+    EXPECT_NE(made.error.find("--list-controllers"),
+              std::string::npos);
+}
+
+TEST(Registry, MakeControllerKeepsTheFatalContractForUnknownNames)
+{
+    const auto cfg = testConfig();
+    EXPECT_FATAL(bench::makeController("NO-SUCH-DESIGN", cfg),
+                 "NO-SUCH-DESIGN");
+}
+
+TEST(Registry, StaticSpellingsAreEquivalentAndConfigIsRequired)
+{
+    const auto cfg = testConfig();
+    const auto &registry = dvfs::ControllerRegistry::instance();
+    const auto bracket = registry.make("STATIC[3]", cfg);
+    const auto colon = registry.make("STATIC:3", cfg);
+    ASSERT_TRUE(bracket.ok()) << bracket.error;
+    ASSERT_TRUE(colon.ok()) << colon.error;
+    EXPECT_EQ(bracket.controller->name(), colon.controller->name());
+    // No state index: the factory declines, recoverably.
+    EXPECT_FALSE(registry.make("STATIC", cfg).ok());
+    EXPECT_FALSE(registry.make("STATIC:banana", cfg).ok());
+}
+
+TEST(Registry, DesignListPrefersTheExplicitControllerSelection)
+{
+    bench::BenchOptions opts;
+    EXPECT_EQ(opts.designList({"CRISP", "PCSTALL"}),
+              (std::vector<std::string>{"CRISP", "PCSTALL"}));
+    opts.controllers = {"REGR:hist=4", "WANGCHU"};
+    EXPECT_EQ(opts.designList({"CRISP", "PCSTALL"}),
+              opts.controllers);
+}
+
+// ---------------------------------------------------------------- //
+// Design strings and config knobs                                   //
+// ---------------------------------------------------------------- //
+
+TEST(SplitDesign, SplitsAtTheFirstColonOnly)
+{
+    auto plain = dvfs::splitDesign("REGR");
+    EXPECT_EQ(plain.base, "REGR");
+    EXPECT_EQ(plain.config, "");
+
+    auto cfg = dvfs::splitDesign("REGR:hist=16,forget=0.8");
+    EXPECT_EQ(cfg.base, "REGR");
+    EXPECT_EQ(cfg.config, "hist=16,forget=0.8");
+
+    auto legacy = dvfs::splitDesign("STATIC[7]");
+    EXPECT_EQ(legacy.base, "STATIC");
+    EXPECT_EQ(legacy.config, "7");
+
+    auto nested = dvfs::splitDesign("A:b=c:d");
+    EXPECT_EQ(nested.base, "A");
+    EXPECT_EQ(nested.config, "b=c:d");
+}
+
+TEST(ConfigKnobs, TypedAccessorsWithRecoverableDefaults)
+{
+    const dvfs::ConfigKnobs knobs("hist=16,forget=0.8,bad=abc");
+    EXPECT_EQ(knobs.getInt("hist", 8), 16);
+    EXPECT_DOUBLE_EQ(knobs.getDouble("forget", 0.9), 0.8);
+    EXPECT_TRUE(knobs.has("hist"));
+    EXPECT_FALSE(knobs.has("probe"));
+    // Absent and malformed knobs both yield the default.
+    EXPECT_EQ(knobs.getInt("probe", 16), 16);
+    EXPECT_EQ(knobs.getInt("bad", 7), 7);
+}
+
+TEST(ConfigKnobs, BareValueIsTheAnonymousKnob)
+{
+    const dvfs::ConfigKnobs knobs("7");
+    EXPECT_EQ(knobs.getInt("", 0), 7);
+}
+
+// ---------------------------------------------------------------- //
+// Controller models                                                 //
+// ---------------------------------------------------------------- //
+
+gpu::CuEpochRecord
+record(std::uint64_t committed, Tick busy, Tick mem_interval,
+       Tick overlap, Freq freq)
+{
+    gpu::CuEpochRecord rec;
+    rec.committed = committed;
+    rec.busy = busy;
+    rec.memInterval = mem_interval;
+    rec.overlap = overlap;
+    rec.freq = freq;
+    return rec;
+}
+
+TEST(WangChu, SameFrequencyPredictionIsTheIdentity)
+{
+    const Tick epoch = tickUs;
+    const auto rec =
+        record(1000, tickUs / 2, tickUs / 4, tickUs / 8,
+               Freq{1700} * freqMHz);
+    const double same =
+        zoo::wangChuInstrAt(rec, epoch, rec.freq);
+    EXPECT_NEAR(same, 1000.0, 1e-6);
+}
+
+TEST(WangChu, ComputeBoundWorkScalesWithTheCoreClock)
+{
+    const Tick epoch = tickUs;
+    // Fully compute-bound: busy the whole epoch, no memory time.
+    const auto rec =
+        record(1000, epoch, 0, 0, Freq{1700} * freqMHz);
+    const double faster = zoo::wangChuInstrAt(
+        rec, epoch, Freq{2200} * freqMHz);
+    const double slower = zoo::wangChuInstrAt(
+        rec, epoch, Freq{1300} * freqMHz);
+    EXPECT_NEAR(faster, 1000.0 * 2200.0 / 1700.0, 1.0);
+    EXPECT_NEAR(slower, 1000.0 * 1300.0 / 1700.0, 1.0);
+}
+
+TEST(WangChu, MemoryBoundWorkIsFrequencyInsensitive)
+{
+    const Tick epoch = tickUs;
+    // Almost all memory: tiny issue time, full-epoch memory window.
+    const auto rec =
+        record(1000, epoch / 100, epoch, epoch / 100,
+               Freq{1700} * freqMHz);
+    const double faster = zoo::wangChuInstrAt(
+        rec, epoch, Freq{2200} * freqMHz);
+    // Speedup bounded by the tiny core share - well under 2%.
+    EXPECT_LT(faster / 1000.0, 1.02);
+    EXPECT_GE(faster / 1000.0, 1.0 - 1e-9);
+}
+
+TEST(Dso, StaticAnalysisIndexesKernelsByPcAddress)
+{
+    const auto a = app("comd");
+    zoo::DsoConfig cfg;
+    const zoo::DsoController dso(cfg, a.get());
+    ASSERT_GT(dso.staticKernelCount(), 0u);
+    // Every launched kernel's first instruction resolves to a sane
+    // memory fraction...
+    for (const isa::Kernel &kernel : a->launches) {
+        const double frac = dso.staticFracAt(kernel.codeBase);
+        EXPECT_GE(frac, 0.0);
+        EXPECT_LE(frac, 1.0);
+    }
+    // ...and an address far outside any kernel does not.
+    EXPECT_LT(dso.staticFracAt(0xFFFFFFFFFFFF0000ULL), 0.0);
+}
+
+TEST(Dso, NullApplicationDegradesToDynamicOnly)
+{
+    zoo::DsoConfig cfg;
+    const zoo::DsoController dso(cfg, nullptr);
+    EXPECT_EQ(dso.staticKernelCount(), 0u);
+}
+
+// ---------------------------------------------------------------- //
+// Determinism: threads, repetition, capture-then-replay             //
+// ---------------------------------------------------------------- //
+
+bench::BenchOptions
+smallOptions(unsigned threads)
+{
+    bench::BenchOptions opts;
+    opts.cus = 4;
+    opts.scale = 0.25;
+    opts.threads = threads;
+    return opts;
+}
+
+std::vector<bench::SweepCell>
+zooGrid(bench::SweepRunner &runner)
+{
+    std::vector<bench::SweepCell> cells;
+    for (const char *w : {"comd", "dgemm"}) {
+        for (const char *design :
+             {"REGR", "DSO", "WANGCHU", "REGR:hist=4,probe=8"}) {
+            cells.push_back(runner.cell(w, design, true));
+        }
+    }
+    return cells;
+}
+
+void
+expectIdenticalOutcome(const bench::RunOutcome &serial,
+                       const bench::RunOutcome &parallel,
+                       const std::string &label)
+{
+    SCOPED_TRACE(label);
+    ASSERT_EQ(serial.ok, parallel.ok);
+    if (!serial.ok)
+        return;
+    const sim::RunResult &a = serial.result;
+    const sim::RunResult &b = parallel.result;
+    EXPECT_EQ(a.epochs, b.epochs);
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.energy, b.energy); // exact: same arithmetic, same order
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.predictionAccuracy, b.predictionAccuracy);
+    EXPECT_EQ(a.transitions, b.transitions);
+    EXPECT_EQ(a.completed, b.completed);
+}
+
+TEST(ZooDeterminism, ThreadCountDoesNotChangeZooResults)
+{
+    bench::SweepRunner serial(smallOptions(1));
+    const auto base = serial.run(zooGrid(serial));
+
+    bench::SweepRunner parallel(smallOptions(4));
+    const auto par = parallel.run(zooGrid(parallel));
+
+    ASSERT_EQ(base.size(), par.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        expectIdenticalOutcome(base[i].run, par[i].run,
+                               "cell " + std::to_string(i));
+        EXPECT_TRUE(base[i].run.ok) << base[i].run.error;
+    }
+}
+
+TEST(ZooDeterminism, DifferentConfigsAreDifferentExperiments)
+{
+    bench::SweepRunner runner(smallOptions(2));
+    std::vector<bench::SweepCell> cells;
+    cells.push_back(runner.cell("comd", "REGR:hist=4,probe=8"));
+    cells.push_back(runner.cell("comd", "REGR:hist=32,probe=64"));
+    const auto out = runner.run(std::move(cells));
+    ASSERT_EQ(out.size(), 2u);
+    ASSERT_TRUE(out[0].run.ok) << out[0].run.error;
+    ASSERT_TRUE(out[1].run.ok) << out[1].run.error;
+    // Distinct knobs must change the run (probing cadence alone
+    // guarantees different transition sequences).
+    EXPECT_NE(out[0].run.result.transitions,
+              out[1].run.result.transitions);
+}
+
+/** Capture one live run of @p design and replay it on a cold twin. */
+void
+expectReplayDeterministic(const std::string &design)
+{
+    SCOPED_TRACE(design);
+    const auto cfg = testConfig();
+    const auto a = app("comd");
+
+    const auto build = [&] {
+        auto made = dvfs::ControllerRegistry::instance().make(
+            design, cfg, a.get());
+        EXPECT_TRUE(made.ok()) << made.error;
+        return std::move(made.controller);
+    };
+
+    auto live = build();
+    sim::ExperimentDriver driver(cfg);
+    const std::string path = ::testing::TempDir() + "pcstall_zoo_" +
+        design.substr(0, design.find(':')) + "_" +
+        std::to_string(static_cast<long>(::getpid())) + ".pctrace";
+    trace::TraceWriter writer(
+        path, trace::makeTraceMeta(cfg, driver.table(), "comd",
+                                   *live, {}));
+    ASSERT_TRUE(writer.ok());
+    trace::TraceCapture cap(writer);
+    const sim::RunResult live_result = driver.run(a, *live, &cap);
+    ASSERT_TRUE(cap.finished());
+
+    const auto read = trace::readTraceFile(path);
+    ASSERT_TRUE(read.ok()) << read.error;
+
+    auto twin = build();
+    trace::ReplayDriver replay(*read.trace);
+    const trace::ReplayOutcome outcome = replay.run(*twin);
+    ASSERT_TRUE(outcome.ok()) << outcome.error;
+    EXPECT_TRUE(outcome.deterministic())
+        << outcome.decisionMismatches
+        << " mismatches; first: " << outcome.firstMismatch;
+    EXPECT_EQ(outcome.result.execTime, live_result.execTime);
+    EXPECT_DOUBLE_EQ(outcome.result.energy, live_result.energy);
+    std::remove(path.c_str());
+}
+
+TEST(ZooDeterminism, RegrReplayReproducesTheLiveRun)
+{
+    expectReplayDeterministic("REGR");
+}
+
+TEST(ZooDeterminism, DsoReplayReproducesTheLiveRun)
+{
+    expectReplayDeterministic("DSO");
+}
+
+TEST(ZooDeterminism, WangChuReplayReproducesTheLiveRun)
+{
+    expectReplayDeterministic("WANGCHU");
+}
+
+// ---------------------------------------------------------------- //
+// Store keys                                                        //
+// ---------------------------------------------------------------- //
+
+TEST(StoreKeys, ControllerConfigIsPartOfTheCellIdentity)
+{
+    store::CellKey a;
+    a.harness = "tournament";
+    a.workload = "comd";
+    a.design = "REGR";
+    a.controllerConfig = "hist=4";
+    a.fingerprint = "cfg";
+    store::CellKey b = a;
+    b.controllerConfig = "hist=8";
+    EXPECT_NE(a.text(), b.text());
+    EXPECT_NE(store::keyDigest(a), store::keyDigest(b));
+    // And the config slot cannot be forged from neighboring fields.
+    store::CellKey c = a;
+    c.controllerConfig = "";
+    c.design = "REGR\x1fhist=4";
+    EXPECT_NE(store::keyDigest(a), store::keyDigest(c));
+}
+
+// ---------------------------------------------------------------- //
+// Tournament scoring and the golden leaderboard                     //
+// ---------------------------------------------------------------- //
+
+TEST(Tournament, ObjectiveListParsesRecoverably)
+{
+    EXPECT_EQ(bench::tournamentObjectives("").size(), 3u);
+    const auto two = bench::tournamentObjectives("ed2p,edp,ed2p");
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_EQ(two[0].name, "ed2p");
+    EXPECT_EQ(two[1].name, "edp");
+    // Unknown labels are dropped; an empty selection reverts to all.
+    EXPECT_EQ(bench::tournamentObjectives("bogus").size(), 3u);
+    const auto mixed = bench::tournamentObjectives("bogus,edp");
+    ASSERT_EQ(mixed.size(), 1u);
+    EXPECT_EQ(mixed[0].name, "edp");
+}
+
+TEST(Tournament, EnergyBoundScorePenalizesMissedDeadlines)
+{
+    sim::RunResult base;
+    base.energy = 100.0;
+    base.execTime = 100 * tickUs;
+    sim::RunResult in_bound;
+    in_bound.energy = 80.0;
+    in_bound.execTime = 104 * tickUs; // within the 5% bound
+    sim::RunResult over_bound = in_bound;
+    over_bound.execTime = 210 * tickUs; // 2.1x: far past the bound
+
+    const double ok_score = bench::tournamentScore(
+        in_bound, base, dvfs::Objective::EnergyUnderPerfBound, 0.05);
+    EXPECT_NEAR(ok_score, 0.8, 1e-9);
+    const double late_score = bench::tournamentScore(
+        over_bound, base, dvfs::Objective::EnergyUnderPerfBound,
+        0.05);
+    EXPECT_NEAR(late_score, 0.8 * (2.1 / 1.05), 1e-9);
+    EXPECT_GT(late_score, ok_score);
+}
+
+TEST(Tournament, LeaderboardMatchesGoldenFile)
+{
+    bench::BenchOptions opts;
+    opts.cus = 4;
+    opts.scale = 0.12;
+    opts.threads = 2;
+    bench::SweepRunner runner(opts);
+    const std::vector<std::string> designs = {
+        "STALL", "PCSTALL", "WANGCHU", "REGR", "DSO"};
+    const std::vector<std::string> workloads = {"dgemm", "BwdBN"};
+    const bench::Leaderboard board = bench::runTournament(
+        runner, designs, workloads,
+        bench::tournamentObjectives("edp,energy-bound"));
+
+    ASSERT_EQ(board.rows.size(), designs.size());
+    // Ranking is monotone in the overall score.
+    for (std::size_t r = 1; r < board.rows.size(); ++r) {
+        EXPECT_LE(board.rows[r - 1].overall,
+                  board.rows[r].overall + 1e-12);
+    }
+
+    std::ostringstream got;
+    bench::leaderboardTable(board).print(got);
+    got << "\n" << bench::leaderboardJson(board);
+
+    const std::string path = std::string(PCSTALL_TEST_DATA_DIR) +
+        "/leaderboard_golden.txt";
+    if (std::getenv("PCSTALL_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << got.str();
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << path << " missing; regenerate with PCSTALL_REGEN_GOLDEN=1";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got.str(), want.str())
+        << "leaderboard output drifted; if intentional, regenerate "
+           "with PCSTALL_REGEN_GOLDEN=1 and note the change in "
+           "docs/controllers.md";
+}
+
+} // namespace
