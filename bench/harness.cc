@@ -308,9 +308,11 @@ BenchOptions::parse(int argc, char **argv)
         opts.oracleMode = sim::OracleMode::Copy;
     } else if (oracle_mode == "pool") {
         opts.oracleMode = sim::OracleMode::Pool;
+    } else if (oracle_mode == "pool-full") {
+        opts.oracleMode = sim::OracleMode::PoolFull;
     } else {
-        warn("--oracle-mode must be copy|pool (got '" + oracle_mode +
-             "'); using pool");
+        warn("--oracle-mode must be copy|pool|pool-full (got '" +
+             oracle_mode + "'); using pool");
     }
     const std::int64_t oracle_threads = cli.getInt("oracle-threads", 1);
     if (oracle_threads < 1) {
@@ -480,7 +482,7 @@ BenchOptions::profileConfig() const
     cfg.gpu.seed = seed;
     cfg.epochLen = epochLen;
     cfg.cusPerDomain = cusPerDomain;
-    cfg.poolSnapshots = oracleMode == sim::OracleMode::Pool;
+    cfg.poolSnapshots = oracleMode != sim::OracleMode::Copy;
     cfg.oracleThreads = oracleThreads;
     power::PowerParams ignored;
     sim::scaleToCus(cfg.gpu, ignored, cus);

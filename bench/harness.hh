@@ -77,9 +77,11 @@ struct BenchOptions
     bool watchdog = false;
     /** Parity-protect PC tables (scrub corrupted entries). */
     bool ecc = false;
-    /** Oracle chip-snapshot strategy (--oracle-mode copy|pool).
-     *  Pool reuses scratch chips across epochs; results are
-     *  byte-identical either way (docs/performance.md). */
+    /** Oracle chip-snapshot strategy (--oracle-mode
+     *  copy|pool|pool-full). Pool reuses scratch chips across epochs
+     *  and restores only dirty regions; pool-full forces full
+     *  restores; results are byte-identical in all three modes
+     *  (docs/performance.md). */
     sim::OracleMode oracleMode = sim::OracleMode::Pool;
     /** Threads for in-cell oracle sample parallelism
      *  (--oracle-threads; 1 = serial, thread-count independent). */

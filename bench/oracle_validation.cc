@@ -54,7 +54,8 @@ validateWorkload(const std::string &name,
     oracle::SnapshotPool pool;
     std::unique_ptr<sim::ParallelExecutor> exec;
     oracle::SweepOptions sweep_opts;
-    if (opts.oracleMode == sim::OracleMode::Pool) {
+    if (opts.oracleMode != sim::OracleMode::Copy) {
+        pool.setDeltaRestore(opts.oracleMode == sim::OracleMode::Pool);
         sweep_opts.pool = &pool;
         if (opts.oracleThreads > 1)
             exec = std::make_unique<sim::ParallelExecutor>(

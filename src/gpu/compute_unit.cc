@@ -10,26 +10,36 @@ namespace pcstall::gpu
 {
 
 void
-ComputeUnit::init(std::uint32_t id, std::uint32_t slot_count, Freq freq)
+ComputeUnit::init(std::uint32_t id, std::uint32_t slot_count,
+                  std::uint32_t num_simds, Freq freq)
 {
     cuId = id;
     slots.assign(slot_count, Wavefront{});
     wgs.clear();
+    wstate_.assign(slot_count, WaveState::Idle);
+    readyAt_.assign(slot_count, 0);
+    seq_.assign(slot_count, 0);
+    readyMask_.resize(slot_count);
+    pendMask_.resize(slot_count);
+    memMask_.resize(slot_count);
+    occMask_.resize(slot_count);
+    const std::uint32_t simds = std::max(num_simds, 1u);
+    simdMask_.assign(simds, BitMask{});
+    for (std::uint32_t s = 0; s < simds; ++s) {
+        simdMask_[s].resize(slot_count);
+        for (std::uint32_t i = s; i < slot_count; i += simds)
+            simdMask_[s].set(i);
+    }
     freeSlots = slot_count;
     numReady = 0;
     wakeScanAt = 0;
+    memWakeAt_ = tickInf;
     freq_ = freq;
     period_ = clockPeriod(freq);
     nextEventAt = 0;
-}
-
-bool
-ComputeUnit::idle() const
-{
-    for (const Wavefront &w : slots)
-        if (w.state != WaveState::Idle)
-            return false;
-    return true;
+    cuDirty_ = true;
+    dirtySlots_.resize(slot_count);
+    dirtySlots_.setAll();
 }
 
 void
@@ -37,6 +47,7 @@ ComputeUnit::setFrequency(Freq freq, Tick now, Tick trans)
 {
     if (freq == freq_)
         return;
+    cuDirty_ = true;
     freq_ = freq;
     period_ = clockPeriod(freq);
     freqStallUntil = now + trans;
@@ -80,29 +91,60 @@ ComputeUnit::wakeWaves(Tick now)
     // nothing can be due yet and the slot scan would be a no-op.
     if (now < wakeScanAt)
         return;
+    // WaitMem wakes sit minutes (of CU cycles) in the future, while
+    // Busy wakes land a cycle or two out and re-arm wakeScanAt almost
+    // every step. Scanning the whole pending set each cycle therefore
+    // wastes most of its time re-checking memory waiters that cannot
+    // possibly be due; skip them while now < memWakeAt_. The wake
+    // updates per due wave are independent (per-slot accrual plus one
+    // state transition), so processing near and far waves in separate
+    // passes is observationally identical to the old ascending scan.
+    //
+    // Each pass computes the due set and the next wake branchlessly
+    // first (data-dependent branches on readyAt mispredict badly),
+    // then processes the few due waves.
     Tick next_wake = tickInf;
-    for (Wavefront &w : slots) {
-        if (w.state == WaveState::Busy) {
-            if (w.readyAt <= now) {
-                w.state = WaveState::Ready;
-                ++numReady;
-            } else if (w.readyAt < next_wake) {
-                next_wake = w.readyAt;
-            }
-        } else if (w.state == WaveState::WaitMem) {
-            if (w.readyAt <= now) {
+    const bool scan_mem = now >= memWakeAt_;
+    if (scan_mem)
+        memWakeAt_ = tickInf;
+    for (std::size_t wi = 0; wi < pendMask_.wordCount(); ++wi) {
+        const std::uint64_t mem_w = memMask_.word(wi);
+        std::uint64_t w = pendMask_.word(wi);
+        if (!scan_mem)
+            w &= ~mem_w;
+        std::uint64_t due = 0;
+        while (w != 0) {
+            const std::uint64_t bit = w & (~w + 1);
+            const std::size_t i =
+                (wi << 6) +
+                static_cast<std::size_t>(std::countr_zero(w));
+            w &= w - 1;
+            const Tick at = readyAt_[i];
+            const bool is_due = at <= now;
+            due |= is_due ? bit : 0;
+            const Tick pend_at = is_due ? tickInf : at;
+            next_wake = std::min(next_wake, pend_at);
+            if (scan_mem && (mem_w & bit) != 0)
+                memWakeAt_ = std::min(memWakeAt_, pend_at);
+        }
+        while (due != 0) {
+            const std::size_t i =
+                (wi << 6) +
+                static_cast<std::size_t>(std::countr_zero(due));
+            due &= due - 1;
+            const Tick at = readyAt_[i];
+            if (wstate_[i] == WaveState::WaitMem) {
                 // The stall semantically ended at the wake tick, even
                 // if this CU only got around to processing it now.
-                w.epMemStall += w.readyAt - w.stallEnter;
-                w.retireCompleted(w.readyAt);
-                w.state = WaveState::Ready;
-                ++numReady;
-            } else if (w.readyAt < next_wake) {
-                next_wake = w.readyAt;
+                Wavefront &w2 = slots[i];
+                w2.epMemStall += at - w2.stallEnter;
+                w2.retireCompleted(at);
             }
+            setWaveState(static_cast<std::uint32_t>(i),
+                         WaveState::Ready);
         }
     }
-    wakeScanAt = next_wake;
+    wakeScanAt = std::min(next_wake, memWakeAt_);
 }
 
 void
@@ -122,31 +164,37 @@ ComputeUnit::closeSleep(Tick now)
 }
 
 int
-ComputeUnit::pickReadyWave(std::uint32_t simd,
-                           std::uint32_t num_simds) const
+ComputeUnit::pickReadyWave(std::uint32_t simd) const
 {
-    int best = -1;
-    std::uint64_t best_seq = 0;
-    for (std::size_t i = simd; i < slots.size(); i += num_simds) {
-        const Wavefront &w = slots[i];
-        if (w.state != WaveState::Ready)
-            continue;
-        if (best < 0 || w.dispatchSeq < best_seq) {
-            best = static_cast<int>(i);
-            best_seq = w.dispatchSeq;
+    const BitMask &mine = simdMask_[simd];
+    // Oldest-first pick. Packing (seq << 16 | slot) into one key keeps
+    // the min-reduction branchless (seqs are unique, so the slot bits
+    // never decide the comparison; they just ride along).
+    std::uint64_t best_key = ~std::uint64_t{0};
+    for (std::size_t wi = 0; wi < readyMask_.wordCount(); ++wi) {
+        std::uint64_t w = readyMask_.word(wi) & mine.word(wi);
+        while (w != 0) {
+            const std::size_t i =
+                (wi << 6) +
+                static_cast<std::size_t>(std::countr_zero(w));
+            w &= w - 1;
+            best_key = std::min(best_key, (seq_[i] << 16) | i);
         }
     }
-    return best;
+    if (best_key == ~std::uint64_t{0})
+        return -1;
+    return static_cast<int>(best_key & 0xffff);
 }
 
 std::uint32_t
 ComputeUnit::ageRankOf(std::uint32_t slot) const
 {
-    const std::uint64_t my_seq = slots[slot].dispatchSeq;
+    const std::uint64_t my_seq = seq_[slot];
     std::uint32_t rank = 0;
-    for (const Wavefront &w : slots)
-        if (w.state != WaveState::Idle && w.dispatchSeq < my_seq)
+    occMask_.forEachSet([&](std::size_t i) {
+        if (seq_[i] < my_seq)
             ++rank;
+    });
     return rank;
 }
 
@@ -208,11 +256,12 @@ ComputeUnit::tryDispatch(CuContext &ctx, Tick now)
         const isa::Kernel &kernel =
             ctx.app.launches[ctx.dispatch.curLaunch];
 
-        // Count free slots.
+        // Collect free slots (ascending, same order as the old
+        // full-array scan).
         free_slots.clear();
-        for (std::uint32_t i = 0; i < slots.size(); ++i)
-            if (slots[i].state == WaveState::Idle)
-                free_slots.push_back(i);
+        occMask_.forEachClear([&](std::size_t i) {
+            free_slots.push_back(static_cast<std::uint32_t>(i));
+        });
         if (free_slots.size() < kernel.wavesPerWorkgroup)
             break;
 
@@ -230,15 +279,15 @@ ComputeUnit::tryDispatch(CuContext &ctx, Tick now)
         wg.arrived = 0;
         wg.done = 0;
 
-        freeSlots -= kernel.wavesPerWorkgroup;
-        numReady += kernel.wavesPerWorkgroup;
         for (std::uint32_t i = 0; i < kernel.wavesPerWorkgroup; ++i) {
-            Wavefront &w = slots[free_slots[i]];
+            const std::uint32_t slot = free_slots[i];
+            Wavefront &w = slots[slot];
             w.resetKeepCapacity();
-            w.state = WaveState::Ready;
+            setWaveState(slot, WaveState::Ready);
+            readyAt_[slot] = 0;
+            seq_[slot] = seqCounter++;
             w.pc = 0;
             w.globalId = ctx.dispatch.nextGlobalWaveId++;
-            w.dispatchSeq = seqCounter++;
             w.wgIndex = wg_index;
             w.launchIndex = ctx.dispatch.curLaunch;
             w.epStartPc = 0;
@@ -272,13 +321,24 @@ ComputeUnit::tryDispatch(CuContext &ctx, Tick now)
 void
 ComputeUnit::releaseBarrier(std::uint32_t wg_index, Tick now)
 {
-    for (Wavefront &w : slots) {
-        if (w.state == WaveState::WaitBarrier && w.wgIndex == wg_index) {
-            w.epBarrierStall += now - w.barrierEnter;
-            w.state = WaveState::Ready;
-            ++numReady;
-            ++w.pc;
-            ++w.epCommitted;
+    // WaitBarrier slots are exactly the occupied ones with no ready
+    // bit and no pending wake.
+    for (std::size_t wi = 0; wi < occMask_.wordCount(); ++wi) {
+        std::uint64_t w = occMask_.word(wi) & ~readyMask_.word(wi) &
+            ~pendMask_.word(wi);
+        while (w != 0) {
+            const std::uint32_t i = static_cast<std::uint32_t>(
+                (wi << 6) + std::countr_zero(w));
+            w &= w - 1;
+            Wavefront &wave = slots[i];
+            if (wstate_[i] != WaveState::WaitBarrier ||
+                wave.wgIndex != wg_index) {
+                continue;
+            }
+            wave.epBarrierStall += now - wave.barrierEnter;
+            setWaveState(i, WaveState::Ready);
+            ++wave.pc;
+            ++wave.epCommitted;
             ++epCommitted;
             ++lifeCommitted_;
             lastCommit_ = now;
@@ -288,14 +348,11 @@ ComputeUnit::releaseBarrier(std::uint32_t wg_index, Tick now)
 }
 
 void
-ComputeUnit::issue(CuContext &ctx, Wavefront &wave, Tick now)
+ComputeUnit::issue(CuContext &ctx, std::uint32_t slot, Tick now)
 {
+    Wavefront &wave = slots[slot];
     const isa::Kernel &kernel = ctx.app.launches[wave.launchIndex];
     const isa::Instruction &ins = kernel.code[wave.pc];
-
-    // Every branch below moves the wave out of Ready (possibly back in
-    // via releaseBarrier, which re-counts it).
-    --numReady;
 
     auto commit = [&]() {
         ++wave.epCommitted;
@@ -304,9 +361,9 @@ ComputeUnit::issue(CuContext &ctx, Wavefront &wave, Tick now)
         lastCommit_ = now;
     };
     auto busy_for = [&](Cycles cycles) {
-        wave.state = WaveState::Busy;
-        wave.readyAt = now + cycles * period_;
-        wakeScanAt = std::min(wakeScanAt, wave.readyAt);
+        setWaveState(slot, WaveState::Busy);
+        readyAt_[slot] = now + cycles * period_;
+        wakeScanAt = std::min(wakeScanAt, readyAt_[slot]);
     };
 
     switch (ins.op) {
@@ -333,9 +390,10 @@ ComputeUnit::issue(CuContext &ctx, Wavefront &wave, Tick now)
                  storeCompletions.front() < loadCompletions.front())) {
                 wake = std::max(now + period_, storeCompletions.front());
             }
-            wave.state = WaveState::WaitMem;
-            wave.readyAt = wake;
+            setWaveState(slot, WaveState::WaitMem);
+            readyAt_[slot] = wake;
             wakeScanAt = std::min(wakeScanAt, wake);
+            memWakeAt_ = std::min(memWakeAt_, wake);
             wave.stallEnter = now;
             wave.stallGateStore = is_store;
             break;
@@ -385,9 +443,10 @@ ComputeUnit::issue(CuContext &ctx, Wavefront &wave, Tick now)
         } else {
             const std::size_t gate_idx =
                 wave.pending.size() - ins.maxOutstanding - 1;
-            wave.state = WaveState::WaitMem;
-            wave.readyAt = wave.pending[gate_idx].completion;
-            wakeScanAt = std::min(wakeScanAt, wave.readyAt);
+            setWaveState(slot, WaveState::WaitMem);
+            readyAt_[slot] = wave.pending[gate_idx].completion;
+            wakeScanAt = std::min(wakeScanAt, readyAt_[slot]);
+            memWakeAt_ = std::min(memWakeAt_, readyAt_[slot]);
             wave.stallEnter = now;
             wave.stallGateStore = wave.pending[gate_idx].isStore;
         }
@@ -396,7 +455,7 @@ ComputeUnit::issue(CuContext &ctx, Wavefront &wave, Tick now)
 
       case isa::OpType::Barrier: {
         ResidentWg &wg = wgs[wave.wgIndex];
-        wave.state = WaveState::WaitBarrier;
+        setWaveState(slot, WaveState::WaitBarrier);
         wave.barrierEnter = now;
         ++wg.arrived;
         if (wg.arrived + wg.done >= wg.waveCount)
@@ -421,8 +480,7 @@ ComputeUnit::issue(CuContext &ctx, Wavefront &wave, Tick now)
 
       case isa::OpType::EndPgm: {
         commit();
-        wave.state = WaveState::Idle;
-        ++freeSlots;
+        setWaveState(slot, WaveState::Idle);
         ResidentWg &wg = wgs[wave.wgIndex];
         ++wg.done;
         if (wg.done == wg.waveCount) {
@@ -439,6 +497,7 @@ StepResult
 ComputeUnit::step(CuContext &ctx, Tick now)
 {
     StepResult result;
+    cuDirty_ = true;
 
     drainLoadCompletions(now);
     closeSleep(now);
@@ -462,9 +521,9 @@ ComputeUnit::step(CuContext &ctx, Tick now)
     bool issued_any = false;
     if (numReady > 0) {
         for (std::uint32_t simd = 0; simd < num_simds; ++simd) {
-            const int ready = pickReadyWave(simd, num_simds);
+            const int ready = pickReadyWave(simd);
             if (ready >= 0) {
-                issue(ctx, slots[static_cast<std::size_t>(ready)], now);
+                issue(ctx, static_cast<std::uint32_t>(ready), now);
                 issued_any = true;
                 epBusy += period_;
             }
@@ -496,26 +555,42 @@ ComputeUnit::step(CuContext &ctx, Tick now)
     }
 
     // No ready wave: sleep until the earliest wake, classifying the
-    // gate for STALL/CRISP accounting.
+    // gate for STALL/CRISP accounting. Only Busy/WaitMem slots (the
+    // pending mask) have a wake time; scan ascending like the old
+    // full-array loop so ties resolve identically.
+    // Packed (readyAt << 16 | slot) min: lowest wake, ties to the
+    // lowest slot — the same winner the old ascending strict-< scan
+    // produced — without a data-dependent branch per wave.
+    std::uint64_t wake_key = ~std::uint64_t{0};
+    for (std::size_t wi = 0; wi < pendMask_.wordCount(); ++wi) {
+        std::uint64_t w = pendMask_.word(wi);
+        while (w != 0) {
+            const std::size_t i =
+                (wi << 6) +
+                static_cast<std::size_t>(std::countr_zero(w));
+            w &= w - 1;
+            wake_key = std::min(
+                wake_key,
+                (static_cast<std::uint64_t>(readyAt_[i]) << 16) | i);
+        }
+    }
     Tick wake = tickInf;
     bool wake_is_mem = false;
     bool wake_is_store = false;
-    for (const Wavefront &w : slots) {
-        if (w.state == WaveState::Busy || w.state == WaveState::WaitMem) {
-            if (w.readyAt < wake) {
-                wake = w.readyAt;
-                wake_is_mem = w.state == WaveState::WaitMem;
-                wake_is_store = wake_is_mem && w.stallGateStore;
-            }
-        }
+    if (wake_key != ~std::uint64_t{0}) {
+        const std::size_t i = wake_key & 0xffff;
+        wake = readyAt_[i];
+        wake_is_mem = wstate_[i] == WaveState::WaitMem;
+        wake_is_store = wake_is_mem && slots[i].stallGateStore;
     }
 
     if (wake == tickInf) {
         // Fully drained (or only barrier waiters, which would be a
-        // deadlock and cannot happen with well-formed kernels).
-        for (const Wavefront &w : slots)
-            panicIf(w.state == WaveState::WaitBarrier,
-                    "barrier deadlock: all remaining waves at s_barrier");
+        // deadlock and cannot happen with well-formed kernels). With
+        // no ready and no pending slots, anything still occupied is
+        // blocked at a barrier.
+        panicIf(occMask_.any(),
+                "barrier deadlock: all remaining waves at s_barrier");
         result.next = tickInf;
         return result;
     }
@@ -533,6 +608,7 @@ void
 ComputeUnit::harvest(CuContext &ctx, Tick boundary, CuEpochRecord &cu_out,
                      std::vector<WaveEpochRecord> &waves_out)
 {
+    cuDirty_ = true;
     drainLoadCompletions(boundary);
     wakeWaves(boundary);
 
@@ -575,15 +651,17 @@ ComputeUnit::harvest(CuContext &ctx, Tick boundary, CuEpochRecord &cu_out,
 
     for (std::uint32_t i = 0; i < slots.size(); ++i) {
         Wavefront &w = slots[i];
-        if (!w.epActive && w.state == WaveState::Idle)
+        const WaveState state = wstate_[i];
+        if (!w.epActive && state == WaveState::Idle)
             continue;
+        dirtySlots_.set(i);
         // Clip in-progress waits at the boundary.
-        if (w.state == WaveState::WaitMem) {
-            const Tick end = std::min(boundary, w.readyAt);
+        if (state == WaveState::WaitMem) {
+            const Tick end = std::min(boundary, readyAt_[i]);
             if (end > w.stallEnter)
                 w.epMemStall += end - w.stallEnter;
             w.stallEnter = std::max(w.stallEnter, end);
-        } else if (w.state == WaveState::WaitBarrier) {
+        } else if (state == WaveState::WaitBarrier) {
             if (boundary > w.barrierEnter)
                 w.epBarrierStall += boundary - w.barrierEnter;
             w.barrierEnter = boundary;
@@ -598,7 +676,7 @@ ComputeUnit::harvest(CuContext &ctx, Tick boundary, CuEpochRecord &cu_out,
         rec.committed = w.epCommitted;
         rec.memStall = w.epMemStall;
         rec.barrierStall = w.epBarrierStall;
-        rec.ageRank = w.state == WaveState::Idle ? 0 : ageRankOf(i);
+        rec.ageRank = state == WaveState::Idle ? 0 : ageRankOf(i);
         rec.active = true;
         waves_out.push_back(rec);
 
@@ -607,7 +685,7 @@ ComputeUnit::harvest(CuContext &ctx, Tick boundary, CuEpochRecord &cu_out,
         w.epMemStall = 0;
         w.epBarrierStall = 0;
         w.epStartPc = w.pc;
-        w.epActive = w.state != WaveState::Idle;
+        w.epActive = state != WaveState::Idle;
     }
 
     epCommitted = 0;
@@ -635,10 +713,11 @@ ComputeUnit::fingerprint(std::uint64_t &h) const
     mix(lifeCommitted_);
     mix(static_cast<std::uint64_t>(lastCommit_));
 
-    for (const Wavefront &w : slots) {
-        mix(static_cast<std::uint64_t>(w.state));
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        const Wavefront &w = slots[i];
+        mix(static_cast<std::uint64_t>(wstate_[i]));
         mix(w.pc);
-        mix(static_cast<std::uint64_t>(w.readyAt));
+        mix(static_cast<std::uint64_t>(readyAt_[i]));
         mix(w.pending.size());
         for (const PendingMem &p : w.pending) {
             mix(static_cast<std::uint64_t>(p.completion));
@@ -650,7 +729,7 @@ ComputeUnit::fingerprint(std::uint64_t &h) const
         for (std::uint32_t t : w.loopTripsInit)
             mix(t);
         mix(w.globalId);
-        mix(w.dispatchSeq);
+        mix(seq_[i]);
         mix(w.wgIndex);
         mix(w.launchIndex);
         mix(w.memSeq);
@@ -704,13 +783,77 @@ ComputeUnit::fingerprint(std::uint64_t &h) const
 }
 
 void
+ComputeUnit::restoreDeltaFrom(const ComputeUnit &base,
+                              const BitMask &dirty_slots)
+{
+    // Scalars and small vectors copy wholesale: together they are a
+    // few hundred bytes, far below the cost of tracking them
+    // individually. Keep this list in sync with the member list (the
+    // restore-exactness grid asserts fingerprint equality).
+    cuId = base.cuId;
+    freq_ = base.freq_;
+    period_ = base.period_;
+    freqStallUntil = base.freqStallUntil;
+    nextEventAt = base.nextEventAt;
+    freeSlots = base.freeSlots;
+    numReady = base.numReady;
+    wakeScanAt = base.wakeScanAt;
+    memWakeAt_ = base.memWakeAt_;
+    seqCounter = base.seqCounter;
+    lifeCommitted_ = base.lifeCommitted_;
+    lastCommit_ = base.lastCommit_;
+    outstandingLoads = base.outstandingLoads;
+    outstandingTotal = base.outstandingTotal;
+    sleeping = base.sleeping;
+    sleepStart = base.sleepStart;
+    sleepUntil = base.sleepUntil;
+    sleepGate = base.sleepGate;
+    memActive = base.memActive;
+    memStart = base.memStart;
+    leadActive = base.leadActive;
+    leadStart = base.leadStart;
+    leadUntil = base.leadUntil;
+    epCommitted = base.epCommitted;
+    epLoads = base.epLoads;
+    epStores = base.epStores;
+    epBusy = base.epBusy;
+    epOverlap = base.epOverlap;
+    epLoadStall = base.epLoadStall;
+    epStoreStall = base.epStoreStall;
+    epLeadLoad = base.epLeadLoad;
+    epMemInterval = base.epMemInterval;
+
+    wgs = base.wgs;
+    loadCompletions = base.loadCompletions;
+    storeCompletions = base.storeCompletions;
+
+    // SoA arrays and masks: contiguous memcpy-class assignments.
+    wstate_ = base.wstate_;
+    readyAt_ = base.readyAt_;
+    seq_ = base.seq_;
+    readyMask_ = base.readyMask_;
+    pendMask_ = base.pendMask_;
+    memMask_ = base.memMask_;
+    occMask_ = base.occMask_;
+    // simdMask_ is configuration-derived and identical by shape.
+
+    // Cold wave records: only the slots either side touched.
+    dirty_slots.forEachSet([&](std::size_t i) {
+        slots[i] = base.slots[i];
+    });
+    // The caller (SnapshotPool) took this CU's dirty marks before the
+    // copy, and raw restores must not re-mark: after this call the CU
+    // is identical to base, i.e. clean relative to it.
+}
+
+void
 ComputeUnit::appendSnapshots(const isa::Application &app,
                              std::vector<WaveSnapshot> &out) const
 {
     for (std::uint32_t i = 0; i < slots.size(); ++i) {
-        const Wavefront &w = slots[i];
-        if (w.state == WaveState::Idle)
+        if (wstate_[i] == WaveState::Idle)
             continue;
+        const Wavefront &w = slots[i];
         WaveSnapshot snap;
         snap.cu = cuId;
         snap.slot = i;

@@ -8,6 +8,13 @@
  * A ComputeUnit is pure data plus methods that receive an explicit
  * context (memory system, application, dispatcher); it contains no
  * pointers, so GpuChip snapshots are plain copies.
+ *
+ * Layout: the scheduling-hot per-wave fields are stored SoA
+ * (wstate_/readyAt_/seq_) next to ready/pending/occupied bitmasks, so
+ * the per-tick scans (wake, pick-ready, sleep classification) iterate
+ * mask words and a few contiguous arrays instead of striding through
+ * the cold Wavefront records. The CU also tracks which slots changed
+ * since the last snapshot take (dirty-region delta restores).
  */
 
 #ifndef PCSTALL_GPU_COMPUTE_UNIT_HH
@@ -16,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bit_mask.hh"
 #include "common/types.hh"
 #include "gpu/epoch_stats.hh"
 #include "gpu/gpu_config.hh"
@@ -74,8 +82,12 @@ struct ResidentWg
 class ComputeUnit
 {
   public:
-    /** Prepare @p slot_count empty wave slots for CU @p id. */
-    void init(std::uint32_t id, std::uint32_t slot_count, Freq freq);
+    /**
+     * Prepare @p slot_count empty wave slots for CU @p id with
+     * @p num_simds issue pipes (slot i belongs to SIMD i % num_simds).
+     */
+    void init(std::uint32_t id, std::uint32_t slot_count,
+              std::uint32_t num_simds, Freq freq);
 
     /**
      * Process one activation at global time @p now: wake waves, issue
@@ -100,7 +112,7 @@ class ComputeUnit
     Tick nextEventAt = 0;
 
     /** True when no wavefronts are resident. */
-    bool idle() const;
+    bool idle() const { return !occMask_.any(); }
 
     /** Resident-wave snapshots with age ranks (predictor lookups). */
     void appendSnapshots(const isa::Application &app,
@@ -122,6 +134,45 @@ class ComputeUnit
      */
     void fingerprint(std::uint64_t &h) const;
 
+    // --- dirty-region snapshot support -------------------------------
+    //
+    // Every mutating entry point marks the CU (and the touched wave
+    // slots) dirty; takeDirty() hands the accumulated marks to a
+    // snapshot pool and clears them. The flags are mutable so a const
+    // base chip can be taken from. If you add a member to this class,
+    // wire it into fingerprint() AND restoreDeltaFrom() (the
+    // restore-exactness tests in test_snapshot_delta.cc catch misses).
+
+    /** Mark the CU's scheduling scalars dirty (external reschedule). */
+    void markScheduleDirty() const { cuDirty_ = true; }
+
+    /**
+     * Copy the dirty marks into @p slots_out, clear them, and return
+     * whether anything on this CU changed since the previous take.
+     */
+    bool
+    takeDirty(BitMask &slots_out) const
+    {
+        slots_out = dirtySlots_;
+        dirtySlots_.clearAll();
+        const bool touched = cuDirty_;
+        cuDirty_ = false;
+        return touched;
+    }
+
+    /** True when unharvested dirty marks are pending. */
+    bool hasPendingDirty() const { return cuDirty_; }
+
+    /**
+     * Make this CU equal to @p base, given that the two differ only
+     * in the CU-level scalars plus the wave slots set in @p
+     * dirty_slots (the union of both chips' dirt since they were last
+     * identical). Scalars, SoA arrays and the small vectors copy
+     * wholesale; cold Wavefront records copy per dirty slot only.
+     */
+    void restoreDeltaFrom(const ComputeUnit &base,
+                          const BitMask &dirty_slots);
+
   private:
     /** Retire CU-level load completions up to @p now. */
     void drainLoadCompletions(Tick now);
@@ -129,8 +180,8 @@ class ComputeUnit
     void wakeWaves(Tick now);
     /** Close an in-progress CU sleep interval. */
     void closeSleep(Tick now);
-    /** Issue @p wave's next instruction. */
-    void issue(CuContext &ctx, Wavefront &wave, Tick now);
+    /** Issue slot @p slot's next instruction. */
+    void issue(CuContext &ctx, std::uint32_t slot, Tick now);
     /** Try to pull new workgroups from the dispatcher. */
     bool tryDispatch(CuContext &ctx, Tick now);
     /** Release every wave of workgroup @p wg_index blocked at barrier. */
@@ -140,9 +191,44 @@ class ComputeUnit
                              const Wavefront &wave,
                              const isa::Instruction &ins) const;
     /** Oldest ready wave on SIMD @p simd (-1 when none). */
-    int pickReadyWave(std::uint32_t simd, std::uint32_t num_simds) const;
+    int pickReadyWave(std::uint32_t simd) const;
     /** Age rank (0 = oldest) of slot @p slot among resident waves. */
     std::uint32_t ageRankOf(std::uint32_t slot) const;
+
+    /**
+     * Move slot @p i to state @p ns, maintaining the ready/pending/
+     * occupied masks, the ready/free counters and the dirty marks.
+     * The single chokepoint for wave-state transitions.
+     */
+    void
+    setWaveState(std::uint32_t i, WaveState ns)
+    {
+        const WaveState os = wstate_[i];
+        if (os == WaveState::Ready) {
+            readyMask_.reset(i);
+            --numReady;
+        } else if (os == WaveState::Busy || os == WaveState::WaitMem) {
+            pendMask_.reset(i);
+        } else if (os == WaveState::Idle) {
+            occMask_.set(i);
+            --freeSlots;
+        }
+        if (ns == WaveState::Ready) {
+            readyMask_.set(i);
+            ++numReady;
+        } else if (ns == WaveState::Busy || ns == WaveState::WaitMem) {
+            pendMask_.set(i);
+        } else if (ns == WaveState::Idle) {
+            occMask_.reset(i);
+            ++freeSlots;
+        }
+        if (os == WaveState::WaitMem)
+            memMask_.reset(i);
+        if (ns == WaveState::WaitMem)
+            memMask_.set(i);
+        wstate_[i] = ns;
+        dirtySlots_.set(i);
+    }
 
     std::uint32_t cuId = 0;
     Freq freq_ = 0;
@@ -150,8 +236,29 @@ class ComputeUnit
     /** Issue blocked until this tick after a V/f transition. */
     Tick freqStallUntil = 0;
 
+    /** Cold per-wave records (hot fields live in the SoA arrays). */
     std::vector<Wavefront> slots;
     std::vector<ResidentWg> wgs;
+
+    // --- SoA scheduling state (one entry per slot) ---
+    std::vector<WaveState> wstate_;
+    /** For Busy: when the wave can issue again. For WaitMem: wake. */
+    std::vector<Tick> readyAt_;
+    /** Dispatch order within the CU; oldest-first scheduling key. */
+    std::vector<std::uint64_t> seq_;
+    /** Slots in WaveState::Ready. */
+    BitMask readyMask_;
+    /** Slots in Busy or WaitMem (have a pending wake in readyAt_). */
+    BitMask pendMask_;
+    /** Slots in WaitMem only (far wakes). The per-cycle wake scan
+     *  skips these while now < memWakeAt_, so it only walks the
+     *  short-latency Busy set. */
+    BitMask memMask_;
+    /** Slots not Idle. */
+    BitMask occMask_;
+    /** Slots belonging to each SIMD (slot % num_simds == simd). */
+    std::vector<BitMask> simdMask_;
+
     /** Cached count of Idle slots (dispatch gating). */
     std::uint32_t freeSlots = 0;
     /** Cached count of Ready slots (skips the per-SIMD issue scans
@@ -161,6 +268,9 @@ class ComputeUnit
     /** Lower bound on the earliest Busy/WaitMem wake time; wakeWaves()
      *  skips its slot scan while now is below it. Derived state. */
     Tick wakeScanAt = 0;
+    /** Lower bound on the earliest WaitMem wake; wakeWaves() skips the
+     *  memMask_ slots while now is below it. Derived state. */
+    Tick memWakeAt_ = tickInf;
     std::uint64_t seqCounter = 0;
     std::uint64_t lifeCommitted_ = 0;
     Tick lastCommit_ = 0;
@@ -196,6 +306,12 @@ class ComputeUnit
     Tick epStoreStall = 0;
     Tick epLeadLoad = 0;
     Tick epMemInterval = 0;
+
+    // --- dirty marks (snapshot delta support; not simulation state) ---
+    /** Anything on this CU changed since the last takeDirty(). */
+    mutable bool cuDirty_ = true;
+    /** Wave slots whose cold record changed since the last take. */
+    mutable BitMask dirtySlots_;
 };
 
 } // namespace pcstall::gpu

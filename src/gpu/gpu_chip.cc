@@ -1,12 +1,36 @@
 #include "gpu/gpu_chip.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "gpu/event_queue.hh"
 
 namespace pcstall::gpu
 {
+
+SnapshotIdentity::SnapshotIdentity()
+{
+    static std::atomic<std::uint64_t> next_uid{1};
+    uid = next_uid.fetch_add(1, std::memory_order_relaxed);
+}
+
+SnapshotIdentity::SnapshotIdentity(const SnapshotIdentity &)
+    : SnapshotIdentity()
+{
+}
+
+SnapshotIdentity &
+SnapshotIdentity::operator=(const SnapshotIdentity &)
+{
+    // Assignment makes the owning chip a different simulation: new
+    // lineage, no takes yet.
+    const SnapshotIdentity fresh;
+    uid = fresh.uid;
+    takeSeq = 0;
+    return *this;
+}
 
 namespace
 {
@@ -36,7 +60,8 @@ GpuChip::GpuChip(const GpuConfig &config,
 
     cus.resize(cfg.numCus);
     for (std::uint32_t i = 0; i < cfg.numCus; ++i)
-        cus[i].init(i, cfg.waveSlotsPerCu, cfg.defaultFreq);
+        cus[i].init(i, cfg.waveSlotsPerCu, cfg.simdsPerCu,
+                    cfg.defaultFreq);
 
     dispatch.curLaunch = 0;
     dispatch.wgUndispatched = app->launches[0].numWorkgroups;
@@ -66,39 +91,28 @@ GpuChip::runUntil(Tick until)
     panicIf(until < curTick, "runUntil into the past");
     CuContext ctx = makeContext();
 
-    // Min-heap of (nextEventAt, cuId), kept in a thread_local scratch
-    // vector so the hottest loop of the simulator performs no heap
-    // allocation per epoch: the oracle calls runUntil once per V/f
-    // sample per epoch boundary. std::priority_queue uses the same
-    // push_heap/pop_heap algorithms, so event ordering is unchanged.
-    using Entry = std::pair<Tick, std::uint32_t>;
-    static thread_local std::vector<Entry> heap;
-    heap.clear();
-    const std::greater<> later{};
+    // Flat time-bucketed queue of (nextEventAt, cuId), kept in a
+    // thread_local scratch so the hottest loop of the simulator
+    // performs no heap allocation per epoch: the oracle calls
+    // runUntil once per V/f sample per epoch boundary. The queue pops
+    // in strictly ascending (tick, id) order - the exact order the
+    // previous binary heap produced - and supports in-place
+    // reschedule, so the launch-finished broadcast leaves no stale
+    // entries behind.
+    static thread_local TickBucketQueue queue;
+    queue.reset(static_cast<std::uint32_t>(cus.size()), curTick);
     for (std::uint32_t i = 0; i < cus.size(); ++i) {
-        if (cus[i].nextEventAt < until) {
-            heap.emplace_back(cus[i].nextEventAt, i);
-            std::push_heap(heap.begin(), heap.end(), later);
-        }
+        if (cus[i].nextEventAt < until)
+            queue.schedule(i, cus[i].nextEventAt);
     }
 
-    while (!heap.empty()) {
-        const auto [t, id] = heap.front();
-        std::pop_heap(heap.begin(), heap.end(), later);
-        heap.pop_back();
-        // Stale entry: the CU was rescheduled (e.g. woken by a kernel
-        // transition) since this entry was pushed.
-        if (cus[id].nextEventAt != t)
-            continue;
-        if (t >= until)
-            break;
-
+    Tick t = 0;
+    std::uint32_t id = 0;
+    while (queue.popMin(t, id)) {
         const StepResult res = cus[id].step(ctx, t);
         cus[id].nextEventAt = res.next;
-        if (res.next < until) {
-            heap.emplace_back(res.next, id);
-            std::push_heap(heap.begin(), heap.end(), later);
-        }
+        if (res.next < until)
+            queue.schedule(id, res.next);
 
         if (res.launchFinished) {
             // A new kernel launch became available: wake every CU so
@@ -108,8 +122,9 @@ GpuChip::runUntil(Tick until)
                     continue;
                 if (cus[i].nextEventAt > t) {
                     cus[i].nextEventAt = t;
-                    heap.emplace_back(t, i);
-                    std::push_heap(heap.begin(), heap.end(), later);
+                    // The reschedule mutates CU state outside step().
+                    cus[i].markScheduleDirty();
+                    queue.schedule(i, t);
                 }
             }
         }
@@ -178,6 +193,42 @@ GpuChip::stateFingerprint() const
         cu.fingerprint(h);
     mem.fingerprint(h);
     return h;
+}
+
+std::uint64_t
+GpuChip::takeDirty(ChipDirty &out) const
+{
+    if (out.cuTouched.size() != cus.size()) {
+        out.cuTouched.assign(cus.size(), 0);
+        out.cuSlots.resize(cus.size());
+    }
+    for (std::size_t i = 0; i < cus.size(); ++i)
+        out.cuTouched[i] = cus[i].takeDirty(out.cuSlots[i]) ? 1 : 0;
+    mem.takeDirty(out.mem);
+    return ++ident_.takeSeq;
+}
+
+bool
+GpuChip::hasPendingDirty() const
+{
+    for (const ComputeUnit &cu : cus)
+        if (cu.hasPendingDirty())
+            return true;
+    return mem.hasPendingDirty();
+}
+
+void
+GpuChip::restoreDeltaFrom(const GpuChip &base, const ChipDirty &dirty)
+{
+    panicIf(app.get() != base.app.get() || cus.size() != base.cus.size(),
+            "restoreDeltaFrom: chips are not copies of each other");
+    curTick = base.curTick;
+    dispatch = base.dispatch;
+    for (std::size_t i = 0; i < cus.size(); ++i) {
+        if (dirty.cuTouched[i])
+            cus[i].restoreDeltaFrom(base.cus[i], dirty.cuSlots[i]);
+    }
+    mem.restoreDeltaFrom(base.mem, dirty.mem);
 }
 
 std::uint64_t

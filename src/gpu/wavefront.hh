@@ -48,13 +48,17 @@ struct PendingMem
     }
 };
 
-/** Full per-wavefront state. */
+/**
+ * Cold per-wavefront state. The scheduling-hot fields every per-tick
+ * scan reads - state, wake tick and dispatch order - live in SoA
+ * arrays inside ComputeUnit (wstate_/readyAt_/seq_ plus the
+ * ready/pending/occupied bitmasks), so scans touch a few cache lines
+ * instead of striding through these ~200-byte records. A Wavefront
+ * is only loaded when its wave actually issues, wakes or harvests.
+ */
 struct Wavefront
 {
-    WaveState state = WaveState::Idle;
     std::uint32_t pc = 0;
-    /** For Busy: when the wave can issue again. For WaitMem: wake tick. */
-    Tick readyAt = 0;
 
     /** Outstanding vector memory ops, sorted by completion tick. */
     std::vector<PendingMem> pending;
@@ -66,8 +70,6 @@ struct Wavefront
 
     /** Unique id across the whole run (address-stream seed). */
     std::uint64_t globalId = 0;
-    /** Dispatch order within the CU; oldest-first scheduling key. */
-    std::uint64_t dispatchSeq = 0;
     /** Index of the wave's resident workgroup within its CU. */
     std::uint32_t wgIndex = 0;
     /** Which application launch this wave belongs to. */
@@ -101,14 +103,11 @@ struct Wavefront
     void
     resetKeepCapacity()
     {
-        state = WaveState::Idle;
         pc = 0;
-        readyAt = 0;
         pending.clear();
         loopTrips.clear();
         loopTripsInit.clear();
         globalId = 0;
-        dispatchSeq = 0;
         wgIndex = 0;
         launchIndex = 0;
         memSeq = 0;

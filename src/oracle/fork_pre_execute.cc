@@ -191,7 +191,14 @@ forkPreExecuteSweep(const gpu::GpuChip &chip,
                                          obs::MetricKind::Timing);
     }
 
-#ifdef NDEBUG
+    // Per-sample restore verification: always on in debug builds and
+    // in builds configured with -DPCSTALL_VERIFY_SNAPSHOTS=ON (the
+    // sanitizer CI); opt-in per sweep otherwise. Fingerprinting every
+    // restored chip costs more than the restore itself, so release
+    // builds default it off.
+#if defined(PCSTALL_VERIFY_SNAPSHOTS)
+    const bool verify = true;
+#elif defined(NDEBUG)
     const bool verify = options.verifyRestore;
 #else
     const bool verify = true;
@@ -209,7 +216,15 @@ forkPreExecuteSweep(const gpu::GpuChip &chip,
     SnapshotPool local_pool;
     const bool pooled = options.pool != nullptr;
     SnapshotPool &pool = pooled ? *options.pool : local_pool;
-    pool.ensureSlots(num_states);
+    if (pooled) {
+        // Pre-warm chipless slots (first sweep) so the possibly
+        // parallel restore phase never copy-constructs, then take the
+        // base chip's dirt so unbroken slots can delta-restore.
+        pool.ensureSlots(num_states, chip);
+        pool.beginSweep(chip);
+    } else {
+        pool.ensureSlots(num_states);
+    }
 
     SnapshotPool::Scratch &scratch = pool.scratch();
     scratch.stateFreq.resize(num_states);

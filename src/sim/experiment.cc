@@ -101,7 +101,9 @@ ExperimentDriver::run(std::shared_ptr<const isa::Application> app,
     oracle::SweepOptions sweep_opts;
     sweep_opts.shuffle = true;
     sweep_opts.waveLevel = controller.needsWaveLevel();
-    if (cfg.oracleMode == OracleMode::Pool) {
+    if (cfg.oracleMode == OracleMode::Pool ||
+        cfg.oracleMode == OracleMode::PoolFull) {
+        sweep_pool.setDeltaRestore(cfg.oracleMode == OracleMode::Pool);
         sweep_opts.pool = &sweep_pool;
         if (cfg.oracleThreads > 1 && need != dvfs::SweepNeed::None)
             sweep_exec =

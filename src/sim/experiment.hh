@@ -43,9 +43,14 @@ enum class OracleMode
     /** Deep-copy the chip once per V/f sample (legacy reference
      *  path; allocation-heavy but trivially correct). */
     Copy,
-    /** Restore pooled scratch chips by assignment - no steady-state
-     *  allocations, byte-identical results (docs/performance.md). */
+    /** Restore pooled scratch chips, copying only dirty regions - no
+     *  steady-state allocations, byte-identical results
+     *  (docs/performance.md). */
     Pool,
+    /** Pooled restores with the delta path disabled: every restore is
+     *  a full copy-assign. Reference mode for the delta identity
+     *  checks in tests and CI. */
+    PoolFull,
 };
 
 /** Configuration of one experiment run. */

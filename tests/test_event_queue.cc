@@ -1,0 +1,225 @@
+/**
+ * @file
+ * TickBucketQueue (the flat time-bucketed event queue behind
+ * GpuChip::runUntil) against a reference ordered set: the contract is
+ * strictly ascending (tick, id) pop order, one live entry per id,
+ * under monotone scheduling. The randomized cross-check drives both
+ * structures through the same operation stream, including far-future
+ * times that park in the overflow mask and migrate back into the ring
+ * as the cursor advances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "gpu/event_queue.hh"
+
+using namespace pcstall;
+using gpu::TickBucketQueue;
+
+namespace
+{
+
+/** Reference model: ordered (tick, id) pairs, one entry per id. */
+class ReferenceQueue
+{
+  public:
+    void
+    reset(std::uint32_t n)
+    {
+        entries_.clear();
+        when_.assign(n, -1);
+    }
+
+    void
+    schedule(std::uint32_t id, Tick t)
+    {
+        if (when_[id] >= 0)
+            entries_.erase({when_[id], id});
+        when_[id] = t;
+        entries_.insert({t, id});
+    }
+
+    bool
+    popMin(Tick &t_out, std::uint32_t &id_out)
+    {
+        if (entries_.empty())
+            return false;
+        const auto [t, id] = *entries_.begin();
+        entries_.erase(entries_.begin());
+        when_[id] = -1;
+        t_out = t;
+        id_out = id;
+        return true;
+    }
+
+    bool empty() const { return entries_.empty(); }
+
+  private:
+    std::set<std::pair<Tick, std::uint32_t>> entries_;
+    std::vector<Tick> when_;
+};
+
+} // namespace
+
+TEST(TickBucketQueue, PopsInAscendingTickIdOrder)
+{
+    TickBucketQueue q;
+    q.reset(8, 0);
+    // Same tick for several ids: pop order must break ties by id.
+    q.schedule(5, 100);
+    q.schedule(1, 100);
+    q.schedule(3, 100);
+    q.schedule(0, 50);
+    q.schedule(7, 2000);
+
+    Tick t = 0;
+    std::uint32_t id = 0;
+    ASSERT_TRUE(q.popMin(t, id));
+    EXPECT_EQ(t, 50);
+    EXPECT_EQ(id, 0u);
+    ASSERT_TRUE(q.popMin(t, id));
+    EXPECT_EQ(t, 100);
+    EXPECT_EQ(id, 1u);
+    ASSERT_TRUE(q.popMin(t, id));
+    EXPECT_EQ(t, 100);
+    EXPECT_EQ(id, 3u);
+    ASSERT_TRUE(q.popMin(t, id));
+    EXPECT_EQ(t, 100);
+    EXPECT_EQ(id, 5u);
+    ASSERT_TRUE(q.popMin(t, id));
+    EXPECT_EQ(t, 2000);
+    EXPECT_EQ(id, 7u);
+    EXPECT_FALSE(q.popMin(t, id));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(TickBucketQueue, RescheduleMovesAnEntry)
+{
+    TickBucketQueue q;
+    q.reset(4, 0);
+    q.schedule(2, 1000);
+    q.schedule(2, 10); // overrides, does not duplicate
+    Tick t = 0;
+    std::uint32_t id = 0;
+    ASSERT_TRUE(q.popMin(t, id));
+    EXPECT_EQ(t, 10);
+    EXPECT_EQ(id, 2u);
+    EXPECT_FALSE(q.popMin(t, id));
+}
+
+TEST(TickBucketQueue, FarFutureEntriesSurviveOverflowMigration)
+{
+    TickBucketQueue q;
+    q.reset(3, 0);
+    // The ring horizon is a few hundred ns of ticks; park entries far
+    // beyond it, plus one near entry, and check order end to end.
+    const Tick far_a = 50'000'000;
+    const Tick far_b = 900'000'000;
+    q.schedule(0, far_b);
+    q.schedule(1, 5);
+    q.schedule(2, far_a);
+
+    Tick t = 0;
+    std::uint32_t id = 0;
+    ASSERT_TRUE(q.popMin(t, id));
+    EXPECT_EQ(t, 5);
+    EXPECT_EQ(id, 1u);
+    ASSERT_TRUE(q.popMin(t, id));
+    EXPECT_EQ(t, far_a);
+    EXPECT_EQ(id, 2u);
+    ASSERT_TRUE(q.popMin(t, id));
+    EXPECT_EQ(t, far_b);
+    EXPECT_EQ(id, 0u);
+    EXPECT_FALSE(q.popMin(t, id));
+}
+
+TEST(TickBucketQueue, ResetReusesBuffersAndDropsEntries)
+{
+    TickBucketQueue q;
+    q.reset(4, 0);
+    q.schedule(0, 7);
+    q.schedule(3, 9);
+    q.reset(4, 100'000);
+    EXPECT_TRUE(q.empty());
+    Tick t = 0;
+    std::uint32_t id = 0;
+    EXPECT_FALSE(q.popMin(t, id));
+    // A queue reset to a late start still orders fresh entries.
+    q.schedule(1, 100'500);
+    q.schedule(0, 100'400);
+    ASSERT_TRUE(q.popMin(t, id));
+    EXPECT_EQ(t, 100'400);
+    EXPECT_EQ(id, 0u);
+}
+
+TEST(TickBucketQueue, RandomizedCrossCheckAgainstOrderedSet)
+{
+    // Monotone operation stream: every schedule is at or after the
+    // most recently popped tick, mirroring the event-loop guarantee.
+    // Deltas mix short hops (same/near bucket), mid-range, and jumps
+    // far beyond the ring horizon (overflow path).
+    Rng rng(0xE0E0'51A7ULL);
+    const std::uint32_t num_ids = 70; // > one mask word
+    TickBucketQueue q;
+    ReferenceQueue ref;
+
+    for (int round = 0; round < 20; ++round) {
+        const Tick start =
+            static_cast<Tick>(rng.below(1'000'000'000ULL));
+        q.reset(num_ids, start);
+        ref.reset(num_ids);
+        Tick last_pop = start;
+
+        for (int op = 0; op < 4000; ++op) {
+            const std::uint64_t roll = rng.below(100);
+            if (roll < 55 || ref.empty()) {
+                const std::uint32_t id =
+                    static_cast<std::uint32_t>(rng.below(num_ids));
+                Tick delta = 0;
+                const std::uint64_t kind = rng.below(100);
+                if (kind < 50)
+                    delta = static_cast<Tick>(rng.below(2'000));
+                else if (kind < 85)
+                    delta = static_cast<Tick>(rng.below(200'000));
+                else
+                    delta = static_cast<Tick>(
+                        rng.below(2'000'000'000ULL));
+                q.schedule(id, last_pop + delta);
+                ref.schedule(id, last_pop + delta);
+            } else {
+                Tick qt = 0, rt = 0;
+                std::uint32_t qid = 0, rid = 0;
+                const bool qok = q.popMin(qt, qid);
+                const bool rok = ref.popMin(rt, rid);
+                ASSERT_EQ(qok, rok) << "round " << round << " op "
+                                    << op;
+                if (!qok)
+                    continue;
+                ASSERT_EQ(qt, rt) << "round " << round << " op " << op;
+                ASSERT_EQ(qid, rid)
+                    << "round " << round << " op " << op;
+                last_pop = qt;
+            }
+        }
+
+        // Drain both queues completely; order must match to the end.
+        for (;;) {
+            Tick qt = 0, rt = 0;
+            std::uint32_t qid = 0, rid = 0;
+            const bool qok = q.popMin(qt, qid);
+            const bool rok = ref.popMin(rt, rid);
+            ASSERT_EQ(qok, rok);
+            if (!qok)
+                break;
+            ASSERT_EQ(qt, rt);
+            ASSERT_EQ(qid, rid);
+        }
+        EXPECT_TRUE(q.empty());
+    }
+}

@@ -188,8 +188,13 @@ TEST(PerfPath, PooledRunsAreByteIdenticalAcrossWorkloadsAndControllers)
                 runCell(workload, controller, sim::OracleMode::Copy, 1);
             const auto pool =
                 runCell(workload, controller, sim::OracleMode::Pool, 1);
+            const auto pool_full = runCell(
+                workload, controller, sim::OracleMode::PoolFull, 1);
             expectIdenticalResults(copy, pool,
                                    workload + "/" + controller);
+            expectIdenticalResults(copy, pool_full,
+                                   workload + "/" + controller +
+                                       "/pool-full");
         }
     }
 }
@@ -260,6 +265,41 @@ TEST(PerfPath, PoolIsReusedAcrossEpochsAndStaysIdenticalToCopies)
         // never grows past that across epochs.
         EXPECT_EQ(pool.slotCount(), table.numStates());
     }
+
+    // From the second sweep on, every restore is served by the delta
+    // path (the first sweep full-restores to anchor the chains).
+    EXPECT_GE(pool.deltaRestores(), 2 * table.numStates());
+}
+
+TEST(PerfPath, ClearKeepsCapacityAndNextSweepStaysIdentical)
+{
+    const bench::BenchOptions opts = smallOpts();
+    const auto chip = warmChip("comd", opts);
+    const dvfs::DomainMap domains(opts.cus, opts.cusPerDomain);
+    const power::VfTable table = power::VfTable::paperTable();
+
+    oracle::SnapshotPool pool;
+    oracle::SweepOptions pooled;
+    pooled.pool = &pool;
+    (void)oracle::forkPreExecuteSweep(*chip, domains, table,
+                                      opts.epochLen, pooled);
+    ASSERT_EQ(pool.slotCount(), table.numStates());
+    const std::uint64_t full_before = pool.fullRestores();
+
+    // clear() forgets snapshot state (delta chains included) but keeps
+    // every allocated slot chip, so a driver switching applications
+    // does not re-pay the pool's construction cost.
+    pool.clear();
+    EXPECT_EQ(pool.slotCount(), table.numStates());
+
+    const auto after_clear = oracle::forkPreExecuteSweep(
+        *chip, domains, table, opts.epochLen, pooled);
+    const auto reference = oracle::forkPreExecuteSweep(
+        *chip, domains, table, opts.epochLen, oracle::SweepOptions{});
+    expectIdenticalEstimates(after_clear, reference);
+    // The post-clear sweep may not delta-restore against chains that
+    // were dropped: every slot full-restores once.
+    EXPECT_GE(pool.fullRestores(), full_before + table.numStates());
 }
 
 // --- const-ness of the input chip (restore verification) ------------

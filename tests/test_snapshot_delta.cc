@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Restore-exactness grid for the dirty-region delta snapshot path
+ * (docs/performance.md). The delta restore is an optimization with a
+ * proof obligation: a slot chip restored through the dirty-region
+ * path must be byte-identical (same stateFingerprint(), same
+ * downstream decisions, metrics and traces) to one restored by full
+ * copy-assign and to a fresh deep copy of the base chip - at every
+ * epoch boundary, before and after pre-executing the sampled epoch at
+ * perturbed frequencies, across workloads and controllers, and under
+ * fault injection with parity-scrubbed predictor tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dvfs/hierarchical.hh"
+#include "gpu/gpu_chip.hh"
+#include "harness.hh"
+#include "oracle/snapshot_pool.hh"
+#include "power/vf_table.hh"
+#include "sim/experiment.hh"
+
+using namespace pcstall;
+
+namespace
+{
+
+bench::BenchOptions
+smallOpts()
+{
+    bench::BenchOptions opts;
+    opts.cus = 4;
+    opts.scale = 0.125;
+    opts.collectTrace = true;
+    return opts;
+}
+
+/** The workloads the grid runs over (ISSUE: three). */
+const std::vector<std::string> kWorkloads = {"comd", "lulesh",
+                                             "minife"};
+
+/** The controllers of the end-to-end identity matrix. */
+const std::vector<std::string> kControllers = {
+    "STALL", "PCSTALL", "PCSTALL+CAP", "ORACLE"};
+
+/** Exact field-by-field RunResult comparison (no tolerances). */
+void
+expectIdenticalResults(const sim::RunResult &a, const sim::RunResult &b,
+                       const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.epochs, b.epochs);
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.predictionAccuracy, b.predictionAccuracy);
+    EXPECT_EQ(a.transitions, b.transitions);
+    EXPECT_EQ(a.transitionEnergy, b.transitionEnergy);
+    EXPECT_EQ(a.freqTimeShare, b.freqTimeShare);
+    EXPECT_EQ(a.finalTemperature, b.finalTemperature);
+    EXPECT_EQ(a.faults.tableBitFlips, b.faults.tableBitFlips);
+    EXPECT_EQ(a.faults.tableScrubs, b.faults.tableScrubs);
+    EXPECT_EQ(a.faults.transitionFailures, b.faults.transitionFailures);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace[i].start, b.trace[i].start);
+        EXPECT_EQ(a.trace[i].domainState, b.trace[i].domainState);
+        EXPECT_EQ(a.trace[i].domainCommitted,
+                  b.trace[i].domainCommitted);
+    }
+}
+
+sim::RunResult
+runCell(const std::string &workload, const std::string &controller,
+        sim::OracleMode mode,
+        const faults::FaultConfig *fault_cfg = nullptr,
+        bool ecc_tables = false)
+{
+    const bench::BenchOptions opts = smallOpts();
+    const auto app = bench::makeApp(workload, opts);
+    EXPECT_TRUE(app);
+    sim::RunConfig cfg = opts.runConfig();
+    cfg.oracleMode = mode;
+    if (fault_cfg != nullptr)
+        cfg.faults = *fault_cfg;
+    cfg.eccProtectTables = ecc_tables;
+    sim::ExperimentDriver driver(cfg);
+    // "PCSTALL+CAP" is not a registry name: it is the hierarchical
+    // power manager wrapped around PCSTALL (bench/extensions.cc).
+    std::unique_ptr<dvfs::DvfsController> ctrl;
+    if (controller == "PCSTALL+CAP") {
+        dvfs::HierarchicalConfig hcfg;
+        hcfg.powerCap = 40.0;
+        hcfg.reviewEpochs = 10;
+        ctrl = std::make_unique<dvfs::HierarchicalPowerManager>(
+            bench::makeController("PCSTALL", cfg), hcfg);
+    } else {
+        ctrl = bench::makeController(controller, cfg);
+    }
+    return driver.run(app, *ctrl);
+}
+
+} // namespace
+
+// --- per-epoch fingerprint grid -------------------------------------
+
+/**
+ * Drive a base chip epoch by epoch; at every boundary restore each
+ * V/f sample slot three ways (delta pool, full pool, fresh deep copy),
+ * pin per-CU frequencies to a perturbed pattern, pre-execute the
+ * upcoming epoch on all three chips, and demand fingerprint equality
+ * at every step. The first sweep full-restores (pre-warm anchors the
+ * chain); later sweeps must be served by the delta path.
+ */
+TEST(SnapshotDelta, DeltaFullAndFreshCopyAgreeEveryEpoch)
+{
+    const power::VfTable table = power::VfTable::paperTable();
+    const std::size_t num_states = table.numStates();
+
+    for (const std::string &workload : kWorkloads) {
+        SCOPED_TRACE(workload);
+        const bench::BenchOptions opts = smallOpts();
+        const auto app = bench::makeApp(workload, opts);
+        ASSERT_TRUE(app);
+        gpu::GpuConfig gcfg = opts.runConfig().gpu;
+        gpu::GpuChip chip(gcfg, app);
+
+        oracle::SnapshotPool delta_pool;
+        delta_pool.setDeltaRestore(true);
+        oracle::SnapshotPool full_pool;
+        full_pool.setDeltaRestore(false);
+
+        gpu::EpochRecord scratch;
+        gpu::EpochRecord delta_rec, full_rec, copy_rec;
+        Tick t = 0;
+        const int epochs = 4;
+        for (int e = 0; e < epochs; ++e) {
+            SCOPED_TRACE("epoch " + std::to_string(e));
+            chip.runUntil(t + opts.epochLen);
+            chip.harvestEpoch(t, scratch);
+            t += opts.epochLen;
+
+            const std::uint64_t base_fp = chip.stateFingerprint();
+            delta_pool.ensureSlots(num_states, chip);
+            delta_pool.beginSweep(chip);
+            full_pool.ensureSlots(num_states, chip);
+            full_pool.beginSweep(chip);
+
+            for (std::size_t k = 0; k < num_states; ++k) {
+                SCOPED_TRACE("state " + std::to_string(k));
+                gpu::GpuChip &d = delta_pool.restore(k, chip);
+                gpu::GpuChip &f = full_pool.restore(k, chip);
+                gpu::GpuChip c = chip;
+
+                // All three restores reproduce the base exactly.
+                ASSERT_EQ(d.stateFingerprint(), base_fp);
+                ASSERT_EQ(f.stateFingerprint(), base_fp);
+                ASSERT_EQ(c.stateFingerprint(), base_fp);
+
+                // Perturb per-CU frequencies (shuffled per CU, like
+                // the sweep's per-domain shuffle) and pre-execute the
+                // upcoming epoch on each chip independently.
+                for (std::uint32_t cu = 0; cu < gcfg.numCus; ++cu) {
+                    const Freq freq =
+                        table.state((k + cu) % num_states).freq;
+                    d.setCuFrequency(cu, freq, 0);
+                    f.setCuFrequency(cu, freq, 0);
+                    c.setCuFrequency(cu, freq, 0);
+                }
+                d.runUntil(t + opts.epochLen);
+                d.harvestEpoch(t, delta_rec);
+                f.runUntil(t + opts.epochLen);
+                f.harvestEpoch(t, full_rec);
+                c.runUntil(t + opts.epochLen);
+                c.harvestEpoch(t, copy_rec);
+
+                // ... and still agree after diverging from the base.
+                const std::uint64_t after = c.stateFingerprint();
+                ASSERT_EQ(d.stateFingerprint(), after);
+                ASSERT_EQ(f.stateFingerprint(), after);
+                EXPECT_EQ(delta_rec.cus.size(), copy_rec.cus.size());
+                for (std::size_t cu = 0; cu < copy_rec.cus.size();
+                     ++cu) {
+                    EXPECT_EQ(delta_rec.cus[cu].committed,
+                              copy_rec.cus[cu].committed);
+                    EXPECT_EQ(full_rec.cus[cu].committed,
+                              copy_rec.cus[cu].committed);
+                }
+            }
+
+            // The sweeps never touch the base chip.
+            ASSERT_EQ(chip.stateFingerprint(), base_fp);
+        }
+
+        // Prove the paths actually taken: the full pool never
+        // delta-restores; the delta pool serves every sweep after the
+        // first (anchored by the pre-warm) from the delta path.
+        EXPECT_EQ(full_pool.deltaRestores(), 0u);
+        EXPECT_GE(delta_pool.deltaRestores(),
+                  static_cast<std::uint64_t>(epochs - 1) * num_states);
+    }
+}
+
+// --- end-to-end identity matrix -------------------------------------
+
+/**
+ * Copy vs Pool (delta) vs PoolFull must be indistinguishable in every
+ * observable run output across the workload x controller grid. For
+ * controllers that never invoke the oracle the modes are trivially
+ * identical; ORACLE exercises the pool every epoch.
+ */
+TEST(SnapshotDelta, OracleModeIsInvisibleAcrossWorkloadsAndControllers)
+{
+    for (const std::string &workload : kWorkloads) {
+        for (const std::string &controller : kControllers) {
+            const auto copy =
+                runCell(workload, controller, sim::OracleMode::Copy);
+            const auto pool =
+                runCell(workload, controller, sim::OracleMode::Pool);
+            const auto pool_full = runCell(workload, controller,
+                                           sim::OracleMode::PoolFull);
+            expectIdenticalResults(copy, pool,
+                                   workload + "/" + controller +
+                                       "/delta");
+            expectIdenticalResults(copy, pool_full,
+                                   workload + "/" + controller +
+                                       "/pool-full");
+        }
+    }
+}
+
+// --- fault injection ------------------------------------------------
+
+/**
+ * Parity-scrubbed (ECC) predictor tables under storage fault
+ * injection: bit upsets land in the PC table, lookups scrub the
+ * corrupted entries, and the snapshot mode still must not leak into
+ * any observable - the injector's random streams are driven by the
+ * epoch sequence, not by how the oracle restores its scratch chips.
+ * ACCPC both trains its tables from pooled oracle sweeps and takes
+ * the storage upsets, so this run crosses the two subsystems.
+ */
+TEST(SnapshotDelta, EccScrubbedFaultRunsAreModeInvariant)
+{
+    faults::FaultConfig faults;
+    faults.storage.enabled = true;
+    faults.storage.upsetsPerEpoch = 64.0;
+
+    const auto copy = runCell("comd", "ACCPC", sim::OracleMode::Copy,
+                              &faults, true);
+    const auto pool = runCell("comd", "ACCPC", sim::OracleMode::Pool,
+                              &faults, true);
+    const auto pool_full = runCell(
+        "comd", "ACCPC", sim::OracleMode::PoolFull, &faults, true);
+
+    // The fault campaign really ran: bits flipped, and parity caught
+    // at least one corrupted entry before it could mispredict.
+    EXPECT_GT(copy.faults.tableBitFlips, 0u);
+    EXPECT_GT(copy.faults.tableScrubs, 0u);
+
+    expectIdenticalResults(copy, pool, "ecc/delta");
+    expectIdenticalResults(copy, pool_full, "ecc/pool-full");
+}
