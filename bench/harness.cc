@@ -326,6 +326,8 @@ BenchOptions::parse(int argc, char **argv)
     opts.replayTrace = cli.get("replay", "");
     opts.pcSnapshotOut = cli.get("pc-snapshot-out", "");
     opts.pcSnapshotIn = cli.get("pc-snapshot-in", "");
+    opts.provenanceOut = cli.get("provenance-out", "");
+    opts.progress = cli.has("progress");
 
     if (argc > 0 && argv != nullptr && argv[0] != nullptr) {
         const std::string argv0 = argv[0];
@@ -468,6 +470,7 @@ BenchOptions::runConfig() const
     cfg.objective = objective;
     cfg.perfDegradationLimit = perfDegradationLimit;
     cfg.collectTrace = collectTrace;
+    cfg.auditRegret = auditRegret || !provenanceOut.empty();
     cfg.oracleMode = oracleMode;
     cfg.oracleThreads = oracleThreads;
     cfg.scaled();
@@ -767,6 +770,10 @@ runTraced(sim::ExperimentDriver &driver,
     // Run: replayed from a trace, captured to a trace, or plain.
     sim::RunResult result;
     bool ran = false;
+    obs::ProvenanceLog prov_log;
+    obs::ProvenanceLog *prov =
+        opts.provenanceOut.empty() ? nullptr : &prov_log;
+    driver.setProvenance(prov);
     if (!opts.replayTrace.empty()) {
         // Symmetric with capture: repeat N replays the -rN capture.
         const trace::TraceData *data = loadReplayTrace(
@@ -782,6 +789,8 @@ runTraced(sim::ExperimentDriver &driver,
             trace::ReplayOptions ropts;
             ropts.verifyDecisions =
                 controller.name() == data->meta.controller;
+            ropts.auditRegret = opts.auditRegret;
+            ropts.provenance = prov;
             trace::ReplayOutcome outcome =
                 replayer.run(controller, ropts);
             if (outcome.ok()) {
@@ -827,6 +836,17 @@ runTraced(sim::ExperimentDriver &driver,
     }
     if (!ran)
         result = runWithObservers(driver, app, controller, nullptr);
+    driver.setProvenance(nullptr);
+
+    if (prov != nullptr) {
+        const std::string prov_path = claimOutputPath(expandRunPath(
+            opts.provenanceOut, workload, controller.name(),
+            run_index));
+        const std::string perr = store::writeFileAtomic(
+            prov_path, obs::encodeProvenance(*prov));
+        if (!perr.empty())
+            warn("--provenance-out: " + perr);
+    }
 
     if (pcstall != nullptr && obs::metricsEnabled())
         publishPcTableMetrics(*pcstall);

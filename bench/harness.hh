@@ -112,6 +112,26 @@ struct BenchOptions
     /** Write the learned PC table after each PCSTALL run
      *  (--pc-snapshot-out; same placeholder rules as traceOut). */
     std::string pcSnapshotOut;
+    /**
+     * Write every run routed through runTraced() as a PCPV decision-
+     * provenance sidecar (--provenance-out; same placeholder and
+     * collision rules as traceOut). Works for live, captured and
+     * replayed runs alike; see docs/provenance.md.
+     */
+    std::string provenanceOut;
+    /**
+     * Score per-decision hindsight regret into RunResult::regret
+     * without retaining records (harness-set, no flag; the tournament
+     * turns it on for its regret leaderboard columns). Implied for
+     * runs that write --provenance-out.
+     */
+    bool auditRegret = false;
+    /**
+     * Live sweep progress on stderr (--progress): a rate-limited
+     * "cells done/total, cells/s, ETA" line driven by SweepRunner
+     * completion counts. Auto-disabled when stderr is not a TTY.
+     */
+    bool progress = false;
     /** Warm-start PCSTALL tables from a snapshot (--pc-snapshot-in). */
     std::string pcSnapshotIn;
     /**
@@ -169,7 +189,8 @@ struct BenchOptions
      *  --trans-extra-ns --freq-quant-mhz --bitflips --ecc --watchdog,
      *  the performance flags --oracle-mode --oracle-threads,
      *  the trace flags --trace-out --replay --pc-snapshot-out
-     *  --pc-snapshot-in, the farm flags --store --resume --shard i/N
+     *  --pc-snapshot-in, the provenance flag --provenance-out, the
+     *  progress flag --progress, the farm flags --store --resume --shard i/N
      *  --cell-timeout --cell-retries (docs/sweep_farm.md), and the
      *  observability flags --metrics-out --timeline-out --csv-out
      *  --verbose --log-level (also env PCSTALL_LOG). Malformed

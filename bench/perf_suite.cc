@@ -4,12 +4,14 @@
  *
  * Times the simulator's hot paths - oracle fork-pre-execute sweeps in
  * every snapshot mode, raw epoch simulation, predictor table updates,
- * trace encoding - plus one end-to-end ACCPC experiment cell, as
- * median-of-N wall times. Alongside the timings it *always* verifies
- * that the copy, pooled and pooled+parallel oracle paths produce
- * bit-identical estimates and that end-to-end runs produce
- * bit-identical metrics, so a perf regression can never hide a
- * correctness regression.
+ * trace encoding - plus end-to-end experiment cells (ACCPC per
+ * oracle snapshot mode, PCSTALL with and without the decision-
+ * provenance audit), as median-of-N wall times. Alongside the
+ * timings it *always* verifies that the copy, pooled and
+ * pooled+parallel oracle paths produce bit-identical estimates and
+ * that end-to-end runs produce bit-identical metrics (audited
+ * included), so a perf regression can never hide a correctness
+ * regression.
  *
  * Modes:
  *  - default: run the suite, print a table (honours --csv);
@@ -46,6 +48,7 @@
 #include "harness.hh"
 #include "obs/context.hh"
 #include "obs/metrics.hh"
+#include "obs/provenance.hh"
 #include "oracle/fork_pre_execute.hh"
 #include "oracle/snapshot_pool.hh"
 #include "predict/pc_table.hh"
@@ -535,8 +538,36 @@ main(int argc, char **argv)
                         sim::OracleMode::Pool)) != e2e_copy_fp,
                     "delta e2e run diverged from copy run");
         }));
+
+        // --- decision provenance: audited end-to-end cell ---
+        // The provenance sink only observes, so an armed run must
+        // compute exactly what the unaudited run computes; timing
+        // both keeps the pending-record/hindsight-scoring path under
+        // the regression gate without conflating it with simulation
+        // cost drift.
+        auto run_pcstall = [&](obs::ProvenanceLog *sink) {
+            sim::RunConfig cfg = opts.runConfig();
+            sim::ExperimentDriver driver(cfg);
+            driver.setProvenance(sink);
+            auto controller = bench::makeController("PCSTALL", cfg);
+            return driver.run(app, *controller);
+        };
+        std::uint64_t pcstall_fp = 0;
+        timings.push_back(timeBench("e2e_pcstall", repeats, [&] {
+            pcstall_fp = resultFingerprint(run_pcstall(nullptr));
+        }));
+        timings.push_back(
+            timeBench("provenance_overhead", repeats, [&] {
+                obs::ProvenanceLog log;
+                fatalIf(resultFingerprint(run_pcstall(&log)) !=
+                            pcstall_fp,
+                        "audited run diverged from unaudited run");
+                fatalIf(log.records.empty() || log.regret.empty(),
+                        "audited run produced no provenance");
+            }));
+
         inform("identity checks passed: "
-               "copy == pool == delta == pool+mt");
+               "copy == pool == delta == pool+mt == audited");
 
         // --- report ---
         obs::Registry &reg = obs::reg();
@@ -643,6 +674,15 @@ main(int argc, char **argv)
             if (min_of("e2e_accpc_delta") >
                 min_of("e2e_accpc_copy") * 1.35) {
                 warn("delta e2e cell slower than copy cell by >35%");
+                ++failures;
+            }
+            // The decision audit re-scores every candidate state
+            // once per epoch - bounded work that must stay a small
+            // fraction of the cell it observes.
+            if (min_of("provenance_overhead") >
+                min_of("e2e_pcstall") * 1.35) {
+                warn("audited cell slower than unaudited cell by "
+                     ">35%");
                 ++failures;
             }
             if (obs::metricsEnabled())

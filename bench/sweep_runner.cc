@@ -1,11 +1,13 @@
 #include "sweep_runner.hh"
 
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <set>
 #include <sstream>
 #include <thread>
+#include <unistd.h>
 #include <utility>
 
 #include "common/rng.hh"
@@ -97,6 +99,10 @@ storeKeyFor(const std::string &harness, const std::string &workload,
     key.fingerprint += '\x1f';
     key.fingerprint += obs::metricsEnabled() ? "m1" : "m0";
     key.fingerprint += '\x1f';
+    // Entries written without regret auditing carry an empty
+    // RunResult::regret and must not satisfy an audited run.
+    key.fingerprint += opts.auditRegret ? "a1" : "a0";
+    key.fingerprint += '\x1f';
     key.fingerprint += opts.pcSnapshotIn;
     key.runIndex = run_index;
     return key;
@@ -110,7 +116,8 @@ storeBypassed(const SweepCell &cell)
 {
     return cell.inspect != nullptr || !cell.opts.traceOut.empty() ||
            !cell.opts.pcSnapshotOut.empty() ||
-           !cell.opts.replayTrace.empty();
+           !cell.opts.replayTrace.empty() ||
+           !cell.opts.provenanceOut.empty();
 }
 
 std::string
@@ -621,6 +628,61 @@ SweepRunner::run(std::vector<SweepCell> cells)
         });
     }
 
+    // --progress: a rate-limited status line on stderr, fed by the
+    // completion counter below. The display is wall-clock cosmetics
+    // only - results, metrics and store contents are untouched - and
+    // it disables itself when stderr is not a TTY (logs, CI).
+    std::size_t owned_total = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (owned(i))
+            ++owned_total;
+    }
+    std::atomic<std::size_t> cells_done{0};
+    const bool progress_on = defaults.progress && owned_total > 0 &&
+        isatty(fileno(stderr)) != 0;
+    std::atomic<bool> progress_stop{false};
+    std::thread progress_thread;
+    if (progress_on) {
+        progress_thread = std::thread([&, owned_total] {
+            const std::int64_t start = steadyNowNs();
+            std::size_t last_done = static_cast<std::size_t>(-1);
+            std::int64_t last_print = 0;
+            for (;;) {
+                const bool stopping =
+                    progress_stop.load(std::memory_order_acquire);
+                const std::size_t done =
+                    cells_done.load(std::memory_order_relaxed);
+                const std::int64_t now = steadyNowNs();
+                // Redraw at most ~4x/s, and once more when stopping.
+                if (stopping ||
+                    (done != last_done &&
+                     now - last_print > 250'000'000)) {
+                    const double secs =
+                        static_cast<double>(now - start) / 1e9;
+                    const double rate =
+                        secs > 0.0 ? static_cast<double>(done) / secs
+                                   : 0.0;
+                    const double eta = rate > 0.0
+                        ? static_cast<double>(owned_total - done) / rate
+                        : 0.0;
+                    std::fprintf(stderr,
+                                 "\r[sweep] %zu/%zu cells "
+                                 "(%.1f cells/s, ETA %.0fs)   ",
+                                 done, owned_total, rate, eta);
+                    std::fflush(stderr);
+                    last_done = done;
+                    last_print = now;
+                }
+                if (stopping) {
+                    std::fputc('\n', stderr);
+                    break;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+            }
+        });
+    }
+
     const std::int64_t queued_ns = obs::nowNsIfEnabled();
     std::vector<CellOutcome> out(cells.size());
     pool.forEach(cells.size(), [&](std::size_t i) {
@@ -644,8 +706,13 @@ SweepRunner::run(std::vector<SweepCell> cells)
         out[i] = executeCell(
             cells[i], watchdog_on ? watches[i].get() : nullptr,
             registry, cellArt[i]);
+        cells_done.fetch_add(1, std::memory_order_relaxed);
     });
 
+    if (progress_on) {
+        progress_stop.store(true, std::memory_order_release);
+        progress_thread.join();
+    }
     if (watchdog_on) {
         monitor_stop.store(true, std::memory_order_release);
         monitor.join();

@@ -129,6 +129,9 @@ runTournament(SweepRunner &runner,
     for (const TournamentObjective &obj : objectives) {
         BenchOptions obj_opts = runner.options();
         obj_opts.objective = obj.objective;
+        // Regret auditing feeds the leaderboard's regret columns;
+        // summary-only, so cells retain no per-epoch records.
+        obj_opts.auditRegret = true;
         for (const std::string &workload : workloads) {
             for (const std::string &design : designs) {
                 SweepCell cell = runner.cell(workload, design, true);
@@ -160,6 +163,8 @@ runTournament(SweepRunner &runner,
                 TournamentRow &row = board.rows[d];
                 if (!out.run.skipped)
                     ++row.cellsTotal;
+                if (out.run.ok)
+                    row.regret.merge(out.run.result.regret);
                 if (!out.run.ok || !out.baseline.ok)
                     continue;
                 const double score = tournamentScore(
@@ -214,7 +219,9 @@ leaderboardTable(const Leaderboard &board)
     std::vector<std::string> headers = {"rank", "controller"};
     for (const TournamentObjective &obj : board.objectives)
         headers.push_back(obj.name);
-    headers.insert(headers.end(), {"overall", "wins", "cells"});
+    headers.insert(headers.end(),
+                   {"overall", "regret", "regret-p95", "wins",
+                    "cells"});
     TableWriter table(headers);
     for (std::size_t r = 0; r < board.rows.size(); ++r) {
         const TournamentRow &row = board.rows[r];
@@ -231,6 +238,12 @@ leaderboardTable(const Leaderboard &board)
             table.cell(row.overall, 3);
         else
             table.cell("-");
+        if (row.regret.empty()) {
+            table.cell("-").cell("-");
+        } else {
+            table.cell(row.regret.meanOracle(), 4)
+                .cell(row.regret.percentile(0.95), 4);
+        }
         table.cell(static_cast<long long>(row.wins))
             .cell(std::to_string(row.cellsOk) + "/" +
                   std::to_string(row.cellsTotal));
@@ -242,7 +255,7 @@ leaderboardTable(const Leaderboard &board)
 std::string
 leaderboardJson(const Leaderboard &board)
 {
-    std::string out = "{\n  \"schema\": \"pcstall-leaderboard-v1\",\n";
+    std::string out = "{\n  \"schema\": \"pcstall-leaderboard-v2\",\n";
     out += "  \"objectives\": [";
     for (std::size_t o = 0; o < board.objectives.size(); ++o) {
         out += (o != 0 ? ", " : "") +
@@ -260,7 +273,17 @@ leaderboardJson(const Leaderboard &board)
             ", \"wins\": " + std::to_string(row.wins) +
             ", \"cells_ok\": " + std::to_string(row.cellsOk) +
             ", \"cells_total\": " + std::to_string(row.cellsTotal) +
-            ", \"scores\": {";
+            ", \"regret_mean\": " +
+            jsonNumber(row.regret.empty() ? nan
+                                          : row.regret.meanOracle(),
+                       6) +
+            ", \"regret_p95\": " +
+            jsonNumber(row.regret.empty()
+                           ? nan
+                           : row.regret.percentile(0.95),
+                       6) +
+            ", \"regret_decisions\": " +
+            std::to_string(row.regret.count) + ", \"scores\": {";
         for (std::size_t o = 0; o < board.objectives.size(); ++o) {
             out += (o != 0 ? ", " : "") +
                 jsonString(board.objectives[o].name) + ": " +
@@ -299,6 +322,24 @@ publishTournamentMetrics(const Leaderboard &board)
             .set(board.rows.front().overall);
         registry.gauge("tournament.winner.wins")
             .set(static_cast<double>(board.rows.front().wins));
+    }
+    // Regret rollup across the whole board, plus the winner's columns
+    // (docs/observability.md, docs/provenance.md).
+    obs::RegretSummary all;
+    for (const TournamentRow &row : board.rows)
+        all.merge(row.regret);
+    registry.counter("tournament.regret.decisions").add(all.count);
+    if (!all.empty()) {
+        registry.gauge("tournament.regret.mean")
+            .set(all.meanOracle());
+        registry.gauge("tournament.regret.p95")
+            .set(all.percentile(0.95));
+    }
+    if (!board.rows.empty() && !board.rows.front().regret.empty()) {
+        registry.gauge("tournament.regret.winner.mean")
+            .set(board.rows.front().regret.meanOracle());
+        registry.gauge("tournament.regret.winner.p95")
+            .set(board.rows.front().regret.percentile(0.95));
     }
 }
 

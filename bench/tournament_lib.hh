@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "harness.hh"
+#include "obs/provenance.hh"
 #include "sweep_runner.hh"
 
 namespace pcstall::bench
@@ -73,6 +74,13 @@ struct TournamentRow
     /** Cells that produced a scorable result / cells attempted. */
     std::size_t cellsOk = 0;
     std::size_t cellsTotal = 0;
+    /**
+     * Per-decision hindsight-regret rollup merged across the design's
+     * completed cells (tournament cells run with auditRegret on; see
+     * docs/provenance.md). meanOracle()/percentile(0.95) back the
+     * leaderboard's regret columns.
+     */
+    obs::RegretSummary regret;
 };
 
 /** The ranked tournament result. */
@@ -99,7 +107,7 @@ Leaderboard runTournament(SweepRunner &runner,
 /** Render @p board as the stdout/CSV leaderboard table. */
 TableWriter leaderboardTable(const Leaderboard &board);
 
-/** Render @p board as a pcstall-leaderboard-v1 JSON document. */
+/** Render @p board as a pcstall-leaderboard-v2 JSON document. */
 std::string leaderboardJson(const Leaderboard &board);
 
 /** Publish the tournament.* metrics for @p board

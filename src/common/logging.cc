@@ -63,8 +63,9 @@ currentLevel()
 struct WarnLimits
 {
     std::mutex mutex;
-    /** key -> (calls seen, limit from the first call). */
-    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+    /** (scope, key) -> (calls seen, limit from the first call). */
+    std::map<std::pair<std::uint64_t, std::string>,
+             std::pair<std::uint64_t, std::uint64_t>>
         counts;
 };
 
@@ -74,6 +75,10 @@ warnLimits()
     static WarnLimits w;
     return w;
 }
+
+/** Scope ids handed out by pushWarnScope(); 0 = process default. */
+std::atomic<std::uint64_t> g_warn_scope_ids{0};
+thread_local std::uint64_t t_warn_scope = 0;
 } // namespace
 
 LogLevel
@@ -164,8 +169,10 @@ warnLimited(const std::string &key, const std::string &msg,
     {
         WarnLimits &w = warnLimits();
         const std::lock_guard<std::mutex> lock(w.mutex);
-        const auto it =
-            w.counts.emplace(key, std::make_pair(0, limit)).first;
+        const auto it = w.counts
+                            .emplace(std::make_pair(t_warn_scope, key),
+                                     std::make_pair(0, limit))
+                            .first;
         seen = it->second.first++;
     }
     if (seen < limit) {
@@ -182,11 +189,26 @@ suppressedWarnCount(const std::string &key)
 {
     WarnLimits &w = warnLimits();
     const std::lock_guard<std::mutex> lock(w.mutex);
-    const auto it = w.counts.find(key);
+    const auto it = w.counts.find(std::make_pair(t_warn_scope, key));
     if (it == w.counts.end())
         return 0;
     const auto [seen, limit] = it->second;
     return seen > limit ? seen - limit : 0;
+}
+
+std::uint64_t
+pushWarnScope()
+{
+    const std::uint64_t previous = t_warn_scope;
+    t_warn_scope =
+        g_warn_scope_ids.fetch_add(1, std::memory_order_relaxed) + 1;
+    return previous;
+}
+
+void
+popWarnScope(std::uint64_t previous)
+{
+    t_warn_scope = previous;
 }
 
 void

@@ -81,19 +81,37 @@ class FatalError : public std::runtime_error
 void warn(const std::string &msg);
 
 /**
- * Rate-limited warn: at most @p limit lines per @p key (use a fixed
- * string literal per call site), then one "suppressing further ..."
- * notice. Fault-injection sweeps emit the same transition-failure
- * warning thousands of times; this keeps the first occurrences and
- * the count without drowning the terminal.
+ * Rate-limited warn: at most @p limit lines per (@p key, warn scope)
+ * (use a fixed string literal per call site), then one "suppressing
+ * further ..." notice. Fault-injection sweeps emit the same
+ * transition-failure warning thousands of times; this keeps the first
+ * occurrences and the count without drowning the terminal.
+ *
+ * Limits are scoped per *run*, not per process lifetime: each sweep
+ * cell runs inside its own warn scope (obs::ScopedContext pushes one),
+ * so a 500-cell sweep reports the first occurrences of a problem in
+ * every affected cell rather than only in whichever cell happened to
+ * warn first.
  */
 void warnLimited(const std::string &key, const std::string &msg,
                  std::uint64_t limit = 10);
 
-/** Number of warnLimited() calls suppressed for @p key so far. */
+/** Number of warnLimited() calls suppressed for @p key in the current
+ *  warn scope so far. */
 std::uint64_t suppressedWarnCount(const std::string &key);
 
-/** Test hook: clear all warnLimited() per-key tallies. */
+/**
+ * Enter a fresh warn-rate-limit scope on this thread and return the
+ * previous scope's id for popWarnScope(). Every run boundary
+ * (obs::ScopedContext) pushes a scope so warnLimited() tallies are
+ * per-(site, run); scope 0 is the process-wide default.
+ */
+std::uint64_t pushWarnScope();
+
+/** Restore the warn scope @p previous (from pushWarnScope()). */
+void popWarnScope(std::uint64_t previous);
+
+/** Test hook: clear all warnLimited() per-(key, scope) tallies. */
 void resetWarnLimits();
 
 /** Report neutral status information. */

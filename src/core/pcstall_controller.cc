@@ -226,6 +226,11 @@ PcstallController::decide(const dvfs::EpochContext &ctx)
         const auto it = lastModel.find({snap.cu, snap.slot});
         const bool same_region = it != lastModel.end() &&
             it->second.granule == granule_of(snap.pcAddr);
+        const std::uint32_t d = ctx.domains.domainOf(snap.cu);
+        dvfs::DomainAudit *aud =
+            ctx.audit ? &ctx.audit->domains[d] : nullptr;
+        if (aud && aud->pcKey == 0)
+            aud->pcKey = snap.pcAddr;
 
         double sens = 0.0;
         double level = 0.0;
@@ -235,16 +240,27 @@ PcstallController::decide(const dvfs::EpochContext &ctx)
             // table entry.
             sens = it->second.sens;
             level = it->second.level;
+            if (aud)
+                ++aud->sameRegion;
         } else if (const auto hit =
                        tableFor(snap.cu).lookup(snap.pcAddr)) {
             const double c = contention(snap.ageRank);
             sens = hit->sensitivity * c;
             level = hit->level * c;
-        } else if (cfg.reactiveFallback && it != lastModel.end()) {
-            sens = it->second.sens;
-            level = it->second.level;
+            if (aud) {
+                ++aud->lookups;
+                ++aud->hits;
+            }
+        } else {
+            if (aud)
+                ++aud->lookups;
+            if (cfg.reactiveFallback && it != lastModel.end()) {
+                sens = it->second.sens;
+                level = it->second.level;
+                if (aud)
+                    ++aud->reactive;
+            }
         }
-        const std::uint32_t d = ctx.domains.domainOf(snap.cu);
         domain_sens[d] += sens;
         domain_level[d] += level;
     }
@@ -254,9 +270,17 @@ PcstallController::decide(const dvfs::EpochContext &ctx)
     // recovered table can win control back.
     prevSens = domain_sens;
     prevLevel = domain_level;
+    if (ctx.audit) {
+        for (std::uint32_t d = 0; d < ctx.domains.numDomains(); ++d) {
+            ctx.audit->domains[d].predictedSens = domain_sens[d];
+            ctx.audit->domains[d].predictedLevel = domain_level[d];
+        }
+    }
 
     if (fallback_) {
         ++fallbackEpochs_;
+        if (ctx.audit)
+            ctx.audit->fallbackActive = true;
         return stallFallback.decide(ctx);
     }
 

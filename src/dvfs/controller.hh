@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "dvfs/decision_audit.hh"
 #include "dvfs/domain_map.hh"
 #include "dvfs/objective.hh"
 #include "gpu/epoch_stats.hh"
@@ -91,6 +92,13 @@ struct EpochContext
     /** Running average instructions/epoch per domain (null = cold).
      *  Used by the marginal objectives to price time. */
     const std::vector<double> *avgDomainInstr = nullptr;
+
+    /**
+     * Decision-audit scratch (decision_audit.hh); null when provenance
+     * is disabled. Controllers that consult predictor state should
+     * describe what they looked up: `if (ctx.audit) ...`.
+     */
+    DecisionAudit *audit = nullptr;
 };
 
 /** One domain's decision for the next epoch. */

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The decision-audit seam: a per-epoch scratch record controllers fill
+ * in while deciding, so the run can explain *why* each frequency was
+ * chosen (docs/provenance.md).
+ *
+ * The experiment/replay drivers own one DecisionAudit per run and
+ * expose it through EpochContext::audit. It is null when provenance is
+ * disabled, so the hot path costs controllers exactly one pointer
+ * check; when armed, the ledger resets it before decide() and folds it
+ * into the epoch's DecisionRecord after applyDecisions(). Controllers
+ * without predictor state can ignore it entirely - the ledger still
+ * records the generic inputs (stall/memory counters, candidate scores,
+ * chosen state, realized outcome) for every design.
+ */
+
+#ifndef PCSTALL_DVFS_DECISION_AUDIT_HH
+#define PCSTALL_DVFS_DECISION_AUDIT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pcstall::dvfs
+{
+
+/** What one domain's controller consulted while deciding. */
+struct DomainAudit
+{
+    /** PC-table key of the domain's first resident wave (0 = none). */
+    std::uint64_t pcKey = 0;
+    /** Predictor-table lookups performed for this domain's waves. */
+    std::uint32_t lookups = 0;
+    /** Lookups that hit a stored entry. */
+    std::uint32_t hits = 0;
+    /** Waves predicted from their own fresh same-region model. */
+    std::uint32_t sameRegion = 0;
+    /** Waves predicted by the reactive fallback path (table miss). */
+    std::uint32_t reactive = 0;
+    /** Predicted phase-model slope: d(instructions)/d(f in GHz). */
+    double predictedSens = 0.0;
+    /** Predicted phase-model intercept (instruction floor I0). */
+    double predictedLevel = 0.0;
+};
+
+/**
+ * Per-epoch audit scratch. reset() is called by the ledger before
+ * every decide(); controllers accumulate into domains[d] for the
+ * domains they decide.
+ */
+struct DecisionAudit
+{
+    std::vector<DomainAudit> domains;
+    /** True when a watchdog fallback policy made this decision. */
+    bool fallbackActive = false;
+
+    void
+    reset(std::size_t num_domains)
+    {
+        domains.assign(num_domains, DomainAudit{});
+        fallbackActive = false;
+    }
+};
+
+} // namespace pcstall::dvfs
+
+#endif // PCSTALL_DVFS_DECISION_AUDIT_HH

@@ -147,4 +147,62 @@ chooseState(const power::VfTable &table, const power::PowerModel &model,
     return best;
 }
 
+void
+scoreStates(const power::VfTable &table, const power::PowerModel &model,
+            const DomainScoreInputs &in, Objective objective,
+            std::span<double> out)
+{
+    panicIf(in.instrAtState.size() != table.numStates() ||
+                out.size() != table.numStates(),
+            "scoreStates: state vector size mismatch");
+
+    if (objective == Objective::EnergyUnderPerfBound) {
+        const double nominal =
+            std::max(in.instrAtState[in.nominalState], 0.0);
+        const double floor_instr =
+            nominal * (1.0 - in.perfDegradationLimit);
+        for (std::size_t s = 0; s < table.numStates(); ++s) {
+            const double instr = std::max(in.instrAtState[s], 1e-9);
+            const double energy =
+                domainEpochEnergy(table, model, in, s);
+            // Feasible states score as plain energy (same order as
+            // chooseState); infeasible ones pay a finite shortfall
+            // penalty instead of being excluded.
+            const double penalty = std::max(1.0, floor_instr / instr);
+            out[s] = energy * penalty;
+        }
+        return;
+    }
+
+    const bool marginal =
+        (objective == Objective::MarginalEdp ||
+         objective == Objective::MarginalEd2p) &&
+        in.avgChipPower > 0.0 && in.avgInstr > 0.0;
+    if (marginal) {
+        const double n_exp =
+            objective == Objective::MarginalEd2p ? 2.0 : 1.0;
+        const double time_price = n_exp * in.avgChipPower *
+            tickSeconds(in.epochLen) / in.avgInstr;
+        for (std::size_t s = 0; s < table.numStates(); ++s) {
+            const double instr = std::max(in.instrAtState[s], 0.0);
+            out[s] = domainEpochEnergy(table, model, in, s) -
+                time_price * instr;
+        }
+        return;
+    }
+
+    int exponent = 2;
+    if (objective == Objective::Ed2p ||
+        objective == Objective::MarginalEd2p) {
+        exponent = 3;
+    } else if (objective == Objective::Ed3p) {
+        exponent = 4;
+    }
+    for (std::size_t s = 0; s < table.numStates(); ++s) {
+        const double instr = std::max(in.instrAtState[s], 1e-9);
+        const double energy = domainEpochEnergy(table, model, in, s);
+        out[s] = energy / std::pow(instr, static_cast<double>(exponent));
+    }
+}
+
 } // namespace pcstall::dvfs

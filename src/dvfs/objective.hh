@@ -109,6 +109,21 @@ std::size_t chooseState(const power::VfTable &table,
                         const power::PowerModel &model,
                         const DomainScoreInputs &in, Objective objective);
 
+/**
+ * Score every candidate state under @p objective into @p out (size
+ * table.numStates(); lower is better). This is the audit/regret
+ * scorer behind the provenance subsystem (docs/provenance.md): on the
+ * ratio and marginal objectives its argmin agrees with chooseState(),
+ * and for EnergyUnderPerfBound infeasible states are charged a finite
+ * energy * (floor / predicted) penalty instead of being excluded, so
+ * hindsight scoring (where the chosen state may turn out infeasible)
+ * always yields finite, comparable scores.
+ */
+void scoreStates(const power::VfTable &table,
+                 const power::PowerModel &model,
+                 const DomainScoreInputs &in, Objective objective,
+                 std::span<double> out);
+
 } // namespace pcstall::dvfs
 
 #endif // PCSTALL_DVFS_OBJECTIVE_HH

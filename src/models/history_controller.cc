@@ -80,8 +80,15 @@ HistoryController::decide(const dvfs::EpochContext &ctx)
                 key = hashCombine(key, b);
             ++lookups;
             const auto it = table.find(key);
+            if (ctx.audit) {
+                ++ctx.audit->domains[d].lookups;
+                // The pattern key is the GPHT analogue of the PC key.
+                ctx.audit->domains[d].pcKey = key;
+            }
             if (it != table.end()) {
                 ++hits;
+                if (ctx.audit)
+                    ++ctx.audit->domains[d].hits;
                 predicted = it->second;
             }
         }
@@ -115,6 +122,10 @@ HistoryController::decide(const dvfs::EpochContext &ctx)
         out[d].state = dvfs::chooseState(ctx.table, ctx.power, in,
                                          ctx.objective);
         out[d].predictedInstr = instr_at[out[d].state];
+        if (ctx.audit) {
+            ctx.audit->domains[d].predictedSens = predicted.sens;
+            ctx.audit->domains[d].predictedLevel = predicted.level;
+        }
     }
     return out;
 }

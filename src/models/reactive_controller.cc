@@ -42,6 +42,22 @@ ReactiveController::decide(const dvfs::EpochContext &ctx)
         out[d].state = dvfs::chooseState(ctx.table, ctx.power, in,
                                          ctx.objective);
         out[d].predictedInstr = instr_at[out[d].state];
+
+        if (ctx.audit) {
+            // Reactive estimates carry no table state; describe the
+            // extrapolated model as a secant through the prediction
+            // range so audits can compare designs on one axis.
+            dvfs::DomainAudit &a = ctx.audit->domains[d];
+            const double f_lo = freqGHzD(ctx.table.state(0).freq);
+            const double f_hi =
+                freqGHzD(ctx.table.state(num_states - 1).freq);
+            a.predictedSens = f_hi > f_lo
+                ? (instr_at[num_states - 1] - instr_at[0]) /
+                    (f_hi - f_lo)
+                : 0.0;
+            a.predictedLevel =
+                instr_at[num_states - 1] - a.predictedSens * f_hi;
+        }
     }
     return out;
 }

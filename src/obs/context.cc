@@ -81,13 +81,15 @@ reg()
     return currentContext().registry;
 }
 
-ScopedContext::ScopedContext(RunContext &ctx) : prev_(t_current)
+ScopedContext::ScopedContext(RunContext &ctx)
+    : prev_(t_current), prevWarnScope_(pushWarnScope())
 {
     t_current = &ctx;
 }
 
 ScopedContext::~ScopedContext()
 {
+    popWarnScope(prevWarnScope_);
     t_current = prev_;
 }
 

@@ -23,6 +23,7 @@
 #include "obs/metrics.hh"
 #include "obs/timeline.hh"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -62,7 +63,13 @@ RunContext &currentContext();
 /** @return Shorthand for currentContext().registry. */
 Registry &reg();
 
-/** Installs @p ctx as this thread's current context for the scope. */
+/**
+ * Installs @p ctx as this thread's current context for the scope.
+ * Also pushes a fresh warn-rate-limit scope (common/logging.hh), so
+ * warnLimited() tallies reset per run instead of accumulating for the
+ * process lifetime: every sweep cell reports its own first
+ * occurrences.
+ */
 class ScopedContext
 {
   public:
@@ -74,6 +81,7 @@ class ScopedContext
 
   private:
     RunContext *prev_;
+    std::uint64_t prevWarnScope_;
 };
 
 /**

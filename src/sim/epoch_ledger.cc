@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/stats_util.hh"
+#include "models/estimation.hh"
 
 namespace pcstall::sim
 {
@@ -21,6 +22,9 @@ EpochLedger::EpochLedger(const RunConfig &config,
     prevPred.assign(domainMap.numDomains(), -1.0);
     avgInstr.assign(domainMap.numDomains(), 0.0);
     freqShare.assign(table.numStates(), 0.0);
+    auditEnabled_ = cfg.auditRegret || cfg.provenance != nullptr;
+    if (auditEnabled_)
+        observedInputs_.resize(domainMap.numDomains());
 
     obs::Registry &registry = obs::reg();
     epochsMetric = &registry.counter("sim.epochs");
@@ -40,6 +44,31 @@ EpochLedger::observeEpoch(const gpu::EpochRecord &record,
                           const gpu::EpochRecord &observed,
                           Tick epoch_start, Tick accounted_end)
 {
+    if (auditEnabled_) {
+        // Realize the decision whose epoch just completed, then stash
+        // the observed inputs the *next* decision will be made from.
+        if (pendingValid_)
+            realizePending(record);
+        for (std::uint32_t d = 0; d < domainMap.numDomains(); ++d) {
+            ObservedDomainInputs &in = observedInputs_[d];
+            in.instr = 0;
+            in.loadStall = 0;
+            in.memAccesses = 0;
+            const std::uint32_t first = domainMap.firstCu(d);
+            for (std::uint32_t cu = first;
+                 cu < first + domainMap.cusPerDomain(); ++cu) {
+                const gpu::CuEpochRecord &cr = observed.cus[cu];
+                in.instr += cr.committed;
+                in.loadStall += static_cast<std::uint64_t>(
+                    std::max<Tick>(cr.loadStall, 0));
+                in.memAccesses += cr.mem.l2Hits + cr.mem.l2Misses +
+                    cr.mem.stores;
+            }
+        }
+        ++epochsObserved_;
+        lastEpochStart_ = epoch_start;
+    }
+
     // --- prediction accuracy of the decisions made last epoch ---
     for (std::uint32_t d = 0; d < domainMap.numDomains(); ++d) {
         const double actual = dvfs::sumOverDomain(
@@ -118,11 +147,16 @@ EpochLedger::makeContext(const gpu::EpochRecord &observed,
                          const dvfs::AccurateEstimates *elapsed,
                          const dvfs::AccurateEstimates *upcoming) const
 {
-    return dvfs::EpochContext{
+    dvfs::EpochContext ctx{
         observed, snapshots, domainMap, table, power,
         cfg.epochLen, thermal.temperature(), cfg.objective,
         cfg.perfDegradationLimit, nominalIdx,
-        elapsed, upcoming, avgPower, &avgInstr};
+        elapsed, upcoming, avgPower, &avgInstr, nullptr};
+    if (auditEnabled_) {
+        audit_.reset(domainMap.numDomains());
+        ctx.audit = &audit_;
+    }
+    return ctx;
 }
 
 std::vector<EpochLedger::AppliedTransition>
@@ -158,7 +192,101 @@ EpochLedger::applyDecisions(std::vector<dvfs::DomainDecision> &decisions,
             energy += te;
         }
     }
+
+    if (auditEnabled_) {
+        // Open the decision record; observeEpoch() of the decided
+        // epoch (or finalize(), if the run ends first) completes it.
+        pending_ = obs::DecisionRecord{};
+        pending_.epoch = epochsObserved_;
+        pending_.start = lastEpochStart_ + cfg.epochLen;
+        pending_.domains.resize(domainMap.numDomains());
+        for (std::uint32_t d = 0; d < domainMap.numDomains(); ++d) {
+            obs::DomainDecisionProv &p = pending_.domains[d];
+            const dvfs::DomainAudit &a = audit_.domains[d];
+            p.pcKey = a.pcKey;
+            p.lookups = a.lookups;
+            p.hits = a.hits;
+            p.sameRegion = a.sameRegion;
+            p.reactive = a.reactive;
+            p.predictedSens = a.predictedSens;
+            p.predictedLevel = a.predictedLevel;
+            p.elapsedInstr = observedInputs_[d].instr;
+            p.loadStallTicks = observedInputs_[d].loadStall;
+            p.memAccesses = observedInputs_[d].memAccesses;
+            p.chosenState =
+                static_cast<std::uint8_t>(decisions[d].state);
+            p.appliedState = static_cast<std::uint8_t>(out[d].state);
+            p.predictedInstr = decisions[d].predictedInstr;
+        }
+        pending_.fallbackActive = audit_.fallbackActive;
+        pendingValid_ = true;
+    }
     return out;
+}
+
+void
+EpochLedger::realizePending(const gpu::EpochRecord &record)
+{
+    const std::size_t num_states = table.numStates();
+    std::vector<double> instr_at(num_states, 0.0);
+    std::vector<double> scores(num_states, 0.0);
+    pending_.stateScores.assign(num_states, 0.0);
+
+    for (std::uint32_t d = 0; d < domainMap.numDomains(); ++d) {
+        obs::DomainDecisionProv &p = pending_.domains[d];
+        std::uint64_t realized = 0;
+        std::fill(instr_at.begin(), instr_at.end(), 0.0);
+        const std::uint32_t first = domainMap.firstCu(d);
+        for (std::uint32_t cu = first;
+             cu < first + domainMap.cusPerDomain(); ++cu) {
+            const gpu::CuEpochRecord &cr = record.cus[cu];
+            realized += cr.committed;
+            // The hindsight model: what the realized epoch says each
+            // candidate frequency would have committed (STALL
+            // decomposition, the paper's implementable baseline).
+            for (std::size_t s = 0; s < num_states; ++s) {
+                instr_at[s] += models::cuInstrAt(
+                    models::EstimationKind::Stall, cr, cfg.epochLen,
+                    table.state(s).freq);
+            }
+        }
+        p.realizedInstr = realized;
+
+        dvfs::DomainScoreInputs in;
+        in.instrAtState = instr_at;
+        in.baselineInstr = static_cast<double>(realized);
+        in.baselineActivity =
+            dvfs::domainActivity(domainMap, d, record);
+        in.numCus = domainMap.cusPerDomain();
+        in.staticShare =
+            power.params().memStatic / domainMap.numDomains();
+        in.epochLen = cfg.epochLen;
+        in.temperature = thermal.temperature();
+        in.perfDegradationLimit = cfg.perfDegradationLimit;
+        in.nominalState = nominalIdx;
+        in.avgChipPower = avgPower;
+        in.avgInstr = avgInstr[d];
+        dvfs::scoreStates(table, power, in, cfg.objective, scores);
+
+        std::size_t best = 0;
+        for (std::size_t s = 1; s < num_states; ++s) {
+            if (scores[s] < scores[best])
+                best = s;
+        }
+        p.chosenScore = scores[p.appliedState];
+        p.bestScore = scores[best];
+        p.bestState = static_cast<std::uint8_t>(best);
+        p.nominalScore = scores[nominalIdx];
+        for (std::size_t s = 0; s < num_states; ++s)
+            pending_.stateScores[s] += scores[s];
+    }
+
+    pending_.realized = true;
+    regretSummary_.add(pending_.oracleRegretRel(),
+                       pending_.staticRegretRel());
+    if (cfg.provenance != nullptr)
+        cfg.provenance->records.push_back(std::move(pending_));
+    pendingValid_ = false;
 }
 
 void
@@ -181,6 +309,10 @@ EpochLedger::traceEpochFaults(const faults::FaultInjector::Totals &base,
     fc.fallbackActive = fallback_active;
     if (cfg.collectTrace && !traceEntries.empty())
         traceEntries.back().faults = lastFaults_;
+    // The driver detects fallback from the controller's counters -
+    // authoritative even for controllers that never touch the audit.
+    if (auditEnabled_ && pendingValid_ && fallback_active)
+        pending_.fallbackActive = true;
 }
 
 void
@@ -204,6 +336,37 @@ EpochLedger::finalize(RunResult &result, bool completed,
     }
     result.finalTemperature = thermal.temperature();
     result.trace = std::move(traceEntries);
+
+    if (auditEnabled_) {
+        // A decision whose epoch never completed (simulation wall,
+        // cancellation) stays unrealized but is still recorded - the
+        // audit trail should show what was decided, not pretend the
+        // decision never happened.
+        if (pendingValid_) {
+            if (cfg.provenance != nullptr)
+                cfg.provenance->records.push_back(std::move(pending_));
+            pendingValid_ = false;
+        }
+        result.regret = regretSummary_;
+        if (cfg.provenance != nullptr) {
+            obs::ProvenanceMeta &meta = cfg.provenance->meta;
+            meta.workload = result.workload;
+            meta.controller = result.controller;
+            meta.objective = dvfs::objectiveName(cfg.objective);
+            meta.epochLen = cfg.epochLen;
+            meta.numDomains = domainMap.numDomains();
+            meta.numStates =
+                static_cast<std::uint32_t>(table.numStates());
+            meta.nominalState =
+                static_cast<std::uint32_t>(nominalIdx);
+            meta.stateFreqMhz.clear();
+            for (std::size_t s = 0; s < table.numStates(); ++s) {
+                meta.stateFreqMhz.push_back(static_cast<std::uint32_t>(
+                    table.state(s).freq / freqMHz));
+            }
+            cfg.provenance->regret = regretSummary_;
+        }
+    }
 
     const faults::FaultInjector::Totals &tot = injector.totals();
     result.faults.telemetryPerturbations = tot.telemetryPerturbations;
@@ -240,6 +403,14 @@ EpochLedger::finalize(RunResult &result, bool completed,
             .add(fs.watchdogTrips);
         registry.counter("faults.fallback_epochs")
             .add(fs.fallbackEpochs);
+        if (auditEnabled_ && !result.regret.empty()) {
+            registry.counter("provenance.decisions")
+                .add(result.regret.count);
+            registry.histogram("provenance.regret.oracle_rel")
+                .record(result.regret.meanOracle());
+            registry.histogram("provenance.regret.static_rel")
+                .record(result.regret.meanStatic());
+        }
     }
 }
 

@@ -106,7 +106,18 @@ class EpochLedger
     /** Decisions repaired by the most recent applyDecisions(). */
     std::size_t lastClamped() const { return lastClamped_; }
 
+    /** True when decision provenance / regret auditing is armed. */
+    bool auditEnabled() const { return auditEnabled_; }
+
   private:
+    /**
+     * Fill in the pending DecisionRecord's realized outcome from the
+     * epoch that just completed: per-state hindsight scores (STALL
+     * estimation model + dvfs::scoreStates on the physical record),
+     * the regret against best-in-hindsight and best-static, and the
+     * regret-summary rollup. Called at the top of observeEpoch().
+     */
+    void realizePending(const gpu::EpochRecord &record);
     const RunConfig &cfg;
     const power::VfTable &table;
     const power::PowerModel &power;
@@ -137,6 +148,31 @@ class EpochLedger
 
     std::vector<EpochTraceEntry> traceEntries;
     gpu::FaultEpochCounters lastFaults_;
+
+    // --- decision provenance (docs/provenance.md) -----------------
+    /** What the controller saw in the observed (possibly telemetry-
+     *  faulted) record, stashed per domain for the next decision. */
+    struct ObservedDomainInputs
+    {
+        std::uint64_t instr = 0;
+        std::uint64_t loadStall = 0;
+        std::uint64_t memAccesses = 0;
+    };
+
+    /** Armed iff RunConfig::auditRegret or a provenance sink is set;
+     *  the disabled path is this single bool check per call. */
+    bool auditEnabled_ = false;
+    /** Controller-side audit scratch, reset per decide() by
+     *  makeContext() (mutable: arming the scratch does not change
+     *  what the context describes). */
+    mutable dvfs::DecisionAudit audit_;
+    obs::RegretSummary regretSummary_;
+    /** The decision awaiting its realized outcome. */
+    obs::DecisionRecord pending_;
+    bool pendingValid_ = false;
+    std::uint64_t epochsObserved_ = 0;
+    Tick lastEpochStart_ = 0;
+    std::vector<ObservedDomainInputs> observedInputs_;
 
     // Observability handles, resolved once against the run context's
     // registry at construction (stable for the registry's lifetime).

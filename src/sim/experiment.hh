@@ -20,6 +20,7 @@
 #include "dvfs/domain_map.hh"
 #include "faults/fault_config.hh"
 #include "gpu/gpu_chip.hh"
+#include "obs/provenance.hh"
 #include "power/power_model.hh"
 #include "power/vf_table.hh"
 
@@ -94,6 +95,20 @@ struct RunConfig
      * seam. Null (the default) means the run can never be cancelled.
      */
     const std::atomic<bool> *cancel = nullptr;
+    /**
+     * Score every decision's hindsight regret into RunResult::regret
+     * (summary only; no per-epoch records are retained). Cheap but
+     * not free - off by default so plain sweeps pay only one branch
+     * per epoch. Implied by a non-null @ref provenance sink.
+     */
+    bool auditRegret = false;
+    /**
+     * Decision-provenance sink (not owned). When non-null the run
+     * appends its full DecisionRecord stream, meta and regret rollup
+     * there (docs/provenance.md); the caller serializes it as a PCPV
+     * sidecar. Null (the default) retains nothing.
+     */
+    obs::ProvenanceLog *provenance = nullptr;
 
     /** Apply scaleToCus() for the configured CU count. */
     RunConfig &scaled()
@@ -166,6 +181,9 @@ struct RunResult
     /** Injected-fault / graceful-degradation totals. */
     FaultSummary faults;
     std::vector<EpochTraceEntry> trace;
+    /** Per-decision regret rollup (empty unless RunConfig::auditRegret
+     *  or a provenance sink was set; see docs/provenance.md). */
+    obs::RegretSummary regret;
 
     double seconds() const { return tickSeconds(execTime); }
     Watts avgPower() const
@@ -290,6 +308,17 @@ class ExperimentDriver
 
     const power::VfTable &table() const { return vfTable; }
     const RunConfig &config() const { return cfg; }
+
+    /**
+     * Arm (or, with null, disarm) a decision-provenance sink for
+     * subsequent run() calls - the seam bench::runTraced() uses to
+     * attach a per-run ProvenanceLog to an already-built driver.
+     * Armed runs also compute RunResult::regret.
+     */
+    void setProvenance(obs::ProvenanceLog *sink)
+    {
+        cfg.provenance = sink;
+    }
 
     /** Index of the nominal state in the V/f table. */
     std::size_t nominalState() const { return nominalIdx; }

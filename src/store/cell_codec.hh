@@ -24,8 +24,9 @@
 namespace pcstall::store
 {
 
-/** Payload codec version (inside the PCRS entry; see result_store). */
-inline constexpr std::uint16_t cellCodecVersion = 1;
+/** Payload codec version (inside the PCRS entry; see result_store).
+ *  v2 added the RunResult regret summary (obs::RegretSummary). */
+inline constexpr std::uint16_t cellCodecVersion = 2;
 
 /** A checkpointed run outcome (mirrors bench::RunOutcome). */
 struct StoredRun

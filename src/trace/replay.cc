@@ -46,7 +46,9 @@ ReplayDriver::run(dvfs::DvfsController &controller,
     const std::int64_t t0 = nowNs();
 
     const TraceMeta &meta = data.meta;
-    const sim::RunConfig cfg = runConfigFromMeta(meta);
+    sim::RunConfig cfg = runConfigFromMeta(meta);
+    cfg.auditRegret = options.auditRegret;
+    cfg.provenance = options.provenance;
     const std::string cfg_err = sim::validateRunConfig(cfg);
     if (!cfg_err.empty()) {
         outcome.error = "trace meta yields an unusable run config: " +

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "dvfs/controller.hh"
+#include "obs/provenance.hh"
 #include "sim/experiment.hh"
 #include "trace/format.hh"
 
@@ -35,6 +36,20 @@ struct ReplayOptions
      * controller kind the trace was captured under.
      */
     bool verifyDecisions = true;
+    /**
+     * Compute the per-epoch regret summary (RunResult::regret)
+     * without retaining individual decision records. Implied by
+     * @ref provenance.
+     */
+    bool auditRegret = false;
+    /**
+     * Optional decision-provenance sink (not owned). When set, the
+     * replay emits the full DecisionRecord stream — byte-identical to
+     * what a live run over the same trace would have captured, which
+     * is how tools/dvfs_explain re-derives provenance from a PCTR
+     * trace after the fact.
+     */
+    obs::ProvenanceLog *provenance = nullptr;
 };
 
 /** Outcome of one replay pass. */

@@ -152,9 +152,19 @@ DsoController::decide(const dvfs::EpochContext &ctx)
         std::vector<std::uint32_t> n(num_cus, 0);
         for (const gpu::WaveSnapshot &wave : ctx.snapshots) {
             const double frac = staticFracAt(wave.pcAddr);
+            dvfs::DomainAudit *aud = ctx.audit
+                ? &ctx.audit->domains[ctx.domains.domainOf(wave.cu)]
+                : nullptr;
+            if (aud) {
+                ++aud->lookups;
+                if (aud->pcKey == 0)
+                    aud->pcKey = wave.pcAddr;
+            }
             if (frac >= 0.0) {
                 sum[wave.cu] += frac;
                 ++n[wave.cu];
+                if (aud)
+                    ++aud->hits;
                 registry.counter("controller.dso.lookup_hits").add(1);
             } else {
                 registry.counter("controller.dso.lookup_misses").add(1);
@@ -208,6 +218,8 @@ DsoController::decide(const dvfs::EpochContext &ctx)
     if (watchdog.inFallback()) {
         watchdog.noteFallbackEpoch();
         registry.counter("controller.dso.fallback_epochs").add(1);
+        if (ctx.audit)
+            ctx.audit->fallbackActive = true;
         return stallFallback.decide(ctx);
     }
     return chooseFromInstrAt(ctx, instr_at);

@@ -100,6 +100,19 @@ RegrController::decide(const dvfs::EpochContext &ctx)
     for (std::uint32_t d = 0; d < num_domains; ++d) {
         double a = 0.0, b = 0.0;
         const bool fitted = fitDomain(domains_[d], a, b);
+        if (ctx.audit) {
+            // A successful fit is this design's "table hit"; the
+            // STALL anchor is its reactive path.
+            dvfs::DomainAudit &aud = ctx.audit->domains[d];
+            ++aud.lookups;
+            if (fitted) {
+                ++aud.hits;
+                aud.predictedSens = b;
+                aud.predictedLevel = a;
+            } else {
+                ++aud.reactive;
+            }
+        }
         if (fitted) {
             ++fitDecisions_;
             registry.counter("controller.regr.fit_decisions").add(1);
@@ -128,6 +141,8 @@ RegrController::decide(const dvfs::EpochContext &ctx)
     if (watchdog.inFallback()) {
         watchdog.noteFallbackEpoch();
         registry.counter("controller.regr.fallback_epochs").add(1);
+        if (ctx.audit)
+            ctx.audit->fallbackActive = true;
         return stallFallback.decide(ctx);
     }
     double limit_override = -1.0;

@@ -449,4 +449,37 @@ TEST(Logging, WarnLimitedSuppressesAfterLimit)
     EXPECT_EQ(suppressedWarnCount("test-key"), 0u);
 }
 
+// Rate limits are per-(site, run), not per process lifetime: a new
+// warn scope (pushed by every obs::ScopedContext run boundary) gets
+// its own tally, and the outer scope's tally is intact afterwards.
+TEST(Logging, WarnLimitedScopesResetPerRun)
+{
+    resetWarnLimits();
+    for (int i = 0; i < 5; ++i)
+        warnLimited("scoped-key", "outer warning", 2);
+    EXPECT_EQ(suppressedWarnCount("scoped-key"), 3u);
+
+    {
+        obs::RunContext cell("cell");
+        obs::ScopedContext scope(cell);
+        // Fresh scope: nothing suppressed yet, limits start over.
+        EXPECT_EQ(suppressedWarnCount("scoped-key"), 0u);
+        for (int i = 0; i < 3; ++i)
+            warnLimited("scoped-key", "cell warning", 2);
+        EXPECT_EQ(suppressedWarnCount("scoped-key"), 1u);
+    }
+    {
+        // A second run re-reports from zero rather than inheriting
+        // the first cell's tally.
+        obs::RunContext cell("cell2");
+        obs::ScopedContext scope(cell);
+        EXPECT_EQ(suppressedWarnCount("scoped-key"), 0u);
+        warnLimited("scoped-key", "cell2 warning", 2);
+        EXPECT_EQ(suppressedWarnCount("scoped-key"), 0u);
+    }
+    // Back in the process-default scope, the outer tally survives.
+    EXPECT_EQ(suppressedWarnCount("scoped-key"), 3u);
+    resetWarnLimits();
+}
+
 } // namespace

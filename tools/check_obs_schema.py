@@ -4,14 +4,17 @@
 Stdlib-only checker for the two documents the harnesses emit
 (docs/observability.md):
 
-  check_obs_schema.py metrics   <file>   pcstall-metrics-v1 snapshot
-  check_obs_schema.py timeline  <file>   pcstall-timeline-v1 Chrome trace
-  check_obs_schema.py canonical <file>   print the deterministic part of
+  check_obs_schema.py metrics    <file>  pcstall-metrics-v1 snapshot
+  check_obs_schema.py timeline   <file>  pcstall-timeline-v1 Chrome trace
+  check_obs_schema.py canonical  <file>  print the deterministic part of
                                          a metrics snapshot in canonical
                                          form (for --threads N vs 1
                                          byte-comparison; the "timing"
                                          section carries wall-clock
                                          values and is stripped)
+  check_obs_schema.py provenance <file>  pcstall-provenance-v1 decision
+                                         dump (`dvfs_explain json`,
+                                         docs/provenance.md)
 
 Exit status: 0 when the document validates, 1 with a diagnostic per
 violation otherwise. `--require NAME` (repeatable, metrics mode)
@@ -28,6 +31,7 @@ import sys
 
 METRICS_SCHEMA = "pcstall-metrics-v1"
 TIMELINE_SCHEMA = "pcstall-timeline-v1"
+PROVENANCE_SCHEMA = "pcstall-provenance-v1"
 
 HIST_KEYS = {
     "count",
@@ -216,6 +220,172 @@ def check_timeline(doc, required_events):
     return ck.errors
 
 
+def check_prov_domain(ck, label, dom, num_states, realized):
+    if not ck.require(isinstance(dom, dict), f"{label}: not an object"):
+        return
+    ck.require(
+        isinstance(dom.get("pc"), str), f"{label}: pc must be a string"
+    )
+    for k in ("lookups", "hits", "same_region", "reactive",
+              "elapsed_instr", "load_stall_ticks", "mem_accesses"):
+        ck.require(
+            isinstance(dom.get(k), int) and dom[k] >= 0,
+            f"{label}: {k} must be a non-negative integer",
+        )
+    if isinstance(dom.get("lookups"), int) and isinstance(dom.get("hits"), int):
+        ck.require(
+            dom["hits"] <= dom["lookups"],
+            f"{label}: hits ({dom['hits']}) exceed lookups "
+            f"({dom['lookups']})",
+        )
+    for k in ("pred_sens", "pred_level", "pred_instr"):
+        ck.require(is_num(dom.get(k)), f"{label}: {k} must be a number")
+    state_keys = ["chosen_state", "applied_state"]
+    if realized:
+        state_keys.append("best_state")
+        ck.require(
+            isinstance(dom.get("realized_instr"), int)
+            and dom["realized_instr"] >= 0,
+            f"{label}: realized_instr must be a non-negative integer",
+        )
+        for k in ("chosen_score", "best_score", "nominal_score"):
+            ck.require(is_num(dom.get(k)), f"{label}: {k} must be a number")
+    for k in state_keys:
+        ck.require(
+            isinstance(dom.get(k), int) and 0 <= dom[k] < num_states,
+            f"{label}: {k} must be a state index in [0, {num_states})",
+        )
+
+
+def check_provenance(doc):
+    ck = Checker()
+    if not ck.require(isinstance(doc, dict), "top level: not an object"):
+        return ck.errors
+    ck.require(
+        doc.get("schema") == PROVENANCE_SCHEMA,
+        f"schema must be '{PROVENANCE_SCHEMA}' (got {doc.get('schema')!r})",
+    )
+
+    meta = doc.get("meta")
+    num_states = 0
+    num_domains = 0
+    if ck.require(isinstance(meta, dict), "meta: missing object"):
+        for k in ("workload", "controller", "objective"):
+            ck.require(
+                isinstance(meta.get(k), str) and meta[k],
+                f"meta.{k}: must be a non-empty string",
+            )
+        ck.require(
+            isinstance(meta.get("epoch_len_ticks"), int)
+            and meta["epoch_len_ticks"] > 0,
+            "meta.epoch_len_ticks: must be a positive integer",
+        )
+        if ck.require(
+            isinstance(meta.get("domains"), int) and meta["domains"] > 0,
+            "meta.domains: must be a positive integer",
+        ):
+            num_domains = meta["domains"]
+        freqs = meta.get("state_freq_mhz")
+        if ck.require(
+            isinstance(freqs, list) and freqs
+            and all(isinstance(f, int) and f > 0 for f in freqs),
+            "meta.state_freq_mhz: must be a non-empty list of "
+            "positive integers",
+        ):
+            num_states = len(freqs)
+            ck.require(
+                all(a < b for a, b in zip(freqs, freqs[1:])),
+                "meta.state_freq_mhz: must be strictly ascending",
+            )
+            ck.require(
+                isinstance(meta.get("nominal_state"), int)
+                and 0 <= meta["nominal_state"] < num_states,
+                f"meta.nominal_state: must be a state index in "
+                f"[0, {num_states})",
+            )
+
+    records = doc.get("records")
+    realized_count = 0
+    if ck.require(isinstance(records, list), "records: must be a list"):
+        prev_epoch = None
+        for i, rec in enumerate(records):
+            label = f"records[{i}]"
+            if not ck.require(isinstance(rec, dict), f"{label}: not an object"):
+                continue
+            ck.require(
+                isinstance(rec.get("epoch"), int) and rec["epoch"] >= 0,
+                f"{label}: epoch must be a non-negative integer",
+            )
+            ck.require(is_num(rec.get("start")), f"{label}: start missing")
+            for k in ("fallback", "realized"):
+                ck.require(
+                    isinstance(rec.get(k), bool), f"{label}: {k} must be a bool"
+                )
+            if prev_epoch is not None and isinstance(rec.get("epoch"), int):
+                ck.require(
+                    rec["epoch"] > prev_epoch,
+                    f"{label}: epochs must be strictly ascending",
+                )
+            prev_epoch = rec.get("epoch")
+            realized = rec.get("realized") is True
+            if realized:
+                realized_count += 1
+                ck.require(
+                    is_num(rec.get("oracle_regret_rel"))
+                    and rec["oracle_regret_rel"] >= 0,
+                    f"{label}: oracle_regret_rel must be >= 0",
+                )
+                ck.require(
+                    is_num(rec.get("static_regret_rel")),
+                    f"{label}: static_regret_rel must be a number",
+                )
+            scores = rec.get("state_scores")
+            if ck.require(
+                isinstance(scores, list),
+                f"{label}: state_scores must be a list",
+            ):
+                want = num_states if realized else 0
+                ck.require(
+                    len(scores) == want and all(is_num(s) for s in scores),
+                    f"{label}: state_scores must hold {want} numbers",
+                )
+            doms = rec.get("domains")
+            if ck.require(
+                isinstance(doms, list) and len(doms) == num_domains,
+                f"{label}: domains must be a list of {num_domains}",
+            ):
+                for d, dom in enumerate(doms):
+                    check_prov_domain(
+                        ck, f"{label}.domains[{d}]", dom, num_states, realized
+                    )
+        # An unrealized (dangling) decision can only be the final record.
+        for i, rec in enumerate(records[:-1]):
+            if isinstance(rec, dict):
+                ck.require(
+                    rec.get("realized") is True,
+                    f"records[{i}]: unrealized record before the end",
+                )
+
+    regret = doc.get("regret")
+    if ck.require(isinstance(regret, dict), "regret: missing object"):
+        ck.require(
+            regret.get("decisions") == realized_count,
+            f"regret.decisions ({regret.get('decisions')!r}) != realized "
+            f"record count ({realized_count})",
+        )
+        if realized_count > 0:
+            for k in ("mean_oracle", "p95_oracle", "max_oracle"):
+                ck.require(
+                    is_num(regret.get(k)) and regret[k] >= 0,
+                    f"regret.{k}: must be a number >= 0",
+                )
+            ck.require(
+                is_num(regret.get("mean_static")),
+                "regret.mean_static: must be a number",
+            )
+    return ck.errors
+
+
 def canonical(doc):
     """The deterministic part of a metrics snapshot, canonically
     serialized: identical bytes for identical simulated work, however
@@ -230,7 +400,9 @@ def canonical(doc):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("mode", choices=("metrics", "timeline", "canonical"))
+    parser.add_argument(
+        "mode", choices=("metrics", "timeline", "canonical", "provenance")
+    )
     parser.add_argument("file")
     parser.add_argument(
         "--require",
@@ -272,18 +444,20 @@ def main():
 
     if args.mode == "metrics":
         errors = check_metrics(doc, args.require, args.require_prefix)
+        kind, detail = "metrics snapshot", f"{len(metric_names(doc))} metrics"
+    elif args.mode == "provenance":
+        errors = check_provenance(doc)
+        records = doc.get("records") if isinstance(doc, dict) else None
+        n = len(records) if isinstance(records, list) else 0
+        kind, detail = "provenance dump", f"{n} decisions"
     else:
         errors = check_timeline(doc, args.require_event)
+        kind = "timeline"
+        detail = f"{len(doc.get('traceEvents', []))} events"
     if errors:
         for e in errors:
             print(f"error: {args.file}: {e}")
         return 1
-    kind = "metrics snapshot" if args.mode == "metrics" else "timeline"
-    detail = (
-        f"{len(doc.get('traceEvents', []))} events"
-        if args.mode == "timeline"
-        else f"{len(metric_names(doc))} metrics"
-    )
     print(f"{args.file}: valid {kind} ({detail})")
     return 0
 

@@ -5,6 +5,7 @@
  *
  *   sweep_farm --workers N --store DIR [--max-restarts K]
  *              [--log-dir DIR] -- <harness> [harness flags...]
+ *   sweep_farm --status --store DIR [--log-dir DIR]
  *
  * Spawns N copies of the given figure harness, worker i running with
  * `--store DIR --shard i/N` appended to its command line so each
@@ -21,6 +22,14 @@
  * reached) and emits the merged tables/CSV through the normal
  * submission-order aggregation path - byte-identical to a
  * single-process run of the same command.
+ *
+ * While workers run, the farm refreshes one heartbeat file per worker
+ * (<log-dir>/worker-<i>.hb, atomically replaced about once a second)
+ * recording shard, pid, state, restart count and timestamps. A second
+ * invocation with --status reads the heartbeats back and prints a
+ * live summary - per-worker state, heartbeat age, log growth, and the
+ * shared store's checkpointed-cell count - without touching the
+ * running farm.
  */
 
 #include <sys/types.h>
@@ -30,12 +39,17 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "harness.hh"
+#include "store/atomic_file.hh"
 
 using namespace pcstall;
 
@@ -60,13 +74,48 @@ struct Worker
     unsigned restarts = 0;
     bool done = false;
     int exitCode = 0;
+    std::time_t started = 0;
 };
 
 std::string
 usage()
 {
     return "usage: sweep_farm --workers N --store DIR "
-           "[--max-restarts K] [--log-dir DIR] -- <harness> [args...]";
+           "[--max-restarts K] [--log-dir DIR] -- <harness> "
+           "[args...]\n"
+           "       sweep_farm --status --store DIR [--log-dir DIR]";
+}
+
+std::string
+heartbeatPath(const std::string &log_dir, unsigned shard)
+{
+    return log_dir + "/worker-" + std::to_string(shard) + ".hb";
+}
+
+/**
+ * Atomically replace a worker's heartbeat file. key=value lines so
+ * --status (and shell scripts) can read it with no parser; the write
+ * goes through the store's atomic publication, so a concurrent
+ * --status never sees a torn heartbeat.
+ */
+void
+writeHeartbeat(const FarmOptions &opts, const Worker &w)
+{
+    const char *state = w.done ? (w.exitCode == 0 ? "done" : "failed")
+                               : "running";
+    std::string body = "schema=pcstall-farm-heartbeat-v1\n";
+    body += "shard=" + std::to_string(w.shard) + "\n";
+    body += "workers=" + std::to_string(opts.workers) + "\n";
+    body += "pid=" + std::to_string(w.pid) + "\n";
+    body += std::string("state=") + state + "\n";
+    body += "restarts=" + std::to_string(w.restarts) + "\n";
+    body += "started_unix=" + std::to_string(w.started) + "\n";
+    body += "updated_unix=" +
+        std::to_string(std::time(nullptr)) + "\n";
+    const std::string err = store::writeFileAtomic(
+        heartbeatPath(opts.logDir, w.shard), body);
+    if (!err.empty())
+        warnLimited("farm-heartbeat", "heartbeat: " + err);
 }
 
 /**
@@ -148,15 +197,18 @@ farmMain(const FarmOptions &opts)
                ".log";
     };
     const auto launch = [&](Worker &w) {
+        w.started = std::time(nullptr);
         w.pid = spawn(workerCommand(opts, w.shard), logPath(w));
         if (w.pid < 0) {
             w.done = true;
             w.exitCode = 1;
+            writeHeartbeat(opts, w);
             return;
         }
         inform("worker " + std::to_string(w.shard) + "/" +
                std::to_string(opts.workers) + " started (pid " +
                std::to_string(w.pid) + ", log " + logPath(w) + ")");
+        writeHeartbeat(opts, w);
     };
 
     for (Worker &w : workers)
@@ -164,18 +216,32 @@ farmMain(const FarmOptions &opts)
 
     // Reap until every shard is done, restarting dead workers up to
     // the bound. Restarts are cheap by construction: the successor
-    // resumes from the store, recomputing only unfinished cells.
+    // resumes from the store, recomputing only unfinished cells. The
+    // wait is non-blocking so the farm can refresh the worker
+    // heartbeat files (read by `sweep_farm --status`) about once a
+    // second while everything is alive.
     unsigned running = 0;
     for (const Worker &w : workers)
         running += !w.done;
+    std::time_t last_beat = std::time(nullptr);
     while (running > 0) {
         int status = 0;
-        const pid_t pid = ::waitpid(-1, &status, 0);
-        if (pid < 0) {
-            if (errno == EINTR)
-                continue;
+        const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        if (pid < 0 && errno != EINTR && errno != ECHILD) {
             warn(std::string("waitpid: ") + std::strerror(errno));
             break;
+        }
+        if (pid <= 0) {
+            const std::time_t now = std::time(nullptr);
+            if (now != last_beat) {
+                last_beat = now;
+                for (const Worker &w : workers) {
+                    if (!w.done)
+                        writeHeartbeat(opts, w);
+                }
+            }
+            ::usleep(100'000);
+            continue;
         }
         for (Worker &w : workers) {
             if (w.done || w.pid != pid)
@@ -185,6 +251,7 @@ farmMain(const FarmOptions &opts)
                        " finished");
                 w.done = true;
                 --running;
+                writeHeartbeat(opts, w);
             } else if (w.restarts < opts.maxRestarts) {
                 ++w.restarts;
                 warn("worker " + std::to_string(w.shard) + " died (" +
@@ -202,6 +269,7 @@ farmMain(const FarmOptions &opts)
                 w.done = true;
                 w.exitCode = 1;
                 --running;
+                writeHeartbeat(opts, w);
             }
             break;
         }
@@ -237,6 +305,92 @@ farmMain(const FarmOptions &opts)
     return rc;
 }
 
+/**
+ * `sweep_farm --status`: summarize a farm (running or finished) from
+ * its heartbeat files and the shared store, without disturbing it.
+ */
+int
+statusMain(const FarmOptions &opts)
+{
+    struct Beat
+    {
+        std::map<std::string, std::string> kv;
+    };
+    std::map<unsigned, Beat> beats;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(opts.logDir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("worker-", 0) != 0 ||
+            entry.path().extension() != ".hb")
+            continue;
+        Beat beat;
+        std::ifstream in(entry.path());
+        std::string line;
+        while (std::getline(in, line)) {
+            const std::size_t eq = line.find('=');
+            if (eq != std::string::npos)
+                beat.kv[line.substr(0, eq)] = line.substr(eq + 1);
+        }
+        const unsigned shard = static_cast<unsigned>(std::strtoul(
+            beat.kv["shard"].c_str(), nullptr, 10));
+        beats[shard] = std::move(beat);
+    }
+    if (ec) {
+        warn(opts.logDir + ": " + ec.message());
+        return 1;
+    }
+    if (beats.empty()) {
+        std::printf("no worker heartbeats under %s\n",
+                    opts.logDir.c_str());
+        return 1;
+    }
+
+    const std::time_t now = std::time(nullptr);
+    std::printf("%-6s %-8s %-8s %-9s %-8s %-10s\n", "shard", "pid",
+                "state", "restarts", "beat_age", "log_bytes");
+    unsigned running = 0;
+    unsigned failed = 0;
+    for (const auto &[shard, beat] : beats) {
+        const auto field = [&](const char *key) -> std::string {
+            const auto it = beat.kv.find(key);
+            return it == beat.kv.end() ? "?" : it->second;
+        };
+        const std::string state = field("state");
+        running += state == "running" ? 1 : 0;
+        failed += state == "failed" ? 1 : 0;
+        const std::time_t updated = static_cast<std::time_t>(
+            std::strtoll(field("updated_unix").c_str(), nullptr, 10));
+        std::uintmax_t log_bytes = std::filesystem::file_size(
+            opts.logDir + "/worker-" + std::to_string(shard) +
+                ".log",
+            ec);
+        if (ec)
+            log_bytes = 0;
+        std::printf("%-6u %-8s %-8s %-9s %-8s %-10ju\n", shard,
+                    field("pid").c_str(), state.c_str(),
+                    field("restarts").c_str(),
+                    (updated > 0
+                         ? std::to_string(std::max<std::time_t>(
+                               0, now - updated)) + "s"
+                         : "?")
+                        .c_str(),
+                    log_bytes);
+    }
+
+    std::size_t cells = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(opts.storeDir, ec)) {
+        if (!ec && entry.path().extension() == ".pcres")
+            ++cells;
+    }
+    std::printf("%zu worker(s): %u running, %u failed; "
+                "%zu cell(s) checkpointed in %s\n",
+                beats.size(), running, failed, cells,
+                opts.storeDir.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -244,6 +398,7 @@ main(int argc, char **argv)
 {
     return bench::guardedMain([&]() -> int {
         FarmOptions opts;
+        bool status = false;
         int i = 1;
         for (; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -266,6 +421,8 @@ main(int argc, char **argv)
                 opts.storeDir = value();
             } else if (arg == "--log-dir") {
                 opts.logDir = value();
+            } else if (arg == "--status") {
+                status = true;
             } else if (arg == "--help" || arg == "-h") {
                 inform(usage());
                 return 0;
@@ -276,14 +433,19 @@ main(int argc, char **argv)
         for (; i < argc; ++i)
             opts.command.push_back(argv[i]);
 
-        fatalIf(opts.command.empty(),
-                "no harness command after --\n" + usage());
         fatalIf(opts.storeDir.empty(),
                 "--store DIR is required (workers share results "
                 "through it)\n" + usage());
-        fatalIf(opts.workers < 1, "--workers must be >= 1");
         if (opts.logDir.empty())
             opts.logDir = opts.storeDir;
+        if (status) {
+            fatalIf(!opts.command.empty(),
+                    "--status takes no harness command\n" + usage());
+            return statusMain(opts);
+        }
+        fatalIf(opts.command.empty(),
+                "no harness command after --\n" + usage());
+        fatalIf(opts.workers < 1, "--workers must be >= 1");
         return farmMain(opts);
     });
 }
