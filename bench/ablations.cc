@@ -12,6 +12,14 @@
  *  - update blending factor;
  *  - reactive fallback on table miss;
  *  - table sharing granularity (CUs per table).
+ *
+ * Replay-first iteration (docs/replay_studies.md): pass
+ * --trace-cache DIR and the first run captures every cell's epoch
+ * trace into a content-addressed library; subsequent runs replay
+ * from it - byte-identical stdout and canonical metrics, at a
+ * fraction of the simulation cost. Add --trace-what-if to collapse
+ * all ten variants onto one shared capture per workload (open-loop
+ * comparison; see the tier caveats in the doc).
  */
 
 #include <iostream>

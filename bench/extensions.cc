@@ -9,6 +9,13 @@
  * 2. The hierarchical power-management stack of Section 5.4:
  *    PCSTALL running under a millisecond-scale power-cap layer,
  *    showing the cap being tracked by narrowing the V/f window.
+ *
+ * Both studies route through SweepRunner, so --trace-cache DIR makes
+ * re-runs replay from cached traces (docs/replay_studies.md). The
+ * four "PCSTALL+CAP" cells share one design label but differ in
+ * captured cap config; their run indices keep their exact-tier cache
+ * keys distinct, and any drift in a factory's captured config is
+ * caught by replay verification and healed by a live recapture.
  */
 
 #include <iostream>

@@ -327,6 +327,13 @@ BenchOptions::parse(int argc, char **argv)
     opts.pcSnapshotOut = cli.get("pc-snapshot-out", "");
     opts.pcSnapshotIn = cli.get("pc-snapshot-in", "");
     opts.provenanceOut = cli.get("provenance-out", "");
+    opts.traceCacheDir = cli.get("trace-cache", "");
+    opts.traceWhatIf = cli.has("trace-what-if");
+    if (opts.traceWhatIf && opts.traceCacheDir.empty()) {
+        cli.noteError("--trace-what-if: requires --trace-cache DIR "
+                      "(no library to share streams through)");
+        opts.traceWhatIf = false;
+    }
     opts.progress = cli.has("progress");
 
     if (argc > 0 && argv != nullptr && argv[0] != nullptr) {
@@ -368,6 +375,15 @@ BenchOptions::parse(int argc, char **argv)
             opts.shardIndex = index;
             opts.shardCount = count;
         }
+    }
+    if (opts.traceWhatIf && opts.shardCount > 1) {
+        // The shared-stream owner of a workload may live on another
+        // shard, so a sharded what-if sweep could never resolve its
+        // waiters deterministically.
+        cli.noteError("--trace-what-if: incompatible with --shard "
+                      "(the stream owner may belong to another "
+                      "worker)");
+        opts.traceWhatIf = false;
     }
     const double cell_timeout = cli.getDouble("cell-timeout", 0.0);
     if (cell_timeout < 0.0) {
@@ -719,7 +735,232 @@ runWithObservers(sim::ExperimentDriver &driver,
                       multi.empty() ? nullptr : &multi);
 }
 
+/** Apply --pc-snapshot-in to @p pcstall (no-op for other designs). */
+void
+restorePcSnapshotIn(const BenchOptions &opts,
+                    core::PcstallController *pcstall)
+{
+    if (opts.pcSnapshotIn.empty() || pcstall == nullptr)
+        return;
+    trace::PcSnapshotReadResult snap =
+        trace::readPcSnapshotFile(opts.pcSnapshotIn);
+    std::string err = snap.error;
+    if (snap.ok()) {
+        err = trace::restorePcTables(*snap.snapshot,
+                                     pcstall->pcTables());
+    }
+    if (!err.empty())
+        warn("--pc-snapshot-in: " + err + " (starting cold)");
+}
+
+/**
+ * Decoded trace-library entries, loaded once per path (what-if sweeps
+ * replay one entry under every controller in the grid). shared_ptr
+ * values keep a decode alive for in-flight replays even when a
+ * concurrent quarantine evicts its path.
+ */
+struct LibraryTraceCache
+{
+    std::mutex mutex;
+    std::map<std::string, std::shared_ptr<const trace::TraceData>>
+        entries;
+};
+
+LibraryTraceCache &
+libraryTraceCache()
+{
+    static LibraryTraceCache cache;
+    return cache;
+}
+
+std::shared_ptr<const trace::TraceData>
+loadLibraryTrace(const std::string &path, std::string &error)
+{
+    LibraryTraceCache &cache = libraryTraceCache();
+    const std::lock_guard<std::mutex> lock(cache.mutex);
+    const auto it = cache.entries.find(path);
+    if (it != cache.entries.end())
+        return it->second;
+    trace::TraceReadResult read = trace::readTraceFile(path);
+    if (!read.ok()) {
+        error = read.error;
+        return nullptr;
+    }
+    auto data = std::make_shared<const trace::TraceData>(
+        std::move(*read.trace));
+    cache.entries.emplace(path, data);
+    return data;
+}
+
+/** Forget a decode whose file was quarantined: a later recapture at
+ *  the same path must be re-read, never served from the stale memo. */
+void
+evictLibraryTrace(const std::string &path)
+{
+    LibraryTraceCache &cache = libraryTraceCache();
+    const std::lock_guard<std::mutex> lock(cache.mutex);
+    cache.entries.erase(path);
+}
+
+/** Timing-kind cache counter: kept out of the canonical metric
+ *  sections, which must stay byte-identical to no-cache runs. */
+void
+bumpCacheCounter(const char *name)
+{
+    if (obs::metricsEnabled())
+        obs::reg().counter(name, obs::MetricKind::Timing).add(1);
+}
+
+/**
+ * Resolve one run through the trace library (docs/replay_studies.md).
+ * Returns true when @p result was produced (a hit replay, or a live
+ * capture-on-miss run); false tells the caller to run live itself.
+ * A stale entry heals in place: quarantine, then a cold controller
+ * rebuild through @p ctrl / @p pcstall / cache.rebuilt before the
+ * live recapture.
+ */
+bool
+runFromLibrary(sim::ExperimentDriver &driver,
+               std::shared_ptr<const isa::Application> app,
+               dvfs::DvfsController *&ctrl,
+               core::PcstallController *&pcstall,
+               const BenchOptions &opts, const std::string &workload,
+               TraceCacheContext &cache, obs::ProvenanceLog *prov,
+               sim::RunResult &result)
+{
+    trace::TraceLibrary &lib = *cache.library;
+    const trace::LibraryKey &key = cache.key;
+    bool capture_on_miss = cache.captureOnMiss;
+
+    const trace::TraceLibrary::GetResult got = lib.get(key);
+    if (got.status == trace::TraceLibrary::GetStatus::Hit) {
+        std::string decode_err;
+        const std::shared_ptr<const trace::TraceData> data =
+            loadLibraryTrace(got.tracePath, decode_err);
+        if (data == nullptr) {
+            // Truncated/corrupt entry: quarantined and recaptured,
+            // never ingested.
+            evictLibraryTrace(got.tracePath);
+            lib.quarantine(key, decode_err);
+            bumpCacheCounter("trace_cache.quarantined");
+        } else {
+            trace::ReplayDriver replayer(*data);
+            trace::ReplayOptions ropts;
+            // Exact-tier entries were captured under this very
+            // (design, run index, config) cell, so decision
+            // verification doubles as staleness detection. Shared
+            // (what-if) replays drive foreign controllers over the
+            // owner's stream - divergent decisions are the point.
+            ropts.verifyDecisions = !key.shared &&
+                ctrl->name() == data->meta.controller;
+            ropts.auditRegret = opts.auditRegret || prov != nullptr;
+            ropts.provenance = prov;
+            ropts.liveMetricProfile = true;
+            trace::ReplayOutcome outcome = replayer.run(*ctrl, ropts);
+            if (outcome.ok() && outcome.decisionMismatches == 0) {
+                debug("trace cache hit: " + key.digest() + " (" +
+                      workload + " under " + ctrl->name() + ")");
+                bumpCacheCounter("trace_cache.hits");
+                result = outcome.result;
+                cache.outcome = TraceCacheContext::Outcome::Hit;
+                return true;
+            }
+            if (!outcome.ok() && key.shared) {
+                // The owner's stream cannot drive this controller
+                // (e.g. it needs fork sweeps the owner never
+                // requested). The entry is fine for other cells:
+                // leave it be, run this cell live, and do not clobber
+                // the owner's capture.
+                warn("trace cache: " + outcome.error +
+                     " (simulating this cell live)");
+                capture_on_miss = false;
+            } else {
+                // Stale entry (decision drift, or an upfront replay
+                // failure): quarantine and recapture. The replay may
+                // have half-driven the controller, so rebuild it cold
+                // - and restart its provenance log - before the live
+                // run.
+                evictLibraryTrace(got.tracePath);
+                lib.quarantine(
+                    key,
+                    outcome.ok()
+                        ? std::to_string(outcome.decisionMismatches) +
+                            " decision mismatch(es); first: " +
+                            outcome.firstMismatch
+                        : outcome.error);
+                bumpCacheCounter("trace_cache.quarantined");
+                cache.rebuilt = cache.freshController();
+                ctrl = cache.rebuilt.get();
+                pcstall = pcstallBehind(*ctrl);
+                restorePcSnapshotIn(opts, pcstall);
+                if (prov != nullptr)
+                    *prov = obs::ProvenanceLog{};
+            }
+        }
+    }
+
+    // Miss (or a just-quarantined hit): simulate live, streaming the
+    // capture straight to the library entry. The TraceWriter's temp +
+    // fsync + rename staging is the atomic publication; the key
+    // sidecar follows strictly after, so a crash leaves at most an
+    // orphan trace (a miss), never a sidecar naming a partial trace.
+    bumpCacheCounter("trace_cache.misses");
+    if (capture_on_miss) {
+        const trace::TraceMeta meta = trace::makeTraceMeta(
+            driver.config(), driver.table(), workload, *ctrl,
+            hierarchicalMetaOf(*ctrl));
+        trace::TraceWriter writer(lib.entryPath(key), meta);
+        if (writer.ok()) {
+            trace::TraceCapture capture(writer);
+            if (pcstall != nullptr) {
+                core::PcstallController *snap_src = pcstall;
+                capture.setSnapshotProvider([snap_src] {
+                    return trace::snapshotPcTables(
+                        snap_src->pcTables());
+                });
+            }
+            result = runWithObservers(driver, app, *ctrl, &capture);
+            if (capture.finished() && writer.ok()) {
+                const std::string key_err = lib.publishKey(key);
+                if (!key_err.empty())
+                    warn("trace cache: " + key_err);
+                debug("trace cache capture: " + key.digest() + " (" +
+                      workload + " under " + ctrl->name() + ")");
+                bumpCacheCounter("trace_cache.captures");
+                cache.outcome =
+                    TraceCacheContext::Outcome::MissCaptured;
+            } else {
+                warn("trace cache: I/O error capturing '" +
+                     lib.entryPath(key) + "' (cell ran live)");
+                cache.outcome = TraceCacheContext::Outcome::MissLive;
+            }
+            return true;
+        }
+        warn("trace cache: cannot write '" + lib.entryPath(key) +
+             "' (running uncached)");
+    }
+    cache.outcome = TraceCacheContext::Outcome::MissLive;
+    return false;
+}
+
 } // namespace
+
+bool
+resolveTraceCache(sim::ExperimentDriver &driver,
+                  std::shared_ptr<const isa::Application> app,
+                  dvfs::DvfsController *&controller,
+                  const BenchOptions &opts,
+                  const std::string &workload, TraceCacheContext &cache,
+                  obs::ProvenanceLog *prov, sim::RunResult &result)
+{
+    if (cache.library == nullptr || !cache.library->ok() ||
+        !cache.freshController) {
+        return false;
+    }
+    core::PcstallController *pcstall = pcstallBehind(*controller);
+    return runFromLibrary(driver, app, controller, pcstall, opts,
+                          workload, cache, prov, result);
+}
 
 void
 publishPcTableMetrics(const core::PcstallController &pcstall)
@@ -749,25 +990,21 @@ sim::RunResult
 runTraced(sim::ExperimentDriver &driver,
           std::shared_ptr<const isa::Application> app,
           dvfs::DvfsController &controller, const BenchOptions &opts,
-          const std::string &workload, std::size_t run_index)
+          const std::string &workload, std::size_t run_index,
+          TraceCacheContext *cache)
 {
     debug("runTraced: " + workload + " under " + controller.name() +
           (run_index > 0 ? " (run " + std::to_string(run_index) + ")"
                          : ""));
-    core::PcstallController *pcstall = pcstallBehind(controller);
-    if (!opts.pcSnapshotIn.empty() && pcstall != nullptr) {
-        trace::PcSnapshotReadResult snap =
-            trace::readPcSnapshotFile(opts.pcSnapshotIn);
-        std::string err = snap.error;
-        if (snap.ok()) {
-            err = trace::restorePcTables(*snap.snapshot,
-                                         pcstall->pcTables());
-        }
-        if (!err.empty())
-            warn("--pc-snapshot-in: " + err + " (starting cold)");
-    }
+    // A trace-cache heal can swap in a freshly built controller
+    // mid-function (cache->rebuilt); everything below goes through
+    // these two pointers so post-run bookkeeping follows the swap.
+    dvfs::DvfsController *ctrl = &controller;
+    core::PcstallController *pcstall = pcstallBehind(*ctrl);
+    restorePcSnapshotIn(opts, pcstall);
 
-    // Run: replayed from a trace, captured to a trace, or plain.
+    // Run: replayed from a trace, captured to a trace, resolved
+    // through the trace library, or plain.
     sim::RunResult result;
     bool ran = false;
     obs::ProvenanceLog prov_log;
@@ -778,7 +1015,7 @@ runTraced(sim::ExperimentDriver &driver,
         // Symmetric with capture: repeat N replays the -rN capture.
         const trace::TraceData *data = loadReplayTrace(
             expandRunPath(opts.replayTrace, workload,
-                          controller.name(), run_index));
+                          ctrl->name(), run_index));
         if (data != nullptr) {
             if (data->meta.workload != workload) {
                 warn("--replay: trace was captured on '" +
@@ -788,11 +1025,10 @@ runTraced(sim::ExperimentDriver &driver,
             trace::ReplayDriver replayer(*data);
             trace::ReplayOptions ropts;
             ropts.verifyDecisions =
-                controller.name() == data->meta.controller;
+                ctrl->name() == data->meta.controller;
             ropts.auditRegret = opts.auditRegret;
             ropts.provenance = prov;
-            trace::ReplayOutcome outcome =
-                replayer.run(controller, ropts);
+            trace::ReplayOutcome outcome = replayer.run(*ctrl, ropts);
             if (outcome.ok()) {
                 if (ropts.verifyDecisions &&
                     outcome.decisionMismatches > 0) {
@@ -811,21 +1047,21 @@ runTraced(sim::ExperimentDriver &driver,
     }
     if (!ran && !opts.traceOut.empty()) {
         const trace::TraceMeta meta = trace::makeTraceMeta(
-            driver.config(), driver.table(), workload, controller,
-            hierarchicalMetaOf(controller));
+            driver.config(), driver.table(), workload, *ctrl,
+            hierarchicalMetaOf(*ctrl));
         const std::string path = claimOutputPath(expandRunPath(
-            opts.traceOut, workload, controller.name(), run_index));
+            opts.traceOut, workload, ctrl->name(), run_index));
         trace::TraceWriter writer(path, meta);
         if (writer.ok()) {
             trace::TraceCapture capture(writer);
             if (pcstall != nullptr) {
-                capture.setSnapshotProvider([pcstall] {
+                core::PcstallController *snap_src = pcstall;
+                capture.setSnapshotProvider([snap_src] {
                     return trace::snapshotPcTables(
-                        pcstall->pcTables());
+                        snap_src->pcTables());
                 });
             }
-            result = runWithObservers(driver, app, controller,
-                                      &capture);
+            result = runWithObservers(driver, app, *ctrl, &capture);
             ran = true;
             if (!writer.ok())
                 warn("--trace-out: I/O error writing '" + path + "'");
@@ -834,13 +1070,18 @@ runTraced(sim::ExperimentDriver &driver,
                  "' (running untraced)");
         }
     }
+    if (!ran && cache != nullptr && cache->library != nullptr &&
+        cache->library->ok() && cache->freshController) {
+        ran = runFromLibrary(driver, app, ctrl, pcstall, opts,
+                             workload, *cache, prov, result);
+    }
     if (!ran)
-        result = runWithObservers(driver, app, controller, nullptr);
+        result = runWithObservers(driver, app, *ctrl, nullptr);
     driver.setProvenance(nullptr);
 
     if (prov != nullptr) {
         const std::string prov_path = claimOutputPath(expandRunPath(
-            opts.provenanceOut, workload, controller.name(),
+            opts.provenanceOut, workload, ctrl->name(),
             run_index));
         const std::string perr = store::writeFileAtomic(
             prov_path, obs::encodeProvenance(*prov));
@@ -853,7 +1094,7 @@ runTraced(sim::ExperimentDriver &driver,
 
     if (!opts.pcSnapshotOut.empty() && pcstall != nullptr) {
         const std::string snap_path = claimOutputPath(expandRunPath(
-            opts.pcSnapshotOut, workload, controller.name(),
+            opts.pcSnapshotOut, workload, ctrl->name(),
             run_index));
         if (!trace::writePcSnapshotFile(
                 snap_path,

@@ -33,6 +33,7 @@
 #include "isa/kernel.hh"
 #include "sim/experiment.hh"
 #include "sim/profiler.hh"
+#include "trace/library.hh"
 #include "workloads/workloads.hh"
 
 namespace pcstall::core
@@ -135,6 +136,27 @@ struct BenchOptions
     /** Warm-start PCSTALL tables from a snapshot (--pc-snapshot-in). */
     std::string pcSnapshotIn;
     /**
+     * Trace library directory (--trace-cache DIR): sweeps resolve
+     * replay-eligible cells against a content-addressed library of
+     * PCTR captures with capture-on-miss — the first run of a cell
+     * simulates once and publishes its epoch trace; later runs with
+     * the same cache key replay it at 20-600x live speed, with
+     * byte-identical stdout and canonical metrics
+     * (docs/replay_studies.md). Empty = no caching.
+     */
+    std::string traceCacheDir;
+    /**
+     * Opt into the shared-stream (what-if) cache tier
+     * (--trace-what-if; requires --trace-cache, incompatible with
+     * --shard): the design/run-index slots of the cache key are
+     * blanked, so every controller in the sweep replays the one epoch
+     * stream its workload's first cell recorded — open-loop
+     * evaluation in the paper's style, trading the closed-loop
+     * feedback (and the byte-identity contract) for a sweep that
+     * simulates each workload once.
+     */
+    bool traceWhatIf = false;
+    /**
      * Write a merged metrics snapshot at process end (--metrics-out).
      * ".prom"/".txt" extensions select Prometheus text exposition,
      * anything else the pcstall-metrics-v1 JSON document
@@ -189,7 +211,8 @@ struct BenchOptions
      *  --trans-extra-ns --freq-quant-mhz --bitflips --ecc --watchdog,
      *  the performance flags --oracle-mode --oracle-threads,
      *  the trace flags --trace-out --replay --pc-snapshot-out
-     *  --pc-snapshot-in, the provenance flag --provenance-out, the
+     *  --pc-snapshot-in --trace-cache --trace-what-if
+     *  (docs/replay_studies.md), the provenance flag --provenance-out, the
      *  progress flag --progress, the farm flags --store --resume --shard i/N
      *  --cell-timeout --cell-retries (docs/sweep_farm.md), and the
      *  observability flags --metrics-out --timeline-out --csv-out
@@ -282,6 +305,69 @@ makeController(const std::string &name, const sim::RunConfig &cfg,
 const std::vector<std::string> &designNames();
 
 /**
+ * Per-cell trace-cache routing for runTraced(), assembled by
+ * SweepRunner for replay-eligible cells of a --trace-cache sweep
+ * (docs/replay_studies.md). The full flow:
+ *
+ *  - library hit: the cached trace replays the cell's controller with
+ *    live metric accounting; exact-tier hits also verify every
+ *    decision against the recording, so a stale entry (key schema
+ *    drift, truncated file, foreign simulator build) is detected, not
+ *    trusted;
+ *  - stale/corrupt hit: the entry is quarantined, the (half-driven)
+ *    controller is rebuilt cold via freshController, and the cell
+ *    recaptures live;
+ *  - miss: the cell simulates live, streaming its capture straight to
+ *    the library entry path when captureOnMiss is set.
+ */
+struct TraceCacheContext
+{
+    /** Open library (not owned). The context is ignored - the run is
+     *  a plain live run - when this is null, !ok(), or
+     *  freshController is unset. */
+    trace::TraceLibrary *library = nullptr;
+    /** The cell's fully formed cache key (exact or shared tier). */
+    trace::LibraryKey key;
+    /**
+     * Capture a missing entry from this cell's live run. What-if
+     * waiter cells whose stream owner failed clear this: they run
+     * live without capturing, so a shared-tier entry only ever holds
+     * the owner's stream.
+     */
+    bool captureOnMiss = true;
+    /**
+     * Rebuild this cell's controller from cold state, exactly as the
+     * original was built (same design string, config and application).
+     * Used when a stale cached entry is quarantined mid-replay: the
+     * half-driven controller must not be reused for the live
+     * recapture. Required - a context without it is ignored.
+     */
+    std::function<std::unique_ptr<dvfs::DvfsController>()>
+        freshController;
+    /**
+     * Out: set when self-healing rebuilt the controller. The caller's
+     * owning pointer must be replaced by this one - it is the object
+     * runTraced() actually drove (and the one post-run inspection
+     * must read).
+     */
+    std::unique_ptr<dvfs::DvfsController> rebuilt;
+    /** Out: what the cache actually did for this run. */
+    enum class Outcome
+    {
+        /** Cache not consulted (flag precedence or unusable context). */
+        Untouched,
+        /** Replayed from a published entry. */
+        Hit,
+        /** Simulated live and published the capture. */
+        MissCaptured,
+        /** Simulated live without capturing (captureOnMiss off, an
+         *  unwritable entry, or a replay-ineligible cached stream). */
+        MissLive,
+    };
+    Outcome outcome = Outcome::Untouched;
+};
+
+/**
  * Run one (workload, controller) pair honouring the trace flags:
  * plain `driver.run()` when none are set; epoch-trace capture when
  * --trace-out is given (embedding the learned PC table of PCSTALL
@@ -295,13 +381,38 @@ const std::vector<std::string> &designNames();
  * output path. Independent of that, output paths are claimed in a
  * process-wide registry and re-claims are suffixed too, so no two
  * runs of one process ever overwrite each other's captures.
+ *
+ * @p cache routes the run through the trace library (may be null; see
+ * TraceCacheContext). The explicit --replay / --trace-out flags take
+ * precedence over the cache, and a heal can leave cache->rebuilt set
+ * - callers that touch the controller after the run must adopt it.
  */
 sim::RunResult runTraced(sim::ExperimentDriver &driver,
                          std::shared_ptr<const isa::Application> app,
                          dvfs::DvfsController &controller,
                          const BenchOptions &opts,
                          const std::string &workload,
-                         std::size_t run_index = 0);
+                         std::size_t run_index = 0,
+                         TraceCacheContext *cache = nullptr);
+
+/**
+ * The core --trace-cache resolution, shared by runTraced() and
+ * SweepRunner's static-baseline path: a library hit replays
+ * @p controller (verified, with live metric accounting); a stale or
+ * corrupt hit is quarantined, the controller rebuilt cold (swapping
+ * @p controller to cache.rebuilt), and the run recaptured live; a
+ * plain miss runs live, capturing into the library when
+ * cache.captureOnMiss. Returns true when @p result was produced;
+ * false tells the caller to run live itself. @p prov may be null.
+ */
+bool resolveTraceCache(sim::ExperimentDriver &driver,
+                       std::shared_ptr<const isa::Application> app,
+                       dvfs::DvfsController *&controller,
+                       const BenchOptions &opts,
+                       const std::string &workload,
+                       TraceCacheContext &cache,
+                       obs::ProvenanceLog *prov,
+                       sim::RunResult &result);
 
 /** Print @p table as text or CSV per @p opts. */
 void emit(const BenchOptions &opts, const TableWriter &table);

@@ -3,20 +3,28 @@
  * Google-benchmark microbenchmarks of the hardware-path operations:
  * PC-table update/lookup (the per-epoch critical path of PCSTALL's
  * lookup mechanism, Section 4.4), the wavefront STALL estimator, the
- * CU-level estimation models, objective evaluation, and the cost of
- * snapshotting the simulator state (the oracle "fork").
+ * CU-level estimation models, objective evaluation, the cost of
+ * snapshotting the simulator state (the oracle "fork"), and the two
+ * halves of the replay-cache hot path (docs/replay_studies.md): PCTR
+ * trace decode and a full cached replay of a captured run.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 
+#include "core/pcstall_controller.hh"
 #include "dvfs/objective.hh"
 #include "gpu/gpu_chip.hh"
 #include "isa/kernel_builder.hh"
 #include "models/estimation.hh"
 #include "models/wave_estimator.hh"
 #include "predict/pc_table.hh"
+#include "sim/experiment.hh"
+#include "trace/format.hh"
+#include "trace/replay.hh"
 
 using namespace pcstall;
 
@@ -158,6 +166,78 @@ BM_SimulateEpoch(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SimulateEpoch);
+
+/** Fixture for the replay-path benchmarks: one short PCSTALL run of
+ *  the snapshot app captured to a PCTR trace on disk. */
+struct CapturedTrace
+{
+    std::string path = "micro_predictor_trace.tmp.bin";
+    trace::TraceData data;
+};
+
+const CapturedTrace &
+capturedTrace()
+{
+    static const CapturedTrace fixture = [] {
+        CapturedTrace out;
+        sim::RunConfig cfg;
+        cfg.gpu.numCus = 8;
+        sim::ExperimentDriver driver(cfg);
+        core::PcstallController controller(core::PcstallConfig{},
+                                           cfg.gpu.numCus);
+        const trace::TraceMeta meta = trace::makeTraceMeta(
+            cfg, driver.table(), "snap", controller);
+        trace::TraceWriter writer(out.path, meta);
+        trace::TraceCapture capture(writer);
+        driver.run(snapshotApp(), controller, &capture);
+        trace::TraceReadResult read = trace::readTraceFile(out.path);
+        if (!read.ok() || !writer.ok())
+            std::abort();
+        out.data = std::move(*read.trace);
+        return out;
+    }();
+    return fixture;
+}
+
+/** Decode half of a replay-cache hit: parse a PCTR file from disk. */
+void
+BM_TraceDecode(benchmark::State &state)
+{
+    const CapturedTrace &fixture = capturedTrace();
+    for (auto _ : state) {
+        trace::TraceReadResult read =
+            trace::readTraceFile(fixture.path);
+        if (!read.ok())
+            state.SkipWithError(read.error.c_str());
+        benchmark::DoNotOptimize(read.trace->frames.size());
+    }
+    state.counters["epochs"] = static_cast<double>(
+        fixture.data.trailer.frameCount);
+}
+BENCHMARK(BM_TraceDecode);
+
+/** Replay half of a hit: re-drive a fresh controller through the
+ *  decoded frames (what a warm --trace-cache sweep cell costs). */
+void
+BM_TraceReplay(benchmark::State &state)
+{
+    const CapturedTrace &fixture = capturedTrace();
+    for (auto _ : state) {
+        core::PcstallController controller(core::PcstallConfig{},
+                                           fixture.data.meta.numCus);
+        trace::ReplayDriver replayer(fixture.data);
+        trace::ReplayOptions ropts;
+        ropts.verifyDecisions = true;
+        const trace::ReplayOutcome out =
+            replayer.run(controller, ropts);
+        if (!out.ok() || out.decisionMismatches != 0)
+            state.SkipWithError("replay diverged from capture");
+        benchmark::DoNotOptimize(out.result.energy);
+    }
+    state.counters["epochs"] = static_cast<double>(
+        fixture.data.trailer.frameCount);
+}
+BENCHMARK(BM_TraceReplay);
 
 } // namespace
 

@@ -37,6 +37,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -54,6 +55,7 @@
 #include "predict/pc_table.hh"
 #include "sim/parallel_executor.hh"
 #include "store/atomic_file.hh"
+#include "sweep_runner.hh"
 #include "trace/format.hh"
 
 using namespace pcstall;
@@ -566,8 +568,61 @@ main(int argc, char **argv)
                         "audited run produced no provenance");
             }));
 
+        // --- replay trace cache: capture-on-miss vs warm replay ---
+        // A small design-study grid (four controllers over one
+        // workload, plus the shared baseline) run through the sweep
+        // runner with --trace-cache semantics. The cold case starts
+        // from an empty library every iteration and pays simulate +
+        // capture; the warm case resolves every cell to a cached
+        // replay. Their ratio is the speedup the replay-first
+        // workflow (docs/replay_studies.md) delivers, and the
+        // same-machine gate below holds it above 10x.
+        std::uint64_t cache_cold_fp = 0;
+        {
+            const std::string cache_root = "perf_suite_trace_cache.tmp";
+            auto sweep = [&]() {
+                bench::BenchOptions sopts = opts;
+                sopts.traceCacheDir = cache_root;
+                sopts.threads = 1;
+                bench::SweepRunner runner(sopts);
+                std::vector<bench::SweepCell> cells;
+                cells.push_back(runner.cell(workload, "PCSTALL", true));
+                cells.push_back(runner.cell(workload, "STALL"));
+                cells.push_back(runner.cell(workload, "GPHT"));
+                cells.push_back(runner.cell(workload, "ACCPC"));
+                const auto out = runner.run(std::move(cells));
+                std::uint64_t fp = 0xCBF29CE484222325ULL;
+                for (const bench::CellOutcome &cell : out) {
+                    fatalIf(!cell.run.ok,
+                            "trace-cache sweep cell failed: " +
+                                cell.run.error);
+                    fp = hashCombine(fp,
+                                     resultFingerprint(cell.run.result));
+                }
+                // 4 cells + the shared baseline, cold (captured) and
+                // warm (replayed, nothing recaptured) alike.
+                fatalIf(runner.traceCache() == nullptr ||
+                            runner.traceCache()->entryCount() != 5,
+                        "trace-cache sweep library count unexpected");
+                return fp;
+            };
+            timings.push_back(timeBenchPrepared(
+                "trace_cache_cold", repeats,
+                [&] { std::filesystem::remove_all(cache_root); },
+                [&] { cache_cold_fp = sweep(); }));
+            // The library left by the last cold iteration serves every
+            // warm iteration; identity against the cold results makes
+            // the pair double as the replay-determinism gate.
+            timings.push_back(timeBench("trace_cache_warm", repeats, [&] {
+                fatalIf(sweep() != cache_cold_fp,
+                        "warm replay sweep diverged from cold capture");
+            }));
+            std::filesystem::remove_all(cache_root);
+        }
+
         inform("identity checks passed: "
-               "copy == pool == delta == pool+mt == audited");
+               "copy == pool == delta == pool+mt == audited == "
+               "replayed");
 
         // --- report ---
         obs::Registry &reg = obs::reg();
@@ -683,6 +738,15 @@ main(int argc, char **argv)
                 min_of("e2e_pcstall") * 1.35) {
                 warn("audited cell slower than unaudited cell by "
                      ">35%");
+                ++failures;
+            }
+            // The replay acceptance bar (docs/replay_studies.md): a
+            // warm-cache design-study sweep must be at least 10x
+            // faster than the cold capture sweep it replaces.
+            if (min_of("trace_cache_warm") * 10.0 >
+                min_of("trace_cache_cold")) {
+                warn("warm trace-cache sweep is not >=10x faster "
+                     "than the cold capture sweep");
                 ++failures;
             }
             if (obs::metricsEnabled())

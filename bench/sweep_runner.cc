@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -19,17 +20,8 @@
 namespace pcstall::bench
 {
 
-namespace
-{
-
-/**
- * Serialize every BenchOptions field that changes the simulated run
- * (not the output paths). Cells agreeing on this key plus (workload,
- * design) are true repeats and get distinct run indices; the same key
- * also identifies shareable application builds and baseline runs.
- */
 std::string
-configKey(const BenchOptions &opts)
+simConfigFingerprint(const BenchOptions &opts)
 {
     std::ostringstream key;
     key << opts.cus << '|' << opts.scale << '|' << opts.epochLen << '|'
@@ -37,13 +29,28 @@ configKey(const BenchOptions &opts)
         << static_cast<int>(opts.objective) << '|'
         << opts.perfDegradationLimit << '|' << opts.collectTrace << '|'
         << opts.watchdog << '|' << opts.ecc << '|' << opts.faults.seed
-        << '|' << opts.faults.telemetry.sigma << '|'
+        << '|' << opts.faults.telemetry.enabled << '|'
+        << opts.faults.telemetry.sigma << '|'
         << opts.faults.telemetry.dropoutProb << '|'
+        << opts.faults.dvfs.enabled << '|'
         << opts.faults.dvfs.transitionFailProb << '|'
         << opts.faults.dvfs.extraSwitchLatency << '|'
         << opts.faults.dvfs.granularity << '|'
+        << opts.faults.storage.enabled << '|'
         << opts.faults.storage.upsetsPerEpoch;
     return key.str();
+}
+
+namespace
+{
+
+/** Cells agreeing on the fingerprint plus (workload, design) are true
+ *  repeats and get distinct run indices; the same key also identifies
+ *  shareable application builds and baseline runs. */
+std::string
+configKey(const BenchOptions &opts)
+{
+    return simConfigFingerprint(opts);
 }
 
 /** Application builds depend on this subset of the options only. */
@@ -120,6 +127,32 @@ storeBypassed(const SweepCell &cell)
            !cell.opts.provenanceOut.empty();
 }
 
+/**
+ * True when a cell must not route through the trace library: explicit
+ * trace I/O flags own the trace lifecycle themselves. Everything else
+ * is replay-eligible - a cached replay drives the real controller
+ * through the real epochs, so inspect callbacks, PC-snapshot exports
+ * and provenance sidecars all come out byte-identical to a live run
+ * (docs/replay_studies.md).
+ */
+bool
+cacheBypassed(const SweepCell &cell)
+{
+    return !cell.opts.traceOut.empty() ||
+           !cell.opts.replayTrace.empty();
+}
+
+std::uint64_t
+fnv1aBytes(const std::string &text, std::uint64_t basis)
+{
+    std::uint64_t h = basis;
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
 std::string
 baselineMemoKey(const std::string &workload, const BenchOptions &opts)
 {
@@ -165,6 +198,21 @@ SweepRunner::SweepRunner(const BenchOptions &opts)
             warn(rs->error() + " (continuing without checkpointing)");
         }
     }
+
+    if (!defaults.traceCacheDir.empty()) {
+        auto lib = std::make_unique<trace::TraceLibrary>(
+            defaults.traceCacheDir);
+        if (lib->ok()) {
+            traceLibrary = std::move(lib);
+            debug("trace library at '" + defaults.traceCacheDir +
+                  "' (" + std::to_string(traceLibrary->entryCount()) +
+                  " entries)");
+        } else {
+            // Recoverable like the store: a bad library means
+            // simulating everything live, not losing the sweep.
+            warn(lib->error() + " (continuing without replay caching)");
+        }
+    }
 }
 
 SweepRunner::~SweepRunner() = default;
@@ -201,6 +249,59 @@ SweepRunner::appFor(const std::string &workload,
         mine->set_value(std::move(app));
     }
     return fut.get();
+}
+
+std::string
+SweepRunner::workloadDigestFor(const std::string &workload)
+{
+    // Named Table II workloads are immutable generator programs: the
+    // name (plus the config fingerprint's cus/scale/seed) is their
+    // whole identity. Kernel-script paths can be re-edited in place,
+    // so their bytes join the key.
+    const bool is_path = workload.find('/') != std::string::npos ||
+        workload.find('.') != std::string::npos;
+    if (!is_path)
+        return "";
+    const std::lock_guard<std::mutex> lock(digestMutex);
+    const auto it = workloadDigests.find(workload);
+    if (it != workloadDigests.end())
+        return it->second;
+    std::string digest;
+    std::ifstream is(workload, std::ios::binary);
+    if (is) {
+        const std::string bytes(
+            (std::istreambuf_iterator<char>(is)),
+            std::istreambuf_iterator<char>());
+        char buf[17];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(fnv1aBytes(
+                          bytes, 0xCBF29CE484222325ULL)));
+        digest = buf;
+    } else {
+        // Unreadable now => never a hit (and the cell itself will
+        // fail to build, with its own diagnostic).
+        digest = "unreadable";
+    }
+    workloadDigests.emplace(workload, digest);
+    return digest;
+}
+
+trace::LibraryKey
+SweepRunner::libraryKeyFor(const std::string &workload,
+                           const std::string &design,
+                           const BenchOptions &opts,
+                           std::size_t run_index, bool shared)
+{
+    trace::LibraryKey key;
+    key.harness = defaults.harnessId;
+    key.workload = workload;
+    key.workloadDigest = workloadDigestFor(workload);
+    key.design = design;
+    key.runIndex = run_index;
+    key.fingerprint = simConfigFingerprint(opts);
+    key.pcSnapshotIn = opts.pcSnapshotIn;
+    key.shared = shared;
+    return key;
 }
 
 bool
@@ -286,7 +387,30 @@ SweepRunner::computeBaseline(const std::string &workload,
                     Rng::split(opts.seed, workload, "STATIC").next();
                 sim::ExperimentDriver driver(cfg);
                 dvfs::StaticController nominal(driver.nominalState());
-                out.result = driver.run(app, nominal);
+                bool produced = false;
+                if (traceLibrary != nullptr && traceLibrary->ok()) {
+                    // Baselines always key exact (the shared what-if
+                    // tier addresses cell streams; a baseline's
+                    // STATIC-seeded stream is its own). PC warm-start
+                    // paths are irrelevant to a static controller, so
+                    // the slot stays blank for maximal reuse.
+                    TraceCacheContext cctx;
+                    cctx.library = traceLibrary.get();
+                    cctx.key = libraryKeyFor(workload, baselineDesign,
+                                             opts, 0, false);
+                    cctx.key.pcSnapshotIn.clear();
+                    cctx.freshController = [&driver]()
+                        -> std::unique_ptr<dvfs::DvfsController> {
+                        return std::make_unique<dvfs::StaticController>(
+                            driver.nominalState());
+                    };
+                    dvfs::DvfsController *ctrl = &nominal;
+                    produced = resolveTraceCache(driver, app, ctrl,
+                                                 opts, workload, cctx,
+                                                 nullptr, out.result);
+                }
+                if (!produced)
+                    out.result = driver.run(app, nominal);
                 out.result.workload = workload;
                 out.ok = true;
             } else {
@@ -353,7 +477,7 @@ SweepRunner::staticBaseline(const std::string &workload,
 SweepRunner::FailureKind
 SweepRunner::attemptCell(const SweepCell &cell,
                          const std::atomic<bool> *cancel,
-                         RunOutcome &run)
+                         RunOutcome &run, const CacheRouting &routing)
 {
     try {
         sim::RunConfig cfg = cell.opts.runConfig();
@@ -381,9 +505,29 @@ SweepRunner::attemptCell(const SweepCell &cell,
                 : makeController(cell.design, cfg, app.get());
         fatalIf(controller == nullptr,
                 "cell factory returned no controller");
+        TraceCacheContext cacheCtx;
+        if (routing.enabled && traceLibrary != nullptr &&
+            traceLibrary->ok()) {
+            cacheCtx.library = traceLibrary.get();
+            cacheCtx.key =
+                libraryKeyFor(cell.workload, cell.design, cell.opts,
+                              cell.runIndex, defaults.traceWhatIf);
+            cacheCtx.captureOnMiss = routing.captureOnMiss;
+            cacheCtx.freshController = [&cell, &cfg, &app]()
+                -> std::unique_ptr<dvfs::DvfsController> {
+                return cell.factory != nullptr
+                    ? cell.factory(cfg)
+                    : makeController(cell.design, cfg, app.get());
+            };
+        }
         run.result = runTraced(driver, app, *controller, cell.opts,
-                               cell.workload, cell.runIndex);
+                               cell.workload, cell.runIndex, &cacheCtx);
         run.result.workload = cell.workload;
+        // A stale-entry heal swaps in a fresh controller mid-run; the
+        // rebuilt one carries the live run's final state, so inspect
+        // callbacks must see it instead of the abandoned original.
+        if (cacheCtx.rebuilt != nullptr)
+            controller = std::move(cacheCtx.rebuilt);
         if (cell.inspect != nullptr)
             cell.inspect(*controller);
         run.ok = true;
@@ -405,7 +549,8 @@ SweepRunner::attemptCell(const SweepCell &cell,
 
 CellOutcome
 SweepRunner::executeCell(const SweepCell &cell, CellWatch *watch,
-                         obs::Registry &farm, ShardArtifact &art)
+                         obs::Registry &farm, ShardArtifact &art,
+                         const CacheRouting &routing)
 {
     CellOutcome out;
     if (cell.wantBaseline)
@@ -465,7 +610,7 @@ SweepRunner::executeCell(const SweepCell &cell, CellWatch *watch,
             out.run = RunOutcome{};
             kind = attemptCell(
                 cell, watch != nullptr ? &watch->cancel : nullptr,
-                out.run);
+                out.run, routing);
         }
         if (watch != nullptr)
             watch->deadline.store(0, std::memory_order_release);
@@ -537,6 +682,45 @@ SweepRunner::run(std::vector<SweepCell> cells)
     const auto owned = [&](std::size_t i) {
         return shard_n <= 1 || i % shard_n == shard_i;
     };
+
+    // Replay-cache routing (see docs/replay_studies.md). Cells that
+    // already drive trace I/O themselves (--trace-out / --replay)
+    // bypass the library; everything else is replay-eligible. In
+    // shared what-if mode, cells collapsing onto one shared key form a
+    // group: the first submission index is the owner (it captures on
+    // miss), later ones are waiters (they block on the owner's future,
+    // then replay its entry; never capture, so an owner's published
+    // trace is never clobbered). ParallelExecutor claims indices in
+    // increasing order, so an owner is always scheduled no later than
+    // its waiters and the waits cannot deadlock.
+    const bool cache_on = traceLibrary != nullptr && traceLibrary->ok();
+    std::vector<CacheRouting> routing(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        routing[i].enabled = cache_on && !cacheBypassed(cells[i]);
+    std::vector<std::shared_future<void>> cellWaits(cells.size());
+    std::vector<std::shared_ptr<std::promise<void>>> cellSignals(
+        cells.size());
+    if (cache_on && defaults.traceWhatIf) {
+        std::map<std::string, std::shared_future<void>> groupFuture;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (!owned(i) || !routing[i].enabled)
+                continue;
+            const std::string digest =
+                libraryKeyFor(cells[i].workload, cells[i].design,
+                              cells[i].opts, cells[i].runIndex, true)
+                    .digest();
+            const auto it = groupFuture.find(digest);
+            if (it == groupFuture.end()) {
+                auto signal = std::make_shared<std::promise<void>>();
+                groupFuture.emplace(digest,
+                                    signal->get_future().share());
+                cellSignals[i] = std::move(signal);
+            } else {
+                routing[i].captureOnMiss = false;
+                cellWaits[i] = it->second;
+            }
+        }
+    }
 
     const bool observing =
         obs::metricsEnabled() || obs::timelineEnabled();
@@ -695,6 +879,8 @@ SweepRunner::run(std::vector<SweepCell> cells)
             out[i].baseline.skipped = cells[i].wantBaseline;
             return;
         }
+        if (cellWaits[i].valid())
+            cellWaits[i].wait();
         const obs::ScopedContext scope(*cellCtx[i]);
         obs::Registry &registry = cellCtx[i]->registry;
         obs::recordSinceNs(
@@ -705,7 +891,9 @@ SweepRunner::run(std::vector<SweepCell> cells)
             "sweep.cell_wall_ns", obs::MetricKind::Timing));
         out[i] = executeCell(
             cells[i], watchdog_on ? watches[i].get() : nullptr,
-            registry, cellArt[i]);
+            registry, cellArt[i], routing[i]);
+        if (cellSignals[i] != nullptr)
+            cellSignals[i]->set_value();
         cells_done.fetch_add(1, std::memory_order_relaxed);
     });
 

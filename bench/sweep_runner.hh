@@ -43,6 +43,17 @@
  * cells cooperatively at the next epoch boundary; transient failures
  * are retried with bounded backoff, deterministic FatalErrors and
  * timeouts never are.
+ *
+ * Replay layer (docs/replay_studies.md): with --trace-cache DIR every
+ * replay-eligible cell (and shared baseline) resolves against a
+ * content-addressed trace library with capture-on-miss - a cold run
+ * simulates once and publishes each cell's epoch trace, a warm run
+ * replays the recordings at 20-600x live speed with byte-identical
+ * stdout and canonical metrics. Cells that name explicit trace I/O
+ * (--trace-out, --replay) bypass the cache; --trace-what-if switches
+ * to shared-stream keys where each workload's first cell simulates
+ * and every other controller replays its stream (open-loop
+ * evaluation, giving up the byte-identity contract).
  */
 
 #ifndef PCSTALL_BENCH_SWEEP_RUNNER_HH
@@ -68,6 +79,17 @@ class ResultStore;
 
 namespace pcstall::bench
 {
+
+/**
+ * Serialize every BenchOptions field that changes the simulated run
+ * (not the output paths or observability toggles): CU count, scale,
+ * epoch length, domain geometry, seed, objective, fault
+ * configuration, watchdog/ECC. This is the config half of both the
+ * results-store key (docs/sweep_farm.md) and the trace-library key
+ * (docs/replay_studies.md): two cells agreeing on it - plus
+ * (workload, design) - are true repeats of one simulated run.
+ */
+std::string simConfigFingerprint(const BenchOptions &opts);
 
 /** Builds the controller a cell runs (given the cell's RunConfig). */
 using ControllerFactory =
@@ -217,6 +239,13 @@ class SweepRunner
      *  directory was unusable and checkpointing is off). */
     const store::ResultStore *store() const { return resultStore.get(); }
 
+    /** The active trace library, or null (no --trace-cache, or the
+     *  directory was unusable and replay caching is off). */
+    const trace::TraceLibrary *traceCache() const
+    {
+        return traceLibrary.get();
+    }
+
   private:
     using AppPtr = std::shared_ptr<const isa::Application>;
 
@@ -248,6 +277,19 @@ class SweepRunner
         bool valid = false;
     };
 
+    /** Per-cell trace-cache routing, decided by run() before the cell
+     *  phase (what-if stream owners are a submission-order property
+     *  of the whole grid, not of one cell). */
+    struct CacheRouting
+    {
+        /** Consult the trace library for this cell. */
+        bool enabled = false;
+        /** Publish this cell's live capture on a miss (off for
+         *  what-if waiters: only the stream owner's capture may live
+         *  under a shared key). */
+        bool captureOnMiss = true;
+    };
+
     /** Memoized application build (thread-safe, compute-once). */
     AppPtr appFor(const std::string &workload,
                   const BenchOptions &opts);
@@ -255,12 +297,28 @@ class SweepRunner
     /** Store-checked, watchdog-guarded, retry-bounded cell execution
      *  (the per-cell body of run()'s parallel phase). */
     CellOutcome executeCell(const SweepCell &cell, CellWatch *watch,
-                            obs::Registry &farm, ShardArtifact &art);
+                            obs::Registry &farm, ShardArtifact &art,
+                            const CacheRouting &routing);
 
     /** One live attempt of a cell (no store, no retries). */
     FailureKind attemptCell(const SweepCell &cell,
                             const std::atomic<bool> *cancel,
-                            RunOutcome &run);
+                            RunOutcome &run,
+                            const CacheRouting &routing);
+
+    /** The trace-library identity of one run of this sweep.
+     *  @p shared selects the what-if tier (design/run-index blanked);
+     *  kernel-script workloads contribute a content digest so an
+     *  edited script misses instead of replaying stale epochs. */
+    trace::LibraryKey libraryKeyFor(const std::string &workload,
+                                    const std::string &design,
+                                    const BenchOptions &opts,
+                                    std::size_t run_index,
+                                    bool shared);
+
+    /** Memoized content digest of kernel-script workloads ("" for
+     *  named Table II workloads). */
+    std::string workloadDigestFor(const std::string &workload);
 
     /** The store-checked baseline computation staticBaseline()'s
      *  winner runs; fills @p art for submission-order collection. */
@@ -277,6 +335,12 @@ class SweepRunner
 
     /** Active results store (null = checkpointing off). */
     std::unique_ptr<store::ResultStore> resultStore;
+
+    /** Active trace library (null = replay caching off). */
+    std::unique_ptr<trace::TraceLibrary> traceLibrary;
+
+    std::mutex digestMutex;
+    std::map<std::string, std::string> workloadDigests;
 
     std::mutex appMutex;
     std::map<std::string, std::shared_future<AppPtr>> apps;

@@ -1,7 +1,9 @@
 /**
  * @file
  * Table III: the DVFS prediction designs evaluated, with their
- * estimation model, control mechanism, and sweep requirements.
+ * estimation model, control mechanism, sweep requirements, and
+ * replay-cache eligibility (docs/replay_studies.md): which cached
+ * traces a --trace-cache sweep can serve the design from.
  */
 
 #include <iostream>
@@ -43,7 +45,8 @@ runHarness(int argc, char **argv)
 
     const auto cfg = opts.runConfig();
     TableWriter table({"name", "estimation model", "control mechanism",
-                       "implementable", "fork sweeps"});
+                       "implementable", "fork sweeps",
+                       "replay eligibility"});
     for (const std::string &name :
          opts.designList(bench::designNames())) {
         const auto controller = bench::makeController(name, cfg);
@@ -55,7 +58,15 @@ runHarness(int argc, char **argv)
             .cell(need == dvfs::SweepNeed::None ? "yes" : "no")
             .cell(need == dvfs::SweepNeed::None ? "none"
                   : need == dvfs::SweepNeed::Elapsed ? "elapsed epoch"
-                                                     : "upcoming epoch");
+                                                     : "upcoming epoch")
+            // The replay-eligibility taxonomy of
+            // docs/replay_studies.md: a sweep-free design replays
+            // from any cached trace of the cell's config; a
+            // sweep-needing one only from traces whose frames carry
+            // the recorded fork-pre-execute sweeps.
+            .cell(need == dvfs::SweepNeed::None
+                      ? "any cached trace"
+                      : "sweep-captured traces only");
         table.endRow();
     }
     bench::emit(opts, table);

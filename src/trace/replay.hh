@@ -50,6 +50,19 @@ struct ReplayOptions
      * trace after the fact.
      */
     obs::ProvenanceLog *provenance = nullptr;
+    /**
+     * Record metrics exactly as the equivalent live run would have:
+     * suppress the replay-only trace.replays / trace.replay_frames /
+     * trace.replay_mismatches counters and synthesize the
+     * deterministic oracle.sweeps / oracle.forks totals a live run of
+     * a sweep-needing controller would have recorded (one sweep per
+     * sweep-bearing frame, one fork per V/f state each). This is what
+     * lets a --trace-cache sweep merge canonical metrics
+     * byte-identical to a fresh simulation (docs/replay_studies.md);
+     * the wall-clock trace.replay_wall_ns histogram stays recorded
+     * either way (Timing kind, outside the canonical sections).
+     */
+    bool liveMetricProfile = false;
 };
 
 /** Outcome of one replay pass. */

@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
-"""Validate relative links in the repo's Markdown files.
+"""Validate relative links and anchors in the repo's Markdown files.
 
 Scans every tracked *.md file (or the files given on the command
 line), extracts inline Markdown links and images, and checks that
 each relative target exists. External schemes (http, https, mailto)
-and pure in-page anchors are skipped; a `path#anchor` target is
-checked for the file part only. Exits non-zero listing every broken
-link, so CI catches documentation rot.
+are skipped. Anchors are validated too: a `path#anchor` target must
+name a heading (GitHub slugification) or an explicit `<a name=...>` /
+`<a id=...>` anchor in the target file, and a pure `#anchor` must
+resolve within the same file. Exits non-zero listing every broken
+link, so CI catches documentation rot - dead paths and dead anchors
+alike.
 
 Standard library only - runs on any python3.
 """
@@ -19,6 +22,11 @@ import sys
 # Inline link/image: [text](target) - stops at the first unescaped
 # closing paren, which is fine for the plain paths this repo uses.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+EXPLICIT_ANCHOR_RE = re.compile(
+    r"<a\s+(?:name|id)\s*=\s*[\"']([^\"']+)[\"']", re.IGNORECASE
+)
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
 
 
@@ -34,29 +42,89 @@ def markdown_files(root):
     return sorted(out)
 
 
-def check_file(md_path, root):
-    """Return a list of (line_number, target) broken links."""
+def github_slug(heading, seen):
+    """GitHub's heading-to-anchor slugification: lowercase, strip
+    everything but word characters, spaces and hyphens, spaces to
+    hyphens, then -1/-2/... suffixes for duplicates."""
+    # Inline markup does not contribute to the slug text.
+    text = re.sub(r"[*_`]", "", heading)
+    # Markdown links in headings slugify by their link text.
+    text = re.sub(r"!?\[([^\]]*)\]\([^()]*\)", r"\1", text)
+    slug = text.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    if slug not in seen:
+        seen[slug] = 0
+        return slug
+    seen[slug] += 1
+    return f"{slug}-{seen[slug]}"
+
+
+def anchors_of(md_path, cache):
+    """The set of valid anchors in *md_path* (memoized)."""
+    if md_path in cache:
+        return cache[md_path]
+    anchors = set()
+    seen = {}
+    in_fence = False
+    try:
+        with open(md_path, encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                if CODE_FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                match = HEADING_RE.match(line)
+                if match:
+                    anchors.add(github_slug(match.group(2), seen))
+                for explicit in EXPLICIT_ANCHOR_RE.finditer(line):
+                    anchors.add(explicit.group(1))
+    except OSError:
+        pass
+    cache[md_path] = anchors
+    return anchors
+
+
+def check_file(md_path, root, anchor_cache):
+    """Return a list of (line_number, target, reason) broken links."""
     broken = []
     base = os.path.dirname(md_path)
+    in_fence = False
     with open(md_path, encoding="utf-8", errors="replace") as fh:
         for lineno, line in enumerate(fh, start=1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
             for match in LINK_RE.finditer(line):
                 target = match.group(1)
                 if target.startswith(SKIP_SCHEMES):
                     continue
-                if target.startswith("#"):
-                    continue  # in-page anchor
-                path_part = target.split("#", 1)[0]
-                if not path_part:
-                    continue
-                # Leading "/" means repo-root-relative in this repo's
-                # docs; everything else is relative to the file.
-                if path_part.startswith("/"):
-                    resolved = os.path.join(root, path_part.lstrip("/"))
+                path_part, _, anchor = target.partition("#")
+                if path_part:
+                    # Leading "/" means repo-root-relative in this
+                    # repo's docs; everything else is file-relative.
+                    if path_part.startswith("/"):
+                        resolved = os.path.join(
+                            root, path_part.lstrip("/")
+                        )
+                    else:
+                        resolved = os.path.join(base, path_part)
+                    if not os.path.exists(resolved):
+                        broken.append((lineno, target, "missing file"))
+                        continue
                 else:
-                    resolved = os.path.join(base, path_part)
-                if not os.path.exists(resolved):
-                    broken.append((lineno, target))
+                    resolved = md_path  # in-page anchor
+                if not anchor:
+                    continue
+                # Anchors only make sense into Markdown files; a
+                # #Lnn source-line fragment on a code path is fine.
+                if not resolved.endswith(".md"):
+                    continue
+                if anchor not in anchors_of(resolved, anchor_cache):
+                    broken.append((lineno, target, "dead anchor"))
     return broken
 
 
@@ -75,17 +143,23 @@ def main():
     args = parser.parse_args()
 
     files = args.files or markdown_files(args.root)
+    anchor_cache = {}
     total_broken = 0
     for md_path in files:
-        for lineno, target in check_file(md_path, args.root):
+        for lineno, target, reason in check_file(
+            md_path, args.root, anchor_cache
+        ):
             rel = os.path.relpath(md_path, args.root)
-            print(f"{rel}:{lineno}: broken link -> {target}")
+            print(f"{rel}:{lineno}: {reason} -> {target}")
             total_broken += 1
 
     if total_broken:
         print(f"{total_broken} broken link(s) in {len(files)} file(s)")
         return 1
-    print(f"OK: {len(files)} markdown file(s), no broken relative links")
+    print(
+        f"OK: {len(files)} markdown file(s), "
+        "no broken relative links or anchors"
+    )
     return 0
 
 

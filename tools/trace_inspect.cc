@@ -13,6 +13,9 @@
  *   trace_inspect metrics <trace> [--controller C] [--out F]
  *                                            replay under the metrics
  *                                            registry and report
+ *   trace_inspect library <dir> [list|verify|gc]
+ *                                            inspect a --trace-cache
+ *                                            replay library
  *
  * `capture` accepts every bench-harness option (--cus, --scale,
  * --epoch-us, --domain-cus, --seed, fault flags, ...). `replay`
@@ -30,9 +33,13 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <vector>
+
+#include <unistd.h>
 
 #include "common/cli.hh"
 #include "common/logging.hh"
@@ -45,6 +52,7 @@
 #include "sim/parallel_executor.hh"
 #include "sim/trace_export.hh"
 #include "trace/format.hh"
+#include "trace/library.hh"
 #include "trace/replay.hh"
 #include "trace/snapshot.hh"
 
@@ -71,7 +79,13 @@ usage()
         "  metrics <trace> [--controller C] [--out F]\n"
         "          replay with the metrics registry armed and print\n"
         "          the merged snapshot; --out writes it as JSON (or\n"
-        "          Prometheus text with a .prom/.txt extension)\n");
+        "          Prometheus text with a .prom/.txt extension)\n"
+        "  library <dir> [list|verify|gc]\n"
+        "          inspect a --trace-cache library: `list` (default)\n"
+        "          tabulates entries without decoding, `verify`\n"
+        "          decodes every entry and quarantines corrupt ones\n"
+        "          (exit 1 when any fail), `gc` removes orphan traces,\n"
+        "          dangling sidecars and stale staging temps\n");
     return 2;
 }
 
@@ -604,6 +618,121 @@ cmdMetrics(const std::string &path, int argc, char **argv)
     return 0;
 }
 
+/** Split a sidecar key text on the library's unit separator. */
+std::vector<std::string>
+splitKeyText(const std::string &text)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    for (const char c : text) {
+        if (c == '\x1f') {
+            fields.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    fields.push_back(cur);
+    return fields;
+}
+
+/**
+ * Inspect a --trace-cache replay library (docs/replay_studies.md).
+ *
+ * `list` prints one row per published entry straight from the sidecar
+ * texts - no trace is decoded, so it is safe and fast on any library.
+ * `verify` additionally decodes every trace and quarantines the ones
+ * that fail, mirroring what a sweep's capture-on-miss self-heal would
+ * do lazily. `gc` collects the unusable leftovers a crash can leave
+ * behind (orphan traces, dangling sidecars, staging temps).
+ */
+int
+cmdLibrary(const std::string &dir, const std::string &sub)
+{
+    namespace fs = std::filesystem;
+    trace::TraceLibrary lib(dir);
+    if (!lib.ok())
+        fatal(lib.error());
+
+    if (sub == "gc") {
+        const std::size_t removed = lib.gcOrphans();
+        std::printf("library %s: removed %zu orphan file(s), %zu "
+                    "entr%s remain\n",
+                    lib.dir().c_str(), removed, lib.entryCount(),
+                    lib.entryCount() == 1 ? "y" : "ies");
+        return 0;
+    }
+
+    const std::vector<trace::TraceLibrary::Entry> entries =
+        lib.entries();
+    if (sub == "list") {
+        std::printf("%-32s %10s %-12s %-24s %-4s %s\n", "digest",
+                    "bytes", "workload", "design", "run",
+                    "fingerprint");
+        for (const trace::TraceLibrary::Entry &e : entries) {
+            // Key text layout (library.cc): version, harness,
+            // workload, workload digest, design, run index,
+            // fingerprint, PC snapshot path.
+            const std::vector<std::string> f =
+                splitKeyText(e.keyText);
+            const bool parsed = f.size() == 8;
+            std::printf("%-32s %10ju %-12s %-24s %-4s %s\n",
+                        e.digest.c_str(), e.bytes,
+                        parsed ? f[2].c_str() : "(orphan)",
+                        parsed ? f[4].c_str() : "-",
+                        parsed ? f[5].c_str() : "-",
+                        parsed ? f[6].c_str() : "-");
+        }
+        std::printf("%zu entr%s, %zu quarantined\n", entries.size(),
+                    entries.size() == 1 ? "y" : "ies",
+                    lib.quarantinedCount());
+        return 0;
+    }
+
+    if (sub == "verify") {
+        std::size_t bad = 0;
+        for (const trace::TraceLibrary::Entry &e : entries) {
+            const fs::path trace_path =
+                fs::path(lib.dir()) / (e.digest + ".pctrace");
+            const trace::TraceReadResult read =
+                trace::readTraceFile(trace_path.string());
+            if (read.ok()) {
+                std::printf("ok      %s (%" PRIu64 " epochs)\n",
+                            e.digest.c_str(),
+                            read.trace->trailer.frameCount);
+                continue;
+            }
+            ++bad;
+            std::printf("CORRUPT %s: %s\n", e.digest.c_str(),
+                        read.error.c_str());
+            // Same quarantine discipline as the sweep path: move both
+            // files aside (pid-suffixed) so the next sweep recaptures.
+            const fs::path pen = fs::path(lib.dir()) / ".corrupt";
+            std::error_code ec;
+            fs::create_directories(pen, ec);
+            const std::string pid = std::to_string(::getpid());
+            for (const char *ext : {".pctrace", ".pckey"}) {
+                const fs::path from =
+                    fs::path(lib.dir()) / (e.digest + ext);
+                fs::rename(from,
+                           pen / (e.digest + ext + "." + pid), ec);
+                if (ec)
+                    fs::remove(from, ec);
+            }
+        }
+        std::printf("%zu entr%s verified, %zu quarantined now\n",
+                    entries.size(), entries.size() == 1 ? "y" : "ies",
+                    bad);
+        return bad == 0 ? 0 : 1;
+    }
+
+    std::fprintf(stderr,
+                 "library: unknown subcommand '%s' "
+                 "(expected list, verify or gc)\n",
+                 sub.c_str());
+    return 2;
+}
+
 } // namespace
 
 int
@@ -627,6 +756,8 @@ main(int argc, char **argv)
             return cmdReplay(argv[2], argc - 2, argv + 2);
         if (cmd == "metrics" && argc >= 3)
             return cmdMetrics(argv[2], argc - 2, argv + 2);
+        if (cmd == "library" && argc >= 3)
+            return cmdLibrary(argv[2], argc >= 4 ? argv[3] : "list");
         return usage();
     });
 }
